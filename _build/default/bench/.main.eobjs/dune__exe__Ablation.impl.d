@@ -1,0 +1,1 @@
+bench/ablation.ml: Array Bench_common Engine Fccd Gray_apps Gray_util Graybox_core Introspect Kernel List Mac Platform Printf Replacement Simos

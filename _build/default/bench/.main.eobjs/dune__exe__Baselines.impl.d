@@ -1,0 +1,1 @@
+bench/baselines.ml: Array Bench_common Engine Fccd Float Gray_apps Gray_util Graybox_core Interpose Introspect Kernel List Mac Platform Printf Replacement Simos Sleds

@@ -1,0 +1,1 @@
+bench/bench_common.ml: Array Engine Gray_util Kernel List Platform Printf Simos Sys

@@ -1,0 +1,1 @@
+bench/fig1.ml: Array Bench_common Gray_apps Gray_util Introspect Kernel List Printf Simos

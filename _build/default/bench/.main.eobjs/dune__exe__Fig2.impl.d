@@ -1,0 +1,1 @@
+bench/fig2.ml: Bench_common Disk Gray_apps Gray_util Graybox_core Kernel List Platform Printf Simos

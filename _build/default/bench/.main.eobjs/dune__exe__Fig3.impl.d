@@ -1,0 +1,1 @@
+bench/fig3.ml: Bench_common Fccd Gray_apps Gray_util Graybox_core Kernel Simos

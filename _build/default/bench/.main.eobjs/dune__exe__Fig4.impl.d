@@ -1,0 +1,1 @@
+bench/fig4.ml: Bench_common Fccd Gray_apps Gray_util Graybox_core Kernel List Platform Printf Simos

@@ -1,0 +1,1 @@
+bench/fig5.ml: Array Bench_common Fldc Gray_apps Gray_util Graybox_core Kernel List Platform Simos

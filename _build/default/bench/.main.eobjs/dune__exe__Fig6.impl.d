@@ -1,0 +1,1 @@
+bench/fig6.ml: Array Bench_common Fldc Gray_apps Gray_util Graybox_core Kernel List Printf Result Simos

@@ -1,0 +1,1 @@
+bench/fig7.ml: Array Bench_common Fun Gray_apps Gray_util Graybox_core Kernel List Mac Printf Simos

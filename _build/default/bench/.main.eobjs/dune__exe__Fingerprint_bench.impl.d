@@ -1,0 +1,1 @@
+bench/fingerprint_bench.ml: Bench_common Fingerprint Gray_util Graybox_core List Platform Printf Replacement Simos

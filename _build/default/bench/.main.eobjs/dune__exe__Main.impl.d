@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Baselines Bench_common Fig1 Fig2 Fig3 Fig4 Fig5 Fig6 Fig7 Fingerprint_bench List Micro Printf Sys Tables

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Bench_common Benchmark Gray_util Hashtbl Instance List Measure Printf Simos Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/tables.ml: Bench_common Fccd Gray_apps Gray_related Gray_util Graybox_core Kernel Mac Printf Simos

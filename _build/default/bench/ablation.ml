@@ -1,0 +1,186 @@
+(* Ablations beyond the paper's figures:
+
+   1. FCCD accuracy vs replacement policy — how much of FCCD's benefit
+      survives when the gray-box "LRU-like replacement" assumption is
+      stretched (DESIGN.md calls this out; Section 4.1.4 discusses it for
+      Solaris).
+   2. FCCD accuracy vs timing noise — how far the statistics carry when
+      the covert channel gets dirty.
+   3. MAC increment strategy — conservative doubling vs fixed-step vs
+      aggressive, measuring probe overhead against grant quality. *)
+
+open Simos
+open Graybox_core
+open Bench_common
+
+let file_bytes = 1200 * mib
+
+let fccd seed =
+  { (Fccd.default_config ~seed ()) with Fccd.access_unit = 20 * mib; prediction_unit = 5 * mib }
+
+(* plan-vs-bitmap agreement: fraction of the plan's first (cached_count)
+   extents that are really mostly-cached *)
+let plan_accuracy k plan =
+  let bitmap =
+    match Introspect.cache_bitmap k ~path:"/d0/corpus" with
+    | Ok b -> b
+    | Error _ -> [||]
+  in
+  let page = 4096 in
+  let mostly_cached (e : Fccd.extent) =
+    let first = e.Fccd.ext_off / page in
+    let last = (e.Fccd.ext_off + e.Fccd.ext_len - 1) / page in
+    let hits = ref 0 in
+    for p = first to last do
+      if p < Array.length bitmap && bitmap.(p) then incr hits
+    done;
+    2 * !hits > last - first + 1
+  in
+  let extents = Fccd.extents plan in
+  let cached_total = List.length (List.filter mostly_cached extents) in
+  if cached_total = 0 then 1.0
+  else begin
+    let front = List.filteri (fun i _ -> i < cached_total) extents in
+    float_of_int (List.length (List.filter mostly_cached front))
+    /. float_of_int cached_total
+  end
+
+let fccd_under ~platform ~seed =
+  let k = boot ~platform () in
+  in_proc k (fun env ->
+      Gray_apps.Workload.write_file env "/d0/corpus" file_bytes;
+      Kernel.flush_file_cache k;
+      (* warm with more data than fits, in scattered 20 MB pieces, so the
+         replacement policy actually has to choose victims *)
+      let rng = Gray_util.Rng.create ~seed in
+      let fd = Gray_apps.Workload.ok_exn (Kernel.open_file env "/d0/corpus") in
+      for _ = 1 to file_bytes / (20 * mib) * 3 / 2 do
+        let off = Gray_util.Rng.int rng (file_bytes / (20 * mib)) * (20 * mib) in
+        ignore (Gray_apps.Workload.ok_exn (Kernel.read env fd ~off ~len:(20 * mib)))
+      done;
+      Kernel.close env fd;
+      let plan = Gray_apps.Workload.ok_exn (Fccd.probe_file env (fccd seed) ~path:"/d0/corpus") in
+      plan_accuracy k plan)
+
+let scan_speedup ~platform ~seed =
+  let k = boot ~platform () in
+  in_proc k (fun env ->
+      Gray_apps.Workload.write_file env "/d0/corpus" file_bytes;
+      Kernel.flush_file_cache k;
+      let linear = ref 0 and gray = ref 0 in
+      for _ = 1 to 3 do
+        linear := Gray_apps.Scan.linear env ~path:"/d0/corpus" ~unit_bytes:(20 * mib)
+      done;
+      Kernel.flush_file_cache k;
+      for _ = 1 to 3 do
+        gray := Gray_apps.Scan.gray env (fccd seed) ~path:"/d0/corpus"
+      done;
+      float_of_int !linear /. float_of_int !gray)
+
+let policy_ablation () =
+  header "Ablation A: FCCD vs replacement policy (plan accuracy and warm-scan speedup)";
+  let t =
+    Gray_util.Table.create
+      ~title:"probing stays accurate on every policy; the exploitable benefit varies"
+      ~columns:[ "file-cache policy"; "plan accuracy"; "warm-scan speedup" ]
+  in
+  List.iter
+    (fun name ->
+      let platform =
+        Platform.with_file_policy Platform.linux_2_2 (Replacement.of_name name)
+      in
+      let acc = fccd_under ~platform ~seed:51 in
+      let speedup = scan_speedup ~platform ~seed:52 in
+      Gray_util.Table.add_row t
+        [ name; Printf.sprintf "%.2f" acc; Printf.sprintf "%.1fx" speedup ])
+    Replacement.all_names;
+  print_string (Gray_util.Table.render t);
+  note "probing measures the cache as it is, so accuracy is policy-independent;";
+  note "the speedup collapses where repeated scans are already cheap (mru-sticky: the";
+  note "Solaris effect of Fig. 4) or where the cache state defeats reordering"
+
+let noise_ablation () =
+  header "Ablation B: FCCD plan accuracy vs timing noise";
+  let t =
+    Gray_util.Table.create ~title:"accuracy under log-normal service-time noise"
+      ~columns:[ "sigma"; "plan accuracy" ]
+  in
+  List.iter
+    (fun sigma ->
+      let platform = Platform.with_noise Platform.linux_2_2 ~sigma in
+      let acc = fccd_under ~platform ~seed:53 in
+      Gray_util.Table.add_row t [ Printf.sprintf "%.2f" sigma; Printf.sprintf "%.2f" acc ])
+    [ 0.0; 0.05; 0.1; 0.2; 0.4; 0.8 ];
+  print_string (Gray_util.Table.render t);
+  note "expected: robust well past the default 0.05 — cache/disk are orders of magnitude apart"
+
+let mac_ablation () =
+  header "Ablation C: MAC increment strategy (probe cost vs grant under a 300 MB competitor)";
+  let t =
+    Gray_util.Table.create ~title:""
+      ~columns:[ "strategy"; "granted"; "probe time"; "steps"; "backoffs" ]
+  in
+  let strategies =
+    [
+      ("conservative 8->64 MB (paper)", 8 * mib, 64 * mib);
+      ("fixed 8 MB", 8 * mib, 8 * mib);
+      ("fixed 64 MB", 64 * mib, 64 * mib);
+      ("aggressive 64->256 MB", 64 * mib, 256 * mib);
+    ]
+  in
+  List.iter
+    (fun (label, initial, maxi) ->
+      let k = boot () in
+      let stop = ref false and held = ref false in
+      Kernel.spawn k ~name:"competitor" (fun env ->
+          let pages = 300 * mib / 4096 in
+          let r = Kernel.valloc env ~pages in
+          ignore (Kernel.touch_pages env r ~first:0 ~count:pages);
+          held := true;
+          while not !stop do
+            let slice = 4096 in
+            let off = ref 0 in
+            while !off < pages do
+              ignore (Kernel.touch_pages env r ~first:!off ~count:(min slice (pages - !off)));
+              off := !off + slice;
+              Engine.delay 500_000
+            done
+          done;
+          Kernel.vfree env r);
+      let granted = ref 0 and stats = ref None in
+      Kernel.spawn k ~name:"mac" (fun env ->
+          while not !held do
+            Engine.delay 1_000_000
+          done;
+          let config =
+            { (Mac.default_config ()) with Mac.initial_increment = initial;
+              max_increment = maxi }
+          in
+          (match Mac.gb_alloc env config ~min:(50 * mib) ~max:(830 * mib) ~multiple:100 with
+          | Some a ->
+            granted := Mac.bytes a;
+            Mac.gb_free env a
+          | None -> ());
+          stats := Some (Mac.last_stats ());
+          stop := true);
+      Kernel.run k;
+      match !stats with
+      | None -> ()
+      | Some s ->
+        Gray_util.Table.add_row t
+          [
+            label;
+            Printf.sprintf "%d MB" (!granted / mib);
+            Printf.sprintf "%.2f s" (float_of_int s.Mac.s_probe_ns /. 1e9);
+            string_of_int s.Mac.s_steps;
+            string_of_int s.Mac.s_backoffs;
+          ])
+    strategies;
+  print_string (Gray_util.Table.render t);
+  note "with stop-at-first-failure semantics the strategies trade probe steps for grant";
+  note "resolution: fixed-small needs many steps; the paper's doubling is the compromise"
+
+let run () =
+  policy_ablation ();
+  noise_ablation ();
+  mac_ablation ()

@@ -1,0 +1,38 @@
+(* Shared plumbing for the figure/table reproductions. *)
+
+open Simos
+
+let mib = 1024 * 1024
+
+(* Trials default low to keep the harness snappy; the paper used 30.
+   Override with GRAYBOX_TRIALS. *)
+let trials =
+  match Sys.getenv_opt "GRAYBOX_TRIALS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 5)
+  | None -> 5
+
+let header title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n%!"
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  # %s\n%!" s) fmt
+
+let boot ?(platform = Platform.linux_2_2) ?(data_disks = 4) ?(seed = 42) () =
+  let engine = Engine.create () in
+  Kernel.boot ~engine ~platform ~data_disks ~seed ()
+
+(* Run one simulated process to completion and return its result. *)
+let in_proc k body =
+  let result = ref None in
+  Kernel.spawn k (fun env -> result := Some (body env));
+  Kernel.run k;
+  match !result with Some v -> v | None -> failwith "bench process failed"
+
+let seconds ns = Gray_util.Units.sec_of_ns ns
+
+let mean_std samples =
+  let arr = Array.of_list (List.map float_of_int samples) in
+  (Gray_util.Stats.mean_of arr, Gray_util.Stats.stddev_of arr)
+
+let pp_mean_std (m, s) = Printf.sprintf "%7.2f ± %5.2f s" (m /. 1e9) (s /. 1e9)

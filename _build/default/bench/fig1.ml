@@ -1,0 +1,96 @@
+(* Figure 1: Probe Correlation.
+
+   "The graph plots the correlation between the presence of a single random
+   page within a prediction unit and the percentage of that unit that is in
+   the file cache.  The size of the prediction unit is increased along the
+   x-axis [...].  Three sets of points are plotted, which vary the access
+   pattern of the test program [1 MB, 10 MB, 100 MB access units].  The
+   file that is accessed is roughly twice the size of the file cache."
+
+   Ground truth comes from Introspect.cache_bitmap — the role the paper's
+   modified kernel played. *)
+
+open Simos
+open Bench_common
+
+let file_bytes = 1664 * mib (* ~2x the 830 MB cache *)
+let access_units = [ 1 * mib; 10 * mib; 100 * mib ]
+
+let prediction_units =
+  [ 1 * mib; 2 * mib; 5 * mib; 10 * mib; 20 * mib; 50 * mib; 100 * mib; 200 * mib ]
+
+(* One trial: flush, read file_bytes worth of data in random access-unit
+   chunks, then compute the presence/fraction correlation for every
+   prediction-unit size from the same cache bitmap. *)
+let trial k env rng ~access_unit =
+  Kernel.flush_file_cache k;
+  let fd = Gray_apps.Workload.ok_exn (Kernel.open_file env "/d0/corpus") in
+  let chunks = file_bytes / access_unit in
+  for _ = 1 to chunks do
+    let off = Gray_util.Rng.int rng chunks * access_unit in
+    ignore (Gray_apps.Workload.ok_exn (Kernel.read env fd ~off ~len:access_unit))
+  done;
+  Kernel.close env fd;
+  let bitmap =
+    match Introspect.cache_bitmap k ~path:"/d0/corpus" with
+    | Ok b -> b
+    | Error _ -> failwith "fig1: bitmap"
+  in
+  let page = 4096 in
+  let correlation_for pu =
+    let pages_per_unit = pu / page in
+    let units = Array.length bitmap / pages_per_unit in
+    let xs = Array.make units 0.0 and ys = Array.make units 0.0 in
+    for u = 0 to units - 1 do
+      let base = u * pages_per_unit in
+      let probe = base + Gray_util.Rng.int rng pages_per_unit in
+      xs.(u) <- (if bitmap.(probe) then 1.0 else 0.0);
+      let cached = ref 0 in
+      for p = base to base + pages_per_unit - 1 do
+        if bitmap.(p) then incr cached
+      done;
+      ys.(u) <- float_of_int !cached /. float_of_int pages_per_unit
+    done;
+    Gray_util.Correlate.pearson xs ys
+  in
+  List.map correlation_for prediction_units
+
+let run () =
+  header "Figure 1: Probe Correlation (presence of one probed page vs fraction of prediction unit cached)";
+  note "file %s, cache %d MB, %d trials (paper: 30)" (Gray_util.Units.bytes_to_string file_bytes)
+    830 trials;
+  let table =
+    Gray_util.Table.create ~title:"correlation (mean +/- std over trials)"
+      ~columns:
+        ("prediction unit"
+        :: List.map (fun au -> Printf.sprintf "access %s" (Gray_util.Units.bytes_to_string au))
+             access_units)
+  in
+  (* per access unit: trials x prediction-unit correlations *)
+  let results =
+    List.map
+      (fun access_unit ->
+        let k = boot () in
+        in_proc k (fun env ->
+            Gray_apps.Workload.write_file env "/d0/corpus" file_bytes;
+            let rng = Gray_util.Rng.create ~seed:(1000 + access_unit) in
+            List.init trials (fun _ -> trial k env rng ~access_unit)))
+      access_units
+  in
+  List.iteri
+    (fun pi pu ->
+      let row =
+        Gray_util.Units.bytes_to_string pu
+        :: List.map
+             (fun per_trial ->
+               let samples =
+                 Array.of_list (List.map (fun tr -> List.nth tr pi) per_trial)
+               in
+               Printf.sprintf "%5.2f ± %4.2f" (Gray_util.Stats.mean_of samples)
+                 (Gray_util.Stats.stddev_of samples))
+             results
+      in
+      Gray_util.Table.add_row table row)
+    prediction_units;
+  print_string (Gray_util.Table.render table);
+  note "expected shape: correlation stays high while prediction unit <= access unit, then falls off"

@@ -1,0 +1,72 @@
+(* Fingerprinting the OS from user level (the Section 4.1.4 duality).
+
+   The same probe library that exploits the cache can identify it: for
+   every platform preset (and every replacement policy in an ablation
+   row), run the gray-box fingerprint and report the verdict next to the
+   truth the preset encodes. *)
+
+open Simos
+open Graybox_core
+open Bench_common
+
+let policy_name = function
+  | `Recency -> "recency (LRU/clock)"
+  | `Fifo -> "fifo"
+  | `Sticky -> "sticky (MRU-evict)"
+  | `Unknown -> "unknown"
+
+let fingerprint_platform platform =
+  let k = boot ~platform ~data_disks:1 () in
+  in_proc k (fun env -> Fingerprint.classify env ~scratch_dir:"/d0" ())
+
+let run () =
+  header "Fingerprinting: identifying the file-cache policy with timed probes only";
+  let t =
+    Gray_util.Table.create ~title:"platform presets"
+      ~columns:[ "platform"; "truth"; "verdict"; "est. capacity"; "evidence" ]
+  in
+  List.iter
+    (fun (platform, truth) ->
+      let v = fingerprint_platform platform in
+      Gray_util.Table.add_row t
+        [
+          platform.Platform.name;
+          truth;
+          policy_name v.Fingerprint.v_policy;
+          Gray_util.Units.bytes_to_string v.Fingerprint.v_capacity_bytes;
+          v.Fingerprint.v_evidence;
+        ])
+    [
+      (Platform.linux_2_2, "clock, ~830 MB unified");
+      (Platform.netbsd_1_5, "lru, fixed 64 MB");
+      (Platform.solaris_7, "mru-sticky, 700 MB");
+    ];
+  print_string (Gray_util.Table.render t);
+  let t2 =
+    Gray_util.Table.create ~title:"policy ablation (640 MB fixed file cache each)"
+      ~columns:[ "true policy"; "verdict"; "scores (recency/fifo/sticky)" ]
+  in
+  List.iter
+    (fun name ->
+      let platform =
+        Platform.with_file_policy
+          { Platform.linux_2_2 with Platform.file_cache = `Fixed_mib 640 }
+          (Replacement.of_name name)
+      in
+      let k = boot ~platform ~data_disks:1 () in
+      let v =
+        in_proc k (fun env ->
+            Fingerprint.classify env ~scratch_dir:"/d0"
+              ~capacity_hint:(640 * mib) ())
+      in
+      Gray_util.Table.add_row t2
+        [
+          name;
+          policy_name v.Fingerprint.v_policy;
+          Printf.sprintf "%.2f / %.2f / %.2f" v.Fingerprint.v_recency_score
+            v.Fingerprint.v_fifo_score v.Fingerprint.v_sticky_score;
+        ])
+    Replacement.all_names;
+  print_string (Gray_util.Table.render t2);
+  note "expected: lru/clock/segmented/eelru -> recency; fifo -> fifo; mru-sticky -> sticky;";
+  note "two-q sits between fifo and recency (probation is a fifo)"

@@ -1,0 +1,50 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus the ablations and toolbox microbenchmarks.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig2 fig7    # a subset
+     GRAYBOX_TRIALS=30 dune exec bench/main.exe -- fig5
+
+   Experiment ids: fig1..fig7, table1, table2, ablation, micro. *)
+
+let experiments =
+  [
+    ("fig1", Fig1.run, "probe correlation vs prediction-unit size");
+    ("fig2", Fig2.run, "single-file scan, linear vs gray-box vs models");
+    ("fig3", Fig3.run, "grep and fastsort application performance");
+    ("fig4", Fig4.run, "multi-platform scans and searches");
+    ("fig5", Fig5.run, "file ordering: random vs directory vs i-number");
+    ("fig6", Fig6.run, "file-system aging and directory refresh");
+    ("fig7", Fig7.run, "four competing fastsorts with MAC");
+    ("table1", Tables.table1, "techniques in existing gray-box systems");
+    ("table2", Tables.table2, "techniques in the three case-study ICLs");
+    ("ablation", Ablation.run, "policy / noise / increment ablations");
+    ("baselines", Baselines.run, "SLEDs / vmstat / interposition comparators");
+    ("fingerprint", Fingerprint_bench.run, "identify the cache policy from user level");
+    ("micro", Micro.run, "bechamel microbenchmarks of the toolbox");
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [experiment ...]";
+  print_endline "experiments:";
+  List.iter (fun (name, _, doc) -> Printf.printf "  %-8s %s\n" name doc) experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--help" ] | [ "-h" ] | [ "help" ] -> usage ()
+  | [] ->
+    Printf.printf
+      "Reproducing all tables and figures (GRAYBOX_TRIALS=%d; paper used 30).\n%!"
+      Bench_common.trials;
+    List.iter (fun (_, run, _) -> run ()) experiments
+  | names ->
+    List.iter
+      (fun name ->
+        match List.find_opt (fun (n, _, _) -> n = name) experiments with
+        | Some (_, run, _) -> run ()
+        | None ->
+          Printf.eprintf "unknown experiment %s\n" name;
+          usage ();
+          exit 1)
+      names

@@ -1,0 +1,111 @@
+(* Bechamel microbenchmarks of the gray-toolbox primitives and the
+   simulator hot paths: one Test.make per reproduced table/figure's
+   load-bearing primitive. *)
+
+open Bechamel
+open Toolkit
+
+let rng = Gray_util.Rng.create ~seed:97
+
+let test_rng =
+  Test.make ~name:"rng.bits64 (fig1 probe placement)" (Staged.stage (fun () ->
+      ignore (Gray_util.Rng.bits64 rng)))
+
+let test_stats_add =
+  let acc = Gray_util.Stats.empty () in
+  Test.make ~name:"stats.add (fig1/fig2 aggregation)" (Staged.stage (fun () ->
+      Gray_util.Stats.add acc 1.25))
+
+let test_two_means =
+  let xs = Array.init 100 (fun i -> if i mod 3 = 0 then 1e6 +. float_of_int i else 2e3) in
+  Test.make ~name:"cluster.two_means 100 (compose/table2)" (Staged.stage (fun () ->
+      ignore (Gray_util.Cluster.two_means xs)))
+
+let test_pearson =
+  let xs = Array.init 256 float_of_int in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  Test.make ~name:"correlate.pearson 256 (fig1)" (Staged.stage (fun () ->
+      ignore (Gray_util.Correlate.pearson xs ys)))
+
+let test_pqueue =
+  Test.make ~name:"pqueue push+pop (engine core)" (Staged.stage (fun () ->
+      let q = Gray_util.Pqueue.create ~cmp:compare in
+      for i = 0 to 63 do
+        Gray_util.Pqueue.push q ((i * 7919) mod 64)
+      done;
+      while not (Gray_util.Pqueue.is_empty q) do
+        ignore (Gray_util.Pqueue.pop q)
+      done))
+
+let test_lru =
+  let (module P : Simos.Replacement.POLICY) = Simos.Replacement.lru ~capacity:1024 in
+  let i = ref 0 in
+  Test.make ~name:"replacement.lru access (fig2/fig4 cache path)"
+    (Staged.stage (fun () ->
+         incr i;
+         let key = Simos.Page.File { ino = 1; idx = !i mod 2048 } in
+         if P.mem key then P.touch key
+         else begin
+           if P.size () >= 1024 then ignore (P.victim ());
+           P.insert key
+         end))
+
+let test_clock =
+  let (module P : Simos.Replacement.POLICY) = Simos.Replacement.clock ~capacity:1024 in
+  let i = ref 0 in
+  Test.make ~name:"replacement.clock access (fig7 paging path)"
+    (Staged.stage (fun () ->
+         incr i;
+         let key = Simos.Page.Anon { pid = 1; vpn = !i mod 2048 } in
+         if P.mem key then P.touch key
+         else begin
+           if P.size () >= 1024 then ignore (P.victim ());
+           P.insert key
+         end))
+
+let test_engine =
+  Test.make ~name:"engine 1000 events (all figures)" (Staged.stage (fun () ->
+      let e = Simos.Engine.create () in
+      Simos.Engine.spawn e (fun () ->
+          for _ = 1 to 1000 do
+            Simos.Engine.delay 10
+          done);
+      Simos.Engine.run e))
+
+let test_zipf =
+  Test.make ~name:"dist.zipf (workload generators)" (Staged.stage (fun () ->
+      ignore (Gray_util.Dist.zipf rng ~n:1000 ~theta:0.99)))
+
+let benchmark test =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true
+        ~predictors:[| Measure.run |]) instance raw)
+      instances
+  in
+  Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+    instances results
+
+let run () =
+  Bench_common.header "Toolbox / simulator microbenchmarks (bechamel)";
+  let tests =
+    [
+      test_rng; test_stats_add; test_two_means; test_pearson; test_pqueue; test_lru;
+      test_clock; test_engine; test_zipf;
+    ]
+  in
+  List.iter
+    (fun t ->
+      let results = benchmark t in
+      Hashtbl.iter
+        (fun _clock tbl ->
+          Hashtbl.iter
+            (fun name result ->
+              match Bechamel.Analyze.OLS.estimates result with
+              | Some [ est ] -> Printf.printf "  %-48s %12.1f ns/run\n%!" name est
+              | _ -> Printf.printf "  %-48s (no estimate)\n%!" name)
+            tbl)
+        results)
+    tests

@@ -1,0 +1,46 @@
+(* toolbox_bench — run the gray-toolbox configuration microbenchmarks on a
+   simulated platform and print (or save) the parameter repository in its
+   persistent text format (Section 5: "a common format kept in persistent
+   storage; each microbenchmark then only needs to be run once"). *)
+
+open Cmdliner
+open Simos
+
+let run platform_name noise seed output =
+  let platform = Platform.with_noise (Platform.by_name platform_name) ~sigma:noise in
+  let engine = Engine.create () in
+  let k = Kernel.boot ~engine ~platform ~data_disks:1 ~seed () in
+  let repo = ref None in
+  Kernel.spawn k (fun env ->
+      repo := Some (Graybox_core.Toolbox.run_all env ~scratch_dir:"/d0"));
+  Kernel.run k;
+  match !repo with
+  | None -> prerr_endline "toolbox_bench: benchmark process failed"
+  | Some repo -> (
+    Printf.printf "# gray-toolbox microbenchmark results for %s (noise sigma %.2f)\n"
+      platform.Platform.name noise;
+    print_string (Gray_util.Param_repo.to_string repo);
+    match output with
+    | None -> ()
+    | Some path ->
+      Gray_util.Param_repo.save repo ~path;
+      Printf.printf "# saved to %s\n" path)
+
+let platform_arg =
+  Arg.(
+    value
+    & opt string "linux-2.2"
+    & info [ "platform"; "p" ] ~doc:"Platform preset: linux-2.2, netbsd-1.5 or solaris-7.")
+
+let noise_arg = Arg.(value & opt float 0.05 & info [ "noise" ] ~doc:"Timing noise sigma.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Save the repository to a file.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "toolbox_bench" ~doc:"Gray-toolbox microbenchmarks on the simulated OS")
+    Term.(const run $ platform_arg $ noise_arg $ seed_arg $ output_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/cache_aware_grep.ml: Engine Fccd Gray_apps Gray_util Graybox_core Kernel Platform Printf Simos

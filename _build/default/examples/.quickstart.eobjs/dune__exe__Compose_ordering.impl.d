@@ -1,0 +1,1 @@
+examples/compose_ordering.ml: Compose Engine Fccd Fldc Gbp Gray_apps Gray_util Graybox_core Kernel List Platform Printf Simos

@@ -1,0 +1,1 @@
+examples/layout_aware_scan.ml: Array Engine Fldc Gray_apps Gray_util Graybox_core Kernel List Platform Printf Simos

@@ -1,0 +1,1 @@
+examples/memory_adaptive_sort.ml: Engine Gray_apps Gray_util Graybox_core Kernel List Mac Platform Printf Simos String

@@ -1,0 +1,1 @@
+examples/multi_platform_survey.ml: Engine Fccd Gray_apps Gray_util Graybox_core Introspect Kernel List Platform Printf Simos

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Fccd Gray_apps Gray_util Graybox_core Introspect Kernel List Platform Printf Simos

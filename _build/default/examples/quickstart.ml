@@ -1,0 +1,66 @@
+(* Quickstart: boot a simulated OS, make some files, and ask the FCCD
+   which parts of a big file are in the file cache — without any help from
+   the kernel, just timed 1-byte probes.
+
+     dune exec examples/quickstart.exe *)
+
+open Simos
+open Graybox_core
+
+let mib = 1024 * 1024
+
+let () =
+  (* 1. Boot a simulated Linux 2.2 with 896 MB of memory and 4 data disks
+     (plus a swap disk), fully deterministic under this seed. *)
+  let engine = Engine.create () in
+  let kernel = Kernel.boot ~engine ~platform:Platform.linux_2_2 ~seed:7 () in
+  Kernel.spawn kernel (fun env ->
+      (* 2. Create a 1 GB file and flush the cache, then warm roughly half
+         of it by reading scattered 20 MB pieces. *)
+      Gray_apps.Workload.write_file env "/d0/big" (1024 * mib);
+      Kernel.flush_file_cache kernel;
+      let rng = Gray_util.Rng.create ~seed:9 in
+      let fd = Gray_apps.Workload.ok_exn (Kernel.open_file env "/d0/big") in
+      for _ = 1 to 25 do
+        let off = Gray_util.Rng.int rng 51 * (20 * mib) in
+        ignore (Gray_apps.Workload.ok_exn (Kernel.read env fd ~off ~len:(20 * mib)))
+      done;
+      Kernel.close env fd;
+
+      (* 3. Gray-box time: probe the file.  FCCD reads one random byte per
+         5 MB prediction unit and sorts 20 MB access units by total probe
+         time — fastest (cached) first. *)
+      let config = Fccd.default_config ~seed:11 () in
+      let plan =
+        Gray_apps.Workload.ok_exn (Fccd.probe_file env config ~path:"/d0/big")
+      in
+      Printf.printf "FCCD issued %d probes over %s\n" plan.Fccd.plan_probes
+        (Gray_util.Units.bytes_to_string plan.Fccd.plan_size);
+      Printf.printf "best access order (first 8 extents):\n";
+      List.iteri
+        (fun i (e, ns) ->
+          if i < 8 then
+            Printf.printf "  offset %4d MB  probe time %s%s\n"
+              (e.Fccd.ext_off / mib)
+              (Gray_util.Units.ns_to_string ns)
+              (if ns < 1_000_000 then "  <- in cache" else ""))
+        plan.Fccd.plan_extents;
+
+      (* 4. Check the inference against white-box ground truth (tests and
+         benches only — applications never get to do this). *)
+      let truth = Introspect.cached_fraction kernel ~path:"/d0/big" in
+      let predicted_cached =
+        List.length
+          (List.filter (fun (_, ns) -> ns < 1_000_000) plan.Fccd.plan_extents)
+      in
+      Printf.printf "predicted cached: %d/52 extents; truth: %.0f%% of pages\n"
+        predicted_cached (100.0 *. truth);
+
+      (* 5. Use the plan: read cached data first, then the rest. *)
+      let fd = Gray_apps.Workload.ok_exn (Kernel.open_file env "/d0/big") in
+      let t0 = Kernel.gettime env in
+      Fccd.read_plan env fd plan ~f:(fun ~off:_ ~len:_ -> ());
+      Printf.printf "gray-box full read: %s\n"
+        (Gray_util.Units.ns_to_string (Kernel.gettime env - t0));
+      Kernel.close env fd);
+  Kernel.run kernel

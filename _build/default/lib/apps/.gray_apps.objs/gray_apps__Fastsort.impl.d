@@ -1,0 +1,1 @@
+lib/apps/fastsort.ml: Engine Fccd Fs Gbp Graybox_core Kernel List Mac Printf Simos Workload

@@ -1,0 +1,1 @@
+lib/apps/fastsort.mli: Fccd Graybox_core Mac Simos

@@ -1,0 +1,1 @@
+lib/apps/grep.ml: Fccd Gbp Graybox_core Kernel List Simos Workload

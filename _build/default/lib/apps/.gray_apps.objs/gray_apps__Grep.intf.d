@@ -1,0 +1,1 @@
+lib/apps/grep.mli: Graybox_core Simos

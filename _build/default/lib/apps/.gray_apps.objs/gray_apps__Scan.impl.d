@@ -1,0 +1,1 @@
+lib/apps/scan.ml: Fccd Graybox_core Kernel Simos Workload

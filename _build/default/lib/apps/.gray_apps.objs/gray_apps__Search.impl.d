@@ -1,0 +1,1 @@
+lib/apps/search.ml: Fccd Graybox_core Grep Kernel List Simos Workload

@@ -1,0 +1,1 @@
+lib/apps/search.mli: Graybox_core Simos

@@ -1,0 +1,236 @@
+open Simos
+open Graybox_core
+
+type config = {
+  record_bytes : int;
+  compare_ns : float;
+  input : string;
+  run_dir : string;
+}
+
+let default_config ~input ~run_dir =
+  { record_bytes = 100; compare_ns = 80.0; input; run_dir }
+
+let page = 4096
+let io_chunk = 4 * 1024 * 1024
+
+type read_order =
+  | Linear
+  | Gray_fccd of Fccd.config
+  | Via_gbp_out of Fccd.config
+
+(* A pass buffer: heap memory the records are copied into.  Copying [len]
+   bytes advances a cursor and touches (writes) the pages it crosses; the
+   buffer recycles when full, like reusing the pass arena. *)
+type buffer = {
+  b_region : Kernel.region;
+  b_pages : int;
+  mutable b_cursor : int; (* byte offset within the buffer *)
+}
+
+let buffer_alloc env ~bytes =
+  let pages = (bytes + page - 1) / page in
+  { b_region = Kernel.valloc env ~pages; b_pages = pages; b_cursor = 0 }
+
+let buffer_copy_in env b ~len =
+  let first_page = b.b_cursor / page in
+  let cursor' = b.b_cursor + len in
+  let last_page = min (b.b_pages - 1) ((cursor' - 1) / page) in
+  ignore
+    (Kernel.touch_pages env b.b_region ~first:first_page
+       ~count:(last_page - first_page + 1));
+  b.b_cursor <- (if cursor' >= b.b_pages * page then 0 else cursor')
+
+let buffer_free env b = Kernel.vfree env b.b_region
+
+(* ---- Figure 3: the read phase ---- *)
+
+let consume_extent env fd buffer ~off ~len =
+  let cur = ref off in
+  let stop = off + len in
+  while !cur < stop do
+    let chunk = min io_chunk (stop - !cur) in
+    ignore (Workload.ok_exn (Kernel.read env fd ~off:!cur ~len:chunk));
+    buffer_copy_in env buffer ~len:chunk;
+    cur := !cur + chunk
+  done
+
+let read_phase_only env config ~order ~pass_bytes =
+  let t0 = Kernel.gettime env in
+  let buffer = buffer_alloc env ~bytes:pass_bytes in
+  (match order with
+  | Linear ->
+    let fd = Workload.ok_exn (Kernel.open_file env config.input) in
+    let size = Kernel.file_size env fd in
+    let off = ref 0 in
+    while !off < size do
+      let len = min io_chunk (size - !off) in
+      ignore (Workload.ok_exn (Kernel.read env fd ~off:!off ~len));
+      buffer_copy_in env buffer ~len;
+      off := !off + len
+    done;
+    Kernel.close env fd
+  | Gray_fccd fccd ->
+    (* "replacing the read code (about 50 lines), and adding a probe phase
+       before the main sorting loop (another 5)" — with record-aligned
+       extents so records never straddle access units *)
+    let fccd = Fccd.with_align fccd config.record_bytes in
+    let fd = Workload.ok_exn (Kernel.open_file env config.input) in
+    let plan = Fccd.probe_fd env fccd ~path:config.input fd in
+    List.iter
+      (fun (e, _) -> consume_extent env fd buffer ~off:e.Fccd.ext_off ~len:e.Fccd.ext_len)
+      plan.Fccd.plan_extents;
+    Kernel.close env fd
+  | Via_gbp_out fccd ->
+    let fccd = Fccd.with_align fccd config.record_bytes in
+    ignore
+      (Workload.ok_exn
+         (Gbp.out env fccd ~path:config.input ~consume:(fun ~off:_ ~len ->
+              buffer_copy_in env buffer ~len))));
+  buffer_free env buffer;
+  Kernel.gettime env - t0
+
+(* ---- Figure 7: full phase 1 under a pass policy ---- *)
+
+type pass_policy =
+  | Static_pass of int
+  | Mac_adaptive of { mac : Mac.config; min_bytes : int; retry_ns : int }
+
+type phase_times = {
+  pt_read : int;
+  pt_sort : int;
+  pt_write : int;
+  pt_overhead : int;
+  pt_passes : int;
+  pt_pass_bytes : int list;
+}
+
+let total_ns t = t.pt_read + t.pt_sort + t.pt_write + t.pt_overhead
+
+(* distinguishes run files across repeated phase-1 invocations *)
+let invocation_counter = ref 0
+
+(* Memory for one pass, however the policy obtains it. *)
+type pass_memory =
+  | Buffer of buffer
+  | Mac_alloc of Mac.allocation
+
+let pass_region = function
+  | Buffer b -> (b.b_region, b.b_pages)
+  | Mac_alloc a -> (Mac.region a, Mac.pages a)
+
+let sort_records env config mem ~bytes =
+  let records = max 1 (bytes / config.record_bytes) in
+  let comparisons =
+    float_of_int records *. (log (float_of_int records) /. log 2.0)
+  in
+  (* the sort streams over the keys a couple of times while comparing *)
+  let region, pages = pass_region mem in
+  ignore (Kernel.touch_pages env region ~first:0 ~count:pages);
+  Kernel.compute env ~ns:(int_of_float (comparisons *. config.compare_ns));
+  ignore (Kernel.touch_pages env region ~first:0 ~count:pages)
+
+let write_run env mem ~run_path ~bytes =
+  let region, pages = pass_region mem in
+  let fd = Workload.ok_exn (Kernel.create_file env run_path) in
+  let off = ref 0 in
+  while !off < bytes do
+    let len = min io_chunk (bytes - !off) in
+    (* gather the records from the heap, then write them out *)
+    let first_page = !off / page in
+    let last_page = min (pages - 1) ((!off + len - 1) / page) in
+    ignore (Kernel.touch_pages env region ~first:first_page ~count:(last_page - first_page + 1));
+    ignore (Workload.ok_exn (Kernel.write env fd ~off:!off ~len));
+    off := !off + len
+  done;
+  Kernel.close env fd
+
+let run_phase1 env config ~policy ~total_bytes =
+  incr invocation_counter;
+  let invocation = ref !invocation_counter in
+  (match Kernel.mkdir env config.run_dir with
+  | Ok () | Error (Kernel.Fs_error Fs.Eexist) -> ()
+  | Error e -> failwith ("Fastsort: mkdir runs: " ^ Kernel.error_to_string e));
+  let input_fd = Workload.ok_exn (Kernel.open_file env config.input) in
+  let read_t = ref 0 and sort_t = ref 0 and write_t = ref 0 and overhead_t = ref 0 in
+  let passes = ref 0 and pass_sizes = ref [] in
+  let consumed = ref 0 in
+  let timed_into slot f =
+    let t0 = Kernel.gettime env in
+    let r = f () in
+    slot := !slot + (Kernel.gettime env - t0);
+    r
+  in
+  while !consumed < total_bytes do
+    let remaining = total_bytes - !consumed in
+    (* acquire the pass memory *)
+    let mem, pass_bytes =
+      match policy with
+      | Static_pass bytes ->
+        let pass = min bytes remaining in
+        (Buffer (buffer_alloc env ~bytes:pass), pass)
+      | Mac_adaptive { mac; min_bytes; retry_ns } ->
+        (* requests are record-aligned; a final sub-record sliver (input
+           not a whole number of records) is read with a plain buffer *)
+        let max_req = remaining / config.record_bytes * config.record_bytes in
+        if max_req = 0 then (Buffer (buffer_alloc env ~bytes:remaining), remaining)
+        else begin
+          let min_req =
+            max config.record_bytes
+              (min min_bytes max_req / config.record_bytes * config.record_bytes)
+          in
+          let rec acquire () =
+            let result =
+              timed_into overhead_t (fun () ->
+                  Mac.gb_alloc env mac ~min:min_req ~max:max_req
+                    ~multiple:config.record_bytes)
+            in
+            match result with
+            | Some a -> a
+            | None ->
+              (* the paper's anticipated use: try again after waiting *)
+              timed_into overhead_t (fun () -> Engine.delay retry_ns);
+              acquire ()
+          in
+          let a = acquire () in
+          (Mac_alloc a, Mac.bytes a)
+        end
+    in
+    let pass = min pass_bytes remaining in
+    incr passes;
+    pass_sizes := pass :: !pass_sizes;
+    (* read: copy records from the input into the pass memory *)
+    timed_into read_t (fun () ->
+        let region, pages = pass_region mem in
+        let off = ref 0 in
+        while !off < pass do
+          let len = min io_chunk (pass - !off) in
+          ignore
+            (Workload.ok_exn (Kernel.read env input_fd ~off:(!consumed + !off) ~len));
+          let first_page = !off / page in
+          let last_page = min (pages - 1) ((!off + len - 1) / page) in
+          ignore
+            (Kernel.touch_pages env region ~first:first_page
+               ~count:(last_page - first_page + 1));
+          off := !off + len
+        done);
+    timed_into sort_t (fun () -> sort_records env config mem ~bytes:pass);
+    let run_path =
+      Printf.sprintf "%s/run.p%d.i%d.%d" config.run_dir (Kernel.pid env) !invocation
+        !passes
+    in
+    timed_into write_t (fun () -> write_run env mem ~run_path ~bytes:pass);
+    (match mem with
+    | Buffer b -> buffer_free env b
+    | Mac_alloc a -> Mac.gb_free env a);
+    consumed := !consumed + pass
+  done;
+  Kernel.close env input_fd;
+  {
+    pt_read = !read_t;
+    pt_sort = !sort_t;
+    pt_write = !write_t;
+    pt_overhead = !overhead_t;
+    pt_passes = !passes;
+    pt_pass_bytes = List.rev !pass_sizes;
+  }

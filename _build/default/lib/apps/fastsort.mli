@@ -1,0 +1,57 @@
+(** fastsort: a two-pass external sort of 100-byte records (after Agarwal's
+    super-scalar sort; Sections 4.1.3 and 4.3.3).
+
+    Phase 1 creates sorted runs: read as many records as fit in the pass
+    buffer (copying them into the heap), sort the keys, write the run to
+    the run directory.  Phase 2 (the merge) is not modelled — the paper
+    excludes it from both experiments.
+
+    Two gray-box hooks:
+    - {!read_phase_only} is Figure 3's experiment: how fast can the read
+      phase consume a 1 GB input, with the reads in linear order, FCCD
+      plan order, or via [gbp -mem -out] on a pipe;
+    - {!run_phase1} is Figure 7's experiment: full phase-1 passes where the
+      buffer size is a fixed command-line value ([Static_pass]) or chosen
+      by MAC's [gb_alloc] ([Mac_adaptive]), which also waits for memory
+      when the minimum is unavailable. *)
+
+open Graybox_core
+
+type config = {
+  record_bytes : int;  (** 100 *)
+  compare_ns : float;  (** key-comparison cost for the n·log n sort model *)
+  input : string;
+  run_dir : string;  (** runs are written here (ideally another disk) *)
+}
+
+val default_config : input:string -> run_dir:string -> config
+
+type read_order =
+  | Linear
+  | Gray_fccd of Fccd.config  (** modified sort: probe, then re-ordered reads *)
+  | Via_gbp_out of Fccd.config  (** unmodified sort reading from [gbp -out] *)
+
+val read_phase_only :
+  Simos.Kernel.env -> config -> order:read_order -> pass_bytes:int -> int
+(** Consume the whole input (copying records into a recycled pass buffer),
+    return wall ns.  Record alignment is enforced on FCCD extents. *)
+
+type pass_policy =
+  | Static_pass of int  (** bytes per pass, fixed on the command line *)
+  | Mac_adaptive of { mac : Mac.config; min_bytes : int; retry_ns : int }
+
+type phase_times = {
+  pt_read : int;
+  pt_sort : int;
+  pt_write : int;
+  pt_overhead : int;  (** MAC probing + waiting for memory *)
+  pt_passes : int;
+  pt_pass_bytes : int list;  (** actual pass sizes, in order *)
+}
+
+val total_ns : phase_times -> int
+
+val run_phase1 :
+  Simos.Kernel.env -> config -> policy:pass_policy -> total_bytes:int -> phase_times
+(** Sort [total_bytes] of the input into runs.  Run files are named
+    uniquely per process so competing sorts do not collide. *)

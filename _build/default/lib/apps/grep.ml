@@ -1,0 +1,40 @@
+open Simos
+open Graybox_core
+
+type variant = Unmodified | Gray | Via_gbp
+
+let scan_ns_per_byte = 3.5
+let fork_exec_ns = 3_000_000 (* fork + exec of the gbp helper *)
+
+let grep_one env path ~matches =
+  let fd = Workload.ok_exn (Kernel.open_file env path) in
+  let size = Kernel.file_size env fd in
+  let chunk = 4 * 1024 * 1024 in
+  let off = ref 0 in
+  while !off < size do
+    let len = min chunk (size - !off) in
+    ignore (Workload.ok_exn (Kernel.read env fd ~off:!off ~len));
+    Kernel.compute_bytes env ~bytes:len ~ns_per_byte:scan_ns_per_byte;
+    off := !off + len
+  done;
+  Kernel.close env fd;
+  matches path
+
+let run env config variant ~paths ~matches =
+  let t0 = Kernel.gettime env in
+  let ordered =
+    match variant with
+    | Unmodified -> paths
+    | Gray ->
+      (* the "10 lines into roughly 30" change: reorder argv via FCCD *)
+      List.map
+        (fun r -> r.Fccd.fr_path)
+        (Workload.ok_exn (Fccd.order_files env config ~paths))
+    | Via_gbp ->
+      (* `grep foo \`gbp -mem *\`` pays an extra process launch; gbp's
+         probes open and close every file a first time *)
+      Kernel.compute env ~ns:fork_exec_ns;
+      Workload.ok_exn (Gbp.best_order env config Gbp.Mem ~paths)
+  in
+  let total = List.fold_left (fun acc p -> acc + grep_one env p ~matches) 0 ordered in
+  (total, Kernel.gettime env - t0)

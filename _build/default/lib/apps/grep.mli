@@ -1,0 +1,27 @@
+(** grep over a file set (Figure 3, left group).
+
+    Three variants:
+    - [Unmodified]: files processed in argument order;
+    - [Gray]: the 10-to-30-line modification — reorder the argument list
+      with the FCCD library before processing;
+    - [Via_gbp]: unmodified grep fed [`gbp -mem *`] — same ordering, plus
+      the fork/exec of gbp and its redundant open/close/probe of every
+      file.
+
+    Each file is read fully and scanned at a fixed per-byte CPU cost; the
+    number of "matches" comes from the workload oracle since contents are
+    not materialised. *)
+
+type variant = Unmodified | Gray | Via_gbp
+
+val scan_ns_per_byte : float
+(** grep's text-scan CPU cost (≈ 280 MB/s, PIII-class). *)
+
+val run :
+  Simos.Kernel.env ->
+  Graybox_core.Fccd.config ->
+  variant ->
+  paths:string list ->
+  matches:(string -> int) ->
+  int * int
+(** [(total_matches, wall_ns)]. *)

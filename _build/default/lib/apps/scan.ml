@@ -1,0 +1,15 @@
+open Simos
+open Graybox_core
+
+let linear env ~path ~unit_bytes =
+  let t0 = Kernel.gettime env in
+  Workload.read_file_in_units env path ~unit_bytes;
+  Kernel.gettime env - t0
+
+let gray env config ~path =
+  let t0 = Kernel.gettime env in
+  let fd = Workload.ok_exn (Kernel.open_file env path) in
+  let plan = Fccd.probe_fd env config ~path fd in
+  Fccd.read_plan env fd plan ~f:(fun ~off:_ ~len:_ -> ());
+  Kernel.close env fd;
+  Kernel.gettime env - t0

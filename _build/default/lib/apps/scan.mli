@@ -1,0 +1,15 @@
+(** The single-file scan microbenchmark (Figure 2 / Figure 4).
+
+    The traditional scan reads the file front to back; the gray-box scan
+    first asks FCCD which access units are cached and reads those before
+    the rest, turning a cache-thrashing repeat scan into mostly memory
+    copies.  Repeated gray-box runs are the paper's positive-feedback
+    example: accessing the file in access-unit chunks keeps access-unit
+    chunks cached. *)
+
+val linear : Simos.Kernel.env -> path:string -> unit_bytes:int -> int
+(** Sequential scan; returns observed wall time (ns). *)
+
+val gray : Simos.Kernel.env -> Graybox_core.Fccd.config -> path:string -> int
+(** Probe-then-reorder scan; returns observed wall time including the
+    probe phase. *)

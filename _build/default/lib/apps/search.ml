@@ -1,0 +1,34 @@
+open Simos
+open Graybox_core
+
+let search_one env path =
+  let fd = Workload.ok_exn (Kernel.open_file env path) in
+  let size = Kernel.file_size env fd in
+  let chunk = 4 * 1024 * 1024 in
+  let off = ref 0 in
+  while !off < size do
+    let len = min chunk (size - !off) in
+    ignore (Workload.ok_exn (Kernel.read env fd ~off:!off ~len));
+    Kernel.compute_bytes env ~bytes:len ~ns_per_byte:Grep.scan_ns_per_byte;
+    off := !off + len
+  done;
+  Kernel.close env fd
+
+let run env ?gray ~paths ~match_in () =
+  let t0 = Kernel.gettime env in
+  let ordered =
+    match gray with
+    | None -> paths
+    | Some config ->
+      List.map
+        (fun r -> r.Fccd.fr_path)
+        (Workload.ok_exn (Fccd.order_files env config ~paths))
+  in
+  let rec go = function
+    | [] -> None
+    | path :: rest ->
+      search_one env path;
+      if match_in path then Some path else go rest
+  in
+  let found = go ordered in
+  (found, Kernel.gettime env - t0)

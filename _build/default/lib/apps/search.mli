@@ -1,0 +1,16 @@
+(** Early-exit multi-file search (Figure 4, "search" benchmark).
+
+    Searches files one by one and stops at the first file containing a
+    match.  The unmodified search is at the mercy of the argument order;
+    the gray-box search asks FCCD for the probable-cached files first, so
+    a match sitting in the cache is found almost immediately even when the
+    user listed that file last. *)
+
+val run :
+  Simos.Kernel.env ->
+  ?gray:Graybox_core.Fccd.config ->
+  paths:string list ->
+  match_in:(string -> bool) ->
+  unit ->
+  string option * int
+(** [(file_with_match, wall_ns)].  [gray] enables FCCD preordering. *)

@@ -1,0 +1,58 @@
+open Simos
+
+let chunk = 8 * 1024 * 1024
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> failwith ("Workload: syscall failed: " ^ Kernel.error_to_string e)
+
+let write_file env path size =
+  let fd = ok_exn (Kernel.create_file env path) in
+  let off = ref 0 in
+  while !off < size do
+    let len = min chunk (size - !off) in
+    ignore (ok_exn (Kernel.write env fd ~off:!off ~len));
+    off := !off + len
+  done;
+  Kernel.close env fd
+
+let read_file_in_units env path ~unit_bytes =
+  let fd = ok_exn (Kernel.open_file env path) in
+  let size = Kernel.file_size env fd in
+  let off = ref 0 in
+  while !off < size do
+    ignore (ok_exn (Kernel.read env fd ~off:!off ~len:(min unit_bytes (size - !off))));
+    off := !off + unit_bytes
+  done;
+  Kernel.close env fd
+
+let read_file env path = read_file_in_units env path ~unit_bytes:chunk
+
+let make_files env ~dir ~prefix ~count ~size =
+  (match Kernel.mkdir env dir with
+  | Ok () -> ()
+  | Error (Kernel.Fs_error Fs.Eexist) -> ()
+  | Error e -> failwith ("Workload.make_files: " ^ Kernel.error_to_string e));
+  List.init count (fun i ->
+      let path = Printf.sprintf "%s/%s%04d" dir prefix i in
+      write_file env path size;
+      path)
+
+let age_directory env rng ~dir ~deletes ~creates ~size =
+  let names = Array.of_list (ok_exn (Kernel.readdir env dir)) in
+  Gray_util.Rng.shuffle rng names;
+  for i = 0 to min deletes (Array.length names) - 1 do
+    ignore (ok_exn (Kernel.unlink env (dir ^ "/" ^ names.(i))))
+  done;
+  for _ = 1 to creates do
+    (* fresh names so aging never recreates a deleted name *)
+    let rec fresh () =
+      let name = Printf.sprintf "%s/aged%06d" dir (Gray_util.Rng.int rng 1_000_000) in
+      match Kernel.stat env name with Error _ -> name | Ok _ -> fresh ()
+    in
+    write_file env (fresh ()) size
+  done
+
+let paths_in env ~dir =
+  List.sort compare (ok_exn (Kernel.readdir env dir))
+  |> List.map (fun name -> dir ^ "/" ^ name)

@@ -1,0 +1,43 @@
+(** Workload generation: the file populations and aging churn used by the
+    paper's experiments, plus shared chunked-I/O helpers.
+
+    File {e contents} are never materialised — the simulator moves bytes,
+    and "which file contains the search pattern" is decided by the
+    workload (an oracle), since only the position of matches affects the
+    applications' I/O behaviour. *)
+
+val ok_exn : ('a, Simos.Kernel.error) result -> 'a
+(** Unwrap a syscall result, failing loudly (workloads are test fixtures;
+    their syscalls are not supposed to fail). *)
+
+val write_file : Simos.Kernel.env -> string -> int -> unit
+(** Create a file of the given size with chunked sequential writes. *)
+
+val read_file : Simos.Kernel.env -> string -> unit
+(** Sequential chunked read of the whole file. *)
+
+val read_file_in_units : Simos.Kernel.env -> string -> unit_bytes:int -> unit
+
+val make_files :
+  Simos.Kernel.env ->
+  dir:string ->
+  prefix:string ->
+  count:int ->
+  size:int ->
+  string list
+(** Create [dir] (if missing) and [count] files of [size] bytes, named
+    [prefix ^ index]; returns the paths in creation order. *)
+
+val age_directory :
+  Simos.Kernel.env ->
+  Gray_util.Rng.t ->
+  dir:string ->
+  deletes:int ->
+  creates:int ->
+  size:int ->
+  unit
+(** One aging epoch (Section 4.2.3): delete [deletes] random files from
+    the directory, then create [creates] new ones of [size] bytes. *)
+
+val paths_in : Simos.Kernel.env -> dir:string -> string list
+(** All entries of [dir], sorted by name (a shell glob). *)

@@ -1,0 +1,1 @@
+lib/core/compose.ml: Array Cluster Fccd Fldc Float Gray_util List

@@ -1,0 +1,1 @@
+lib/core/fccd.ml: Gray_util Kernel List Param_repo Probe Rng Simos

@@ -1,0 +1,1 @@
+lib/core/fccd.mli: Gray_util Param_repo Rng Simos

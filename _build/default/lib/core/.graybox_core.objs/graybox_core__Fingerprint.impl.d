@@ -1,0 +1,1 @@
+lib/core/fingerprint.ml: Array Cluster Gray_util Kernel Printf Probe Rng Simos

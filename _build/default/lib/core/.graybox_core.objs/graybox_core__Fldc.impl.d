@@ -1,0 +1,1 @@
+lib/core/fldc.ml: Fs Hashtbl Kernel List Option Simos String

@@ -1,0 +1,1 @@
+lib/core/gbp.ml: Compose Fccd Fldc Kernel List Platform Simos

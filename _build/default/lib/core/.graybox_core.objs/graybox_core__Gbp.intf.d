@@ -1,0 +1,1 @@
+lib/core/gbp.mli: Fccd Simos

@@ -1,0 +1,1 @@
+lib/core/interpose.ml: Hashtbl Kernel List Page Pool Simos Trace

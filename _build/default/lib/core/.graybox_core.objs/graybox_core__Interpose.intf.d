@@ -1,0 +1,1 @@
+lib/core/interpose.mli: Simos Trace

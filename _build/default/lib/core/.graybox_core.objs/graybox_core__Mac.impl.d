@@ -1,0 +1,1 @@
+lib/core/mac.ml: Array Float Gray_util Kernel Param_repo Simos Stats Stdlib

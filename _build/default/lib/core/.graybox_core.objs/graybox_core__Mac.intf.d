@@ -1,0 +1,1 @@
+lib/core/mac.mli: Gray_util Param_repo Simos

@@ -1,0 +1,1 @@
+lib/core/sleds.ml: Array Disk Fccd Gray_util Introspect Kernel List Option Platform Simos

@@ -1,0 +1,1 @@
+lib/core/sleds.mli: Fccd Simos

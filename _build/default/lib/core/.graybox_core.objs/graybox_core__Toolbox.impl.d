@@ -1,0 +1,1 @@
+lib/core/toolbox.ml: Array Float Fun Gray_util Kernel List Logs Param_repo Probe Rng Simos Stats Units

@@ -1,0 +1,1 @@
+lib/core/toolbox.mli: Gray_util Param_repo Simos

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Buffer Hashtbl List Page Pool Printf Replacement Simos String

@@ -1,0 +1,160 @@
+open Gray_util
+open Simos
+
+type config = {
+  access_unit : int;
+  prediction_unit : int;
+  align : int;
+  fake_high_ns : int;
+  rng : Rng.t;
+}
+
+let mib = 1024 * 1024
+let page = 4096
+
+let default_config ?repo ~seed () =
+  let access_unit =
+    match repo with
+    | Some r ->
+      int_of_float (Param_repo.get_or r Param_repo.key_access_unit_bytes
+           ~default:(float_of_int (20 * mib)))
+    | None -> 20 * mib
+  in
+  {
+    access_unit;
+    prediction_unit = 5 * mib;
+    align = 1;
+    fake_high_ns = 1_000_000_000;
+    rng = Rng.create ~seed;
+  }
+
+let with_align config align =
+  if align <= 0 then invalid_arg "Fccd.with_align: align must be positive";
+  { config with align }
+
+type extent = { ext_off : int; ext_len : int }
+
+type plan = {
+  plan_path : string;
+  plan_size : int;
+  plan_extents : (extent * int) list;
+  plan_probes : int;
+}
+
+let extents plan = List.map fst plan.plan_extents
+
+(* Split [0, size) into access units whose boundaries respect alignment. *)
+let partition config ~size =
+  let unit_bytes = max config.align (config.access_unit / config.align * config.align) in
+  let rec go off acc =
+    if off >= size then List.rev acc
+    else begin
+      let len = min unit_bytes (size - off) in
+      go (off + len) ({ ext_off = off; ext_len = len } :: acc)
+    end
+  in
+  go 0 []
+
+(* One probe per prediction unit, at a random byte of the unit: robust
+   across runs and repeatable probing increases confidence
+   (Section 4.1.2). *)
+let probe_extent env config fd ext =
+  let count = max 1 ((ext.ext_len + config.prediction_unit - 1) / config.prediction_unit) in
+  let total = ref 0 in
+  for i = 0 to count - 1 do
+    let pu_off = ext.ext_off + (i * config.prediction_unit) in
+    let pu_len = min config.prediction_unit (ext.ext_off + ext.ext_len - pu_off) in
+    let off = pu_off + Rng.int config.rng (max 1 pu_len) in
+    total := !total + Probe.file_byte env fd ~off
+  done;
+  (!total, count)
+
+let probe_fd env config ~path fd =
+  let size = Kernel.file_size env fd in
+  if size < page then
+    (* Heisenberg: probing a sub-page file would fault all of it in, so we
+       report it "far away" instead (Section 4.1.4). *)
+    {
+      plan_path = path;
+      plan_size = size;
+      plan_extents =
+        (if size = 0 then [] else [ ({ ext_off = 0; ext_len = size }, config.fake_high_ns) ]);
+      plan_probes = 0;
+    }
+  else begin
+    let parts = partition config ~size in
+    let probes = ref 0 in
+    let timed =
+      List.map
+        (fun ext ->
+          let ns, count = probe_extent env config fd ext in
+          probes := !probes + count;
+          (ext, ns))
+        parts
+    in
+    let ordered =
+      (* Ties (e.g. an all-cached prefix) break towards HIGHER offsets:
+         under the LRU-like assumption, sequentially produced data is
+         younger at higher offsets, so reading top-down keeps the reader
+         ahead of the replacement hand — reading bottom-up would race the
+         hand and turn each eviction into the next miss. *)
+      List.stable_sort
+        (fun (a, ta) (b, tb) ->
+          if ta <> tb then compare ta tb else compare b.ext_off a.ext_off)
+        timed
+    in
+    { plan_path = path; plan_size = size; plan_extents = ordered; plan_probes = !probes }
+  end
+
+let probe_file env config ~path =
+  match Kernel.open_file env path with
+  | Error e -> Error e
+  | Ok fd ->
+    let plan = probe_fd env config ~path fd in
+    Kernel.close env fd;
+    Ok plan
+
+type file_rank = { fr_path : string; fr_probe_ns : int; fr_size : int }
+
+let order_files env config ~paths =
+  let rec rank acc = function
+    | [] ->
+      Ok
+        (List.stable_sort
+           (fun a b ->
+             if a.fr_probe_ns <> b.fr_probe_ns then compare a.fr_probe_ns b.fr_probe_ns
+             else compare a.fr_path b.fr_path)
+           (List.rev acc))
+    | path :: rest -> (
+      match Kernel.open_file env path with
+      | Error e -> Error e
+      | Ok fd ->
+        let size = Kernel.file_size env fd in
+        let probe_ns =
+          if size < page then config.fake_high_ns
+          else begin
+            let count =
+              max 1 ((size + config.prediction_unit - 1) / config.prediction_unit)
+            in
+            let total = ref 0 in
+            for i = 0 to count - 1 do
+              let pu_off = i * config.prediction_unit in
+              let pu_len = min config.prediction_unit (size - pu_off) in
+              let off = pu_off + Rng.int config.rng (max 1 pu_len) in
+              total := !total + Probe.file_byte env fd ~off
+            done;
+            !total
+          end
+        in
+        Kernel.close env fd;
+        rank ({ fr_path = path; fr_probe_ns = probe_ns; fr_size = size } :: acc) rest)
+  in
+  rank [] paths
+
+let read_plan env fd plan ~f =
+  List.iter
+    (fun ({ ext_off; ext_len }, _) ->
+      match Kernel.read env fd ~off:ext_off ~len:ext_len with
+      | Ok n -> f ~off:ext_off ~len:n
+      | Error _ -> ())
+    plan.plan_extents

@@ -1,0 +1,71 @@
+(** File-Cache Content Detector (Section 4.1).
+
+    FCCD infers which parts of a file (or which files of a set) are in the
+    OS file cache by timing single-byte [read()] probes — one random byte
+    per {e prediction unit} — and sorting {e access units} by their total
+    probe time.  No differentiation threshold is needed: sorting naturally
+    orders a multi-level store (memory, then disk).
+
+    Usage template (Section 4.1.2): the application names its files, the
+    library returns [(offset, length)] pairs in predicted-fastest-first
+    order, and the application re-orders its accesses accordingly.
+
+    The Heisenberg effect is respected: files smaller than one page are
+    never probed and are reported with a "fake" high time. *)
+
+open Gray_util
+
+type config = {
+  access_unit : int;  (** bytes returned per extent (default 20 MB) *)
+  prediction_unit : int;  (** bytes predicted per probe (default 5 MB) *)
+  align : int;  (** extent boundaries snap to this (records), default 1 *)
+  fake_high_ns : int;  (** reported time for unprobeable small files *)
+  rng : Rng.t;  (** probe-point randomisation (Section 4.1.2) *)
+}
+
+val default_config : ?repo:Param_repo.t -> seed:int -> unit -> config
+(** 20 MB / 5 MB units (overridden by the repo's
+    [fccd.access_unit_bytes] when present), byte alignment. *)
+
+val with_align : config -> int -> config
+(** Same config with extent boundaries snapped to a record size. *)
+
+type extent = { ext_off : int; ext_len : int }
+
+type plan = {
+  plan_path : string;
+  plan_size : int;
+  plan_extents : (extent * int) list;
+      (** extents with their total probe time, fastest first *)
+  plan_probes : int;  (** how many probes were issued *)
+}
+
+val extents : plan -> extent list
+(** Just the ordering, fastest first. *)
+
+val probe_file : Simos.Kernel.env -> config -> path:string -> (plan, Simos.Kernel.error) result
+(** Probe one file and plan its best access order. *)
+
+val probe_fd :
+  Simos.Kernel.env -> config -> path:string -> Simos.Kernel.fd -> plan
+(** Same on an already-open descriptor. *)
+
+type file_rank = { fr_path : string; fr_probe_ns : int; fr_size : int }
+
+val order_files :
+  Simos.Kernel.env ->
+  config ->
+  paths:string list ->
+  (file_rank list, Simos.Kernel.error) result
+(** Rank whole files by probe time, fastest (most cached) first; the
+    multi-file interface behind [gbp -mem] and [gb-grep].  Each file gets
+    one probe per prediction unit; sub-page files get [fake_high_ns]. *)
+
+val read_plan :
+  Simos.Kernel.env ->
+  Simos.Kernel.fd ->
+  plan ->
+  f:(off:int -> len:int -> unit) ->
+  unit
+(** Read the file extent-by-extent in plan order, invoking [f] after each
+    extent arrives (the application's processing hook). *)

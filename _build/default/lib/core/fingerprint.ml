@@ -1,0 +1,189 @@
+open Gray_util
+open Simos
+
+let mib = 1024 * 1024
+let page = 4096
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> failwith ("Fingerprint: syscall failed: " ^ Kernel.error_to_string e)
+
+let write_file env path size =
+  let fd = ok_exn (Kernel.create_file env path) in
+  let chunk = 16 * mib in
+  let off = ref 0 in
+  while !off < size do
+    ignore (ok_exn (Kernel.write env fd ~off:!off ~len:(min chunk (size - !off))));
+    off := !off + chunk
+  done;
+  Kernel.close env fd
+
+let read_range env fd ~off ~len =
+  let chunk = 16 * mib in
+  let cur = ref off in
+  while !cur < off + len do
+    ignore (ok_exn (Kernel.read env fd ~off:!cur ~len:(min chunk (off + len - !cur))));
+    cur := !cur + chunk
+  done
+
+let timed env f =
+  let t0 = Kernel.gettime env in
+  f ();
+  Kernel.gettime env - t0
+
+(* A per-byte disk-rate reference: read a few 16 MB windows scattered
+   across the probe file once each and take the slowest.  Whatever the
+   policy, the cache cannot cover the whole oversized file, so at least
+   one window is cold — under recency policies the written prefix was
+   evicted, under a sticky cache the suffix was never admitted. *)
+let window_bytes = 16 * mib
+
+let cold_rate env fd ~max_bytes =
+  let candidates = 6 in
+  let worst = ref 0.0 in
+  for i = 0 to candidates - 1 do
+    let off =
+      i * (max_bytes - window_bytes) / (candidates - 1) / page * page
+    in
+    let ns = timed env (fun () -> read_range env fd ~off ~len:window_bytes) in
+    let rate = float_of_int ns /. float_of_int window_bytes in
+    if rate > !worst then worst := rate
+  done;
+  !worst
+
+(* Does a [size]-byte prefix of the scratch file survive a full re-read?
+   The first pass moves it to a known state; the second pass is compared
+   against the cold reference rate (the first pass's own time is not a
+   usable baseline: a sticky cache keeps the freshly written prefix warm,
+   so its "cold" read can be fast). *)
+let prefix_fits env ~cold fd ~size =
+  read_range env fd ~off:0 ~len:size;
+  let second = timed env (fun () -> read_range env fd ~off:0 ~len:size) in
+  let per_byte = float_of_int second /. float_of_int size in
+  per_byte *. 3.0 < cold
+
+let estimate_capacity env ~scratch_dir ~max_bytes =
+  let path = scratch_dir ^ "/.gb_fp_capacity" in
+  write_file env path max_bytes;
+  let fd = ok_exn (Kernel.open_file env path) in
+  let cold = cold_rate env fd ~max_bytes in
+  let resolution = 16 * mib in
+  let rec search lo hi =
+    (* invariant: lo fits, hi does not *)
+    if hi - lo <= resolution then lo
+    else begin
+      let mid = (lo + hi) / 2 / resolution * resolution in
+      if prefix_fits env ~cold fd ~size:mid then search mid hi else search lo mid
+    end
+  in
+  let result =
+    if prefix_fits env ~cold fd ~size:max_bytes then max_bytes
+    else if not (prefix_fits env ~cold fd ~size:resolution) then resolution
+    else search resolution max_bytes
+  in
+  Kernel.close env fd;
+  ignore (ok_exn (Kernel.unlink env path));
+  result
+
+type verdict = {
+  v_policy : [ `Recency | `Fifo | `Sticky | `Unknown ];
+  v_capacity_bytes : int;
+  v_evidence : string;
+  v_recency_score : float;
+  v_fifo_score : float;
+  v_sticky_score : float;
+}
+
+let samples_per_group = 48
+
+(* Survival rate of sparse random probes over a region, classified
+   cached/uncached by clustering the whole probe population. *)
+let survival_of split xs =
+  if split.Cluster.high_count = 0 then 1.0
+  else begin
+    let hit =
+      Array.fold_left
+        (fun n x -> if x <= split.Cluster.threshold then n + 1 else n)
+        0 xs
+    in
+    float_of_int hit /. float_of_int (Array.length xs)
+  end
+
+let probe_region env rng fd ~off ~len =
+  Array.init samples_per_group (fun _ ->
+      let o = off + (Rng.int rng (len / page) * page) + Rng.int rng page in
+      float_of_int (Probe.file_byte env fd ~off:o))
+
+(* Experiment (a), recency: fill the cache with A, re-reference the first
+   half several times, overflow by a quarter, then compare survival of the
+   two halves.  Recency policies protect the re-referenced half; FIFO
+   evicts it (it holds the oldest insertions). *)
+let recency_experiment env rng ~scratch_dir ~c =
+  let path = scratch_dir ^ "/.gb_fp_recency" in
+  write_file env path (2 * c);
+  let fd = ok_exn (Kernel.open_file env path) in
+  read_range env fd ~off:0 ~len:c;
+  for _ = 1 to 3 do
+    read_range env fd ~off:0 ~len:(c / 2)
+  done;
+  (* overflow by half a capacity: large enough to force evictions even
+     when the capacity estimate came in low, small enough that a recency
+     policy can still shelter the re-referenced half *)
+  read_range env fd ~off:c ~len:(c / 2);
+  let first = probe_region env rng fd ~off:0 ~len:(c / 2) in
+  let second = probe_region env rng fd ~off:(c / 2) ~len:(c / 2) in
+  Kernel.close env fd;
+  ignore (ok_exn (Kernel.unlink env path));
+  let split = Cluster.two_means_log (Array.append first second) in
+  (survival_of split first, survival_of split second)
+
+(* Experiment (b), admission: fill the cache, then stream fresh data and
+   see whether it displaces the old contents at all.  A sticky cache keeps
+   the original data and never admits the stream (the Solaris signature of
+   Section 4.1.3). *)
+let admission_experiment env rng ~scratch_dir ~c =
+  let path = scratch_dir ^ "/.gb_fp_admission" in
+  write_file env path (2 * c);
+  let fd = ok_exn (Kernel.open_file env path) in
+  read_range env fd ~off:0 ~len:c;
+  read_range env fd ~off:c ~len:(c / 2);
+  let original = probe_region env rng fd ~off:0 ~len:c in
+  let stream = probe_region env rng fd ~off:c ~len:(c / 2) in
+  Kernel.close env fd;
+  ignore (ok_exn (Kernel.unlink env path));
+  let split = Cluster.two_means_log (Array.append original stream) in
+  (survival_of split original, survival_of split stream)
+
+let classify env ~scratch_dir ?capacity_hint () =
+  let capacity =
+    match capacity_hint with
+    | Some c -> c
+    | None -> estimate_capacity env ~scratch_dir ~max_bytes:(1536 * mib)
+  in
+  let c = capacity / page * page in
+  let rng = Rng.create ~seed:(0x5EED + capacity) in
+  let s_first, s_second = recency_experiment env rng ~scratch_dir ~c in
+  let s_original, s_stream = admission_experiment env rng ~scratch_dir ~c in
+  let recency_score = s_first -. s_second in
+  let fifo_score = s_second -. s_first in
+  let sticky_score = s_original -. s_stream in
+  let v_policy =
+    if sticky_score > 0.4 && s_stream < 0.5 then `Sticky
+    else if recency_score > 0.25 then `Recency
+    else if fifo_score > 0.25 then `Fifo
+    else `Unknown
+  in
+  let v_evidence =
+    Printf.sprintf
+      "recency test: re-referenced half %.2f vs other half %.2f; admission \
+       test: original %.2f vs stream %.2f"
+      s_first s_second s_original s_stream
+  in
+  {
+    v_policy;
+    v_capacity_bytes = capacity;
+    v_evidence;
+    v_recency_score = recency_score;
+    v_fifo_score = fifo_score;
+    v_sticky_score = sticky_score;
+  }

@@ -1,0 +1,49 @@
+(** Replacement-policy fingerprinting: the "duality" of Section 4.1.4 made
+    operational.
+
+    "Our study also highlights the duality of gray-box systems and
+    microbenchmarks themselves; both tend to unveil the inner-workings of
+    systems."  FCCD only needs to {e exploit} LRU-ish behaviour; this
+    module goes further and {e identifies} the file-cache replacement
+    policy from the outside, with designed access sequences and timed
+    re-probes — the same technique the paper used manually to discover
+    NetBSD's fixed-size cache and Solaris's sticky cache (Section 4.1.3).
+
+    Method — two designed experiments, each probed with sparse timed
+    reads and classified by 2-means clustering:
+    - {e recency}: fill the cache, re-reference the first half a few
+      times, overflow by a quarter.  Recency policies (LRU, clock)
+      protect the re-referenced half; FIFO evicts exactly it (it holds
+      the oldest insertions).
+    - {e admission}: fill the cache, then stream fresh data.  A normal
+      cache admits the stream at the old contents' expense; a sticky
+      cache (the Solaris signature of Section 4.1.3) keeps the original
+      data and never admits the stream.
+    - an {e effective capacity} far below the probed sizes reveals a
+      small fixed cache (the NetBSD signature).
+
+    All observations go through timed 1-byte reads; the module never
+    touches {!Simos.Introspect}. *)
+
+type verdict = {
+  v_policy : [ `Recency | `Fifo | `Sticky | `Unknown ];
+  v_capacity_bytes : int;  (** estimated effective file-cache size *)
+  v_evidence : string;  (** human-readable reasoning *)
+  v_recency_score : float;  (** survival rate of re-referenced pages *)
+  v_fifo_score : float;  (** survival rate of late insertions *)
+  v_sticky_score : float;  (** survival rate of the earliest insertions *)
+}
+
+val estimate_capacity :
+  Simos.Kernel.env -> scratch_dir:string -> max_bytes:int -> int
+(** Binary-search the effective file-cache size: the largest file whose
+    full sequential re-read stays fast.  Destructive (floods the cache). *)
+
+val classify :
+  Simos.Kernel.env ->
+  scratch_dir:string ->
+  ?capacity_hint:int ->
+  unit ->
+  verdict
+(** Run the fingerprint experiment in [scratch_dir] (scratch files are
+    created and removed).  [capacity_hint] skips the capacity probe. *)

@@ -1,0 +1,193 @@
+open Simos
+
+type stat_order = { so_path : string; so_ino : int; so_size : int }
+
+let dirname path =
+  match String.rindex_opt path '/' with
+  | None | Some 0 -> "/"
+  | Some i -> String.sub path 0 i
+
+let basename path =
+  match String.rindex_opt path '/' with
+  | None -> path
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+
+let order_by_inumber env ~paths =
+  let rec stat_all acc = function
+    | [] ->
+      Ok
+        (List.stable_sort
+           (fun a b -> compare a.so_ino b.so_ino)
+           (List.rev acc))
+    | path :: rest -> (
+      match Kernel.stat env path with
+      | Error e -> Error e
+      | Ok st ->
+        stat_all
+          ({ so_path = path; so_ino = st.Fs.st_ino; so_size = st.Fs.st_size } :: acc)
+          rest)
+  in
+  stat_all [] paths
+
+let order_by_directory ~paths =
+  let groups = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun path ->
+      let dir = dirname path in
+      match Hashtbl.find_opt groups dir with
+      | Some entries -> entries := path :: !entries
+      | None ->
+        Hashtbl.replace groups dir (ref [ path ]);
+        order := dir :: !order)
+    paths;
+  let dirs = List.sort compare (List.rev !order) in
+  List.concat_map (fun dir -> List.rev !(Hashtbl.find groups dir)) dirs
+
+(* ---- refresh ---- *)
+
+type crash_point =
+  | After_mkdir
+  | After_copies
+  | After_utimes
+  | After_delete
+  | No_crash
+
+let crash_points = [ After_mkdir; After_copies; After_utimes; After_delete; No_crash ]
+
+exception Injected_crash of crash_point
+
+let journal_name = ".gb_refresh_journal"
+let journal_path ~parent ~base = parent ^ "/" ^ journal_name ^ "." ^ base
+let tmp_dir_path ~parent ~base = parent ^ "/." ^ base ^ ".gb_refresh"
+
+let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v
+
+let copy_file env ~src ~dst ~size =
+  let* src_fd = Kernel.open_file env src in
+  let* dst_fd = Kernel.create_file env dst in
+  let chunk = 4 * 1024 * 1024 in
+  let rec go off =
+    if off >= size then Ok ()
+    else
+      let len = min chunk (size - off) in
+      let* _ = Kernel.read env src_fd ~off ~len in
+      let* _ = Kernel.write env dst_fd ~off ~len in
+      go (off + len)
+  in
+  let result = go 0 in
+  Kernel.close env src_fd;
+  Kernel.close env dst_fd;
+  result
+
+let exists env path =
+  match Kernel.stat env path with Ok _ -> true | Error _ -> false
+
+let remove_dir_recursive env dir =
+  let* entries = Kernel.readdir env dir in
+  let rec remove = function
+    | [] -> Kernel.unlink env dir
+    | name :: rest ->
+      let* () = Kernel.unlink env (dir ^ "/" ^ name) in
+      remove rest
+  in
+  remove entries
+
+let refresh_directory env ?(order = `Size_ascending) ?(crash_at = No_crash) ~dir () =
+  let maybe_crash point = if crash_at = point then raise (Injected_crash point) in
+  let parent = dirname dir and base = basename dir in
+  let* names = Kernel.readdir env dir in
+  (* collect sizes and times; refuse directories inside *)
+  let rec stat_all acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest ->
+      let* st = Kernel.stat env (dir ^ "/" ^ name) in
+      if st.Fs.st_is_dir then Error (Kernel.Fs_error Fs.Eisdir)
+      else stat_all ((name, st) :: acc) rest
+  in
+  let* stats = stat_all [] names in
+  let ordered =
+    match order with
+    | `Size_ascending ->
+      (* small files first, so they take the early inodes and the large
+         files' blocks land later where they do no harm (Section 4.2.1) *)
+      List.stable_sort
+        (fun (na, sa) (nb, sb) ->
+          if sa.Fs.st_size <> sb.Fs.st_size then compare sa.Fs.st_size sb.Fs.st_size
+          else compare na nb)
+        stats
+    | `Given names ->
+      let by_name = List.map (fun (n, s) -> (n, s)) stats in
+      let listed =
+        List.filter_map
+          (fun n -> Option.map (fun s -> (n, s)) (List.assoc_opt n by_name))
+          names
+      in
+      let missing =
+        List.filter (fun (n, _) -> not (List.mem n names)) by_name
+      in
+      listed @ missing
+  in
+  let tmp = tmp_dir_path ~parent ~base in
+  let journal = journal_path ~parent ~base in
+  let* jfd = Kernel.create_file env journal in
+  Kernel.close env jfd;
+  let* _tmp_ino = Kernel.mkdir env tmp in
+  maybe_crash After_mkdir;
+  let rec copy_all = function
+    | [] -> Ok ()
+    | (name, st) :: rest ->
+      let* () =
+        copy_file env ~src:(dir ^ "/" ^ name) ~dst:(tmp ^ "/" ^ name)
+          ~size:st.Fs.st_size
+      in
+      copy_all rest
+  in
+  let* () = copy_all ordered in
+  maybe_crash After_copies;
+  let rec times_all = function
+    | [] -> Ok ()
+    | (name, st) :: rest ->
+      let* () =
+        Kernel.utimes env (tmp ^ "/" ^ name) ~atime:st.Fs.st_atime ~mtime:st.Fs.st_mtime
+      in
+      times_all rest
+  in
+  let* () = times_all ordered in
+  maybe_crash After_utimes;
+  let* () = remove_dir_recursive env dir in
+  maybe_crash After_delete;
+  let* () = Kernel.rename env ~src:tmp ~dst:dir in
+  Kernel.unlink env journal
+
+let repair env ~parent =
+  let* entries = Kernel.readdir env parent in
+  let prefix = journal_name ^ "." in
+  let journals =
+    List.filter
+      (fun n ->
+        String.length n > String.length prefix
+        && String.sub n 0 (String.length prefix) = prefix)
+      entries
+  in
+  let rec fix repaired = function
+    | [] -> Ok repaired
+    | jname :: rest ->
+      let base = String.sub jname (String.length prefix) (String.length jname - String.length prefix) in
+      let tmp = tmp_dir_path ~parent ~base in
+      let orig = parent ^ "/" ^ base in
+      let* () =
+        match (exists env tmp, exists env orig) with
+        | true, true ->
+          (* interrupted before the delete: the original is intact, the
+             temporary copy may be partial — roll back *)
+          remove_dir_recursive env tmp
+        | true, false ->
+          (* crashed between delete and rename — roll forward *)
+          Kernel.rename env ~src:tmp ~dst:orig
+        | false, _ -> Ok ()
+      in
+      let* () = Kernel.unlink env (parent ^ "/" ^ jname) in
+      fix true rest
+  in
+  fix false journals

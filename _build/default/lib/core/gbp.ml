@@ -1,0 +1,45 @@
+open Simos
+
+type mode = Mem | File | Compose
+
+let mode_of_string = function
+  | "mem" | "-mem" -> Some Mem
+  | "file" | "-file" -> Some File
+  | "compose" | "-compose" -> Some Compose
+  | _ -> None
+
+let mode_to_string = function Mem -> "mem" | File -> "file" | Compose -> "compose"
+
+let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v
+
+let best_order env config mode ~paths =
+  match mode with
+  | Mem ->
+    let* ranked = Fccd.order_files env config ~paths in
+    Ok (List.map (fun r -> r.Fccd.fr_path) ranked)
+  | File ->
+    let* ordered = Fldc.order_by_inumber env ~paths in
+    Ok (List.map (fun s -> s.Fldc.so_path) ordered)
+  | Compose ->
+    let* decision = Compose.order_files env config paths in
+    Ok decision.Compose.d_order
+
+(* One pipe transfer costs a kernel-to-user copy of the payload (writer
+   copies in, reader copies out — we charge the reader side once more,
+   which is the "extra copy of all data through the operating system via
+   the pipe mechanism" of Section 4.1.3). *)
+let pipe_ns_per_byte env =
+  let platform = Kernel.platform (Kernel.kernel_of_env env) in
+  2.0 *. platform.Platform.memcopy_byte_ns
+
+let out env config ~path ~consume =
+  let* plan = Fccd.probe_file env config ~path in
+  let* fd = Kernel.open_file env path in
+  let per_byte = pipe_ns_per_byte env in
+  let total = ref 0 in
+  Fccd.read_plan env fd plan ~f:(fun ~off ~len ->
+      Kernel.compute_bytes env ~bytes:len ~ns_per_byte:per_byte;
+      consume ~off ~len;
+      total := !total + len);
+  Kernel.close env fd;
+  Ok !total

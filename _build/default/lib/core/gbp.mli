@@ -1,0 +1,39 @@
+(** The [gbp] utility logic: gray-box benefits for {e unmodified}
+    applications (Section 4.1.2).
+
+    [grep foo `gbp -mem *`] reorders the file arguments by cache
+    residence; [gbp -mem -out infile | app] re-orders {e within} a single
+    file, copying data to the consumer through a pipe.  This module holds
+    the reusable logic behind the [bin/gbp] executable and behind the
+    "unmodified application" variants in the benchmarks. *)
+
+type mode =
+  | Mem  (** order by file-cache probe time (FCCD) *)
+  | File  (** order by i-number (FLDC) *)
+  | Compose  (** cached first, then i-number (Section 4.2.4) *)
+
+val mode_of_string : string -> mode option
+val mode_to_string : mode -> string
+
+val best_order :
+  Simos.Kernel.env ->
+  Fccd.config ->
+  mode ->
+  paths:string list ->
+  (string list, Simos.Kernel.error) result
+(** The file ordering a shell substitution would receive. *)
+
+val out :
+  Simos.Kernel.env ->
+  Fccd.config ->
+  path:string ->
+  consume:(off:int -> len:int -> unit) ->
+  (int, Simos.Kernel.error) result
+(** [gbp -mem -out path]: probe the file, read it in best order, and
+    stream each extent to [consume] through a simulated pipe (the extra
+    kernel copy of all data is charged, which is why the gbp variant runs
+    slightly behind the modified application in Figure 3).  Returns total
+    bytes delivered. *)
+
+val pipe_ns_per_byte : Simos.Kernel.env -> float
+(** Cost model of the pipe copy used by {!out}. *)

@@ -1,0 +1,234 @@
+open Gray_util
+open Simos
+
+type detector = Timing | Vmstat
+
+type config = {
+  initial_increment : int;
+  max_increment : int;
+  consecutive_slow : int;
+  slow_threshold_ns : int option;
+  headroom : float;
+  detection : detector;
+}
+
+let page = 4096
+let mib = 1024 * 1024
+
+let default_config ?repo () =
+  let slow_threshold_ns =
+    match repo with
+    | None -> None
+    | Some r -> (
+      match
+        ( Param_repo.get r Param_repo.key_page_in_ns,
+          Param_repo.get r Param_repo.key_page_alloc_zero_ns )
+      with
+      | Some page_in, Some zero ->
+        (* geometric mean separates "benign slow" (zero fill) from paging *)
+        Some (int_of_float (sqrt (page_in *. zero)))
+      | _ -> None)
+  in
+  {
+    initial_increment = 8 * mib;
+    max_increment = 16 * mib;
+    consecutive_slow = 3;
+    slow_threshold_ns;
+    headroom = 0.15;
+    detection = Timing;
+  }
+
+type allocation = {
+  a_region : Kernel.region;
+  a_pages : int;
+  a_bytes : int;
+  mutable a_live : bool;
+}
+
+let bytes a = a.a_bytes
+let pages a = a.a_pages
+let region a = a.a_region
+
+type stats = { s_probe_ns : int; s_steps : int; s_backoffs : int }
+
+let last = ref { s_probe_ns = 0; s_steps = 0; s_backoffs = 0 }
+let last_stats () = !last
+
+(* Self-calibration (Section 4.3.2, second method): time accesses to a few
+   pages that are certainly resident, and fresh first-touches; "slow" is
+   set well above the worst benign cost observed. *)
+let calibrate env =
+  let probe_pages = 64 in
+  let r = Kernel.valloc env ~pages:probe_pages in
+  let first = Kernel.touch_pages env r ~first:0 ~count:probe_pages in
+  let again = Kernel.touch_pages env r ~first:0 ~count:probe_pages in
+  Kernel.vfree env r;
+  let med a = Stats.median_of (Array.map float_of_int a) in
+  let benign = Float.max (med first) (med again) in
+  max 1_000 (int_of_float (10.0 *. benign))
+
+(* Touch a range in bounded chunks so that competing processes get to run
+   (and re-reference their working sets) while we probe — one huge vectored
+   touch would outrun the page daemon's reference information. *)
+let probe_chunk_pages = 256
+
+let has_consecutive_slow times ~threshold ~k =
+  let run = ref 0 in
+  let found = ref false in
+  Array.iter
+    (fun t ->
+      if t > threshold then begin
+        incr run;
+        if !run >= k then found := true
+      end
+      else run := 0)
+    times;
+  !found
+
+(* Touch up to [count] pages, chunk by chunk, stopping at the first
+   consecutive-slow run: "if MAC notices consecutive slow data points
+   [...] it immediately skips to the second loop" (Section 4.3.1).
+   Stopping early is what keeps an over-reached step from swapping out
+   megabytes of other processes' memory before we notice. *)
+let touch_adaptive env region ~first ~count ~chunk_slow =
+  let touched = ref 0 in
+  let slow = ref false in
+  while (not !slow) && !touched < count do
+    let n = min probe_chunk_pages (count - !touched) in
+    let part = Kernel.touch_pages env region ~first:(first + !touched) ~count:n in
+    touched := !touched + n;
+    if chunk_slow part then slow := true
+  done;
+  (!touched, !slow)
+
+let gb_alloc env config ~min ~max ~multiple =
+  if min <= 0 || max < min || multiple <= 0 then
+    invalid_arg "Mac.gb_alloc: need 0 < min <= max and multiple > 0";
+  let floor_multiple b = b / multiple * multiple in
+  let effective_min = (min + multiple - 1) / multiple * multiple in
+  if effective_min > max then
+    invalid_arg "Mac.gb_alloc: no multiple of [multiple] within [min, max]";
+  let max_pages = (max + page - 1) / page in
+  let chunk_slow =
+    match config.detection with
+    | Timing ->
+      let threshold =
+        match config.slow_threshold_ns with Some t -> t | None -> calibrate env
+      in
+      fun times ->
+        has_consecutive_slow times ~threshold ~k:config.consecutive_slow
+    | Vmstat ->
+      (* any page traffic since the last chunk means the page daemon is
+         active on our behalf (or somebody else's: coarser than timing,
+         but exact where it fires) *)
+      let baseline = ref (Kernel.vmstat env) in
+      fun _times ->
+        let now = Kernel.vmstat env in
+        let active =
+          now.Kernel.vm_page_outs > !baseline.Kernel.vm_page_outs
+          || now.Kernel.vm_page_ins > !baseline.Kernel.vm_page_ins
+        in
+        baseline := now;
+        active
+  in
+  let t0 = Kernel.gettime env in
+  let region = Kernel.valloc env ~pages:max_pages in
+  let min_step = Stdlib.max 1 (config.initial_increment / page) in
+  let committed = ref 0 in
+  let increment = ref min_step in
+  let steps = ref 0 and backoffs = ref 0 in
+  let failed = ref false in
+  let continue_ = ref true in
+  while !continue_ && !committed < max_pages && not !failed do
+    let step = Stdlib.min !increment (max_pages - !committed) in
+    incr steps;
+    (* First loop: move the new chunk to a known state, bailing out at the
+       first sign of paging. *)
+    let touched, _suspect =
+      touch_adaptive env region ~first:!committed ~count:step ~chunk_slow
+    in
+    let candidate = !committed + touched in
+    (* Second loop: verify the whole candidate stays resident, also
+       stopping as soon as paging is certain. *)
+    let _, verify_slow = touch_adaptive env region ~first:0 ~count:candidate ~chunk_slow in
+    if verify_slow then begin
+      (* "analogous to but more conservative than the TCP congestion-
+         control scheme": the first verified failure ends the climb.
+         Re-probing after a failure is self-deceiving — the verification's
+         own page-ins make the candidate look resident again while
+         evicting the neighbours, so competing gb_allocs would never
+         converge. *)
+      incr backoffs;
+      Kernel.vrelease env region ~first:!committed ~count:touched;
+      continue_ := false
+    end
+    else begin
+      (* the verification decides: even a suspected first loop counts if
+         every page of the candidate proved resident *)
+      committed := candidate;
+      increment := Stdlib.min (!increment * 2) (Stdlib.max 1 (config.max_increment / page))
+    end
+  done;
+  (* "we must make MAC slightly less aggressive" (Section 4.3.1): when the
+     probing ran into replacement (rather than simply reaching the
+     requested maximum), grant a little less than what fit, leaving cache
+     room for the caller's own file I/O *)
+  let discounted =
+    if !backoffs = 0 && !committed = max_pages then !committed * page
+    else int_of_float ((1.0 -. config.headroom) *. float_of_int (!committed * page))
+  in
+  let granted_bytes = floor_multiple (Stdlib.min max discounted) in
+  last :=
+    { s_probe_ns = Kernel.gettime env - t0; s_steps = !steps; s_backoffs = !backoffs };
+  if granted_bytes < effective_min then begin
+    Kernel.vfree env region;
+    None
+  end
+  else begin
+    let granted_pages = (granted_bytes + page - 1) / page in
+    if granted_pages < !committed then
+      Kernel.vrelease env region ~first:granted_pages ~count:(!committed - granted_pages);
+    (* Settle: the grant is handed out only once a full write pass over it
+       runs without paging ("MAC atomically identifies and allocates this
+       memory").  Under a race of several gb_allocs the climbers all
+       overshoot a little; shrinking here is what lets the group converge
+       under the machine's capacity. *)
+    let shrink = Stdlib.max 1 (config.initial_increment / page) in
+    let rec settle pages =
+      let bytes = floor_multiple (Stdlib.min max (pages * page)) in
+      if bytes < effective_min then None
+      else begin
+        let p = (bytes + page - 1) / page in
+        let _, paged = touch_adaptive env region ~first:0 ~count:p ~chunk_slow in
+        if not paged then Some (p, bytes)
+        else begin
+          incr backoffs;
+          let next = Stdlib.max 0 (p - shrink) in
+          Kernel.vrelease env region ~first:next ~count:(p - next);
+          settle next
+        end
+      end
+    in
+    let result =
+      if !backoffs = 0 then Some (granted_pages, granted_bytes)
+      else settle granted_pages
+    in
+    last :=
+      { s_probe_ns = Kernel.gettime env - t0; s_steps = !steps; s_backoffs = !backoffs };
+    match result with
+    | None ->
+      Kernel.vfree env region;
+      None
+    | Some (a_pages, a_bytes) ->
+      Some { a_region = region; a_pages; a_bytes; a_live = true }
+  end
+
+let touch_all env a =
+  if not a.a_live then invalid_arg "Mac.touch_all: allocation freed";
+  ignore (Kernel.touch_pages env a.a_region ~first:0 ~count:a.a_pages)
+
+let gb_free env a =
+  if a.a_live then begin
+    a.a_live <- false;
+    Kernel.vfree env a.a_region
+  end

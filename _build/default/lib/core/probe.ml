@@ -1,0 +1,15 @@
+open Simos
+
+let timed env f =
+  let t0 = Kernel.gettime env in
+  let r = f () in
+  let t1 = Kernel.gettime env in
+  (r, max 0 (t1 - t0))
+
+let timed_read env fd ~off ~len =
+  timed env (fun () ->
+      match Kernel.read env fd ~off ~len with Ok n -> n | Error _ -> 0)
+
+let file_byte env fd ~off =
+  let _, ns = timed_read env fd ~off ~len:1 in
+  ns

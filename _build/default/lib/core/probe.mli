@@ -1,0 +1,16 @@
+(** Probe primitives: timed requests inserted solely to observe the OS.
+
+    "The ICL can insert probes, or specific requests to the OS generated
+    solely to observe the resulting output" (Section 2.1).  All timings go
+    through the gray-box clock ({!Simos.Kernel.gettime}), never through
+    white-box channels. *)
+
+val file_byte : Simos.Kernel.env -> Simos.Kernel.fd -> off:int -> int
+(** Read one byte at [off] and return the observed elapsed nanoseconds.
+    Destructive: a missing page is faulted into the file cache. *)
+
+val timed_read : Simos.Kernel.env -> Simos.Kernel.fd -> off:int -> len:int -> int * int
+(** [(bytes_read, elapsed_ns)]. *)
+
+val timed : Simos.Kernel.env -> (unit -> 'a) -> 'a * int
+(** Time an arbitrary action with the gray-box clock. *)

@@ -1,0 +1,90 @@
+open Simos
+
+type estimate = { sl_off : int; sl_len : int; sl_latency_ns : int }
+
+let page = 4096
+
+let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v
+
+(* Static device parameters, as a SLEDs kernel would know them. *)
+let device_costs k =
+  let platform = Kernel.platform k in
+  let geom = platform.Platform.disk in
+  let disk_page_ns =
+    (* amortised sequential page transfer *)
+    geom.Disk.transfer_ns_per_block
+  in
+  let copy_page_ns =
+    int_of_float (float_of_int page *. platform.Platform.memcopy_byte_ns)
+  in
+  (disk_page_ns, copy_page_ns)
+
+let estimate_file k ~path ~granularity =
+  if granularity < page then invalid_arg "Sleds.estimate_file: granularity < page";
+  let* bitmap = Introspect.cache_bitmap k ~path in
+  let disk_page_ns, copy_page_ns = device_costs k in
+  let pages = Array.length bitmap in
+  let size = pages * page in
+  let rec sections off acc =
+    if off >= size then Ok (List.rev acc)
+    else begin
+      let len = min granularity (size - off) in
+      let first = off / page in
+      let last = (off + len - 1) / page in
+      let latency = ref 0 in
+      for p = first to last do
+        latency :=
+          !latency + copy_page_ns + (if bitmap.(p) then 0 else disk_page_ns)
+      done;
+      sections (off + len)
+        ({ sl_off = off; sl_len = len; sl_latency_ns = !latency } :: acc)
+    end
+  in
+  sections 0 []
+
+let best_order k ~path ~granularity =
+  let* estimates = estimate_file k ~path ~granularity in
+  Ok
+    (List.stable_sort
+       (fun a b ->
+         if a.sl_latency_ns <> b.sl_latency_ns then
+           compare a.sl_latency_ns b.sl_latency_ns
+         else compare b.sl_off a.sl_off)
+       estimates)
+
+let order_files k ~paths =
+  let rec rank acc = function
+    | [] ->
+      Ok
+        (List.stable_sort (fun (_, a) (_, b) -> compare a b) (List.rev acc)
+        |> List.map fst)
+    | path :: rest ->
+      let* estimates = estimate_file k ~path ~granularity:page in
+      let total =
+        List.fold_left (fun t e -> t + e.sl_latency_ns) 0 estimates
+      in
+      let mean = if estimates = [] then 0 else total / List.length estimates in
+      rank ((path, mean) :: acc) rest
+  in
+  rank [] paths
+
+(* Spearman rank correlation between the SLEDs ordering and an FCCD plan
+   over the same extents (matched by offset). *)
+let agreement sleds plan =
+  let rank_of assoc =
+    List.mapi (fun i off -> (off, float_of_int i)) assoc
+  in
+  let sleds_ranks = rank_of (List.map (fun e -> e.sl_off) sleds) in
+  let plan_ranks = rank_of (List.map (fun (e, _) -> e.Fccd.ext_off) plan) in
+  let common =
+    List.filter_map
+      (fun (off, r1) ->
+        Option.map (fun r2 -> (r1, r2)) (List.assoc_opt off plan_ranks))
+      sleds_ranks
+  in
+  if List.length common < 2 then 1.0
+  else begin
+    let xs = Array.of_list (List.map fst common) in
+    let ys = Array.of_list (List.map snd common) in
+    Gray_util.Correlate.pearson xs ys
+  end

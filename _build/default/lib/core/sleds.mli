@@ -1,0 +1,45 @@
+(** SLEDs — Storage Latency Estimation Descriptors (Van Meter & Gao,
+    OSDI 2000): the {e kernel-assisted} comparator that inspired FCCD.
+
+    SLEDs is a proposed kernel interface returning predicted access times
+    for sections of a file, computed from where the data sits in the
+    storage hierarchy.  The paper's point (Section 4.1): "a great deal of
+    the utility of their proposed system can be obtained without any
+    modification to the operating system".
+
+    This module implements the baseline: a kernel-privileged latency
+    estimator built on white-box introspection plus static device
+    parameters — exactly what a SLEDs kernel would export.  Benches use it
+    as the upper bound FCCD is measured against; gray-box code must never
+    call it. *)
+
+type estimate = {
+  sl_off : int;
+  sl_len : int;
+  sl_latency_ns : int;  (** predicted time to read this extent *)
+}
+
+val estimate_file :
+  Simos.Kernel.t ->
+  path:string ->
+  granularity:int ->
+  (estimate list, Simos.Kernel.error) result
+(** Predicted access time per [granularity]-byte section, from cache
+    residency (white-box bitmap) and device parameters. *)
+
+val best_order :
+  Simos.Kernel.t ->
+  path:string ->
+  granularity:int ->
+  (estimate list, Simos.Kernel.error) result
+(** Sections sorted fastest-first — the ordering a SLEDs-aware
+    application would use. *)
+
+val order_files :
+  Simos.Kernel.t -> paths:string list -> (string list, Simos.Kernel.error) result
+(** Whole files ranked by predicted mean latency. *)
+
+val agreement : estimate list -> (Fccd.extent * int) list -> float
+(** How closely an FCCD plan matches the SLEDs ordering: rank correlation
+    (Spearman) between the two orderings of the same extents, in
+    [[-1, 1]].  Used by the comparison bench. *)

@@ -1,0 +1,215 @@
+open Gray_util
+open Simos
+
+let src = Logs.Src.create "graybox.toolbox" ~doc:"gray toolbox microbenchmarks"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let mib = 1024 * 1024
+let page = 4096
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> failwith ("Toolbox: syscall failed: " ^ Kernel.error_to_string e)
+
+let write_file env path size =
+  let fd = ok_exn (Kernel.create_file env path) in
+  let chunk = 16 * mib in
+  let off = ref 0 in
+  while !off < size do
+    let len = min chunk (size - !off) in
+    ignore (ok_exn (Kernel.write env fd ~off:!off ~len));
+    off := !off + len
+  done;
+  Kernel.close env fd
+
+let read_whole env path =
+  let fd = ok_exn (Kernel.open_file env path) in
+  let size = Kernel.file_size env fd in
+  let chunk = 16 * mib in
+  let off = ref 0 in
+  while !off < size do
+    ignore (ok_exn (Kernel.read env fd ~off:!off ~len:(min chunk (size - !off))));
+    off := !off + chunk
+  done;
+  Kernel.close env fd
+
+(* A gray-box cache flusher: grow a junk file until re-reading it evicts a
+   sentinel page (sentinel re-read becomes "slow").  No knowledge of the
+   cache size is assumed; the doubling discovers it. *)
+type flusher = { path : string; mutable size : int }
+
+let flusher_cap = 8 * 1024 * mib
+
+let make_flusher env ~scratch_dir =
+  let sentinel = scratch_dir ^ "/.gb_sentinel" in
+  write_file env sentinel page;
+  let f = { path = scratch_dir ^ "/.gb_flusher"; size = 32 * mib } in
+  write_file env f.path f.size;
+  let sentinel_fd = ok_exn (Kernel.open_file env sentinel) in
+  let warm =
+    ignore (ok_exn (Kernel.read env sentinel_fd ~off:0 ~len:1));
+    Probe.file_byte env sentinel_fd ~off:0
+  in
+  let rec grow () =
+    (* touch the sentinel, wash with the flusher, re-probe *)
+    ignore (ok_exn (Kernel.read env sentinel_fd ~off:0 ~len:1));
+    read_whole env f.path;
+    let t = Probe.file_byte env sentinel_fd ~off:0 in
+    if t > 20 * max 1 warm then ()
+    else if f.size >= flusher_cap then
+      Log.warn (fun m ->
+          m "flusher capped at %s without evicting the sentinel \
+             (persistent cache policy?)"
+            (Units.bytes_to_string f.size))
+    else begin
+      ignore (ok_exn (Kernel.unlink env f.path));
+      f.size <- f.size * 2;
+      write_file env f.path f.size;
+      grow ()
+    end
+  in
+  grow ();
+  Kernel.close env sentinel_fd;
+  ignore (ok_exn (Kernel.unlink env sentinel));
+  f
+
+let flush env f = read_whole env f.path
+
+let dispose_flusher env f = ignore (ok_exn (Kernel.unlink env f.path))
+
+(* ---- individual microbenchmarks ---- *)
+
+let scratch_size = 64 * mib
+
+let with_scratch env ~scratch_dir f =
+  let path = scratch_dir ^ "/.gb_scratch" in
+  write_file env path scratch_size;
+  Fun.protect
+    ~finally:(fun () -> ignore (Kernel.unlink env path))
+    (fun () -> f path)
+
+let measure_memcopy env ~scratch_dir =
+  with_scratch env ~scratch_dir (fun path ->
+      let fd = ok_exn (Kernel.open_file env path) in
+      let sample = 4 * mib in
+      (* two passes: the second is warm regardless of initial state *)
+      ignore (ok_exn (Kernel.read env fd ~off:0 ~len:sample));
+      let _, ns = Probe.timed_read env fd ~off:0 ~len:sample in
+      Kernel.close env fd;
+      float_of_int ns /. float_of_int (sample / page))
+
+let measure_disk_with env ~flusher path =
+  flush env flusher;
+  let fd = ok_exn (Kernel.open_file env path) in
+  (* sequential bandwidth *)
+  let _, seq_ns = Probe.timed_read env fd ~off:0 ~len:scratch_size in
+  let bandwidth = float_of_int scratch_size /. (float_of_int seq_ns /. 1e9) in
+  (* random single-page cold reads approximate seek + rotation *)
+  flush env flusher;
+  let rng = Rng.create ~seed:271828 in
+  let samples = Stats.empty () in
+  for _ = 1 to 32 do
+    let off = Rng.int rng (scratch_size / page) * page in
+    let _, ns = Probe.timed_read env fd ~off ~len:1 in
+    Stats.add samples (float_of_int ns)
+  done;
+  Kernel.close env fd;
+  (Stats.mean samples, bandwidth)
+
+let measure_disk env ~scratch_dir =
+  let flusher = make_flusher env ~scratch_dir in
+  let result =
+    with_scratch env ~scratch_dir (fun path -> measure_disk_with env ~flusher path)
+  in
+  dispose_flusher env flusher;
+  result
+
+let measure_page_costs env =
+  let pages = 1024 in
+  let region = Kernel.valloc env ~pages in
+  let first = Kernel.touch_pages env region ~first:0 ~count:pages in
+  let second = Kernel.touch_pages env region ~first:0 ~count:pages in
+  Kernel.vfree env region;
+  let median a = Stats.median_of (Array.map float_of_int a) in
+  (median first, median second)
+
+let measure_access_unit_with env ~flusher path =
+  let rng = Rng.create ~seed:314159 in
+  let bandwidth_for unit =
+    flush env flusher;
+    let fd = ok_exn (Kernel.open_file env path) in
+    let chunks = Array.init (scratch_size / unit) (fun i -> i * unit) in
+    Rng.shuffle rng chunks;
+    let total_ns = ref 0 in
+    Array.iter
+      (fun off ->
+        let _, ns = Probe.timed_read env fd ~off ~len:unit in
+        total_ns := !total_ns + ns)
+      chunks;
+    Kernel.close env fd;
+    float_of_int scratch_size /. (float_of_int !total_ns /. 1e9)
+  in
+  let units =
+    [ mib / 2; mib; 2 * mib; 4 * mib; 8 * mib; 16 * mib; 32 * mib ]
+  in
+  let rates = List.map (fun u -> (u, bandwidth_for u)) units in
+  let peak = List.fold_left (fun acc (_, r) -> Float.max acc r) 0.0 rates in
+  match List.find_opt (fun (_, r) -> r >= 0.9 *. peak) rates with
+  | Some (u, _) -> u
+  | None -> 32 * mib
+
+let measure_access_unit env ~scratch_dir =
+  let flusher = make_flusher env ~scratch_dir in
+  let result =
+    with_scratch env ~scratch_dir (fun path ->
+        measure_access_unit_with env ~flusher path)
+  in
+  dispose_flusher env flusher;
+  result
+
+let probe_thresholds repo ~hit_miss_split_ns =
+  match hit_miss_split_ns with
+  | None -> ()
+  | Some v ->
+    Param_repo.set repo ~key:"fccd.hit_miss_split_ns" ~value:v ~source:"derived"
+
+let run_all env ~scratch_dir =
+  let repo = Param_repo.create () in
+  let set key value =
+    Param_repo.set repo ~key ~value ~source:"toolbox-microbench"
+  in
+  let flusher = make_flusher env ~scratch_dir in
+  let seek, bandwidth =
+    with_scratch env ~scratch_dir (fun path -> measure_disk_with env ~flusher path)
+  in
+  set Param_repo.key_disk_seek_ns seek;
+  set Param_repo.key_disk_bandwidth_bytes_per_sec bandwidth;
+  let memcopy = measure_memcopy env ~scratch_dir in
+  set Param_repo.key_memcopy_page_ns memcopy;
+  let alloc_zero, touch = measure_page_costs env in
+  set Param_repo.key_page_alloc_zero_ns alloc_zero;
+  set "mem.touch_page_ns" touch;
+  let unit =
+    with_scratch env ~scratch_dir (fun path ->
+        measure_access_unit_with env ~flusher path)
+  in
+  set Param_repo.key_access_unit_bytes (float_of_int unit);
+  (* cache hit vs miss single-byte read costs *)
+  let hit, miss =
+    with_scratch env ~scratch_dir (fun path ->
+        let fd = ok_exn (Kernel.open_file env path) in
+        ignore (ok_exn (Kernel.read env fd ~off:0 ~len:page));
+        let hit = Probe.file_byte env fd ~off:16 in
+        flush env flusher;
+        let miss = Probe.file_byte env fd ~off:(8 * mib) in
+        Kernel.close env fd;
+        (hit, miss))
+  in
+  set Param_repo.key_cache_hit_read_ns (float_of_int hit);
+  set Param_repo.key_cache_miss_read_ns (float_of_int miss);
+  probe_thresholds repo
+    ~hit_miss_split_ns:(Some (sqrt (float_of_int hit *. float_of_int miss)));
+  set Param_repo.key_page_in_ns (float_of_int miss);
+  dispose_flusher env flusher;
+  repo

@@ -1,0 +1,36 @@
+(** The gray toolbox's configuration microbenchmarks (Section 5).
+
+    "All of our microbenchmarks report performance numbers [...] in a
+    common format kept in persistent storage; each microbenchmark then only
+    needs to be run once."  The repository is a {!Gray_util.Param_repo.t};
+    the benchmarks below populate it using only gray-box observations
+    (timed syscalls on scratch files and scratch memory).
+
+    These runs disturb the system (they do real I/O and evict cache pages),
+    so they are meant for a dedicated/idle machine — exactly the caveat the
+    paper gives. *)
+
+open Gray_util
+
+val run_all : Simos.Kernel.env -> scratch_dir:string -> Param_repo.t
+(** Run every microbenchmark, returning a populated repository.  Creates
+    and removes scratch files under [scratch_dir] (e.g. ["/d0"]). *)
+
+val measure_memcopy : Simos.Kernel.env -> scratch_dir:string -> float
+(** Per-page kernel-to-user copy time (ns), from warm-cache reads. *)
+
+val measure_disk : Simos.Kernel.env -> scratch_dir:string -> float * float
+(** [(avg_seek_ns, bandwidth_bytes_per_sec)] from cold random vs
+    sequential reads of a scratch file. *)
+
+val measure_page_costs : Simos.Kernel.env -> float * float
+(** [(alloc_zero_ns, touch_ns)]: first-touch (demand-zero) and resident
+    re-touch costs per page, from scratch anonymous memory. *)
+
+val measure_access_unit : Simos.Kernel.env -> scratch_dir:string -> int
+(** Smallest power-of-two access unit that achieves at least 90% of the
+    observed peak sequential bandwidth — the FCCD default (Section 4.1.2:
+    "we have found that a default access unit of 20 MB works well"). *)
+
+val probe_thresholds : Param_repo.t -> hit_miss_split_ns:float option -> unit
+(** Record derived thresholds (cache hit/miss split) into the repo. *)

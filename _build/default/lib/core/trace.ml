@@ -1,0 +1,190 @@
+open Simos
+
+type event =
+  | Read of { path : string; off : int; len : int }
+  | Write of { path : string; off : int; len : int }
+  | Unlink of { path : string }
+
+type t = { mutable rev_events : event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let check_path path =
+  if String.exists (fun c -> c = '\t' || c = '\n') path then
+    invalid_arg "Trace.record: path contains tab or newline"
+
+let record t ev =
+  (match ev with
+  | Read { path; off; len } | Write { path; off; len } ->
+    if off < 0 || len < 0 then invalid_arg "Trace.record: negative offset or length";
+    check_path path
+  | Unlink { path } -> check_path path);
+  t.rev_events <- ev :: t.rev_events;
+  t.count <- t.count + 1
+
+let length t = t.count
+let events t = List.rev t.rev_events
+
+let to_string t =
+  let buf = Buffer.create (t.count * 32) in
+  List.iter
+    (fun ev ->
+      (match ev with
+      | Read { path; off; len } -> Buffer.add_string buf (Printf.sprintf "R\t%s\t%d\t%d" path off len)
+      | Write { path; off; len } -> Buffer.add_string buf (Printf.sprintf "W\t%s\t%d\t%d" path off len)
+      | Unlink { path } -> Buffer.add_string buf (Printf.sprintf "U\t%s" path));
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let of_string s =
+  let t = create () in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         if line <> "" then begin
+           match String.split_on_char '\t' line with
+           | [ "R"; path; off; len ] -> (
+             match (int_of_string_opt off, int_of_string_opt len) with
+             | Some off, Some len -> record t (Read { path; off; len })
+             | _ -> failwith ("Trace.of_string: bad numbers: " ^ line))
+           | [ "W"; path; off; len ] -> (
+             match (int_of_string_opt off, int_of_string_opt len) with
+             | Some off, Some len -> record t (Write { path; off; len })
+             | _ -> failwith ("Trace.of_string: bad numbers: " ^ line))
+           | [ "U"; path ] -> record t (Unlink { path })
+           | _ -> failwith ("Trace.of_string: bad line: " ^ line)
+         end);
+  t
+
+(* ---- offline analysis ---- *)
+
+let page = 4096
+
+type replay = {
+  rp_hits : int;
+  rp_misses : int;
+  rp_hit_rate : float;
+  rp_resident : (string * float) list;
+}
+
+let replay t ~policy ~capacity_pages =
+  let pool = Pool.create ~name:"trace-replay" ~capacity_pages ~policy in
+  let ids = Hashtbl.create 64 in
+  let touched : (string, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let next = ref 1 in
+  let id_of path =
+    match Hashtbl.find_opt ids path with
+    | Some id -> id
+    | None ->
+      let id = !next in
+      incr next;
+      Hashtbl.replace ids path id;
+      id
+  in
+  let note_touch path idx =
+    let pages =
+      match Hashtbl.find_opt touched path with
+      | Some p -> p
+      | None ->
+        let p = Hashtbl.create 64 in
+        Hashtbl.replace touched path p;
+        p
+    in
+    Hashtbl.replace pages idx ()
+  in
+  let hits = ref 0 and misses = ref 0 in
+  let access ~path ~off ~len ~dirty =
+    if len > 0 then begin
+      let id = id_of path in
+      for idx = off / page to (off + len - 1) / page do
+        note_touch path idx;
+        match Pool.access pool (Page.File { ino = id; idx }) ~dirty with
+        | `Hit -> incr hits
+        | `Filled _ -> incr misses
+      done
+    end
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Read { path; off; len } -> access ~path ~off ~len ~dirty:false
+      | Write { path; off; len } -> access ~path ~off ~len ~dirty:true
+      | Unlink { path } -> (
+        match Hashtbl.find_opt ids path with
+        | None -> ()
+        | Some id ->
+          ignore
+            (Pool.invalidate_if pool (fun key ->
+                 match key with
+                 | Page.File { ino; _ } -> ino = id
+                 | Page.Anon _ -> false));
+          Hashtbl.remove ids path;
+          Hashtbl.remove touched path))
+    (events t);
+  let rp_resident =
+    Hashtbl.fold
+      (fun path pages acc ->
+        match Hashtbl.find_opt ids path with
+        | None -> acc (* unlinked *)
+        | Some id ->
+          let total = Hashtbl.length pages in
+          let resident = ref 0 in
+          Hashtbl.iter
+            (fun idx () ->
+              if Pool.contains pool (Page.File { ino = id; idx }) then incr resident)
+            pages;
+          (path, float_of_int !resident /. float_of_int (max 1 total)) :: acc)
+      touched []
+    |> List.sort compare
+  in
+  let total = !hits + !misses in
+  {
+    rp_hits = !hits;
+    rp_misses = !misses;
+    rp_hit_rate = (if total = 0 then 0.0 else float_of_int !hits /. float_of_int total);
+    rp_resident;
+  }
+
+let compare_policies t ~capacity_pages =
+  List.map
+    (fun name ->
+      let r = replay t ~policy:(Replacement.of_name name) ~capacity_pages in
+      (name, r.rp_hit_rate))
+    Replacement.all_names
+  |> List.stable_sort (fun (_, a) (_, b) -> compare b a)
+
+type summary = {
+  s_events : int;
+  s_reads : int;
+  s_writes : int;
+  s_unlinks : int;
+  s_bytes : int;
+  s_files : int;
+}
+
+let summarize t =
+  let reads = ref 0 and writes = ref 0 and unlinks = ref 0 and bytes = ref 0 in
+  let files = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Read { path; len; _ } ->
+        incr reads;
+        bytes := !bytes + len;
+        Hashtbl.replace files path ()
+      | Write { path; len; _ } ->
+        incr writes;
+        bytes := !bytes + len;
+        Hashtbl.replace files path ()
+      | Unlink { path } ->
+        incr unlinks;
+        Hashtbl.replace files path ())
+    (events t);
+  {
+    s_events = t.count;
+    s_reads = !reads;
+    s_writes = !writes;
+    s_unlinks = !unlinks;
+    s_bytes = !bytes;
+    s_files = Hashtbl.length files;
+  }

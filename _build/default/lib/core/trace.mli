@@ -1,0 +1,60 @@
+(** Syscall trace recording and offline analysis.
+
+    Section 2.1 sketches the model/simulate end of the gray-box spectrum:
+    "an ICL may also observe inputs to the OS, which may allow it to infer
+    the state of the OS through models or simulations".  This module is
+    the toolbox piece for that: record the file-I/O request stream (e.g.
+    from an {!Interpose} agent or a workload generator), persist it in a
+    line-oriented text format, and replay it offline through any
+    {!Simos.Replacement} policy to predict cache contents or compare
+    policies on the observed workload. *)
+
+type event =
+  | Read of { path : string; off : int; len : int }
+  | Write of { path : string; off : int; len : int }
+  | Unlink of { path : string }
+
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+val length : t -> int
+val events : t -> event list
+(** In recording order. *)
+
+(** {1 Persistence (one event per line: [R\tpath\toff\tlen] etc.)} *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Raises [Failure] on malformed lines.  Paths must not contain tabs or
+    newlines ({!record} enforces this). *)
+
+(** {1 Offline analysis} *)
+
+type replay = {
+  rp_hits : int;
+  rp_misses : int;
+  rp_hit_rate : float;
+  rp_resident : (string * float) list;
+      (** per-file fraction of its touched pages predicted resident at the
+          end of the trace, sorted by path *)
+}
+
+val replay : t -> policy:Simos.Replacement.factory -> capacity_pages:int -> replay
+(** Run the trace through a shadow cache of the given policy/size. *)
+
+val compare_policies :
+  t -> capacity_pages:int -> (string * float) list
+(** Hit rate of every registered replacement policy on this trace, sorted
+    best first — "which cache would serve this workload best", offline. *)
+
+type summary = {
+  s_events : int;
+  s_reads : int;
+  s_writes : int;
+  s_unlinks : int;
+  s_bytes : int;
+  s_files : int;
+}
+
+val summarize : t -> summary

@@ -1,0 +1,1 @@
+lib/related/cosched.ml: Array Gray_util Rng

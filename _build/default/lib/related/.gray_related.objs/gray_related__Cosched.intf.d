@@ -1,0 +1,1 @@
+lib/related/cosched.mli: Gray_util

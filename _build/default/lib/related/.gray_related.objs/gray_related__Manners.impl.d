@@ -1,0 +1,1 @@
+lib/related/manners.ml: Array Correlate Gray_util List Option Rng

@@ -1,0 +1,1 @@
+lib/related/manners.mli: Gray_util

@@ -1,0 +1,1 @@
+lib/related/tcp.ml: Array Gray_util Rng

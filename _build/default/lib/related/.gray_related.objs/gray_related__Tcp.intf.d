@@ -1,0 +1,1 @@
+lib/related/tcp.mli: Gray_util

@@ -1,0 +1,1 @@
+lib/related/vmm.ml: Array Gray_util Rng Stats

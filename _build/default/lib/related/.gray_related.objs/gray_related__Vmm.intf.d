@@ -1,0 +1,1 @@
+lib/related/vmm.mli: Gray_util

@@ -1,0 +1,160 @@
+open Gray_util
+
+type policy = Block_immediately | Spin_forever | Two_phase of int
+
+type result = {
+  c_barriers : int;
+  c_elapsed_us : int;
+  c_ideal_us : int;
+  c_slowdown : float;
+  c_spin_wasted_us : int;
+  c_background_share : float;
+}
+
+(* Per-node process states.  Process 0 of every node is the parallel
+   worker; the rest are background compute. *)
+type pstate =
+  | Computing of int  (* µs of work left before the next barrier *)
+  | Spinning of int  (* µs of spin budget left *)
+  | Blocked
+  | Runnable_after_wake
+
+type node = {
+  procs : pstate array;
+  mutable current : int;
+  mutable quantum_left : int;
+  mutable switch_left : int;  (* context-switch stall *)
+}
+
+let tick = 10 (* µs *)
+
+let simulate rng ~nodes ~background ~granularity_us ~barriers ~quantum_us
+    ~ctx_switch_us ~policy =
+  if nodes <= 0 || barriers <= 0 || granularity_us <= 0 then
+    invalid_arg "Cosched.simulate: sizes must be positive";
+  let nprocs = 1 + background in
+  let fresh_quantum () =
+    (* jittered quanta keep the uncoordinated schedulers drifting apart *)
+    let jitter = Rng.int_in rng ~min:(-quantum_us / 5) ~max:(quantum_us / 5) in
+    max tick (quantum_us + jitter)
+  in
+  let ns =
+    Array.init nodes (fun _ ->
+        {
+          procs = Array.make nprocs (Computing granularity_us);
+          current = Rng.int rng nprocs;
+          quantum_left = fresh_quantum ();
+          switch_left = 0;
+        })
+  in
+  (* how many workers have reached the current barrier *)
+  let arrived = ref 0 in
+  let completed = ref 0 in
+  let spin_wasted = ref 0 in
+  let bg_ticks = ref 0 in
+  let total_ticks = ref 0 in
+  let elapsed = ref 0 in
+  let initial_spin = match policy with Two_phase s -> s | _ -> 0 in
+  let switch_to node idx =
+    if node.current <> idx then begin
+      node.current <- idx;
+      node.switch_left <- ctx_switch_us;
+      node.quantum_left <- fresh_quantum ()
+    end
+  in
+  let next_runnable node =
+    (* round-robin over runnable processes; background is always runnable *)
+    let rec scan k =
+      if k > nprocs then None
+      else begin
+        let idx = (node.current + k) mod nprocs in
+        match node.procs.(idx) with
+        | Blocked -> scan (k + 1)
+        | Computing _ | Spinning _ | Runnable_after_wake -> Some idx
+      end
+    in
+    scan 1
+  in
+  let preempt node =
+    match next_runnable node with Some idx -> switch_to node idx | None -> ()
+  in
+  let reach_barrier node =
+    incr arrived;
+    if !arrived = nodes then begin
+      (* barrier complete: everyone proceeds; wake the blocked *)
+      arrived := 0;
+      incr completed;
+      Array.iter
+        (fun n ->
+          Array.iteri
+            (fun i p ->
+              if i = 0 then
+                match p with
+                | Blocked -> n.procs.(0) <- Runnable_after_wake
+                | Spinning _ | Computing _ | Runnable_after_wake ->
+                  n.procs.(0) <- Computing granularity_us)
+            n.procs)
+        ns;
+      true
+    end
+    else begin
+      (* peers that are spinning get their hope renewed: an arrival is the
+         gray-box signal that senders are scheduled *)
+      (match policy with
+      | Two_phase s ->
+        Array.iter
+          (fun n ->
+            match n.procs.(0) with
+            | Spinning _ -> n.procs.(0) <- Spinning s
+            | Computing _ | Blocked | Runnable_after_wake -> ())
+          ns
+      | Block_immediately | Spin_forever -> ());
+      node.procs.(0) <-
+        (match policy with
+        | Block_immediately ->
+          preempt node;
+          Blocked
+        | Spin_forever -> Spinning max_int
+        | Two_phase _ -> Spinning initial_spin);
+      false
+    end
+  in
+  while !completed < barriers do
+    elapsed := !elapsed + tick;
+    Array.iter
+      (fun node ->
+        total_ticks := !total_ticks + 1;
+        if node.switch_left > 0 then node.switch_left <- node.switch_left - tick
+        else begin
+          node.quantum_left <- node.quantum_left - tick;
+          let idx = node.current in
+          (match node.procs.(idx) with
+          | Computing left when idx = 0 ->
+            let left = left - tick in
+            if left <= 0 then ignore (reach_barrier node)
+            else node.procs.(0) <- Computing left
+          | Computing _ -> bg_ticks := !bg_ticks + 1 (* background churns on *)
+          | Spinning left ->
+            spin_wasted := !spin_wasted + tick;
+            if left <= 0 && policy <> Spin_forever then begin
+              node.procs.(0) <- Blocked;
+              preempt node
+            end
+            else node.procs.(0) <- Spinning (left - tick)
+          | Runnable_after_wake -> node.procs.(0) <- Computing granularity_us
+          | Blocked -> preempt node);
+          if node.quantum_left <= 0 then preempt node
+        end)
+      ns
+  done;
+  let ideal = barriers * granularity_us in
+  {
+    c_barriers = barriers;
+    c_elapsed_us = !elapsed;
+    c_ideal_us = ideal;
+    c_slowdown = float_of_int !elapsed /. float_of_int ideal;
+    c_spin_wasted_us = !spin_wasted;
+    c_background_share =
+      (if !total_ticks = 0 then 0.0
+       else float_of_int !bg_ticks /. float_of_int !total_ticks);
+  }

@@ -1,0 +1,45 @@
+(** Implicit coscheduling as a gray-box system (Section 3, Table 1).
+
+    Gray-box knowledge: {e receiving a message from a remote process means
+    the remote process is currently scheduled} (or was very recently); not
+    receiving a prompt response means it probably is not.  Each waiting
+    process observes message arrivals and its own waiting time and decides
+    to keep spinning (staying scheduled, preserving the coordination) or
+    to block (yielding to local background work).
+
+    The simulation runs one fine-grain parallel job (one process per node,
+    barrier-synchronising every [granularity_us]) against [background]
+    competing processes per node under round-robin local schedulers, and
+    compares waiting policies. *)
+
+type policy =
+  | Block_immediately  (** yield as soon as a peer is late *)
+  | Spin_forever
+      (** never yield voluntarily: the local quantum scheduler still
+          preempts, so background work keeps its fair share — but every
+          stall is spent spinning (the wasted-CPU end of the spectrum) *)
+  | Two_phase of int
+      (** spin this many µs before blocking; each message arrival renews
+          the budget (an arrival is the gray-box signal that senders are
+          scheduled, so waiting a little longer is worthwhile).  The budget
+          must cover the local schedulers' dispatch skew. *)
+
+type result = {
+  c_barriers : int;
+  c_elapsed_us : int;
+  c_ideal_us : int;  (** dedicated-machine time for the same barriers *)
+  c_slowdown : float;  (** elapsed / ideal; the paper's figure of merit *)
+  c_spin_wasted_us : int;  (** CPU burnt spinning *)
+  c_background_share : float;  (** CPU fraction the background work got *)
+}
+
+val simulate :
+  Gray_util.Rng.t ->
+  nodes:int ->
+  background:int ->
+  granularity_us:int ->
+  barriers:int ->
+  quantum_us:int ->
+  ctx_switch_us:int ->
+  policy:policy ->
+  result

@@ -1,0 +1,129 @@
+open Gray_util
+
+type config = {
+  window_us : int;
+  threshold : float;
+  resume_probe_us : int;
+  suspend_min_us : int;
+  suspend_max_us : int;
+  ema_alpha : float;
+}
+
+let default_config =
+  {
+    window_us = 10_000;
+    threshold = 0.7;
+    resume_probe_us = 10_000;
+    suspend_min_us = 50_000;
+    suspend_max_us = 2_000_000;
+    ema_alpha = 0.2;
+  }
+
+type result = {
+  m_elapsed_us : int;
+  m_work_done : int;
+  m_foreground_interference : float;
+  m_idle_utilization : float;
+  m_detection_accuracy : float;
+}
+
+let tick = 100 (* µs *)
+
+let simulate rng config ~busy_us ~idle_us ~phases ~naive =
+  if phases <= 0 || busy_us <= 0 || idle_us <= 0 then
+    invalid_arg "Manners.simulate: sizes must be positive";
+  (* precompute the hidden foreground schedule: busy/idle alternation with
+     jittered durations *)
+  let jittered base = max tick (base + Rng.int_in rng ~min:(-base / 4) ~max:(base / 4)) in
+  let schedule = ref [] in
+  for _ = 1 to phases do
+    schedule := (true, jittered busy_us) :: (false, jittered idle_us) :: !schedule
+  done;
+  let schedule = List.rev !schedule in
+  let total_us = List.fold_left (fun acc (_, d) -> acc + d) 0 schedule in
+  let busy_at =
+    (* flattened tick -> contended? lookup *)
+    let arr = Array.make (total_us / tick) false in
+    let pos = ref 0 in
+    List.iter
+      (fun (busy, d) ->
+        for _ = 1 to d / tick do
+          if !pos < Array.length arr then begin
+            arr.(!pos) <- busy;
+            incr pos
+          end
+        done)
+      schedule;
+    arr
+  in
+  let nticks = Array.length busy_at in
+  (* LIP state *)
+  let running = ref true in
+  let suspend_left = ref 0 in
+  let backoff = ref config.suspend_min_us in
+  let baseline = Correlate.ema_create ~alpha:config.ema_alpha in
+  let window_progress = ref 0.0 in
+  let window_ticks = ref 0 in
+  let window_busy = ref 0 in
+  let work = ref 0.0 in
+  let interference = ref 0 and busy_total = ref 0 in
+  let idle_used = ref 0 and idle_total = ref 0 in
+  let decisions = ref 0 and correct = ref 0 in
+  let window_limit = max 1 (config.window_us / tick) in
+  for i = 0 to nticks - 1 do
+    let contended = busy_at.(i) in
+    if contended then incr busy_total else incr idle_total;
+    if !running then begin
+      (* symmetric degradation: under contention the LIP gets half *)
+      let rate = if contended then 0.5 else 1.0 in
+      work := !work +. rate;
+      window_progress := !window_progress +. rate;
+      if contended then incr interference else incr idle_used;
+      incr window_ticks;
+      if contended then incr window_busy;
+      if (not naive) && !window_ticks >= window_limit then begin
+        let observed = !window_progress /. float_of_int !window_ticks in
+        let base = Option.value (Correlate.ema_value baseline) ~default:1.0 in
+        let truly_contended = 2 * !window_busy > !window_ticks in
+        incr decisions;
+        if observed < config.threshold *. base then begin
+          (* inferred contention: be polite *)
+          if truly_contended then incr correct;
+          running := false;
+          suspend_left := !backoff;
+          backoff := min (2 * !backoff) config.suspend_max_us
+        end
+        else begin
+          if not truly_contended then incr correct;
+          ignore (Correlate.ema_add baseline observed);
+          backoff := config.suspend_min_us
+        end;
+        window_progress := 0.0;
+        window_ticks := 0;
+        window_busy := 0
+      end
+    end
+    else begin
+      suspend_left := !suspend_left - tick;
+      if !suspend_left <= 0 then begin
+        (* wake into a short probe window *)
+        running := true;
+        window_progress := 0.0;
+        window_ticks := 0;
+        window_busy := 0
+      end
+    end
+  done;
+  {
+    m_elapsed_us = total_us;
+    m_work_done = int_of_float !work;
+    m_foreground_interference =
+      (if !busy_total = 0 then 0.0
+       else float_of_int !interference /. float_of_int !busy_total);
+    m_idle_utilization =
+      (if !idle_total = 0 then 0.0
+       else float_of_int !idle_used /. float_of_int !idle_total);
+    m_detection_accuracy =
+      (if !decisions = 0 then 1.0
+       else float_of_int !correct /. float_of_int !decisions);
+  }

@@ -1,0 +1,47 @@
+(** MS Manners as a gray-box system (Section 3, Table 1).
+
+    Gray-box knowledge: {e one process competing with another usually
+    degrades the progress of the other symmetrically to its own}.  A
+    low-importance process (LIP) measures its own progress rate, compares
+    it against a calibrated uncontended baseline with simple statistics
+    (exponential averaging here), and suspends itself when progress drops —
+    inferring that an important process wants the machine.
+
+    The simulated machine interleaves the LIP with a foreground load that
+    alternates busy and idle phases; the LIP's progress per window is the
+    observable, contention is the hidden state. *)
+
+type config = {
+  window_us : int;  (** measurement window *)
+  threshold : float;  (** suspend when rate < threshold × baseline *)
+  resume_probe_us : int;  (** how long to run when probing for idleness *)
+  suspend_min_us : int;  (** initial suspension, doubles while contended *)
+  suspend_max_us : int;
+  ema_alpha : float;  (** baseline smoothing *)
+}
+
+val default_config : config
+
+type result = {
+  m_elapsed_us : int;
+  m_work_done : int;  (** LIP work units completed *)
+  m_foreground_interference : float;
+      (** share of the foreground's busy time the LIP stole; small is
+          polite *)
+  m_idle_utilization : float;  (** share of idle time the LIP used *)
+  m_detection_accuracy : float;
+      (** fraction of windows whose run/suspend decision matched the true
+          contention state *)
+}
+
+val simulate :
+  Gray_util.Rng.t ->
+  config ->
+  busy_us:int ->
+  idle_us:int ->
+  phases:int ->
+  naive:bool ->
+  result
+(** Foreground alternates [phases] pairs of busy/idle periods (durations
+    jittered ±25%).  [naive] disables the regulation: the LIP runs
+    whenever scheduled — the baseline a Manners-less system would show. *)

@@ -1,0 +1,93 @@
+open Gray_util
+
+type loss_model = Congestion_only | Wireless of float
+
+type flow_stats = { f_delivered : int; f_dropped : int; f_final_cwnd : int }
+
+type result = {
+  r_flows : flow_stats array;
+  r_rounds : int;
+  r_capacity : int;
+  r_utilization : float;
+  r_fairness : float;
+  r_inferred_congestion : int;
+  r_true_congestion : int;
+  r_inference_precision : float;
+}
+
+type flow = {
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let simulate rng ~flows ~capacity ~queue ~rounds ~loss =
+  if flows <= 0 || capacity <= 0 || rounds <= 0 then
+    invalid_arg "Tcp.simulate: sizes must be positive";
+  let fs = Array.init flows (fun _ -> { cwnd = 1; ssthresh = max 2 (capacity / 2);
+                                        delivered = 0; dropped = 0 }) in
+  let inferred = ref 0 and true_pos = ref 0 in
+  let backlog = ref 0 in
+  let served_total = ref 0 in
+  for _ = 1 to rounds do
+    let offered = Array.fold_left (fun acc f -> acc + f.cwnd) 0 fs in
+    (* the queue is storage: it absorbs bursts but drains at link rate *)
+    let room = capacity + queue - !backlog in
+    let overflowed = offered > room in
+    let accepted_total = min offered room in
+    let serve = min (!backlog + accepted_total) capacity in
+    backlog := !backlog + accepted_total - serve;
+    served_total := !served_total + serve;
+    let accept_ratio =
+      if overflowed then float_of_int accepted_total /. float_of_int offered else 1.0
+    in
+    Array.iter
+      (fun f ->
+        let accepted = int_of_float (float_of_int f.cwnd *. accept_ratio) in
+        let congestion_drops = f.cwnd - accepted in
+        (* wireless corruption hits accepted packets at random *)
+        let corrupted =
+          match loss with
+          | Congestion_only -> 0
+          | Wireless p ->
+            let c = ref 0 in
+            for _ = 1 to accepted do
+              if Rng.float rng 1.0 < p then incr c
+            done;
+            !c
+        in
+        let ok = accepted - corrupted in
+        (* fluid model: a flow's eventual deliveries are its accepted,
+           uncorrupted packets (the queue preserves them) *)
+        f.delivered <- f.delivered + ok;
+        f.dropped <- f.dropped + congestion_drops + corrupted;
+        if congestion_drops + corrupted > 0 then begin
+          (* gray-box inference: loss means congestion -> back off *)
+          incr inferred;
+          if overflowed then incr true_pos;
+          f.ssthresh <- max 2 (f.cwnd / 2);
+          f.cwnd <- max 1 (f.cwnd / 2)
+        end
+        else if f.cwnd < f.ssthresh then f.cwnd <- f.cwnd * 2 (* slow start *)
+        else f.cwnd <- f.cwnd + 1 (* congestion avoidance *))
+      fs
+  done;
+  let delivered = Array.map (fun f -> float_of_int f.delivered) fs in
+  let sum_sq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 delivered in
+  let sum = Array.fold_left ( +. ) 0.0 delivered in
+  let fairness =
+    if sum_sq = 0.0 then 1.0 else sum *. sum /. (float_of_int flows *. sum_sq)
+  in
+  {
+    r_flows = Array.map (fun f ->
+        { f_delivered = f.delivered; f_dropped = f.dropped; f_final_cwnd = f.cwnd }) fs;
+    r_rounds = rounds;
+    r_capacity = capacity;
+    r_utilization = float_of_int !served_total /. float_of_int (capacity * rounds);
+    r_fairness = fairness;
+    r_inferred_congestion = !inferred;
+    r_true_congestion = !true_pos;
+    r_inference_precision =
+      (if !inferred = 0 then 1.0 else float_of_int !true_pos /. float_of_int !inferred);
+  }

@@ -1,0 +1,48 @@
+(** TCP congestion control as a gray-box system (Section 3, Table 1).
+
+    Gray-box knowledge: {e the network drops packets when there is
+    congestion}.  Clients combine that knowledge with observations (which
+    packets were acknowledged) to infer the current state of the network
+    and adapt their sending rate (AIMD).
+
+    The paper's cautionary tale is also reproducible: in a wireless
+    setting a dropped message no longer implies congestion, so the same
+    inference mis-fires and throughput collapses — "not recognizing that
+    gray-box knowledge is being used has led to problems in new
+    environments". *)
+
+type loss_model =
+  | Congestion_only  (** drops happen only on queue overflow *)
+  | Wireless of float  (** plus random per-packet corruption probability *)
+
+type flow_stats = {
+  f_delivered : int;  (** packets through the bottleneck *)
+  f_dropped : int;
+  f_final_cwnd : int;
+}
+
+type result = {
+  r_flows : flow_stats array;
+  r_rounds : int;
+  r_capacity : int;
+  r_utilization : float;  (** delivered / (capacity * rounds) *)
+  r_fairness : float;  (** Jain's index over per-flow throughput *)
+  r_inferred_congestion : int;  (** rounds a flow saw loss and backed off *)
+  r_true_congestion : int;  (** inferred rounds where the queue really overflowed *)
+  r_inference_precision : float;
+      (** fraction of backoffs triggered by real congestion: ~1.0 wired,
+          degrading with wireless loss *)
+}
+
+val simulate :
+  Gray_util.Rng.t ->
+  flows:int ->
+  capacity:int ->
+  queue:int ->
+  rounds:int ->
+  loss:loss_model ->
+  result
+(** Round-based bottleneck simulation: each round every flow offers
+    [cwnd] packets; the link forwards [capacity], buffers [queue], drops
+    the excess (and corrupts randomly under [Wireless]).  Flows run
+    standard AIMD with slow-start. *)

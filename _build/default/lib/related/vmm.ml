@@ -1,0 +1,137 @@
+open Gray_util
+
+type policy = Fixed_slice | Idle_aware
+
+type result = {
+  d_elapsed_us : int;
+  d_useful_us : int;
+  d_idle_burned_us : int;
+  d_switches : int;
+  d_throughput : float;
+  d_mean_wait_us : float;
+}
+
+type gstate =
+  | Busy of int  (* µs left in the current burst *)
+  | Idle of int  (* µs left in the idle period *)
+  | Done
+
+type guest = {
+  mutable state : gstate;
+  mutable work_left : int;
+  mutable ready_since : int option;  (* for wait accounting *)
+}
+
+let tick = 10 (* µs *)
+
+(* The idle-loop signature becomes observable to the VMM after the guest
+   has spun for a short while (pattern recognition is not instant). *)
+let idle_detect_us = 50
+
+let simulate rng ~guests ~slice_us ~switch_cost_us ~busy_us ~idle_us ~total_work_us
+    ~policy =
+  if guests <= 0 || slice_us <= 0 || total_work_us <= 0 then
+    invalid_arg "Vmm.simulate: sizes must be positive";
+  let jitter base = max tick (base + Rng.int_in rng ~min:(-base / 4) ~max:(base / 4)) in
+  let gs =
+    Array.init guests (fun _ ->
+        { state = Busy (jitter busy_us); work_left = total_work_us; ready_since = Some 0 })
+  in
+  let now = ref 0 in
+  let current = ref 0 in
+  let slice_left = ref slice_us in
+  let switch_stall = ref 0 in
+  let idle_run = ref 0 in
+  let useful = ref 0 in
+  let idle_burned = ref 0 in
+  let switches = ref 0 in
+  let waits = ref [] in
+  let all_done () = Array.for_all (fun g -> g.state = Done) gs in
+  let switch_to i =
+    if i <> !current then begin
+      incr switches;
+      current := i;
+      switch_stall := switch_cost_us;
+      slice_left := slice_us;
+      idle_run := 0;
+      let g = gs.(i) in
+      match (g.state, g.ready_since) with
+      | Busy _, Some since -> begin
+        waits := float_of_int (!now - since) :: !waits;
+        g.ready_since <- None
+      end
+      | _ -> ()
+    end
+    else slice_left := slice_us
+  in
+  let next_guest () =
+    (* prefer a busy guest; otherwise any non-done guest; otherwise stay *)
+    let candidate pred =
+      let rec scan k =
+        if k > guests then None
+        else begin
+          let i = (!current + k) mod guests in
+          if pred gs.(i).state then Some i else scan (k + 1)
+        end
+      in
+      scan 1
+    in
+    match candidate (function Busy _ -> true | Idle _ | Done -> false) with
+    | Some i -> switch_to i
+    | None -> (
+      match candidate (function Idle _ -> true | Busy _ | Done -> false) with
+      | Some i -> switch_to i
+      | None -> ())
+  in
+  while not (all_done ()) do
+    now := !now + tick;
+    (* guests' clocks advance even when descheduled: idle periods are
+       wall-clock waits (I/O completions), bursts only advance on CPU *)
+    Array.iteri
+      (fun i g ->
+        match g.state with
+        | Idle left ->
+          let left = left - tick in
+          if left <= 0 then begin
+            g.state <- (if g.work_left <= 0 then Done else Busy (jitter busy_us));
+            if g.state <> Done && g.ready_since = None && i <> !current then
+              g.ready_since <- Some !now
+          end
+          else g.state <- Idle left
+        | Busy _ | Done -> ())
+      gs;
+    if !switch_stall > 0 then switch_stall := !switch_stall - tick
+    else begin
+      let g = gs.(!current) in
+      (match g.state with
+      | Busy left ->
+        idle_run := 0;
+        useful := !useful + tick;
+        g.work_left <- g.work_left - tick;
+        let left = left - tick in
+        if g.work_left <= 0 then g.state <- Done
+        else if left <= 0 then g.state <- Idle (jitter idle_us)
+        else g.state <- Busy left
+      | Idle _ ->
+        (* physical CPU executes the guest's idle loop *)
+        idle_burned := !idle_burned + tick;
+        idle_run := !idle_run + tick;
+        if policy = Idle_aware && !idle_run >= idle_detect_us then next_guest ()
+      | Done -> next_guest ());
+      slice_left := !slice_left - tick;
+      if !slice_left <= 0 then next_guest ()
+    end
+  done;
+  let mean_wait =
+    match !waits with
+    | [] -> 0.0
+    | ws -> Stats.mean_of (Array.of_list ws)
+  in
+  {
+    d_elapsed_us = !now;
+    d_useful_us = !useful;
+    d_idle_burned_us = !idle_burned;
+    d_switches = !switches;
+    d_throughput = float_of_int !useful /. float_of_int (max 1 !now);
+    d_mean_wait_us = mean_wait;
+  }

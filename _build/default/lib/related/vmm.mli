@@ -1,0 +1,38 @@
+(** Disco-style gray-box scheduling in a virtual machine monitor
+    (Section 6: "Disco developers know that IRIX 5.3 enters low-power mode
+    when idle, and thus use this as a signal to switch to another virtual
+    processor").
+
+    The VMM multiplexes several unmodified guest OSes on one physical CPU.
+    A guest alternates bursts of useful work with idle periods in which it
+    spins in its idle loop.  The gray-box VMM cannot see inside the guest,
+    but it {e can} observe the low-power/idle instruction pattern and
+    deschedule the guest early; the naive VMM burns the whole time slice
+    running idle loops. *)
+
+type policy =
+  | Fixed_slice  (** round-robin full time slices, guest state invisible *)
+  | Idle_aware  (** deschedule when the idle-loop signature is observed *)
+
+type result = {
+  d_elapsed_us : int;
+  d_useful_us : int;  (** guest cycles spent on real work *)
+  d_idle_burned_us : int;  (** physical CPU wasted running idle loops *)
+  d_switches : int;
+  d_throughput : float;  (** useful / elapsed *)
+  d_mean_wait_us : float;  (** mean delay before a ready guest runs *)
+}
+
+val simulate :
+  Gray_util.Rng.t ->
+  guests:int ->
+  slice_us:int ->
+  switch_cost_us:int ->
+  busy_us:int ->
+  idle_us:int ->
+  total_work_us:int ->
+  policy:policy ->
+  result
+(** Each guest needs [total_work_us] of work, delivered in jittered
+    [busy_us] bursts separated by [idle_us] idle periods (I/O waits etc.).
+    The run ends when every guest finishes. *)

@@ -1,0 +1,1 @@
+lib/simos/engine.ml: Effect Fun Gray_util Option Printexc Printf

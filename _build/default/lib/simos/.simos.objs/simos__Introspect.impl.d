@@ -1,0 +1,1 @@
+lib/simos/introspect.ml: Array Fs Kernel Memory Page Pool

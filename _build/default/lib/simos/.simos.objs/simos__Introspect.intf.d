@@ -1,0 +1,1 @@
+lib/simos/introspect.mli: Kernel

@@ -1,0 +1,1 @@
+lib/simos/kernel.ml: Array Disk Engine Fs Fun Gray_util Hashtbl List Memory Option Page Platform Pool Printf Resource Result String

@@ -1,0 +1,1 @@
+lib/simos/kernel.mli: Disk Engine Fs Memory Platform

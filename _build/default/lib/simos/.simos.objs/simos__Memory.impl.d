@@ -1,0 +1,1 @@
+lib/simos/memory.ml: List Page Pool Replacement

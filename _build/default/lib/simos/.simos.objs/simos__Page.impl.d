@@ -1,0 +1,1 @@
+lib/simos/page.ml: Format Hashtbl

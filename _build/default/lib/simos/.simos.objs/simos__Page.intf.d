@@ -1,0 +1,1 @@
+lib/simos/page.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/simos/platform.ml: Disk List Memory Replacement

@@ -1,0 +1,1 @@
+lib/simos/platform.mli: Disk Memory Replacement

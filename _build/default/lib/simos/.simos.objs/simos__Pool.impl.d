@@ -1,0 +1,1 @@
+lib/simos/pool.ml: List Option Page Replacement

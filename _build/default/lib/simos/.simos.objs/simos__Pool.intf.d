@@ -1,0 +1,1 @@
+lib/simos/pool.mli: Page Replacement

@@ -1,0 +1,1 @@
+lib/simos/replacement.ml: List Page Queue

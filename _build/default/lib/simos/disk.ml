@@ -1,0 +1,109 @@
+type geometry = {
+  model : string;
+  cylinders : int;
+  blocks_per_cylinder : int;
+  seek_min_ns : int;
+  seek_max_ns : int;
+  rotation_ns : int;
+  transfer_ns_per_block : int;
+}
+
+let ibm_9lzx =
+  {
+    model = "IBM 9LZX";
+    cylinders = 4_400;
+    blocks_per_cylinder = 512;
+    (* 512 * 4 KB = 2 MB per cylinder, ~8.8 GB total *)
+    seek_min_ns = 800_000;
+    seek_max_ns = 10_500_000;
+    rotation_ns = 6_000_000;
+    (* 10 000 RPM *)
+    transfer_ns_per_block = 200_000;
+    (* 4 KB / 20 MB/s *)
+  }
+
+type t = {
+  geom : geometry;
+  mutable head_cyl : int;
+  mutable next_sequential_block : int;  (* block after the last transfer *)
+  mutable free_at : int;
+  mutable requests : int;
+  mutable blocks : int;
+  mutable sequential : int;
+  mutable busy_ns : int;
+}
+
+let create geom =
+  {
+    geom;
+    head_cyl = 0;
+    next_sequential_block = -1;
+    free_at = 0;
+    requests = 0;
+    blocks = 0;
+    sequential = 0;
+    busy_ns = 0;
+  }
+
+let geometry t = t.geom
+let capacity_blocks t = t.geom.cylinders * t.geom.blocks_per_cylinder
+let cylinder_of_block t block = block / t.geom.blocks_per_cylinder
+
+(* Square-root seek curve: fast for short distances, saturating towards the
+   full stroke, which is the usual empirical fit for disk arms. *)
+let seek_time t ~from_cyl ~to_cyl =
+  let d = abs (to_cyl - from_cyl) in
+  if d = 0 then 0
+  else begin
+    let frac = sqrt (float_of_int d /. float_of_int (max 1 (t.geom.cylinders - 1))) in
+    t.geom.seek_min_ns
+    + int_of_float (frac *. float_of_int (t.geom.seek_max_ns - t.geom.seek_min_ns))
+  end
+
+let check_range t ~start_block ~nblocks =
+  if nblocks <= 0 then invalid_arg "Disk: nblocks must be positive";
+  if start_block < 0 || start_block + nblocks > capacity_blocks t then
+    invalid_arg "Disk: block out of range"
+
+let bare_service t ~start_block ~nblocks =
+  let transfer = nblocks * t.geom.transfer_ns_per_block in
+  let start_cyl = cylinder_of_block t start_block in
+  let end_cyl = cylinder_of_block t (start_block + nblocks - 1) in
+  let crossings = (end_cyl - start_cyl) * t.geom.seek_min_ns in
+  if start_block = t.next_sequential_block then
+    (* track buffer / streaming: no positioning needed *)
+    transfer + crossings
+  else begin
+    let seek = seek_time t ~from_cyl:t.head_cyl ~to_cyl:start_cyl in
+    let rotation = t.geom.rotation_ns / 2 in
+    seek + rotation + transfer + crossings
+  end
+
+let service_time t ~start_block ~nblocks =
+  check_range t ~start_block ~nblocks;
+  bare_service t ~start_block ~nblocks
+
+let access t ~now ~start_block ~nblocks =
+  check_range t ~start_block ~nblocks;
+  let service = bare_service t ~start_block ~nblocks in
+  if start_block = t.next_sequential_block then t.sequential <- t.sequential + 1;
+  let start = max now t.free_at in
+  let completion = start + service in
+  t.free_at <- completion;
+  t.head_cyl <- cylinder_of_block t (start_block + nblocks - 1);
+  t.next_sequential_block <- start_block + nblocks;
+  t.requests <- t.requests + 1;
+  t.blocks <- t.blocks + nblocks;
+  t.busy_ns <- t.busy_ns + service;
+  completion - now
+
+let requests t = t.requests
+let blocks_transferred t = t.blocks
+let sequential_hits t = t.sequential
+let busy_ns t = t.busy_ns
+
+let reset_counters t =
+  t.requests <- 0;
+  t.blocks <- 0;
+  t.sequential <- 0;
+  t.busy_ns <- 0

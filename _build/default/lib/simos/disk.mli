@@ -1,0 +1,51 @@
+(** Disk service-time model.
+
+    A first-order model of a c. 2001 SCSI disk (the paper's IBM 9LZX):
+    distance-dependent seek, half-rotation average latency, fixed per-block
+    transfer time, plus a track-buffer fast path for strictly sequential
+    accesses.  The disk is also a FIFO queueing resource: requests
+    dispatched while the disk is busy wait their turn. *)
+
+type geometry = {
+  model : string;
+  cylinders : int;
+  blocks_per_cylinder : int;  (** 4 KB blocks per cylinder *)
+  seek_min_ns : int;  (** track-to-track *)
+  seek_max_ns : int;  (** full-stroke *)
+  rotation_ns : int;  (** one full revolution *)
+  transfer_ns_per_block : int;
+}
+
+val ibm_9lzx : geometry
+(** ~9 GB, 10 000 RPM: 0.8 ms track-to-track / 10.5 ms full-stroke seek,
+    6 ms revolution, ~20 MB/s sustained transfer. *)
+
+type t
+
+val create : geometry -> t
+val geometry : t -> geometry
+val capacity_blocks : t -> int
+
+val access : t -> now:int -> start_block:int -> nblocks:int -> int
+(** [access t ~now ~start_block ~nblocks] reserves the disk for one
+    contiguous transfer and returns the {e delay} until completion as seen
+    by a caller at time [now] (queueing included).  Reads and writes are
+    charged identically.  Raises [Invalid_argument] for out-of-range
+    blocks. *)
+
+val service_time : t -> start_block:int -> nblocks:int -> int
+(** The bare service time the next [access] would take (no queueing, no
+    state update) — used by the white-box models in the benches. *)
+
+val seek_time : t -> from_cyl:int -> to_cyl:int -> int
+val cylinder_of_block : t -> int -> int
+
+(** {1 Counters} *)
+
+val requests : t -> int
+val blocks_transferred : t -> int
+val sequential_hits : t -> int
+(** Requests that continued exactly where the previous one ended. *)
+
+val busy_ns : t -> int
+val reset_counters : t -> unit

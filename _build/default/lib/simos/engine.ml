@@ -1,0 +1,93 @@
+type _ Effect.t += Delay : int -> unit Effect.t
+
+exception Fiber_crash of string * exn
+
+let () =
+  Printexc.register_printer (function
+    | Fiber_crash (name, exn) ->
+      Some (Printf.sprintf "Fiber_crash(%s: %s)" name (Printexc.to_string exn))
+    | _ -> None)
+
+type job = Job : ('a, unit) Effect.Shallow.continuation * 'a -> job
+type event = { time : int; seq : int; name : string; job : job }
+
+type t = {
+  queue : event Gray_util.Pqueue.t;
+  mutable now : int;
+  mutable seq : int;
+  mutable events : int;
+  mutable running : bool;
+}
+
+(* Exactly one engine runs at a time (the simulator is single-threaded), so
+   [delay] finds its engine through this slot rather than threading it
+   through every syscall. *)
+let current : t option ref = ref None
+
+let compare_events a b =
+  if a.time <> b.time then compare a.time b.time else compare a.seq b.seq
+
+let create () =
+  {
+    queue = Gray_util.Pqueue.create ~cmp:compare_events;
+    now = 0;
+    seq = 0;
+    events = 0;
+    running = false;
+  }
+
+let now t = t.now
+
+let push t ~time ~name job =
+  t.seq <- t.seq + 1;
+  Gray_util.Pqueue.push t.queue { time; seq = t.seq; name; job }
+
+let spawn t ?at ?(name = "proc") f =
+  let time = Option.value at ~default:t.now in
+  if time < t.now then invalid_arg "Engine.spawn: start time in the past";
+  push t ~time ~name (Job (Effect.Shallow.fiber f, ()))
+
+let delay d =
+  if d < 0 then invalid_arg "Engine.delay: negative duration";
+  match !current with
+  | None -> failwith "Engine.delay: not inside a running fiber"
+  | Some _ -> Effect.perform (Delay d)
+
+let run t =
+  if t.running then failwith "Engine.run: already running";
+  t.running <- true;
+  current := Some t;
+  let fiber_name = ref "?" in
+  let handler : (unit, unit) Effect.Shallow.handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun exn -> raise (Fiber_crash (!fiber_name, exn)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay d ->
+            Some
+              (fun (k : (a, unit) Effect.Shallow.continuation) ->
+                push t ~time:(t.now + d) ~name:!fiber_name (Job (k, ())))
+          | _ -> None);
+    }
+  in
+  let finish () =
+    t.running <- false;
+    current := None
+  in
+  Fun.protect ~finally:finish (fun () ->
+      let rec loop () =
+        match Gray_util.Pqueue.pop t.queue with
+        | None -> ()
+        | Some ev ->
+          t.now <- ev.time;
+          t.events <- t.events + 1;
+          fiber_name := ev.name;
+          let (Job (k, v)) = ev.job in
+          Effect.Shallow.continue_with k v handler;
+          loop ()
+      in
+      loop ())
+
+let events_processed t = t.events

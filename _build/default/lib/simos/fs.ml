@@ -1,0 +1,471 @@
+type error = Enoent | Eexist | Enotdir | Eisdir | Enotempty | Enospc
+
+let error_to_string = function
+  | Enoent -> "no such file or directory"
+  | Eexist -> "file exists"
+  | Enotdir -> "not a directory"
+  | Eisdir -> "is a directory"
+  | Enotempty -> "directory not empty"
+  | Enospc -> "no space left on device"
+
+type config = { total_blocks : int; blocks_per_group : int; inodes_per_group : int }
+
+let inodes_per_block = 32 (* 128-byte on-disk inodes in 4 KB blocks *)
+
+let default_config ~total_blocks =
+  { total_blocks; blocks_per_group = 8192; inodes_per_group = 1024 }
+
+type kind = Dir of (string, int) Hashtbl.t | Regular
+
+type inode = {
+  ino : int;
+  mutable kind : kind;
+  mutable size : int;
+  mutable blocks : int array;  (* data blocks in page order; capacity grows *)
+  mutable nblocks : int;
+  mutable atime : int;
+  mutable mtime : int;
+}
+
+type group = {
+  index : int;
+  first_block : int;  (* first data block (after the inode table) *)
+  data_blocks : int;
+  block_used : bool array;  (* indexed by [block - first_block] *)
+  mutable block_free : int;
+  mutable rotor : int;  (* next-fit scan position (FFS rotational rotor) *)
+  inode_used : bool array;
+  mutable inode_free : int;
+  mutable inode_hint : int;
+}
+
+type t = {
+  cfg : config;
+  groups : group array;
+  inodes : (int, inode) Hashtbl.t;
+  root : int;
+  mutable total_free_blocks : int;
+  mutable total_free_inodes : int;
+}
+
+let inode_table_blocks cfg = (cfg.inodes_per_group + inodes_per_block - 1) / inodes_per_block
+
+let group_of_ino ino ~inodes_per_group = ino / inodes_per_group
+
+let make_group cfg index =
+  let itb = inode_table_blocks cfg in
+  let base = index * cfg.blocks_per_group in
+  let data_blocks = cfg.blocks_per_group - itb in
+  {
+    index;
+    first_block = base + itb;
+    data_blocks;
+    block_used = Array.make data_blocks false;
+    block_free = data_blocks;
+    rotor = 0;
+    inode_used = Array.make cfg.inodes_per_group false;
+    inode_free = cfg.inodes_per_group;
+    inode_hint = 0;
+  }
+
+let create cfg =
+  if cfg.total_blocks < cfg.blocks_per_group then
+    invalid_arg "Fs.create: volume smaller than one cylinder group";
+  let ngroups = cfg.total_blocks / cfg.blocks_per_group in
+  let groups = Array.init ngroups (make_group cfg) in
+  let t =
+    {
+      cfg;
+      groups;
+      inodes = Hashtbl.create 4096;
+      root = 0;
+      total_free_blocks = Array.fold_left (fun acc g -> acc + g.block_free) 0 groups;
+      total_free_inodes = ngroups * cfg.inodes_per_group;
+    }
+  in
+  (* Root directory occupies inode 0 of group 0. *)
+  groups.(0).inode_used.(0) <- true;
+  groups.(0).inode_free <- groups.(0).inode_free - 1;
+  groups.(0).inode_hint <- 1;
+  t.total_free_inodes <- t.total_free_inodes - 1;
+  Hashtbl.replace t.inodes 0
+    { ino = 0; kind = Dir (Hashtbl.create 16); size = 0; blocks = [||]; nblocks = 0;
+      atime = 0; mtime = 0 };
+  t
+
+let config t = t.cfg
+let root_ino t = t.root
+
+(* ---- allocation ---- *)
+
+let alloc_inode t ~group =
+  let ngroups = Array.length t.groups in
+  let rec try_group i =
+    if i = ngroups then None
+    else begin
+      let g = t.groups.((group + i) mod ngroups) in
+      if g.inode_free = 0 then try_group (i + 1)
+      else begin
+        let slot = ref g.inode_hint in
+        while g.inode_used.(!slot) do incr slot done;
+        g.inode_used.(!slot) <- true;
+        g.inode_free <- g.inode_free - 1;
+        g.inode_hint <- !slot + 1;
+        t.total_free_inodes <- t.total_free_inodes - 1;
+        Some ((g.index * t.cfg.inodes_per_group) + !slot)
+      end
+    end
+  in
+  try_group 0
+
+let free_inode t ino =
+  let g = t.groups.(ino / t.cfg.inodes_per_group) in
+  let slot = ino mod t.cfg.inodes_per_group in
+  assert g.inode_used.(slot);
+  g.inode_used.(slot) <- false;
+  g.inode_free <- g.inode_free + 1;
+  if slot < g.inode_hint then g.inode_hint <- slot;
+  t.total_free_inodes <- t.total_free_inodes + 1
+
+let group_of_block t block = t.groups.(block / t.cfg.blocks_per_group)
+
+let take_block t g offset =
+  g.block_used.(offset) <- true;
+  g.block_free <- g.block_free - 1;
+  g.rotor <- (offset + 1) mod g.data_blocks;
+  t.total_free_blocks <- t.total_free_blocks - 1;
+  g.first_block + offset
+
+let block_is_free t block =
+  let g = group_of_block t block in
+  let offset = block - g.first_block in
+  offset >= 0 && offset < g.data_blocks && not g.block_used.(offset)
+
+(* FFS-flavoured block allocation: contiguous after [near] when possible,
+   else first-fit in the preferred group, else the following groups. *)
+let alloc_block t ~group ~near =
+  let contiguous =
+    match near with
+    | Some b when b + 1 < t.cfg.total_blocks && block_is_free t (b + 1) ->
+      let g = group_of_block t (b + 1) in
+      Some (take_block t g (b + 1 - g.first_block))
+    | _ -> None
+  in
+  match contiguous with
+  | Some b -> Some b
+  | None ->
+    let ngroups = Array.length t.groups in
+    let rec try_group i =
+      if i = ngroups then None
+      else begin
+        let g = t.groups.((group + i) mod ngroups) in
+        if g.block_free = 0 then try_group (i + 1)
+        else begin
+          (* Next-fit from the rotor, wrapping: freed holes behind the
+             rotor are not preferred, which is what makes i-number order
+             drift away from layout order as the file system ages. *)
+          let offset = ref g.rotor in
+          while g.block_used.(!offset) do
+            offset := (!offset + 1) mod g.data_blocks
+          done;
+          Some (take_block t g !offset)
+        end
+      end
+    in
+    try_group 0
+
+let free_block t block =
+  let g = group_of_block t block in
+  let offset = block - g.first_block in
+  assert g.block_used.(offset);
+  g.block_used.(offset) <- false;
+  g.block_free <- g.block_free + 1;
+  t.total_free_blocks <- t.total_free_blocks + 1
+
+(* ---- paths ---- *)
+
+let split_path path =
+  if String.length path = 0 || path.[0] <> '/' then None
+  else
+    Some (List.filter (fun c -> c <> "") (String.split_on_char '/' path))
+
+let get_inode t ino = Hashtbl.find t.inodes ino
+
+let rec walk t dir_ino = function
+  | [] -> Ok dir_ino
+  | comp :: rest -> (
+    match (get_inode t dir_ino).kind with
+    | Regular -> Error Enotdir
+    | Dir entries -> (
+      match Hashtbl.find_opt entries comp with
+      | None -> Error Enoent
+      | Some ino -> walk t ino rest))
+
+let lookup t path =
+  match split_path path with
+  | None -> Error Enoent
+  | Some comps -> walk t t.root comps
+
+(* Resolve a path into (parent directory inode, basename). *)
+let resolve_parent t path =
+  match split_path path with
+  | None | Some [] -> Error Enoent
+  | Some comps -> (
+    let rec split_last acc = function
+      | [] -> assert false
+      | [ last ] -> (List.rev acc, last)
+      | x :: rest -> split_last (x :: acc) rest
+    in
+    let dirs, base = split_last [] comps in
+    match walk t t.root dirs with
+    | Error e -> Error e
+    | Ok dir_ino -> (
+      match (get_inode t dir_ino).kind with
+      | Regular -> Error Enotdir
+      | Dir entries -> Ok (dir_ino, entries, base)))
+
+(* ---- namespace operations ---- *)
+
+let best_group_for_dir t =
+  (* FFS places new directories in the group with the most free inodes. *)
+  let best = ref 0 in
+  Array.iter
+    (fun g -> if g.inode_free > t.groups.(!best).inode_free then best := g.index)
+    t.groups;
+  !best
+
+let add_inode t ino kind =
+  Hashtbl.replace t.inodes ino
+    { ino; kind; size = 0; blocks = [||]; nblocks = 0; atime = 0; mtime = 0 }
+
+let push_block node b =
+  if node.nblocks = Array.length node.blocks then begin
+    let ncap = max 8 (2 * Array.length node.blocks) in
+    let nblocks = Array.make ncap 0 in
+    Array.blit node.blocks 0 nblocks 0 node.nblocks;
+    node.blocks <- nblocks
+  end;
+  node.blocks.(node.nblocks) <- b;
+  node.nblocks <- node.nblocks + 1
+
+let mkdir t path =
+  match resolve_parent t path with
+  | Error e -> Error e
+  | Ok (_, entries, base) ->
+    if Hashtbl.mem entries base then Error Eexist
+    else (
+      match alloc_inode t ~group:(best_group_for_dir t) with
+      | None -> Error Enospc
+      | Some ino ->
+        add_inode t ino (Dir (Hashtbl.create 16));
+        Hashtbl.replace entries base ino;
+        Ok ino)
+
+let create_file t path =
+  match resolve_parent t path with
+  | Error e -> Error e
+  | Ok (dir_ino, entries, base) ->
+    if Hashtbl.mem entries base then Error Eexist
+    else (
+      (* file inodes are allocated in the directory's own group *)
+      let group = dir_ino / t.cfg.inodes_per_group in
+      match alloc_inode t ~group with
+      | None -> Error Enospc
+      | Some ino ->
+        add_inode t ino Regular;
+        Hashtbl.replace entries base ino;
+        Ok ino)
+
+let free_file_storage t node =
+  for i = 0 to node.nblocks - 1 do
+    free_block t node.blocks.(i)
+  done;
+  node.blocks <- [||];
+  node.nblocks <- 0;
+  node.size <- 0
+
+let remove_inode t node =
+  (match node.kind with Regular -> free_file_storage t node | Dir _ -> ());
+  Hashtbl.remove t.inodes node.ino;
+  free_inode t node.ino
+
+let unlink t path =
+  match resolve_parent t path with
+  | Error e -> Error e
+  | Ok (_, entries, base) -> (
+    match Hashtbl.find_opt entries base with
+    | None -> Error Enoent
+    | Some ino -> (
+      let node = get_inode t ino in
+      match node.kind with
+      | Dir d when Hashtbl.length d > 0 -> Error Enotempty
+      | Dir _ | Regular ->
+        Hashtbl.remove entries base;
+        remove_inode t node;
+        Ok ()))
+
+let rename t ~src ~dst =
+  match resolve_parent t src with
+  | Error e -> Error e
+  | Ok (_, src_entries, src_base) -> (
+    match Hashtbl.find_opt src_entries src_base with
+    | None -> Error Enoent
+    | Some src_ino -> (
+      match resolve_parent t dst with
+      | Error e -> Error e
+      | Ok (_, dst_entries, dst_base) -> (
+        let src_node = get_inode t src_ino in
+        let replace_ok =
+          match Hashtbl.find_opt dst_entries dst_base with
+          | None -> Ok ()
+          | Some dst_ino when dst_ino = src_ino -> Ok ()
+          | Some dst_ino -> (
+            let dst_node = get_inode t dst_ino in
+            match (src_node.kind, dst_node.kind) with
+            | _, Dir d when Hashtbl.length d > 0 -> Error Enotempty
+            | Regular, Dir _ -> Error Eisdir
+            | Dir _, Regular -> Error Enotdir
+            | _ ->
+              Hashtbl.remove dst_entries dst_base;
+              remove_inode t dst_node;
+              Ok ())
+        in
+        match replace_ok with
+        | Error e -> Error e
+        | Ok () ->
+          Hashtbl.remove src_entries src_base;
+          Hashtbl.replace dst_entries dst_base src_ino;
+          Ok ())))
+
+let readdir t path =
+  match lookup t path with
+  | Error e -> Error e
+  | Ok ino -> (
+    match (get_inode t ino).kind with
+    | Regular -> Error Enotdir
+    | Dir entries -> Ok (Hashtbl.fold (fun name _ acc -> name :: acc) entries []))
+
+(* ---- attributes ---- *)
+
+type stat_info = {
+  st_ino : int;
+  st_size : int;
+  st_is_dir : bool;
+  st_atime : int;
+  st_mtime : int;
+  st_blocks : int;
+}
+
+let stat_of_node node =
+  {
+    st_ino = node.ino;
+    st_size = node.size;
+    st_is_dir = (match node.kind with Dir _ -> true | Regular -> false);
+    st_atime = node.atime;
+    st_mtime = node.mtime;
+    st_blocks = node.nblocks;
+  }
+
+let stat_ino t ino =
+  match Hashtbl.find_opt t.inodes ino with
+  | None -> Error Enoent
+  | Some node -> Ok (stat_of_node node)
+
+let stat_path t path =
+  match lookup t path with Error e -> Error e | Ok ino -> stat_ino t ino
+
+let set_times t ~ino ~atime ~mtime =
+  match Hashtbl.find_opt t.inodes ino with
+  | None -> Error Enoent
+  | Some node ->
+    node.atime <- atime;
+    node.mtime <- mtime;
+    Ok ()
+
+let mark_atime t ~ino ~now =
+  match Hashtbl.find_opt t.inodes ino with
+  | None -> ()
+  | Some node -> node.atime <- now
+
+let mark_mtime t ~ino ~now =
+  match Hashtbl.find_opt t.inodes ino with
+  | None -> ()
+  | Some node -> node.mtime <- now
+
+(* ---- data layout ---- *)
+
+let page_size = 4096
+
+let pages_needed size = (size + page_size - 1) / page_size
+
+let resize t ~ino ~size =
+  match Hashtbl.find_opt t.inodes ino with
+  | None -> Error Enoent
+  | Some node -> (
+    match node.kind with
+    | Dir _ -> Error Eisdir
+    | Regular ->
+      let want = pages_needed size in
+      if want > node.nblocks then begin
+        let missing = want - node.nblocks in
+        if missing > t.total_free_blocks then Error Enospc
+        else begin
+          let group = ino / t.cfg.inodes_per_group in
+          for _ = 1 to missing do
+            let near =
+              if node.nblocks = 0 then None else Some node.blocks.(node.nblocks - 1)
+            in
+            match alloc_block t ~group ~near with
+            | None -> assert false (* guarded by the free-count check *)
+            | Some b -> push_block node b
+          done;
+          node.size <- size;
+          Ok ()
+        end
+      end
+      else begin
+        let extra = node.nblocks - want in
+        for _ = 1 to extra do
+          assert (node.nblocks > 0);
+          free_block t node.blocks.(node.nblocks - 1);
+          node.nblocks <- node.nblocks - 1
+        done;
+        node.size <- size;
+        Ok ()
+      end)
+
+let block_of_page t ~ino ~idx =
+  match Hashtbl.find_opt t.inodes ino with
+  | None -> None
+  | Some node ->
+    if idx < 0 || idx >= node.nblocks then None else Some node.blocks.(idx)
+
+let pages_of_file t ~ino =
+  match Hashtbl.find_opt t.inodes ino with None -> 0 | Some node -> node.nblocks
+
+let inode_block t ~ino =
+  let group = ino / t.cfg.inodes_per_group in
+  let slot = ino mod t.cfg.inodes_per_group in
+  (group * t.cfg.blocks_per_group) + (slot / inodes_per_block)
+
+(* ---- introspection ---- *)
+
+let layout_of_file t ~ino =
+  match Hashtbl.find_opt t.inodes ino with
+  | None -> [||]
+  | Some node -> Array.sub node.blocks 0 node.nblocks
+
+let free_blocks t = t.total_free_blocks
+let free_inodes t = t.total_free_inodes
+
+let fragmentation_of_file t ~ino =
+  let layout = layout_of_file t ~ino in
+  let n = Array.length layout in
+  if n < 2 then 0.0
+  else begin
+    let breaks = ref 0 in
+    for i = 1 to n - 1 do
+      if layout.(i) <> layout.(i - 1) + 1 then incr breaks
+    done;
+    float_of_int !breaks /. float_of_int (n - 1)
+  end

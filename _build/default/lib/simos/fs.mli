@@ -1,0 +1,101 @@
+(** FFS-style file-system layout model.
+
+    This module owns the namespace and the on-disk {e layout} decisions —
+    cylinder groups, inode allocation, block allocation — but performs no
+    I/O itself; the {!Kernel} turns layout into disk accesses and caching.
+
+    Allocation follows the Berkeley FFS heuristics the paper's FLDC relies
+    on (Section 4.2.1):
+    - each directory is placed in a cylinder group (the group with the most
+      free inodes at creation time);
+    - a file's inode is the lowest free inode slot in its directory's
+      group, so creation order matches i-number order in a fresh directory;
+    - data blocks are allocated contiguously after the file's previous
+      block when possible, else first-fit within the inode's group, then
+      spilling into following groups;
+    - deletions free slots for first-fit reuse, which is exactly what makes
+      i-number ordering decay as the file system {e ages}.
+
+    Each cylinder group reserves its leading blocks for the inode table, so
+    inodes and data live in separate regions of the group (the effect that
+    makes stat-then-read faster than interleaving, Section 4.2.2). *)
+
+type t
+
+type error = Enoent | Eexist | Enotdir | Eisdir | Enotempty | Enospc
+
+val error_to_string : error -> string
+
+type config = {
+  total_blocks : int;  (** volume size in 4 KB blocks *)
+  blocks_per_group : int;
+  inodes_per_group : int;
+}
+
+val default_config : total_blocks:int -> config
+(** 8 192-block (32 MB) groups with 1 024 inodes each. *)
+
+val create : config -> t
+val config : t -> config
+val root_ino : t -> int
+
+(** {1 Namespace} *)
+
+val lookup : t -> string -> (int, error) result
+(** Absolute-path lookup ("/dir/file") to an inode number. *)
+
+val mkdir : t -> string -> (int, error) result
+val create_file : t -> string -> (int, error) result
+val unlink : t -> string -> (unit, error) result
+(** Removes a file, or an {e empty} directory. *)
+
+val rename : t -> src:string -> dst:string -> (unit, error) result
+(** POSIX-style: an existing empty-directory or file target is replaced. *)
+
+val readdir : t -> string -> (string list, error) result
+(** Entry names, unspecified order. *)
+
+(** {1 Attributes} *)
+
+type stat_info = {
+  st_ino : int;
+  st_size : int;
+  st_is_dir : bool;
+  st_atime : int;
+  st_mtime : int;
+  st_blocks : int;
+}
+
+val stat_ino : t -> int -> (stat_info, error) result
+val stat_path : t -> string -> (stat_info, error) result
+val set_times : t -> ino:int -> atime:int -> mtime:int -> (unit, error) result
+val mark_atime : t -> ino:int -> now:int -> unit
+val mark_mtime : t -> ino:int -> now:int -> unit
+
+(** {1 Data layout} *)
+
+val resize : t -> ino:int -> size:int -> (unit, error) result
+(** Grow (allocating blocks) or shrink (freeing them) a regular file. *)
+
+val block_of_page : t -> ino:int -> idx:int -> int option
+(** Disk block backing page [idx] of the file, if allocated. *)
+
+val pages_of_file : t -> ino:int -> int
+(** Number of data pages ([ceil (size / 4 KB)]). *)
+
+val inode_block : t -> ino:int -> int
+(** Disk block holding this inode's on-disk record (inode-table region of
+    its group). *)
+
+val group_of_ino : int -> inodes_per_group:int -> int
+
+(** {1 Introspection (white-box; used by tests and benches only)} *)
+
+val layout_of_file : t -> ino:int -> int array
+(** Data block addresses in page order. *)
+
+val free_blocks : t -> int
+val free_inodes : t -> int
+val fragmentation_of_file : t -> ino:int -> float
+(** Fraction of page transitions that are {e not} physically contiguous
+    ([0.] = perfectly laid out). *)

@@ -1,0 +1,624 @@
+type error = Fs_error of Fs.error | Bad_fd | Bad_path
+
+let error_to_string = function
+  | Fs_error e -> Fs.error_to_string e
+  | Bad_fd -> "bad file descriptor"
+  | Bad_path -> "bad path (expected /d<volume>/...)"
+
+type fd = int
+type open_file = { of_vol : int; of_ino : int }
+
+type region = {
+  r_owner : int;
+  r_start_vpn : int;
+  r_pages : int;
+  mutable r_live : bool;
+}
+
+type proc = {
+  p_pid : int;
+  p_fds : (int, open_file) Hashtbl.t;
+  mutable p_next_fd : int;
+  mutable p_next_vpn : int;
+  mutable p_regions : region list;
+}
+
+type volume = { v_fs : Fs.t; v_disk : Disk.t }
+
+type mutable_counters = {
+  mutable m_reads : int;
+  mutable m_writes : int;
+  mutable m_bytes_read : int;
+  mutable m_bytes_written : int;
+  mutable m_page_ins : int;
+  mutable m_page_outs : int;
+  mutable m_zero_fills : int;
+  mutable m_file_fetches : int;
+  mutable m_file_writebacks : int;
+}
+
+type t = {
+  k_engine : Engine.t;
+  k_platform : Platform.t;
+  k_volumes : volume array;
+  k_swap : Disk.t;
+  k_mem : Memory.t;
+  k_cpu : Resource.t;
+  k_noise : Gray_util.Rng.t;
+  k_swapped : unit Page.Tbl.t;
+  k_procs : (int, proc) Hashtbl.t;
+  mutable k_next_pid : int;
+  k_ctr : mutable_counters;
+}
+
+type env = { e_k : t; e_proc : proc }
+
+(* Volume [v]'s inodes are made globally unique by packing the volume index
+   into the high bits; bit 43 marks the pseudo-file that stands for the
+   volume's inode-table blocks. *)
+let vol_shift = 44
+let meta_bit = 1 lsl 43
+let global_ino _t ~volume ~ino = (volume lsl vol_shift) lor ino
+let meta_ino volume = (volume lsl vol_shift) lor meta_bit
+let vol_of_gino gino = gino lsr vol_shift
+let local_ino_of_gino gino = gino land (meta_bit - 1)
+let gino_is_meta gino = gino land meta_bit <> 0
+
+let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ~seed () =
+  if data_disks < 1 then invalid_arg "Kernel.boot: need at least one data disk";
+  let make_volume _ =
+    let disk = Disk.create platform.Platform.disk in
+    let blocks = Option.value volume_blocks ~default:(Disk.capacity_blocks disk) in
+    if blocks > Disk.capacity_blocks disk then
+      invalid_arg "Kernel.boot: volume larger than disk";
+    { v_fs = Fs.create (Fs.default_config ~total_blocks:blocks); v_disk = disk }
+  in
+  {
+    k_engine = engine;
+    k_platform = platform;
+    k_volumes = Array.init data_disks make_volume;
+    k_swap = Disk.create platform.Platform.disk;
+    k_mem = Memory.create ~usable_pages:(Platform.usable_pages platform)
+        (Platform.memory_layout platform);
+    k_cpu = Resource.create ~slots:platform.Platform.cpus;
+    k_noise = Gray_util.Rng.create ~seed;
+    k_swapped = Page.Tbl.create 4096;
+    k_procs = Hashtbl.create 16;
+    k_next_pid = 1;
+    k_ctr =
+      {
+        m_reads = 0;
+        m_writes = 0;
+        m_bytes_read = 0;
+        m_bytes_written = 0;
+        m_page_ins = 0;
+        m_page_outs = 0;
+        m_zero_fills = 0;
+        m_file_fetches = 0;
+        m_file_writebacks = 0;
+      };
+  }
+
+let engine t = t.k_engine
+let platform t = t.k_platform
+let data_disks t = Array.length t.k_volumes
+let volume_root i = Printf.sprintf "/d%d" i
+let memory t = t.k_mem
+let volume_fs t i = t.k_volumes.(i).v_fs
+let volume_disk t i = t.k_volumes.(i).v_disk
+let swap_disk t = t.k_swap
+let pid env = env.e_proc.p_pid
+let kernel_of_env env = env.e_k
+
+let resolve_path t path =
+  let fail = Error Bad_path in
+  if String.length path < 2 || path.[0] <> '/' || path.[1] <> 'd' then fail
+  else begin
+    let rest_start = match String.index_from_opt path 1 '/' with Some i -> i | None -> String.length path in
+    let vol_str = String.sub path 2 (rest_start - 2) in
+    match int_of_string_opt vol_str with
+    | None -> fail
+    | Some v when v < 0 || v >= Array.length t.k_volumes -> fail
+    | Some v ->
+      let rest =
+        if rest_start >= String.length path then "/"
+        else String.sub path rest_start (String.length path - rest_start)
+      in
+      Ok (v, rest)
+  end
+
+(* ---- processes ---- *)
+
+let spawn t ?(name = "proc") ?at body =
+  let p_pid = t.k_next_pid in
+  t.k_next_pid <- t.k_next_pid + 1;
+  let proc =
+    { p_pid; p_fds = Hashtbl.create 8; p_next_fd = 3; p_next_vpn = 0; p_regions = [] }
+  in
+  Hashtbl.replace t.k_procs p_pid proc;
+  let env = { e_k = t; e_proc = proc } in
+  let cleanup () =
+    List.iter
+      (fun r ->
+        if r.r_live then begin
+          r.r_live <- false;
+          ignore
+            (Memory.invalidate_if t.k_mem (fun key ->
+                 match key with
+                 | Page.Anon { pid; vpn } ->
+                   pid = p_pid && vpn >= r.r_start_vpn && vpn < r.r_start_vpn + r.r_pages
+                 | Page.File _ -> false))
+        end)
+      proc.p_regions;
+    Page.Tbl.iter
+      (fun key () ->
+        match key with
+        | Page.Anon { pid; _ } when pid = p_pid -> Page.Tbl.remove t.k_swapped key
+        | _ -> ())
+      (Page.Tbl.copy t.k_swapped);
+    Hashtbl.remove t.k_procs p_pid
+  in
+  Engine.spawn t.k_engine ?at ~name (fun () ->
+      Fun.protect ~finally:cleanup (fun () -> body env))
+
+let run t = Engine.run t.k_engine
+
+(* ---- time and cost plumbing ---- *)
+
+let quantise resolution ns = if resolution <= 1 then ns else ns / resolution * resolution
+
+let gettime env =
+  quantise env.e_k.k_platform.Platform.timer_resolution_ns (Engine.now env.e_k.k_engine)
+
+let noised t ns =
+  let sigma = t.k_platform.Platform.noise_sigma in
+  if sigma = 0.0 || ns = 0 then ns
+  else
+    max 0 (int_of_float (float_of_int ns *. Gray_util.Dist.lognormal_factor t.k_noise ~sigma))
+
+(* A syscall accumulates cost on a cursor so that consecutive disk requests
+   within one call queue behind each other correctly. *)
+let start_call env = Engine.now env.e_k.k_engine + env.e_k.k_platform.Platform.syscall_overhead_ns
+
+let finish_call env ~t0 ~now =
+  let total = now - Engine.now env.e_k.k_engine in
+  ignore t0;
+  Engine.delay (noised env.e_k total)
+
+let copy_cost t bytes =
+  int_of_float (float_of_int bytes *. t.k_platform.Platform.memcopy_byte_ns)
+
+(* Write back / swap out the victims of a cache fill; returns the updated
+   cursor.  Deleted files have no backing block left and are dropped. *)
+let handle_evictions env ~now evicted =
+  let t = env.e_k in
+  let cur = ref now in
+  List.iter
+    (fun ({ key; dirty } : Pool.evicted) ->
+      match key with
+      | Page.File { ino = gino; idx } ->
+        if dirty then begin
+          let vol = vol_of_gino gino in
+          let v = t.k_volumes.(vol) in
+          let block =
+            if gino_is_meta gino then Some idx
+            else Fs.block_of_page v.v_fs ~ino:(local_ino_of_gino gino) ~idx
+          in
+          match block with
+          | None -> ()
+          | Some b ->
+            cur := !cur + Disk.access v.v_disk ~now:!cur ~start_block:b ~nblocks:1;
+            t.k_ctr.m_file_writebacks <- t.k_ctr.m_file_writebacks + 1
+        end
+      | Page.Anon { pid; vpn } ->
+        (* Anonymous pages are dirty by construction (touches write). *)
+        let slot = ((pid * 1_000_003) + vpn) mod Disk.capacity_blocks t.k_swap in
+        cur := !cur + Disk.access t.k_swap ~now:!cur ~start_block:slot ~nblocks:1;
+        t.k_ctr.m_page_outs <- t.k_ctr.m_page_outs + 1;
+        Page.Tbl.replace t.k_swapped key ())
+    evicted;
+  !cur
+
+(* Fetch one file-metadata or data page into the cache. *)
+let fill_page env ~now key =
+  match Memory.access env.e_k.k_mem key ~dirty:false with
+  | `Hit -> now
+  | `Filled evicted -> handle_evictions env ~now evicted
+
+(* Charge the read of an inode-table block (open/stat/unlink/utimes). *)
+let inode_read env ~now ~vol ~ino =
+  let t = env.e_k in
+  let v = t.k_volumes.(vol) in
+  let block = Fs.inode_block v.v_fs ~ino in
+  let key = Page.File { ino = meta_ino vol; idx = block } in
+  if Memory.contains t.k_mem key then begin
+    ignore (Memory.access t.k_mem key ~dirty:false);
+    now
+  end
+  else begin
+    let now = now + Disk.access v.v_disk ~now ~start_block:block ~nblocks:1 in
+    fill_page env ~now key
+  end
+
+(* ---- path syscalls ---- *)
+
+let with_volume env path f =
+  match resolve_path env.e_k path with
+  | Error e -> Error e
+  | Ok (vol, rest) -> f vol rest
+
+let lift_fs = function Ok v -> Ok v | Error e -> Error (Fs_error e)
+
+let simple_path_call env path f =
+  with_volume env path (fun vol rest ->
+      let t0 = Engine.now env.e_k.k_engine in
+      let now = start_call env in
+      let result, now = f vol rest now in
+      finish_call env ~t0 ~now;
+      result)
+
+let alloc_fd env ~vol ~ino =
+  let proc = env.e_proc in
+  let fd = proc.p_next_fd in
+  proc.p_next_fd <- fd + 1;
+  Hashtbl.replace proc.p_fds fd { of_vol = vol; of_ino = ino };
+  fd
+
+let open_file env path =
+  simple_path_call env path (fun vol rest now ->
+      let fs = env.e_k.k_volumes.(vol).v_fs in
+      match Fs.lookup fs rest with
+      | Error e -> (Error (Fs_error e), now)
+      | Ok ino ->
+        let now = inode_read env ~now ~vol ~ino in
+        (Ok (alloc_fd env ~vol ~ino), now))
+
+let create_file env path =
+  simple_path_call env path (fun vol rest now ->
+      let fs = env.e_k.k_volumes.(vol).v_fs in
+      match Fs.create_file fs rest with
+      | Error e -> (Error (Fs_error e), now)
+      | Ok ino -> (Ok (alloc_fd env ~vol ~ino), now))
+
+let close env fd = Hashtbl.remove env.e_proc.p_fds fd
+
+let find_fd env fd =
+  match Hashtbl.find_opt env.e_proc.p_fds fd with
+  | None -> Error Bad_fd
+  | Some f -> Ok f
+
+let file_size env fd =
+  match find_fd env fd with
+  | Error _ -> 0
+  | Ok { of_vol; of_ino } -> (
+    match Fs.stat_ino env.e_k.k_volumes.(of_vol).v_fs of_ino with
+    | Ok st -> st.Fs.st_size
+    | Error _ -> 0)
+
+let page_size env = env.e_k.k_platform.Platform.page_size
+
+(* Shared page-walking read/write core.  Batches consecutive missing disk
+   blocks into single transfers so sequential scans stream. *)
+let io_pages env ~vol ~ino ~off ~len ~write =
+  let t = env.e_k in
+  let v = t.k_volumes.(vol) in
+  let psz = page_size env in
+  let gino = global_ino t ~volume:vol ~ino in
+  let t0 = Engine.now t.k_engine in
+  let now = ref (start_call env) in
+  let first_page = off / psz and last_page = (off + len - 1) / psz in
+  let pending_start = ref (-1) and pending_count = ref 0 in
+  let flush_pending () =
+    if !pending_count > 0 then begin
+      now :=
+        !now
+        + Disk.access v.v_disk ~now:!now ~start_block:!pending_start
+            ~nblocks:!pending_count;
+      t.k_ctr.m_file_fetches <- t.k_ctr.m_file_fetches + !pending_count;
+      pending_start := -1;
+      pending_count := 0
+    end
+  in
+  for p = first_page to last_page do
+    let key = Page.File { ino = gino; idx = p } in
+    let page_lo = p * psz in
+    let bytes_in_page = min (off + len) (page_lo + psz) - max off page_lo in
+    let cached = Memory.contains t.k_mem key in
+    if cached then begin
+      flush_pending ();
+      ignore (Memory.access t.k_mem key ~dirty:write)
+    end
+    else begin
+      (* Reads must fetch the page; writes of whole pages just allocate a
+         cache page (read-modify-write of partial pages is not modelled). *)
+      if not write then begin
+        match Fs.block_of_page v.v_fs ~ino ~idx:p with
+        | None -> () (* hole: zero-fill, copy cost only *)
+        | Some b ->
+          if !pending_count > 0 && b = !pending_start + !pending_count then
+            incr pending_count
+          else begin
+            flush_pending ();
+            pending_start := b;
+            pending_count := 1
+          end
+      end;
+      (match Memory.access t.k_mem key ~dirty:write with
+      | `Hit -> ()
+      | `Filled evicted -> now := handle_evictions env ~now:!now evicted)
+    end;
+    now := !now + copy_cost t bytes_in_page
+  done;
+  flush_pending ();
+  finish_call env ~t0 ~now:!now
+
+let read env fd ~off ~len =
+  if off < 0 || len < 0 then invalid_arg "Kernel.read: negative offset or length";
+  match find_fd env fd with
+  | Error e -> Error e
+  | Ok { of_vol; of_ino } ->
+    let t = env.e_k in
+    let fs = t.k_volumes.(of_vol).v_fs in
+    let size =
+      match Fs.stat_ino fs of_ino with Ok st -> st.Fs.st_size | Error _ -> 0
+    in
+    let len = max 0 (min len (size - off)) in
+    if len = 0 then begin
+      Engine.delay (noised t t.k_platform.Platform.syscall_overhead_ns);
+      Ok 0
+    end
+    else begin
+      io_pages env ~vol:of_vol ~ino:of_ino ~off ~len ~write:false;
+      Fs.mark_atime fs ~ino:of_ino ~now:(Engine.now t.k_engine);
+      t.k_ctr.m_reads <- t.k_ctr.m_reads + 1;
+      t.k_ctr.m_bytes_read <- t.k_ctr.m_bytes_read + len;
+      Ok len
+    end
+
+let write env fd ~off ~len =
+  if off < 0 || len < 0 then invalid_arg "Kernel.write: negative offset or length";
+  match find_fd env fd with
+  | Error e -> Error e
+  | Ok { of_vol; of_ino } ->
+    let t = env.e_k in
+    let fs = t.k_volumes.(of_vol).v_fs in
+    let size =
+      match Fs.stat_ino fs of_ino with Ok st -> st.Fs.st_size | Error _ -> 0
+    in
+    let grow =
+      if off + len > size then lift_fs (Fs.resize fs ~ino:of_ino ~size:(off + len))
+      else Ok ()
+    in
+    (match grow with
+    | Error e -> Error e
+    | Ok () ->
+      if len > 0 then io_pages env ~vol:of_vol ~ino:of_ino ~off ~len ~write:true
+      else Engine.delay (noised t t.k_platform.Platform.syscall_overhead_ns);
+      Fs.mark_mtime fs ~ino:of_ino ~now:(Engine.now t.k_engine);
+      t.k_ctr.m_writes <- t.k_ctr.m_writes + 1;
+      t.k_ctr.m_bytes_written <- t.k_ctr.m_bytes_written + len;
+      Ok len)
+
+let mkdir env path =
+  simple_path_call env path (fun vol rest now ->
+      (lift_fs (Result.map ignore (Fs.mkdir env.e_k.k_volumes.(vol).v_fs rest)), now))
+
+let unlink env path =
+  simple_path_call env path (fun vol rest now ->
+      let t = env.e_k in
+      let fs = t.k_volumes.(vol).v_fs in
+      match Fs.lookup fs rest with
+      | Error e -> (Error (Fs_error e), now)
+      | Ok ino -> (
+        let now = inode_read env ~now ~vol ~ino in
+        match Fs.unlink fs rest with
+        | Error e -> (Error (Fs_error e), now)
+        | Ok () ->
+          let gino = global_ino t ~volume:vol ~ino in
+          ignore
+            (Memory.invalidate_if t.k_mem (fun key ->
+                 match key with
+                 | Page.File { ino = g; _ } -> g = gino
+                 | Page.Anon _ -> false));
+          (Ok (), now)))
+
+let rename env ~src ~dst =
+  match resolve_path env.e_k src, resolve_path env.e_k dst with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (v1, r1), Ok (v2, r2) ->
+    if v1 <> v2 then Error Bad_path
+    else
+      simple_path_call env src (fun _ _ now ->
+          ignore r1;
+          (lift_fs (Fs.rename env.e_k.k_volumes.(v1).v_fs ~src:r1 ~dst:r2), now))
+
+let readdir env path =
+  simple_path_call env path (fun vol rest now ->
+      let fs = env.e_k.k_volumes.(vol).v_fs in
+      match Fs.readdir fs rest with
+      | Error e -> (Error (Fs_error e), now)
+      | Ok names -> (Ok names, now))
+
+let stat env path =
+  simple_path_call env path (fun vol rest now ->
+      let fs = env.e_k.k_volumes.(vol).v_fs in
+      match Fs.stat_path fs rest with
+      | Error e -> (Error (Fs_error e), now)
+      | Ok st ->
+        let now = inode_read env ~now ~vol ~ino:st.Fs.st_ino in
+        (Ok st, now))
+
+let utimes env path ~atime ~mtime =
+  simple_path_call env path (fun vol rest now ->
+      let fs = env.e_k.k_volumes.(vol).v_fs in
+      match Fs.lookup fs rest with
+      | Error e -> (Error (Fs_error e), now)
+      | Ok ino ->
+        let now = inode_read env ~now ~vol ~ino in
+        (lift_fs (Fs.set_times fs ~ino ~atime ~mtime), now))
+
+(* ---- memory syscalls ---- *)
+
+let valloc env ~pages =
+  if pages <= 0 then invalid_arg "Kernel.valloc: pages must be positive";
+  let proc = env.e_proc in
+  let region =
+    { r_owner = proc.p_pid; r_start_vpn = proc.p_next_vpn; r_pages = pages; r_live = true }
+  in
+  proc.p_next_vpn <- proc.p_next_vpn + pages + 1;
+  proc.p_regions <- region :: proc.p_regions;
+  Engine.delay (noised env.e_k env.e_k.k_platform.Platform.syscall_overhead_ns);
+  region
+
+let vfree env region =
+  if region.r_owner <> env.e_proc.p_pid then invalid_arg "Kernel.vfree: not the owner";
+  if region.r_live then begin
+    region.r_live <- false;
+    let t = env.e_k in
+    let in_region = function
+      | Page.Anon { pid; vpn } ->
+        pid = region.r_owner
+        && vpn >= region.r_start_vpn
+        && vpn < region.r_start_vpn + region.r_pages
+      | Page.File _ -> false
+    in
+    ignore (Memory.invalidate_if t.k_mem in_region);
+    Page.Tbl.iter
+      (fun key () -> if in_region key then Page.Tbl.remove t.k_swapped key)
+      (Page.Tbl.copy t.k_swapped);
+    Engine.delay (noised t t.k_platform.Platform.syscall_overhead_ns)
+  end
+
+let region_pages region = region.r_pages
+
+let vrelease env region ~first ~count =
+  if region.r_owner <> env.e_proc.p_pid then invalid_arg "Kernel.vrelease: not the owner";
+  if not region.r_live then invalid_arg "Kernel.vrelease: region freed";
+  if first < 0 || count < 0 || first + count > region.r_pages then
+    invalid_arg "Kernel.vrelease: out of range";
+  let t = env.e_k in
+  let lo = region.r_start_vpn + first and hi = region.r_start_vpn + first + count in
+  let in_range = function
+    | Page.Anon { pid; vpn } -> pid = region.r_owner && vpn >= lo && vpn < hi
+    | Page.File _ -> false
+  in
+  ignore (Memory.invalidate_if t.k_mem in_range);
+  Page.Tbl.iter
+    (fun key () -> if in_range key then Page.Tbl.remove t.k_swapped key)
+    (Page.Tbl.copy t.k_swapped);
+  Engine.delay (noised t t.k_platform.Platform.syscall_overhead_ns)
+
+let touch_pages env region ~first ~count =
+  if not region.r_live then invalid_arg "Kernel.touch_pages: region freed";
+  if region.r_owner <> env.e_proc.p_pid then
+    invalid_arg "Kernel.touch_pages: not the owner";
+  if first < 0 || count < 0 || first + count > region.r_pages then
+    invalid_arg "Kernel.touch_pages: out of range";
+  let t = env.e_k in
+  let plat = t.k_platform in
+  let resolution = plat.Platform.timer_resolution_ns in
+  let t0 = Engine.now t.k_engine in
+  let now = ref t0 in
+  let results = Array.make count 0 in
+  for i = 0 to count - 1 do
+    let vpn = region.r_start_vpn + first + i in
+    let key = Page.Anon { pid = region.r_owner; vpn } in
+    let before = !now in
+    if Memory.contains t.k_mem key then begin
+      ignore (Memory.access t.k_mem key ~dirty:true);
+      now := !now + plat.Platform.mem_touch_ns
+    end
+    else begin
+      (if Page.Tbl.mem t.k_swapped key then begin
+         let slot = ((region.r_owner * 1_000_003) + vpn) mod Disk.capacity_blocks t.k_swap in
+         now := !now + Disk.access t.k_swap ~now:!now ~start_block:slot ~nblocks:1;
+         Page.Tbl.remove t.k_swapped key;
+         t.k_ctr.m_page_ins <- t.k_ctr.m_page_ins + 1
+       end
+       else begin
+         now := !now + plat.Platform.page_alloc_zero_ns;
+         t.k_ctr.m_zero_fills <- t.k_ctr.m_zero_fills + 1
+       end);
+      match Memory.access t.k_mem key ~dirty:true with
+      | `Hit -> ()
+      | `Filled evicted -> now := handle_evictions env ~now:!now evicted
+    end;
+    let raw = !now - before in
+    results.(i) <- max resolution (quantise resolution (noised t raw))
+  done;
+  Engine.delay (!now - t0);
+  results
+
+type vmstat = { vm_page_ins : int; vm_page_outs : int }
+
+let vmstat env =
+  let t = env.e_k in
+  Engine.delay (noised t t.k_platform.Platform.syscall_overhead_ns);
+  { vm_page_ins = t.k_ctr.m_page_ins; vm_page_outs = t.k_ctr.m_page_outs }
+
+(* ---- CPU ---- *)
+
+let compute env ~ns =
+  if ns < 0 then invalid_arg "Kernel.compute: negative duration";
+  let t = env.e_k in
+  let duration = noised t ns in
+  Engine.delay (Resource.acquire t.k_cpu ~now:(Engine.now t.k_engine) ~duration)
+
+let compute_bytes env ~bytes ~ns_per_byte =
+  compute env ~ns:(int_of_float (float_of_int bytes *. ns_per_byte))
+
+(* ---- experiment control ---- *)
+
+let flush_file_cache t = Memory.drop_file_cache t.k_mem
+
+let drop_all_memory t =
+  ignore (Memory.invalidate_if t.k_mem (fun _ -> true));
+  Page.Tbl.reset t.k_swapped
+
+let swapped_pages t ~pid =
+  let n = ref 0 in
+  Page.Tbl.iter
+    (fun key () ->
+      match key with
+      | Page.Anon { pid = p; _ } when p = pid -> incr n
+      | Page.Anon _ | Page.File _ -> ())
+    t.k_swapped;
+  !n
+
+(* ---- counters ---- *)
+
+type counters = {
+  c_reads : int;
+  c_writes : int;
+  c_bytes_read : int;
+  c_bytes_written : int;
+  c_page_ins : int;
+  c_page_outs : int;
+  c_zero_fills : int;
+  c_file_fetches : int;
+  c_file_writebacks : int;
+}
+
+let counters t =
+  {
+    c_reads = t.k_ctr.m_reads;
+    c_writes = t.k_ctr.m_writes;
+    c_bytes_read = t.k_ctr.m_bytes_read;
+    c_bytes_written = t.k_ctr.m_bytes_written;
+    c_page_ins = t.k_ctr.m_page_ins;
+    c_page_outs = t.k_ctr.m_page_outs;
+    c_zero_fills = t.k_ctr.m_zero_fills;
+    c_file_fetches = t.k_ctr.m_file_fetches;
+    c_file_writebacks = t.k_ctr.m_file_writebacks;
+  }
+
+let reset_counters t =
+  t.k_ctr.m_reads <- 0;
+  t.k_ctr.m_writes <- 0;
+  t.k_ctr.m_bytes_read <- 0;
+  t.k_ctr.m_bytes_written <- 0;
+  t.k_ctr.m_page_ins <- 0;
+  t.k_ctr.m_page_outs <- 0;
+  t.k_ctr.m_zero_fills <- 0;
+  t.k_ctr.m_file_fetches <- 0;
+  t.k_ctr.m_file_writebacks <- 0

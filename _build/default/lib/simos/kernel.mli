@@ -1,0 +1,169 @@
+(** The simulated operating system: syscall semantics and their costs.
+
+    A [Kernel.t] owns a set of data volumes (one {!Fs} per {!Disk}), a swap
+    disk, physical {!Memory}, and the CPUs.  Simulated processes receive an
+    {!env} handle and interact with the kernel exclusively through the
+    syscalls below; every call advances the calling fiber's virtual time by
+    the modelled cost (noised per the platform's [noise_sigma]).
+
+    Paths name a volume by their first component: ["/d0/inputs/f17"] is
+    file [/inputs/f17] of volume 0.  The fifth disk of the paper's Figure 7
+    setup is the dedicated swap disk, always present.
+
+    Gray-box clients (the ICLs, the applications) must restrict themselves
+    to this interface plus {!gettime}; white-box ground truth lives in
+    {!Introspect}. *)
+
+type t
+type env
+
+type fd = int
+(** File descriptors are plain ints (per-process). *)
+
+type error = Fs_error of Fs.error | Bad_fd | Bad_path
+
+val error_to_string : error -> string
+
+(** {1 Boot and processes} *)
+
+val boot :
+  engine:Engine.t ->
+  platform:Platform.t ->
+  ?data_disks:int ->
+  ?volume_blocks:int ->
+  seed:int ->
+  unit ->
+  t
+(** [data_disks] defaults to 4 (paper setup); [volume_blocks] defaults to
+    the disk capacity. *)
+
+val engine : t -> Engine.t
+val platform : t -> Platform.t
+val data_disks : t -> int
+val volume_root : int -> string
+(** ["/d<i>"]. *)
+
+val spawn : t -> ?name:string -> ?at:int -> (env -> unit) -> unit
+(** Create a process whose body runs as an engine fiber.  File descriptors
+    and anonymous memory are reclaimed when the body returns (or raises). *)
+
+val run : t -> unit
+(** [Engine.run] shortcut. *)
+
+val pid : env -> int
+val kernel_of_env : env -> t
+
+(** {1 Time} *)
+
+val gettime : env -> int
+(** Process-visible clock: virtual now, quantised to the platform timer
+    resolution.  Cheap (no cost is charged), like rdtsc. *)
+
+(** {1 File syscalls} *)
+
+val open_file : env -> string -> (fd, error) result
+val create_file : env -> string -> (fd, error) result
+(** Create (exclusive) and open. *)
+
+val close : env -> fd -> unit
+
+val read : env -> fd -> off:int -> len:int -> (int, error) result
+(** Positional read.  Returns the byte count actually read (short at end of
+    file, [0] at or past it).  Misses fetch whole pages into the file cache
+    — probing a page is destructive, the paper's Heisenberg effect. *)
+
+val write : env -> fd -> off:int -> len:int -> (int, error) result
+(** Positional write, extending the file as needed; dirty pages are written
+    back on eviction (write-behind). *)
+
+val file_size : env -> fd -> int
+
+val mkdir : env -> string -> (unit, error) result
+val unlink : env -> string -> (unit, error) result
+val rename : env -> src:string -> dst:string -> (unit, error) result
+val readdir : env -> string -> (string list, error) result
+val stat : env -> string -> (Fs.stat_info, error) result
+(** Reads the inode (a disk access when its inode-table block is not
+    cached; "at most a few milliseconds", Section 4.2.2). *)
+
+val utimes : env -> string -> atime:int -> mtime:int -> (unit, error) result
+
+(** {1 Memory syscalls} *)
+
+type region
+
+val valloc : env -> pages:int -> region
+(** Reserve address space; frames are allocated on first touch. *)
+
+val vfree : env -> region -> unit
+val region_pages : region -> int
+
+val vrelease : env -> region -> first:int -> count:int -> unit
+(** madvise(MADV_DONTNEED)-style: drop the frames and swap slots backing a
+    page range of the region.  Contents are lost; the next touch
+    demand-zeroes.  Used to give memory back without unmapping. *)
+
+val touch_pages : env -> region -> first:int -> count:int -> int array
+(** Write one byte to each page of [region.[first .. first+count-1]] in
+    order, returning the {e observed} per-page times (noised and quantised
+    like back-to-back timer reads).  Fresh pages are demand-zeroed; pages
+    that were paged out come back from the swap disk; under memory pressure
+    each fill may evict (and write back) a victim.  Advances time by the
+    total. *)
+
+type vmstat = { vm_page_ins : int; vm_page_outs : int }
+
+val vmstat : env -> vmstat
+(** System-wide paging activity counters, as the real [vmstat] would
+    report them.  This is a legitimate narrow interface some systems
+    offer; the paper's MAC deliberately avoids it ("we observe only time
+    in order to explore those environments with very limited
+    interfaces"), but the ablation benches compare both. *)
+
+(** {1 CPU} *)
+
+val compute : env -> ns:int -> unit
+(** Burn CPU time; contends for the platform's CPUs. *)
+
+val compute_bytes : env -> bytes:int -> ns_per_byte:float -> unit
+
+(** {1 Experiment control (used between runs, not by ICLs)} *)
+
+val flush_file_cache : t -> unit
+(** Instantly drop all file pages (the experiments' cache flush between
+    trials). *)
+
+val drop_all_memory : t -> unit
+(** Drop file and anonymous pages and forget swap state (fresh boot). *)
+
+(** {1 Counters} *)
+
+type counters = {
+  c_reads : int;
+  c_writes : int;
+  c_bytes_read : int;
+  c_bytes_written : int;
+  c_page_ins : int;  (** anonymous page-ins from swap *)
+  c_page_outs : int;  (** anonymous page-outs to swap *)
+  c_zero_fills : int;
+  c_file_fetches : int;  (** file pages fetched from disk *)
+  c_file_writebacks : int;
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+
+(** {1 White-box access (for {!Introspect} and tests only)} *)
+
+val memory : t -> Memory.t
+val volume_fs : t -> int -> Fs.t
+val volume_disk : t -> int -> Disk.t
+val swap_disk : t -> Disk.t
+val resolve_path : t -> string -> (int * string, error) result
+(** Split ["/d0/a/b"] into [(0, "/a/b")]. *)
+
+val global_ino : t -> volume:int -> ino:int -> int
+(** The inode identity used in {!Page.key} file pages. *)
+
+val swapped_pages : t -> pid:int -> int
+(** Anonymous pages of this process currently on the swap disk. *)

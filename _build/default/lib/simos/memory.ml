@@ -1,0 +1,118 @@
+type layout =
+  | Unified of Replacement.factory
+  | Unified_balanced of {
+      policy : Replacement.factory;
+      file_floor_pages : int;
+    }
+  | Split of {
+      file_pages : int;
+      file_policy : Replacement.factory;
+      anon_policy : Replacement.factory;
+    }
+
+type t = {
+  file : Pool.t;
+  anon : Pool.t;
+  unified : bool;
+  (* balanced mode: file capacity floats as usable - resident_anon *)
+  balanced_usable : int option;
+  mutable n_file : int;
+  mutable n_anon : int;
+}
+
+let create ~usable_pages layout =
+  if usable_pages <= 0 then invalid_arg "Memory.create: no usable pages";
+  match layout with
+  | Unified policy ->
+    let pool = Pool.create ~name:"unified" ~capacity_pages:usable_pages ~policy in
+    { file = pool; anon = pool; unified = true; balanced_usable = None;
+      n_file = 0; n_anon = 0 }
+  | Unified_balanced { policy; file_floor_pages } ->
+    if file_floor_pages <= 0 || file_floor_pages >= usable_pages then
+      invalid_arg "Memory.create: bad file-cache floor";
+    let file = Pool.create ~name:"file" ~capacity_pages:usable_pages ~policy in
+    let anon =
+      Pool.create ~name:"anon" ~capacity_pages:(usable_pages - file_floor_pages)
+        ~policy
+    in
+    { file; anon; unified = false; balanced_usable = Some usable_pages;
+      n_file = 0; n_anon = 0 }
+  | Split { file_pages; file_policy; anon_policy } ->
+    if file_pages <= 0 || file_pages >= usable_pages then
+      invalid_arg "Memory.create: bad file-cache size";
+    let file = Pool.create ~name:"file" ~capacity_pages:file_pages ~policy:file_policy in
+    let anon =
+      Pool.create ~name:"anon" ~capacity_pages:(usable_pages - file_pages)
+        ~policy:anon_policy
+    in
+    { file; anon; unified = false; balanced_usable = None; n_file = 0; n_anon = 0 }
+
+let pool_for t key = if Page.is_file key then t.file else t.anon
+
+let bump t key delta =
+  if Page.is_file key then t.n_file <- t.n_file + delta
+  else t.n_anon <- t.n_anon + delta
+
+(* In the balanced layout the file cache holds whatever anonymous memory
+   does not use; growing anon evicts file overflow. *)
+let rebalance t =
+  match t.balanced_usable with
+  | None -> []
+  | Some usable ->
+    let target = max 1 (usable - t.n_anon) in
+    if target = Pool.capacity t.file then []
+    else begin
+      let evicted = Pool.resize t.file ~capacity_pages:target in
+      List.iter (fun (e : Pool.evicted) -> bump t e.key (-1)) evicted;
+      evicted
+    end
+
+let access t key ~dirty =
+  match Pool.access (pool_for t key) key ~dirty with
+  | `Hit -> `Hit
+  | `Filled evicted ->
+    bump t key 1;
+    List.iter (fun (e : Pool.evicted) -> bump t e.key (-1)) evicted;
+    let rebalanced = if Page.is_anon key then rebalance t else [] in
+    `Filled (evicted @ rebalanced)
+
+let contains t key = Pool.contains (pool_for t key) key
+
+let invalidate t key =
+  let pool = pool_for t key in
+  if Pool.contains pool key then begin
+    Pool.invalidate pool key;
+    bump t key (-1);
+    (* freed anonymous frames flow back to the file cache silently *)
+    if Page.is_anon key then ignore (rebalance t)
+  end
+
+let invalidate_if t pred =
+  let dropped = ref 0 in
+  let drop_matching pool kind_pred =
+    dropped :=
+      !dropped
+      + Pool.invalidate_if pool (fun key ->
+            if kind_pred key && pred key then begin
+              bump t key (-1);
+              true
+            end
+            else false)
+  in
+  if t.unified then drop_matching t.file (fun _ -> true)
+  else begin
+    drop_matching t.file Page.is_file;
+    drop_matching t.anon Page.is_anon
+  end;
+  ignore (rebalance t);
+  !dropped
+
+let drop_file_cache t = ignore (invalidate_if t Page.is_file)
+
+let file_pool t = t.file
+let anon_pool t = t.anon
+let unified t = t.unified
+let file_capacity t = Pool.capacity t.file
+let anon_capacity t = Pool.capacity t.anon
+let resident_file t = t.n_file
+let resident_anon t = t.n_anon

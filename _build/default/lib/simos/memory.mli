@@ -1,0 +1,53 @@
+(** Physical-memory organisation: how file pages and anonymous pages share
+    the machine's frames.
+
+    Two arrangements cover the paper's three platforms:
+    - {e unified}: one pool holds both kinds (Linux 2.2's "shared virtual
+      memory/file cache", Section 4.3.3), so file-cache pages shrink under
+      anonymous-memory pressure and vice versa;
+    - {e split}: a fixed-size file cache plus a separate anonymous pool
+      (NetBSD 1.5's fixed 64 MB cache; Solaris 7 modelled likewise with a
+      large sticky file cache). *)
+
+type layout =
+  | Unified of Replacement.factory
+  | Unified_balanced of {
+      policy : Replacement.factory;
+      file_floor_pages : int;
+    }
+      (** Linux 2.2-style balance: anonymous demand shrinks the file cache
+          (never below the floor), but streaming file pages cannot push
+          out resident anonymous memory — the kernel's reclaim preferred
+          page-cache pages over swapping. *)
+  | Split of {
+      file_pages : int;
+      file_policy : Replacement.factory;
+      anon_policy : Replacement.factory;
+    }
+
+type t
+
+val create : usable_pages:int -> layout -> t
+(** [usable_pages] excludes the kernel's own reservation.  For [Split] the
+    anonymous pool gets [usable_pages - file_pages]. *)
+
+val access : t -> Page.key -> dirty:bool -> [ `Hit | `Filled of Pool.evicted list ]
+(** Route the page to its pool (by key kind). *)
+
+val contains : t -> Page.key -> bool
+val invalidate : t -> Page.key -> unit
+val invalidate_if : t -> (Page.key -> bool) -> int
+val drop_file_cache : t -> unit
+
+val file_pool : t -> Pool.t
+val anon_pool : t -> Pool.t
+(** Equal to [file_pool] in the unified layout. *)
+
+val unified : t -> bool
+
+val file_capacity : t -> int
+(** Frames the file cache can grow to (the whole pool when unified). *)
+
+val anon_capacity : t -> int
+val resident_file : t -> int
+val resident_anon : t -> int

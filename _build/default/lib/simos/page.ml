@@ -1,0 +1,24 @@
+type key =
+  | File of { ino : int; idx : int }
+  | Anon of { pid : int; vpn : int }
+
+let equal (a : key) (b : key) = a = b
+
+let hash = function
+  | File { ino; idx } -> Hashtbl.hash (0, ino, idx)
+  | Anon { pid; vpn } -> Hashtbl.hash (1, pid, vpn)
+
+let pp ppf = function
+  | File { ino; idx } -> Format.fprintf ppf "file(ino=%d,page=%d)" ino idx
+  | Anon { pid; vpn } -> Format.fprintf ppf "anon(pid=%d,vpn=%d)" pid vpn
+
+let to_string k = Format.asprintf "%a" pp k
+let is_file = function File _ -> true | Anon _ -> false
+let is_anon = function Anon _ -> true | File _ -> false
+
+module Tbl = Hashtbl.Make (struct
+  type t = key
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,19 @@
+(** Identities of cacheable pages.
+
+    Physical memory frames hold either file pages (identified by inode
+    number and page index within the file) or anonymous process pages
+    (identified by pid and virtual page number). *)
+
+type key =
+  | File of { ino : int; idx : int }
+  | Anon of { pid : int; vpn : int }
+
+val equal : key -> key -> bool
+val hash : key -> int
+val pp : Format.formatter -> key -> unit
+val to_string : key -> string
+
+val is_file : key -> bool
+val is_anon : key -> bool
+
+module Tbl : Hashtbl.S with type key = key

@@ -1,0 +1,108 @@
+type evicted = { key : Page.key; dirty : bool }
+
+type t = {
+  name : string;
+  mutable capacity : int;
+  policy : Replacement.t;
+  dirty : bool Page.Tbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~name ~capacity_pages ~policy =
+  if capacity_pages <= 0 then invalid_arg "Pool.create: capacity must be positive";
+  {
+    name;
+    capacity = capacity_pages;
+    policy = policy ~capacity:capacity_pages;
+    dirty = Page.Tbl.create (min 65536 capacity_pages);
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let name t = t.name
+let capacity t = t.capacity
+
+let resident t =
+  let (module P : Replacement.POLICY) = t.policy in
+  P.size ()
+
+let contains t key =
+  let (module P : Replacement.POLICY) = t.policy in
+  P.mem key
+
+let pop_victim t =
+  let (module P : Replacement.POLICY) = t.policy in
+  match P.victim () with
+  | None -> None
+  | Some key ->
+    let dirty = Option.value (Page.Tbl.find_opt t.dirty key) ~default:false in
+    Page.Tbl.remove t.dirty key;
+    t.evictions <- t.evictions + 1;
+    Some { key; dirty }
+
+let access t key ~dirty =
+  let (module P : Replacement.POLICY) = t.policy in
+  if P.mem key then begin
+    t.hits <- t.hits + 1;
+    P.touch key;
+    if dirty then Page.Tbl.replace t.dirty key true;
+    `Hit
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let out = ref [] in
+    while P.size () >= t.capacity do
+      match pop_victim t with
+      | Some victim -> out := victim :: !out
+      | None -> failwith "Pool.access: policy lost pages"
+    done;
+    P.insert key;
+    if dirty then Page.Tbl.replace t.dirty key true;
+    `Filled (List.rev !out)
+  end
+
+let evict_one t = pop_victim t
+
+let resize t ~capacity_pages =
+  if capacity_pages <= 0 then invalid_arg "Pool.resize: capacity must be positive";
+  t.capacity <- capacity_pages;
+  let out = ref [] in
+  let (module P : Replacement.POLICY) = t.policy in
+  while P.size () > t.capacity do
+    match pop_victim t with
+    | Some victim -> out := victim :: !out
+    | None -> failwith "Pool.resize: policy lost pages"
+  done;
+  List.rev !out
+
+let invalidate t key =
+  let (module P : Replacement.POLICY) = t.policy in
+  P.remove key;
+  Page.Tbl.remove t.dirty key
+
+let invalidate_if t pred =
+  let (module P : Replacement.POLICY) = t.policy in
+  let doomed = ref [] in
+  P.iter (fun key -> if pred key then doomed := key :: !doomed);
+  List.iter (invalidate t) !doomed;
+  List.length !doomed
+
+let drop_all t = ignore (invalidate_if t (fun _ -> true))
+
+let is_dirty t key = Option.value (Page.Tbl.find_opt t.dirty key) ~default:false
+
+let iter t f =
+  let (module P : Replacement.POLICY) = t.policy in
+  P.iter f
+
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

@@ -1,0 +1,47 @@
+(** Capacity-enforced page pool over a replacement policy.
+
+    The pool owns the resident-set bookkeeping (capacity, dirty bits, hit
+    and eviction counters) and delegates ordering decisions to a
+    {!Replacement} policy instance.  The kernel charges I/O costs for the
+    dirty pages an access pushes out. *)
+
+type t
+
+type evicted = { key : Page.key; dirty : bool }
+
+val create : name:string -> capacity_pages:int -> policy:Replacement.factory -> t
+val name : t -> string
+val capacity : t -> int
+val resident : t -> int
+val contains : t -> Page.key -> bool
+
+val access : t -> Page.key -> dirty:bool -> [ `Hit | `Filled of evicted list ]
+(** Look up the page; on a miss, insert it, evicting as needed.  [dirty]
+    marks the page dirty (writes).  The returned list holds the evicted
+    pages (at most one per access in steady state). *)
+
+val evict_one : t -> evicted option
+(** Force one eviction (page-daemon style), if any page is resident. *)
+
+val resize : t -> capacity_pages:int -> evicted list
+(** Change the capacity; shrinking below the resident count evicts the
+    overflow and returns it (for writeback charging). *)
+
+val invalidate : t -> Page.key -> unit
+(** Drop a page without writeback (file deleted, process exited). *)
+
+val invalidate_if : t -> (Page.key -> bool) -> int
+(** Drop all pages matching the predicate; returns how many were dropped. *)
+
+val drop_all : t -> unit
+(** Flush the pool (the experiments' "flush the file cache" step). *)
+
+val is_dirty : t -> Page.key -> bool
+val iter : t -> (Page.key -> unit) -> unit
+
+(** {1 Counters} *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val reset_counters : t -> unit

@@ -1,0 +1,443 @@
+module type POLICY = sig
+  val name : string
+  val mem : Page.key -> bool
+  val touch : Page.key -> unit
+  val insert : Page.key -> unit
+  val victim : unit -> Page.key option
+  val remove : Page.key -> unit
+  val size : unit -> int
+  val iter : (Page.key -> unit) -> unit
+end
+
+type t = (module POLICY)
+type factory = capacity:int -> t
+
+let name (module P : POLICY) = P.name
+
+(* Intrusive doubly-linked list shared by the list-based policies.  The
+   [weight] field holds the clock's aged reference count. *)
+module Dll = struct
+  type node = {
+    key : Page.key;
+    mutable prev : node option;
+    mutable next : node option;
+    mutable weight : int;
+  }
+
+  type list_t = {
+    mutable head : node option;  (* MRU end *)
+    mutable tail : node option;  (* LRU end *)
+    mutable count : int;
+  }
+
+  let create () = { head = None; tail = None; count = 0 }
+
+  let push_front t key =
+    let node = { key; prev = None; next = t.head; weight = 0 } in
+    (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+    t.head <- Some node;
+    t.count <- t.count + 1;
+    node
+
+  let unlink t node =
+    (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+    (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+    node.prev <- None;
+    node.next <- None;
+    t.count <- t.count - 1
+
+  let move_to_front t node =
+    if t.head != Some node then begin
+      unlink t node;
+      node.next <- t.head;
+      (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+      t.head <- Some node;
+      t.count <- t.count + 1
+    end
+
+  let iter t f =
+    let rec go = function
+      | None -> ()
+      | Some node ->
+        let next = node.next in
+        f node;
+        go next
+    in
+    go t.head
+end
+
+(* LRU and MRU share everything except which end of the list the victim
+   comes from. *)
+let list_policy ~policy_name ~victim_end () : t =
+  let list = Dll.create () in
+  let tbl : Dll.node Page.Tbl.t = Page.Tbl.create 1024 in
+  (module struct
+    let name = policy_name
+    let mem key = Page.Tbl.mem tbl key
+
+    let touch key =
+      match Page.Tbl.find_opt tbl key with
+      | Some node -> Dll.move_to_front list node
+      | None -> ()
+
+    let insert key =
+      assert (not (Page.Tbl.mem tbl key));
+      Page.Tbl.replace tbl key (Dll.push_front list key)
+
+    let victim () =
+      let node = match victim_end with `Lru -> list.Dll.tail | `Mru -> list.Dll.head in
+      match node with
+      | None -> None
+      | Some node ->
+        Dll.unlink list node;
+        Page.Tbl.remove tbl node.Dll.key;
+        Some node.Dll.key
+
+    let remove key =
+      match Page.Tbl.find_opt tbl key with
+      | Some node ->
+        Dll.unlink list node;
+        Page.Tbl.remove tbl key
+      | None -> ()
+
+    let size () = list.Dll.count
+    let iter f = Dll.iter list (fun node -> f node.Dll.key)
+  end)
+
+let lru ~capacity:_ = list_policy ~policy_name:"lru" ~victim_end:`Lru ()
+let mru_sticky ~capacity:_ = list_policy ~policy_name:"mru-sticky" ~victim_end:`Mru ()
+
+let fifo ~capacity:_ : t =
+  let list = Dll.create () in
+  let tbl : Dll.node Page.Tbl.t = Page.Tbl.create 1024 in
+  (module struct
+    let name = "fifo"
+    let mem key = Page.Tbl.mem tbl key
+    let touch _ = ()
+
+    let insert key =
+      assert (not (Page.Tbl.mem tbl key));
+      Page.Tbl.replace tbl key (Dll.push_front list key)
+
+    let victim () =
+      match list.Dll.tail with
+      | None -> None
+      | Some node ->
+        Dll.unlink list node;
+        Page.Tbl.remove tbl node.Dll.key;
+        Some node.Dll.key
+
+    let remove key =
+      match Page.Tbl.find_opt tbl key with
+      | Some node ->
+        Dll.unlink list node;
+        Page.Tbl.remove tbl key
+      | None -> ()
+
+    let size () = list.Dll.count
+    let iter f = Dll.iter list (fun node -> f node.Dll.key)
+  end)
+
+(* Clock with reference aging.  The list acts as the ring in insertion
+   order; the hand sweeps from the LRU end, decrementing each page's aged
+   reference count until it finds a cold (zero-weight) page.  Pages arrive
+   with weight 1 (the faulting access references them) and repeated hits
+   raise the weight up to a small cap, so genuinely re-used pages (a
+   recycled heap, a hot file) survive several cache turnovers while
+   streamed-once pages decay to FIFO — the behaviour of real active/
+   inactive page aging. *)
+let clock_max_weight = 2
+
+let clock ~capacity:_ : t =
+  let list = Dll.create () in
+  let tbl : Dll.node Page.Tbl.t = Page.Tbl.create 1024 in
+  (module struct
+    let name = "clock"
+    let mem key = Page.Tbl.mem tbl key
+
+    let touch key =
+      match Page.Tbl.find_opt tbl key with
+      | Some node -> node.Dll.weight <- min (node.Dll.weight + 1) clock_max_weight
+      | None -> ()
+
+    let insert key =
+      assert (not (Page.Tbl.mem tbl key));
+      let node = Dll.push_front list key in
+      node.Dll.weight <- 1;
+      Page.Tbl.replace tbl key node
+
+    let victim () =
+      let rec sweep () =
+        match list.Dll.tail with
+        | None -> None
+        | Some node ->
+          if node.Dll.weight > 0 then begin
+            node.Dll.weight <- node.Dll.weight - 1;
+            Dll.move_to_front list node;
+            sweep ()
+          end
+          else begin
+            Dll.unlink list node;
+            Page.Tbl.remove tbl node.Dll.key;
+            Some node.Dll.key
+          end
+      in
+      sweep ()
+
+    let remove key =
+      match Page.Tbl.find_opt tbl key with
+      | Some node ->
+        Dll.unlink list node;
+        Page.Tbl.remove tbl key
+      | None -> ()
+
+    let size () = list.Dll.count
+    let iter f = Dll.iter list (fun node -> f node.Dll.key)
+  end)
+
+(* Simplified 2Q: new pages enter a FIFO probation queue sized to a quarter
+   of capacity; a hit while on probation promotes to the protected LRU main
+   queue.  Victims come from probation first. *)
+let two_q ~capacity : t =
+  let probation = Dll.create () in
+  let main = Dll.create () in
+  let where : (Dll.node * [ `Probation | `Main ]) Page.Tbl.t = Page.Tbl.create 1024 in
+  let probation_max = max 1 (capacity / 4) in
+  (module struct
+    let name = "two-q"
+    let mem key = Page.Tbl.mem where key
+
+    let touch key =
+      match Page.Tbl.find_opt where key with
+      | Some (node, `Probation) ->
+        Dll.unlink probation node;
+        Page.Tbl.replace where key (Dll.push_front main key, `Main)
+      | Some (node, `Main) -> Dll.move_to_front main node
+      | None -> ()
+
+    let insert key =
+      assert (not (Page.Tbl.mem where key));
+      Page.Tbl.replace where key (Dll.push_front probation key, `Probation)
+
+    let take list =
+      match list.Dll.tail with
+      | None -> None
+      | Some node ->
+        Dll.unlink list node;
+        Page.Tbl.remove where node.Dll.key;
+        Some node.Dll.key
+
+    let victim () =
+      (* Evict from probation while it exceeds its share, otherwise give up
+         the coldest protected page; fall back to whichever queue has
+         pages. *)
+      if probation.Dll.count > probation_max then take probation
+      else
+        match take main with Some _ as v -> v | None -> take probation
+
+    let remove key =
+      match Page.Tbl.find_opt where key with
+      | Some (node, `Probation) ->
+        Dll.unlink probation node;
+        Page.Tbl.remove where key
+      | Some (node, `Main) ->
+        Dll.unlink main node;
+        Page.Tbl.remove where key
+      | None -> ()
+
+    let size () = probation.Dll.count + main.Dll.count
+
+    let iter f =
+      Dll.iter probation (fun node -> f node.Dll.key);
+      Dll.iter main (fun node -> f node.Dll.key)
+  end)
+
+(* Segmented LRU: pages start probationary; a hit promotes to the protected
+   segment (bounded to ~3/4 of capacity, demoting its LRU tail back to
+   probation).  Victims come from the probationary tail. *)
+let segmented_lru ~capacity : t =
+  let probation = Dll.create () in
+  let protected_ = Dll.create () in
+  let where : (Dll.node * [ `Probation | `Protected ]) Page.Tbl.t =
+    Page.Tbl.create 1024
+  in
+  let protected_max = max 1 (capacity * 3 / 4) in
+  (module struct
+    let name = "segmented-lru"
+    let mem key = Page.Tbl.mem where key
+
+    let demote_overflow () =
+      while protected_.Dll.count > protected_max do
+        match protected_.Dll.tail with
+        | None -> ()
+        | Some node ->
+          Dll.unlink protected_ node;
+          let key = node.Dll.key in
+          Page.Tbl.replace where key (Dll.push_front probation key, `Probation)
+      done
+
+    let touch key =
+      match Page.Tbl.find_opt where key with
+      | Some (node, `Probation) ->
+        Dll.unlink probation node;
+        Page.Tbl.replace where key (Dll.push_front protected_ key, `Protected);
+        demote_overflow ()
+      | Some (node, `Protected) -> Dll.move_to_front protected_ node
+      | None -> ()
+
+    let insert key =
+      assert (not (Page.Tbl.mem where key));
+      Page.Tbl.replace where key (Dll.push_front probation key, `Probation)
+
+    let victim () =
+      let from_list list =
+        match list.Dll.tail with
+        | None -> None
+        | Some node ->
+          Dll.unlink list node;
+          Page.Tbl.remove where node.Dll.key;
+          Some node.Dll.key
+      in
+      match from_list probation with Some _ as v -> v | None -> from_list protected_
+
+    let remove key =
+      match Page.Tbl.find_opt where key with
+      | Some (node, `Probation) ->
+        Dll.unlink probation node;
+        Page.Tbl.remove where key
+      | Some (node, `Protected) ->
+        Dll.unlink protected_ node;
+        Page.Tbl.remove where key
+      | None -> ()
+
+    let size () = probation.Dll.count + protected_.Dll.count
+
+    let iter f =
+      Dll.iter probation (fun node -> f node.Dll.key);
+      Dll.iter protected_ (fun node -> f node.Dll.key)
+  end)
+
+(* Approximate EELRU (Smaragdakis, Kaplan & Wilson, SIGMETRICS '99), the
+   adaptive fix for LRU's looping worst case that the paper cites for
+   "LRU worst-case mode".  Residents are split at an early-eviction point
+   [e ~ capacity/2]; a bounded ghost list remembers recent evictions.
+   When recently evicted pages keep being re-referenced (a loop larger
+   than memory) while pages between [e] and the LRU tail are not, the
+   policy evicts early — at position [e] — preserving the head of the
+   loop so part of it always hits. *)
+let eelru ~capacity : t =
+  let early = Dll.create () in
+  let late = Dll.create () in
+  let where : (Dll.node * [ `Early | `Late ]) Page.Tbl.t = Page.Tbl.create 1024 in
+  let ghosts : int Page.Tbl.t = Page.Tbl.create 1024 in
+  let ghost_fifo = Queue.create () in
+  let ghost_max = max 8 capacity in
+  let early_max = max 1 (capacity / 2) in
+  let late_hits = ref 0.0 in
+  let ghost_hits = ref 0.0 in
+  let decay () =
+    late_hits := !late_hits *. 0.999;
+    ghost_hits := !ghost_hits *. 0.999
+  in
+  let add_ghost key =
+    if not (Page.Tbl.mem ghosts key) then begin
+      Page.Tbl.replace ghosts key 0;
+      Queue.push key ghost_fifo;
+      while Queue.length ghost_fifo > ghost_max do
+        Page.Tbl.remove ghosts (Queue.pop ghost_fifo)
+      done
+    end
+  in
+  (module struct
+    let name = "eelru"
+    let mem key = Page.Tbl.mem where key
+
+    let demote_overflow () =
+      while early.Dll.count > early_max do
+        match early.Dll.tail with
+        | None -> ()
+        | Some node ->
+          Dll.unlink early node;
+          let key = node.Dll.key in
+          Page.Tbl.replace where key (Dll.push_front late key, `Late)
+      done
+
+    let touch key =
+      decay ();
+      match Page.Tbl.find_opt where key with
+      | Some (node, `Early) -> Dll.move_to_front early node
+      | Some (node, `Late) ->
+        (* a hit beyond the early point argues against early eviction *)
+        late_hits := !late_hits +. 1.0;
+        Dll.unlink late node;
+        Page.Tbl.replace where key (Dll.push_front early key, `Early);
+        demote_overflow ()
+      | None -> ()
+
+    let insert key =
+      assert (not (Page.Tbl.mem where key));
+      decay ();
+      if Page.Tbl.mem ghosts key then
+        (* re-reference shortly after eviction: the loop is bigger than
+           memory — evidence for evicting early *)
+        ghost_hits := !ghost_hits +. 1.0;
+      Page.Tbl.replace where key (Dll.push_front early key, `Early);
+      demote_overflow ()
+
+    let take list =
+      match list.Dll.tail with
+      | None -> None
+      | Some node ->
+        Dll.unlink list node;
+        Page.Tbl.remove where node.Dll.key;
+        add_ghost node.Dll.key;
+        Some node.Dll.key
+
+    let victim () =
+      let early_eviction = !ghost_hits > !late_hits +. 1.0 in
+      if early_eviction then
+        (* evict at the early point: the head of the late segment *)
+        match late.Dll.head with
+        | Some node ->
+          Dll.unlink late node;
+          Page.Tbl.remove where node.Dll.key;
+          add_ghost node.Dll.key;
+          Some node.Dll.key
+        | None -> take early
+      else
+        match take late with Some _ as v -> v | None -> take early
+
+    let remove key =
+      match Page.Tbl.find_opt where key with
+      | Some (node, `Early) ->
+        Dll.unlink early node;
+        Page.Tbl.remove where key
+      | Some (node, `Late) ->
+        Dll.unlink late node;
+        Page.Tbl.remove where key
+      | None -> ()
+
+    let size () = early.Dll.count + late.Dll.count
+
+    let iter f =
+      Dll.iter early (fun node -> f node.Dll.key);
+      Dll.iter late (fun node -> f node.Dll.key)
+  end)
+
+let registry =
+  [
+    ("lru", lru);
+    ("clock", clock);
+    ("fifo", fifo);
+    ("mru-sticky", mru_sticky);
+    ("two-q", two_q);
+    ("segmented-lru", segmented_lru);
+    ("eelru", eelru);
+  ]
+
+let of_name n =
+  match List.assoc_opt n registry with
+  | Some f -> f
+  | None -> invalid_arg ("Replacement.of_name: unknown policy " ^ n)
+
+let all_names = List.map fst registry

@@ -1,0 +1,64 @@
+(** Page-replacement policies.
+
+    A policy tracks the set of resident page keys and chooses eviction
+    victims; the enclosing {!Pool} enforces capacity and dirtiness.  Each
+    call to a factory creates an independent stateful instance (a
+    first-class module).
+
+    Policies provided:
+    - [lru] — exact least-recently-used (list + hash table);
+    - [clock] — one-hand clock with reference bits, the classical LRU
+      approximation ("any operating system using an approximation of LRU,
+      such as the clock algorithm", Section 4.1.1);
+    - [fifo] — insertion order, ignores hits;
+    - [mru_sticky] — evicts the {e most} recently inserted/used page, so the
+      first data loaded stays resident; models the persistent Solaris 7 file
+      cache observed in Section 4.1.3 ("once a file is placed in the Solaris
+      file cache, it is quite difficult to dislodge");
+    - [two_q] — simplified 2Q: a FIFO probation queue in front of a
+      protected LRU main queue;
+    - [segmented_lru] — probationary + protected LRU segments. *)
+
+module type POLICY = sig
+  val name : string
+  val mem : Page.key -> bool
+
+  val touch : Page.key -> unit
+  (** Record a hit.  Unknown keys are ignored. *)
+
+  val insert : Page.key -> unit
+  (** Add a key that must not currently be present. *)
+
+  val victim : unit -> Page.key option
+  (** Choose an eviction victim and remove it from the policy. *)
+
+  val remove : Page.key -> unit
+  val size : unit -> int
+  val iter : (Page.key -> unit) -> unit
+end
+
+type t = (module POLICY)
+
+type factory = capacity:int -> t
+(** [capacity] is a sizing hint (2Q and segmented-LRU partition it);
+    policies never refuse inserts — the pool evicts before inserting. *)
+
+val name : t -> string
+val lru : factory
+val clock : factory
+val fifo : factory
+val mru_sticky : factory
+val two_q : factory
+val segmented_lru : factory
+
+val eelru : factory
+(** Approximate EELRU (cited by the paper as the adaptive escape from
+    "LRU worst-case mode"): evicts at an early recency point instead of
+    the tail when recently evicted pages keep coming back — i.e. when the
+    workload loops over more data than fits. *)
+
+val of_name : string -> factory
+(** Look up a factory by policy name; raises [Invalid_argument] on unknown
+    names.  Useful for CLI flags and ablation sweeps. *)
+
+val all_names : string list

@@ -1,0 +1,19 @@
+type t = { free_at : int array; mutable busy_ns : int }
+
+let create ~slots =
+  if slots <= 0 then invalid_arg "Resource.create: slots must be positive";
+  { free_at = Array.make slots 0; busy_ns = 0 }
+
+let slots t = Array.length t.free_at
+
+let acquire t ~now ~duration =
+  if duration < 0 then invalid_arg "Resource.acquire: negative duration";
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v < t.free_at.(!best) then best := i) t.free_at;
+  let start = max now t.free_at.(!best) in
+  let completion = start + duration in
+  t.free_at.(!best) <- completion;
+  t.busy_ns <- t.busy_ns + duration;
+  completion - now
+
+let busy_ns t = t.busy_ns

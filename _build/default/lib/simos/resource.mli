@@ -1,0 +1,17 @@
+(** FCFS multi-slot resource (e.g. the CPUs).
+
+    Requests dispatched while all slots are busy are served in dispatch
+    order by whichever slot frees first — sufficient for modelling compute
+    contention among a handful of simulated processes. *)
+
+type t
+
+val create : slots:int -> t
+val slots : t -> int
+
+val acquire : t -> now:int -> duration:int -> int
+(** [acquire t ~now ~duration] reserves the earliest-free slot and returns
+    the delay until completion as seen from [now] (queueing included). *)
+
+val busy_ns : t -> int
+(** Total reserved service time so far. *)

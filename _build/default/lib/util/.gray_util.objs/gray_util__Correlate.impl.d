@@ -1,0 +1,1 @@
+lib/util/correlate.ml: Array Float Stats

@@ -1,0 +1,1 @@
+lib/util/param_repo.ml: Buffer Fun Hashtbl In_channel List Option Printf String

@@ -1,0 +1,1 @@
+lib/util/param_repo.mli:

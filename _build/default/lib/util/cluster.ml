@@ -1,0 +1,151 @@
+type split = {
+  threshold : float;
+  low_mean : float;
+  high_mean : float;
+  low_count : int;
+  high_count : int;
+  within_variance : float;
+}
+
+(* Exact optimal 2-partition of sorted 1-D data: try every split point,
+   using prefix sums to evaluate within-cluster sum of squares in O(1). *)
+let two_means xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Cluster.two_means: empty input";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let prefix = Array.make (n + 1) 0.0 in
+  let prefix_sq = Array.make (n + 1) 0.0 in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) +. sorted.(i);
+    prefix_sq.(i + 1) <- prefix_sq.(i) +. (sorted.(i) *. sorted.(i))
+  done;
+  let sse lo hi =
+    (* sum of squared deviations of sorted.(lo..hi-1) from its mean *)
+    let count = float_of_int (hi - lo) in
+    if count <= 0.0 then 0.0
+    else begin
+      let s = prefix.(hi) -. prefix.(lo) in
+      let sq = prefix_sq.(hi) -. prefix_sq.(lo) in
+      sq -. (s *. s /. count)
+    end
+  in
+  let all_equal = sorted.(0) = sorted.(n - 1) in
+  if n = 1 || all_equal then
+    {
+      threshold = max_float;
+      low_mean = prefix.(n) /. float_of_int n;
+      high_mean = nan;
+      low_count = n;
+      high_count = 0;
+      within_variance = 0.0;
+    }
+  else begin
+    let best = ref (infinity, 1) in
+    for split_at = 1 to n - 1 do
+      (* only cut between distinct values so the threshold is realisable *)
+      if sorted.(split_at - 1) < sorted.(split_at) then begin
+        let cost = sse 0 split_at +. sse split_at n in
+        if cost < fst !best then best := (cost, split_at)
+      end
+    done;
+    let within_variance, cut = !best in
+    let low_count = cut and high_count = n - cut in
+    {
+      threshold = (sorted.(cut - 1) +. sorted.(cut)) /. 2.0;
+      low_mean = prefix.(cut) /. float_of_int cut;
+      high_mean = (prefix.(n) -. prefix.(cut)) /. float_of_int high_count;
+      low_count;
+      high_count;
+      within_variance;
+    }
+  end
+
+let two_means_log xs =
+  if Array.exists (fun x -> x <= 0.0) xs then
+    invalid_arg "Cluster.two_means_log: inputs must be positive";
+  let s = two_means (Array.map log xs) in
+  {
+    s with
+    threshold = (if s.threshold = max_float then max_float else exp s.threshold);
+    low_mean = exp s.low_mean;
+    high_mean = (if s.high_count = 0 then nan else exp s.high_mean);
+  }
+
+let separation s =
+  if s.high_count = 0 then 1.0
+  else if s.low_mean <= 0.0 then infinity
+  else s.high_mean /. s.low_mean
+
+let k_means rng ~k ~max_iter xs =
+  let n = Array.length xs in
+  if k <= 0 then invalid_arg "Cluster.k_means: k must be positive";
+  if n < k then invalid_arg "Cluster.k_means: fewer points than clusters";
+  (* k-means++ seeding *)
+  let centroids = Array.make k 0.0 in
+  centroids.(0) <- xs.(Rng.int rng n);
+  let d2 = Array.make n infinity in
+  for c = 1 to k - 1 do
+    let total = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = xs.(i) -. centroids.(c - 1) in
+      d2.(i) <- Float.min d2.(i) (d *. d);
+      total := !total +. d2.(i)
+    done;
+    if !total = 0.0 then centroids.(c) <- xs.(Rng.int rng n)
+    else begin
+      let target = Rng.float rng !total in
+      let acc = ref 0.0 and chosen = ref (n - 1) in
+      (try
+         for i = 0 to n - 1 do
+           acc := !acc +. d2.(i);
+           if !acc >= target then begin
+             chosen := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      centroids.(c) <- xs.(!chosen)
+    end
+  done;
+  Array.sort compare centroids;
+  let assignment = Array.make n 0 in
+  let assign () =
+    let changed = ref false in
+    for i = 0 to n - 1 do
+      let best = ref 0 and best_d = ref infinity in
+      for c = 0 to k - 1 do
+        let d = Float.abs (xs.(i) -. centroids.(c)) in
+        if d < !best_d then begin
+          best_d := d;
+          best := c
+        end
+      done;
+      if assignment.(i) <> !best then begin
+        assignment.(i) <- !best;
+        changed := true
+      end
+    done;
+    !changed
+  in
+  let update () =
+    let sums = Array.make k 0.0 and counts = Array.make k 0 in
+    for i = 0 to n - 1 do
+      let c = assignment.(i) in
+      sums.(c) <- sums.(c) +. xs.(i);
+      counts.(c) <- counts.(c) + 1
+    done;
+    for c = 0 to k - 1 do
+      if counts.(c) > 0 then centroids.(c) <- sums.(c) /. float_of_int counts.(c)
+    done;
+    Array.sort compare centroids
+  in
+  let rec loop i =
+    if i < max_iter && assign () then begin
+      update ();
+      loop (i + 1)
+    end
+  in
+  loop 0;
+  ignore (assign ());
+  (centroids, assignment)

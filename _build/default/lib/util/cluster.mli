@@ -1,0 +1,40 @@
+(** One-dimensional clustering of probe times.
+
+    Section 4.2.4 of the paper composes FCCD with FLDC by clustering file
+    probe times into two groups "minimizing the intragroup variance and
+    maximizing the intergroup variance".  For 1-D data with two clusters the
+    optimum is a single threshold, found exactly by scanning split points of
+    the sorted samples; a general k-means (Lloyd) is provided as well. *)
+
+type split = {
+  threshold : float;  (** values [<= threshold] belong to the low cluster *)
+  low_mean : float;
+  high_mean : float;
+  low_count : int;
+  high_count : int;
+  within_variance : float;  (** summed within-cluster sum of squares *)
+}
+
+val two_means : float array -> split
+(** Optimal 2-cluster split of the samples.  With fewer than two distinct
+    values the result puts everything in the low cluster and sets
+    [threshold] to [max_float].  Raises [Invalid_argument] on empty input. *)
+
+val two_means_log : float array -> split
+(** Like {!two_means} but clustered in log domain — the right metric for
+    latency mixtures that span decades (a single extreme outlier dominates
+    linear sum-of-squares and hijacks the split; in log space the
+    cache-vs-disk gap wins).  Inputs must be positive.  [threshold],
+    [low_mean] and [high_mean] are mapped back to the original domain
+    (geometric means); [within_variance] stays in log domain. *)
+
+val separation : split -> float
+(** Ratio [high_mean / low_mean] (capped when [low_mean = 0]); a large value
+    means the two clusters are well separated, a value near 1 means the
+    split is probably spurious (e.g. all files actually on disk). *)
+
+val k_means :
+  Rng.t -> k:int -> max_iter:int -> float array -> float array * int array
+(** [k_means rng ~k ~max_iter xs] returns [(centroids, assignment)] from
+    Lloyd's algorithm with k-means++ seeding.  Centroids are sorted
+    ascending and assignments refer to the sorted order. *)

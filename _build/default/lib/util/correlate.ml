@@ -1,0 +1,86 @@
+let check_lengths xs ys name =
+  if Array.length xs <> Array.length ys then
+    invalid_arg (name ^ ": length mismatch")
+
+let pearson xs ys =
+  check_lengths xs ys "Correlate.pearson";
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let mx = Stats.mean_of xs and my = Stats.mean_of ys in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0.0 || !syy = 0.0 then 0.0
+    else !sxy /. sqrt (!sxx *. !syy)
+  end
+
+type regression = { slope : float; intercept : float; r2 : float }
+
+let linear_regression xs ys =
+  check_lengths xs ys "Correlate.linear_regression";
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Correlate.linear_regression: need >= 2 points";
+  let mx = Stats.mean_of xs and my = Stats.mean_of ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx in
+    sxy := !sxy +. (dx *. (ys.(i) -. my));
+    sxx := !sxx +. (dx *. dx)
+  done;
+  let slope = if !sxx = 0.0 then 0.0 else !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r = pearson xs ys in
+  { slope; intercept; r2 = r *. r }
+
+type ema = { alpha : float; mutable value : float option }
+
+let ema_create ~alpha =
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Correlate.ema_create";
+  { alpha; value = None }
+
+let ema_add t x =
+  let v =
+    match t.value with
+    | None -> x
+    | Some prev -> (t.alpha *. x) +. ((1.0 -. t.alpha) *. prev)
+  in
+  t.value <- Some v;
+  v
+
+let ema_value t = t.value
+
+(* Two-sided sign test.  For the modest sample counts used by ICLs the exact
+   binomial tail is cheap and avoids a normal approximation. *)
+let paired_sign_test a b =
+  check_lengths a b "Correlate.paired_sign_test";
+  let pos = ref 0 and neg = ref 0 in
+  Array.iteri
+    (fun i x ->
+      let d = x -. b.(i) in
+      if d > 0.0 then incr pos else if d < 0.0 then incr neg)
+    a;
+  let n = !pos + !neg in
+  if n = 0 then 1.0
+  else begin
+    let k = min !pos !neg in
+    (* log-space binomial CDF to stay stable for large n *)
+    let log_choose n k =
+      let rec sum acc i =
+        if i > k then acc
+        else
+          sum (acc +. log (float_of_int (n - k + i)) -. log (float_of_int i)) (i + 1)
+      in
+      sum 0.0 1
+    in
+    let log_half_n = float_of_int n *. log 0.5 in
+    let tail = ref 0.0 in
+    for i = 0 to k do
+      tail := !tail +. exp (log_choose n i +. log_half_n)
+    done;
+    Float.min 1.0 (2.0 *. !tail)
+  end

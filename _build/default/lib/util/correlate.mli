@@ -1,0 +1,28 @@
+(** Correlation, regression and the other "interpreting measurements"
+    primitives called out by the gray toolbox (Section 5) and by the
+    Table 1 survey (linear regression, exponential averaging and the
+    paired-sample sign test all appear in MS Manners). *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient.  Returns [0.] when either series has
+    zero variance.  Raises [Invalid_argument] on length mismatch. *)
+
+type regression = { slope : float; intercept : float; r2 : float }
+
+val linear_regression : float array -> float array -> regression
+(** Ordinary least squares of y on x. *)
+
+type ema
+(** Exponential moving average with fixed smoothing factor. *)
+
+val ema_create : alpha:float -> ema
+val ema_add : ema -> float -> float
+(** Feed a sample, return the updated average. *)
+
+val ema_value : ema -> float option
+(** Current average, [None] before the first sample. *)
+
+val paired_sign_test : float array -> float array -> float
+(** [paired_sign_test a b] returns the two-sided p-value of the sign test
+    for the paired differences [a.(i) - b.(i)] (ties dropped).  Small
+    values mean the two series genuinely differ. *)

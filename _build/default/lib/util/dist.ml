@@ -1,0 +1,71 @@
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Dist.exponential: rate must be positive";
+  let rec non_zero () =
+    let u = Rng.float rng 1.0 in
+    if u = 0.0 then non_zero () else u
+  in
+  -.log (non_zero ()) /. rate
+
+let lognormal rng ~mu ~sigma = exp (Rng.gaussian rng ~mu ~sigma)
+
+let lognormal_factor rng ~sigma =
+  if sigma = 0.0 then 1.0
+  else lognormal rng ~mu:(-.(sigma *. sigma) /. 2.0) ~sigma
+
+(* Zipf via the classical inverse-harmonic rejection method of Gray et al.
+   Constants are cached per (n, theta) because benches draw millions. *)
+let zipf_cache : (int * float, float * float * float) Hashtbl.t = Hashtbl.create 8
+
+let zipf rng ~n ~theta =
+  if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
+  if theta <= 0.0 then Rng.int rng n
+  else begin
+    let zetan, alpha, eta =
+      match Hashtbl.find_opt zipf_cache (n, theta) with
+      | Some c -> c
+      | None ->
+        let zetan = ref 0.0 in
+        for i = 1 to n do
+          zetan := !zetan +. (1.0 /. Float.pow (float_of_int i) theta)
+        done;
+        let zeta2 = 1.0 +. (1.0 /. Float.pow 2.0 theta) in
+        let alpha = 1.0 /. (1.0 -. theta) in
+        let eta =
+          (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+          /. (1.0 -. (zeta2 /. !zetan))
+        in
+        let c = (!zetan, alpha, eta) in
+        Hashtbl.replace zipf_cache (n, theta) c;
+        c
+    in
+    let u = Rng.float rng 1.0 in
+    let uz = u *. zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. Float.pow 0.5 theta then 1
+    else
+      let v =
+        float_of_int n *. Float.pow ((eta *. u) -. eta +. 1.0) alpha
+      in
+      let k = int_of_float v in
+      if k >= n then n - 1 else if k < 0 then 0 else k
+  end
+
+let pareto_bounded rng ~shape ~min ~max =
+  if shape <= 0.0 || min <= 0.0 || max <= min then
+    invalid_arg "Dist.pareto_bounded: bad parameters";
+  let u = Rng.float rng 1.0 in
+  let la = Float.pow min shape and ha = Float.pow max shape in
+  let x = -.((u *. ha) -. (u *. la) -. ha) /. (ha *. la) in
+  Float.pow x (-1.0 /. shape)
+
+let sample_without_replacement rng ~k ~n =
+  if k > n || k < 0 then invalid_arg "Dist.sample_without_replacement";
+  (* Partial Fisher–Yates over an index array. *)
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = Rng.int_in rng ~min:i ~max:(n - 1) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.sub idx 0 k

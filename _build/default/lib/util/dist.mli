@@ -1,0 +1,21 @@
+(** Random distributions used by workload generators and the noise model. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential deviate with the given rate (mean [1/rate]). *)
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+(** Log-normal deviate: [exp (gaussian mu sigma)]. *)
+
+val lognormal_factor : Rng.t -> sigma:float -> float
+(** Multiplicative noise factor with mean 1: a log-normal with
+    [mu = -sigma^2/2], suitable for scaling service times. *)
+
+val zipf : Rng.t -> n:int -> theta:float -> int
+(** Zipf-distributed integer in [\[0, n)], skew [theta] (0 = uniform). *)
+
+val pareto_bounded : Rng.t -> shape:float -> min:float -> max:float -> float
+(** Bounded Pareto deviate, used for file-size populations. *)
+
+val sample_without_replacement : Rng.t -> k:int -> n:int -> int array
+(** [sample_without_replacement rng ~k ~n] draws [k] distinct integers from
+    [\[0, n)], in random order.  Raises [Invalid_argument] if [k > n]. *)

@@ -1,0 +1,61 @@
+type t = {
+  min : float;
+  max : float;
+  width : float;
+  counts : int array;
+  mutable total : int;
+  mutable under : int;
+  mutable over : int;
+}
+
+let create ~min ~max ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if max <= min then invalid_arg "Histogram.create: max <= min";
+  {
+    min;
+    max;
+    width = (max -. min) /. float_of_int bins;
+    counts = Array.make bins 0;
+    total = 0;
+    under = 0;
+    over = 0;
+  }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.min then t.under <- t.under + 1
+  else if x >= t.max then t.over <- t.over + 1
+  else begin
+    let i = int_of_float ((x -. t.min) /. t.width) in
+    let i = if i >= Array.length t.counts then Array.length t.counts - 1 else i in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.total
+let bin_count t i = t.counts.(i)
+let underflow t = t.under
+let overflow t = t.over
+
+let bin_bounds t i =
+  let lo = t.min +. (float_of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let mode_bin t =
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > t.counts.(!best) then best := i) t.counts;
+  !best
+
+let render t ~width =
+  let buf = Buffer.create 256 in
+  let peak = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let lo, hi = bin_bounds t i in
+        let bar = String.make (max 1 (c * width / peak)) '#' in
+        Buffer.add_string buf (Printf.sprintf "[%10.3f, %10.3f) %6d %s\n" lo hi c bar)
+      end)
+    t.counts;
+  if t.under > 0 then Buffer.add_string buf (Printf.sprintf "(underflow) %d\n" t.under);
+  if t.over > 0 then Buffer.add_string buf (Printf.sprintf "(overflow) %d\n" t.over);
+  Buffer.contents buf

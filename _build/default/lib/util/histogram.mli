@@ -1,0 +1,21 @@
+(** Fixed-bin histograms, mainly for inspecting probe-time populations. *)
+
+type t
+
+val create : min:float -> max:float -> bins:int -> t
+(** Histogram over [\[min, max)] with [bins] equal-width bins plus implicit
+    under/overflow bins. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val bin_count : t -> int -> int
+(** Count of bin [i] in [\[0, bins)]. *)
+
+val underflow : t -> int
+val overflow : t -> int
+val bin_bounds : t -> int -> float * float
+val mode_bin : t -> int
+(** Index of the fullest bin (ties: lowest index). *)
+
+val render : t -> width:int -> string
+(** ASCII rendering, one line per non-empty bin. *)

@@ -1,0 +1,88 @@
+type entry = { value : float; source : string }
+type t = (string, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let valid_key key =
+  key <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '.' || c = '-')
+       key
+
+let set t ~key ~value ~source =
+  if not (valid_key key) then invalid_arg ("Param_repo.set: bad key " ^ key);
+  Hashtbl.replace t key { value; source }
+
+let get t key = Option.map (fun e -> e.value) (Hashtbl.find_opt t key)
+
+let get_exn t key =
+  match get t key with
+  | Some v -> v
+  | None -> failwith ("Param_repo.get_exn: missing key " ^ key)
+
+let get_or t key ~default = Option.value (get t key) ~default
+let mem t key = Hashtbl.mem t key
+let source t key = Option.map (fun e -> e.source) (Hashtbl.find_opt t key)
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun k ->
+      let e = Hashtbl.find t k in
+      Buffer.add_string buf (Printf.sprintf "%s = %.6g # %s\n" k e.value e.source))
+    (keys t);
+  Buffer.contents buf
+
+let of_string s =
+  let t = create () in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' then begin
+           let body, note =
+             match String.index_opt line '#' with
+             | Some i ->
+               ( String.trim (String.sub line 0 i),
+                 String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+             | None -> (line, "")
+           in
+           match String.index_opt body '=' with
+           | None -> failwith ("Param_repo.of_string: bad line: " ^ line)
+           | Some i ->
+             let key = String.trim (String.sub body 0 i) in
+             let value_str =
+               String.trim (String.sub body (i + 1) (String.length body - i - 1))
+             in
+             (match float_of_string_opt value_str with
+             | None -> failwith ("Param_repo.of_string: bad value: " ^ line)
+             | Some value -> set t ~key ~value ~source:note)
+         end);
+  t
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))
+
+let key_disk_seek_ns = "disk.avg_seek_ns"
+let key_disk_bandwidth_bytes_per_sec = "disk.bandwidth_bytes_per_sec"
+let key_memcopy_page_ns = "mem.copy_page_ns"
+let key_page_alloc_zero_ns = "mem.alloc_zero_page_ns"
+let key_page_in_ns = "vm.page_in_ns"
+let key_cache_hit_read_ns = "fs.cache_hit_read_ns"
+let key_cache_miss_read_ns = "fs.cache_miss_read_ns"
+let key_access_unit_bytes = "fccd.access_unit_bytes"

@@ -1,0 +1,44 @@
+(** Microbenchmark parameter repository.
+
+    Section 5 of the paper: all microbenchmarks "report performance numbers
+    (e.g., expected disk seek time, expected disk bandwidth, time for the OS
+    to allocate and zero a page, ...) in a common format kept in persistent
+    storage; each microbenchmark then only needs to be run once".
+
+    The repository maps string keys to float values, remembers who produced
+    each value, and can round-trip through a simple "key = value # note"
+    text format. *)
+
+type t
+
+val create : unit -> t
+val set : t -> key:string -> value:float -> source:string -> unit
+val get : t -> string -> float option
+val get_exn : t -> string -> float
+(** Raises [Failure] naming the missing key. *)
+
+val get_or : t -> string -> default:float -> float
+val mem : t -> string -> bool
+val source : t -> string -> string option
+val keys : t -> string list
+(** Sorted list of keys. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Parses the [to_string] format; unparseable lines raise [Failure]. *)
+
+val save : t -> path:string -> unit
+val load : path:string -> t
+
+(** {1 Well-known keys}
+
+    The simulator microbenchmarks and the ICLs agree on these names. *)
+
+val key_disk_seek_ns : string
+val key_disk_bandwidth_bytes_per_sec : string
+val key_memcopy_page_ns : string
+val key_page_alloc_zero_ns : string
+val key_page_in_ns : string
+val key_cache_hit_read_ns : string
+val key_cache_miss_read_ns : string
+val key_access_unit_bytes : string

@@ -1,0 +1,15 @@
+(** Imperative binary min-heap, used as the event queue of the simulator.
+
+    Elements are ordered by a comparison supplied at creation; ties must be
+    broken by the caller (the engine uses a monotonic sequence number) so
+    that simulations are deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+val clear : 'a t -> unit

@@ -1,0 +1,43 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    Every stochastic component of the simulator and of the workload
+    generators draws from an explicit [Rng.t] so that experiments are
+    reproducible bit-for-bit from a single seed.  The implementation is
+    xoshiro256** seeded through splitmix64, which is fast, has a 256-bit
+    state, and splits cleanly into independent streams. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** [split t] returns a new generator statistically independent from [t];
+    [t] itself is advanced.  Used to hand sub-seeds to components. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future draws). *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly in [\[0, bound)]. Raises
+    [Invalid_argument] if [bound <= 0]. *)
+
+val int_in : t -> min:int -> max:int -> int
+(** [int_in t ~min ~max] draws uniformly in the inclusive range. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal deviate via Box–Muller. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

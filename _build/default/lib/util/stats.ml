@@ -1,0 +1,92 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable total : float;
+}
+
+let empty () =
+  { n = 0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity; total = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  t.total <- t.total +. x
+
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min_value t = t.min_v
+let max_value t = t.max_v
+let total t = t.total
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+    in
+    {
+      n;
+      mean;
+      m2;
+      min_v = Float.min a.min_v b.min_v;
+      max_v = Float.max a.max_v b.max_v;
+      total = a.total +. b.total;
+    }
+  end
+
+let of_array xs =
+  let t = empty () in
+  Array.iter (add t) xs;
+  t
+
+let mean_of xs = mean (of_array xs)
+let stddev_of xs = stddev (of_array xs)
+
+let percentile_of xs ~p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile_of: empty";
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile_of: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median_of xs = percentile_of xs ~p:0.5
+
+let discard_outliers xs ~k =
+  let t = of_array xs in
+  let mu = mean t and sd = stddev t in
+  if Array.length xs = 0 || sd = 0.0 then Array.copy xs
+  else
+    Array.of_list
+      (List.filter
+         (fun x -> Float.abs (x -. mu) <= k *. sd)
+         (Array.to_list xs))
+
+let summarize xs =
+  if Array.length xs = 0 then "(no samples)"
+  else begin
+    let t = of_array xs in
+    Printf.sprintf "%.3f ± %.3f (%.3f..%.3f, n=%d)" (mean t) (stddev t)
+      (min_value t) (max_value t) (count t)
+  end

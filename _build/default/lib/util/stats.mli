@@ -1,0 +1,44 @@
+(** Statistical routines for interpreting gray-box measurements.
+
+    Section 5 of the paper ("Towards a Gray Toolbox") calls for incremental,
+    low-overhead implementations of the usual descriptive statistics plus
+    outlier rejection; this module provides both a one-shot API over arrays
+    and an incremental accumulator (Welford's algorithm). *)
+
+(** {1 Incremental accumulator} *)
+
+type t
+(** Running mean / variance / extrema accumulator.  O(1) space. *)
+
+val empty : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** Mean of the samples seen so far; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val total : t -> float
+
+val merge : t -> t -> t
+(** [merge a b] combines two accumulators (parallel Welford). *)
+
+(** {1 One-shot helpers over arrays} *)
+
+val mean_of : float array -> float
+val stddev_of : float array -> float
+val median_of : float array -> float
+(** Median (interpolated for even lengths).  Does not mutate the input. *)
+
+val percentile_of : float array -> p:float -> float
+(** Linear-interpolation percentile, [p] in [\[0,1\]]. *)
+
+val discard_outliers : float array -> k:float -> float array
+(** Samples within [k] standard deviations of the mean. *)
+
+val summarize : float array -> string
+(** One-line "mean ± stddev (min..max, n=..)" rendering for reports. *)

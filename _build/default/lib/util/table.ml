@@ -1,0 +1,85 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit t.columns;
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (max 1 ncols - 1))
+  in
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let bar_chart ~title ?(unit_label = "") entries =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let peak = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 entries in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+  in
+  List.iter
+    (fun (label, v) ->
+      let bar_len =
+        if peak <= 0.0 then 0 else int_of_float (v /. peak *. 40.0)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s %8.3f%s %s\n" label_width label v unit_label
+           (String.make (max 0 bar_len) '#')))
+    entries;
+  Buffer.contents buf
+
+let grouped_bars ~title ~group_names ~series =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let peak =
+    List.fold_left
+      (fun acc (_, vs) -> List.fold_left Float.max acc vs)
+      0.0 series
+  in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 series
+  in
+  List.iteri
+    (fun gi group ->
+      Buffer.add_string buf (Printf.sprintf " %s\n" group);
+      List.iter
+        (fun (name, vs) ->
+          match List.nth_opt vs gi with
+          | None -> ()
+          | Some v ->
+            let bar_len =
+              if peak <= 0.0 then 0 else int_of_float (v /. peak *. 40.0)
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "   %-*s %8.3f %s\n" label_width name v
+                 (String.make (max 0 bar_len) '#')))
+        series)
+    group_names;
+  Buffer.contents buf

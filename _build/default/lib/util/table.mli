@@ -1,0 +1,27 @@
+(** ASCII tables and bar series for the benchmark harness output.
+
+    The bench executable regenerates each figure of the paper as either a
+    table of series (x, y1, y2, ...) or a group of normalised bars; this
+    module renders both in plain text. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+val render : t -> string
+(** Box-drawing-free rendering: title, header, separator, rows, padded. *)
+
+val bar_chart :
+  title:string ->
+  ?unit_label:string ->
+  (string * float) list ->
+  string
+(** Horizontal bar chart scaled to the largest value. *)
+
+val grouped_bars :
+  title:string ->
+  group_names:string list ->
+  series:(string * float list) list ->
+  string
+(** Grouped normalised-bar rendering: one block per group, one labelled bar
+    per series value.  [series] gives [(series_name, per-group values)]. *)

@@ -1,0 +1,21 @@
+type t = { now_ns : unit -> int; resolution_ns : int }
+
+let quantise resolution ns = if resolution <= 1 then ns else ns / resolution * resolution
+
+let of_fun ?(resolution_ns = 1) now_ns =
+  if resolution_ns < 1 then invalid_arg "Timer.of_fun: resolution must be >= 1";
+  { now_ns = (fun () -> quantise resolution_ns (now_ns ())); resolution_ns }
+
+let host =
+  (* Sys.time has low resolution; use Unix-free monotonic-ish source via
+     Stdlib only: Sys.time () is CPU time, wall clock needs Unix.  The host
+     timer is used only by demos, so gettimeofday-level resolution through
+     Unix would be ideal, but to keep gray_util dependency-free we fall back
+     to Sys.time (seconds of CPU) scaled to ns. *)
+  of_fun ~resolution_ns:1000 (fun () -> int_of_float (Sys.time () *. 1e9))
+
+let elapsed t f =
+  let start = t.now_ns () in
+  let result = f () in
+  let stop = t.now_ns () in
+  (result, max 0 (stop - start))

@@ -1,0 +1,24 @@
+(** Timer abstraction for the gray toolbox.
+
+    ICL code measures elapsed time through this interface so the same code
+    runs against the simulator's virtual clock (deterministic) or the host
+    monotonic clock (for the live demos).  The paper's toolbox stresses
+    low-overhead, high-resolution timers (rdtsc); virtual timers model a
+    configurable resolution so ICLs must cope with quantisation. *)
+
+type t = {
+  now_ns : unit -> int;  (** current time in nanoseconds *)
+  resolution_ns : int;  (** granularity below which readings quantise *)
+}
+
+val host : t
+(** Host clock based on [Sys.time] (CPU seconds), kept dependency-free;
+    used only by live demos, never by the simulated experiments. *)
+
+val of_fun : ?resolution_ns:int -> (unit -> int) -> t
+(** Wrap a raw nanosecond source, quantising to [resolution_ns]
+    (default 1). *)
+
+val elapsed : t -> (unit -> 'a) -> 'a * int
+(** [elapsed t f] runs [f] and returns its result with the measured
+    duration in nanoseconds (quantised to the timer resolution). *)

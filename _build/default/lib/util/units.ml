@@ -1,0 +1,25 @@
+let kib = 1024
+let mib = 1024 * 1024
+let gib = 1024 * 1024 * 1024
+let bytes_of_mib m = m * mib
+let mib_of_bytes b = float_of_int b /. float_of_int mib
+let usec = 1_000
+let msec = 1_000_000
+let sec = 1_000_000_000
+let ns_of_sec s = int_of_float (s *. 1e9)
+let sec_of_ns ns = float_of_int ns /. 1e9
+
+let pp_bytes ppf b =
+  if b < kib then Format.fprintf ppf "%d B" b
+  else if b < mib then Format.fprintf ppf "%.1f KB" (float_of_int b /. float_of_int kib)
+  else if b < gib then Format.fprintf ppf "%.1f MB" (float_of_int b /. float_of_int mib)
+  else Format.fprintf ppf "%.2f GB" (float_of_int b /. float_of_int gib)
+
+let pp_ns ppf ns =
+  if ns < usec then Format.fprintf ppf "%d ns" ns
+  else if ns < msec then Format.fprintf ppf "%.1f us" (float_of_int ns /. 1e3)
+  else if ns < sec then Format.fprintf ppf "%.1f ms" (float_of_int ns /. 1e6)
+  else Format.fprintf ppf "%.2f s" (float_of_int ns /. 1e9)
+
+let bytes_to_string b = Format.asprintf "%a" pp_bytes b
+let ns_to_string ns = Format.asprintf "%a" pp_ns ns

@@ -1,0 +1,29 @@
+(** Byte- and time-unit helpers shared by the simulator and the reports.
+
+    Simulated time is an [int] count of nanoseconds throughout the
+    repository (63 bits ≈ 292 years, ample). *)
+
+val kib : int
+val mib : int
+val gib : int
+
+val bytes_of_mib : int -> int
+val mib_of_bytes : int -> float
+
+val usec : int
+(** Nanoseconds in a microsecond. *)
+
+val msec : int
+val sec : int
+
+val ns_of_sec : float -> int
+val sec_of_ns : int -> float
+
+val pp_bytes : Format.formatter -> int -> unit
+(** "512 B", "8.0 KB", "20.0 MB", "1.00 GB". *)
+
+val pp_ns : Format.formatter -> int -> unit
+(** "250 ns", "3.2 us", "14.5 ms", "54.30 s". *)
+
+val bytes_to_string : int -> string
+val ns_to_string : int -> string

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Engine Fastsort Fccd Gray_apps Gray_util Graybox_core Grep Kernel List Mac Option Platform Printf Search Simos String Workload

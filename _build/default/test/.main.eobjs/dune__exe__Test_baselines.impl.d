@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Engine Fccd Gray_apps Graybox_core Interpose Introspect Kernel List Mac Option Platform Printf Replacement Simos Sleds

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Cluster Float Gray_util List Printf QCheck2 QCheck_alcotest Rng

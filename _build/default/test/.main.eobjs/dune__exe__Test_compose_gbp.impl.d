@@ -1,0 +1,1 @@
+test/test_compose_gbp.ml: Alcotest Compose Engine Fccd Gbp Gray_apps Graybox_core Kernel List Option Platform Simos

@@ -1,0 +1,1 @@
+test/test_correlate.ml: Alcotest Array Correlate Float Gray_util QCheck2 QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Disk Gray_util Printf Simos

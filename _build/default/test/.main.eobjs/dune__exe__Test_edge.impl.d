@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Engine Fs Gray_apps Gray_util Graybox_core Kernel List Option Platform Printf Simos

@@ -1,0 +1,1 @@
+test/test_fccd.ml: Alcotest Array Engine Fccd Fs Gray_apps Gray_util Graybox_core Introspect Kernel List Option Platform Printf Simos

@@ -1,0 +1,1 @@
+test/test_fingerprint.ml: Alcotest Engine Fingerprint Gray_apps Graybox_core Kernel Option Platform Printf Replacement Simos

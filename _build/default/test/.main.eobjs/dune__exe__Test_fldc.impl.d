@@ -1,0 +1,1 @@
+test/test_fldc.ml: Alcotest Array Engine Fldc Float Fs Gray_apps Gray_util Graybox_core Introspect Kernel List Option Platform Printf Result Simos

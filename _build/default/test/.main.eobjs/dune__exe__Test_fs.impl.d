@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Array Fs Gray_util Hashtbl List Printf QCheck2 QCheck_alcotest Simos

@@ -1,0 +1,1 @@
+test/test_gbp_cli.ml: Alcotest Fccd Fldc Gray_util Graybox_core List Mac

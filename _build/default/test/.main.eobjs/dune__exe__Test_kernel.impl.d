@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Engine Fs Introspect Kernel List Platform Printf Simos

@@ -1,0 +1,1 @@
+test/test_mac.ml: Alcotest Engine Graybox_core Kernel List Mac Option Platform Printf Simos

@@ -1,0 +1,1 @@
+test/test_memory_balanced.ml: Alcotest List Memory Page Pool QCheck2 QCheck_alcotest Replacement Simos

@@ -1,0 +1,1 @@
+test/test_related.ml: Alcotest Cosched Gray_related Gray_util Manners Printf Rng Tcp

@@ -1,0 +1,1 @@
+test/test_replacement.ml: Alcotest Hashtbl List Option Page Printf QCheck2 QCheck_alcotest Replacement Simos

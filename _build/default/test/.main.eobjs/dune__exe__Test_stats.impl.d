@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gray_util List QCheck2 QCheck_alcotest Rng Stats

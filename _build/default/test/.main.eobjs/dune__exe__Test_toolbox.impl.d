@@ -1,0 +1,1 @@
+test/test_toolbox.ml: Alcotest Engine Fccd Gray_apps Gray_util Graybox_core Kernel List Mac Option Param_repo Platform Printf Simos Toolbox

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Gray_apps Graybox_core Interpose List Printf QCheck2 QCheck_alcotest Simos Trace

@@ -1,0 +1,1 @@
+test/test_util_misc.ml: Alcotest Array Dist Float Gray_util Histogram List Param_repo Pqueue QCheck2 QCheck_alcotest Rng Stats String Table Units

@@ -1,0 +1,1 @@
+test/test_vmm.ml: Alcotest Gray_related Gray_util Printf Rng Vmm

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Engine Fs Gray_apps Gray_util Kernel List Option Platform QCheck2 QCheck_alcotest Simos

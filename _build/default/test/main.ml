@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "graybox"
+    [
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("cluster", Test_cluster.suite);
+      ("correlate", Test_correlate.suite);
+      ("util-misc", Test_util_misc.suite);
+      ("engine", Test_engine.suite);
+      ("disk", Test_disk.suite);
+      ("replacement", Test_replacement.suite);
+      ("pool-memory", Test_pool.suite);
+      ("memory-balanced", Test_memory_balanced.suite);
+      ("fs", Test_fs.suite);
+      ("kernel", Test_kernel.suite);
+      ("toolbox", Test_toolbox.suite);
+      ("fccd", Test_fccd.suite);
+      ("fldc", Test_fldc.suite);
+      ("mac", Test_mac.suite);
+      ("compose-gbp", Test_compose_gbp.suite);
+      ("config-misc", Test_gbp_cli.suite);
+      ("apps", Test_apps.suite);
+      ("fingerprint", Test_fingerprint.suite);
+      ("baselines", Test_baselines.suite);
+      ("workload", Test_workload.suite);
+      ("related", Test_related.suite);
+      ("vmm", Test_vmm.suite);
+      ("trace", Test_trace.suite);
+      ("edge", Test_edge.suite);
+    ]

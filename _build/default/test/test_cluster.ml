@@ -1,0 +1,134 @@
+(* 2-means threshold clustering: the FCCD/FLDC composition primitive. *)
+
+open Gray_util
+
+let test_clean_split () =
+  let xs = [| 1.0; 1.2; 0.9; 1.1; 100.0; 101.0; 99.0 |] in
+  let s = Cluster.two_means xs in
+  Alcotest.(check int) "low count" 4 s.Cluster.low_count;
+  Alcotest.(check int) "high count" 3 s.Cluster.high_count;
+  Alcotest.(check bool) "threshold between" true
+    (s.Cluster.threshold > 1.2 && s.Cluster.threshold < 99.0);
+  Alcotest.(check bool) "well separated" true (Cluster.separation s > 50.0)
+
+let test_all_equal () =
+  let s = Cluster.two_means (Array.make 5 7.0) in
+  Alcotest.(check int) "one cluster" 5 s.Cluster.low_count;
+  Alcotest.(check int) "empty high" 0 s.Cluster.high_count;
+  Alcotest.(check (float 1e-9)) "separation 1" 1.0 (Cluster.separation s)
+
+let test_singleton () =
+  let s = Cluster.two_means [| 3.0 |] in
+  Alcotest.(check int) "single" 1 s.Cluster.low_count
+
+let test_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Cluster.two_means: empty input")
+    (fun () -> ignore (Cluster.two_means [||]))
+
+let test_two_points () =
+  let s = Cluster.two_means [| 1.0; 10.0 |] in
+  Alcotest.(check int) "low" 1 s.Cluster.low_count;
+  Alcotest.(check int) "high" 1 s.Cluster.high_count;
+  Alcotest.(check (float 1e-9)) "zero within-variance" 0.0 s.Cluster.within_variance
+
+let test_probe_times_scenario () =
+  (* Realistic probe-time mix: microsecond cache hits, millisecond disk. *)
+  let rng = Rng.create ~seed:17 in
+  let hits = Array.init 60 (fun _ -> 2000.0 +. Rng.float rng 2000.0) in
+  let misses = Array.init 40 (fun _ -> 6.0e6 +. Rng.float rng 6.0e6) in
+  let xs = Array.append hits misses in
+  Rng.shuffle rng xs;
+  let s = Cluster.two_means xs in
+  Alcotest.(check int) "hits" 60 s.Cluster.low_count;
+  Alcotest.(check int) "misses" 40 s.Cluster.high_count
+
+let test_log_clustering_resists_outliers () =
+  (* the failure mode that motivated two_means_log: cache-vs-disk times
+     with one extreme straggler; linear 2-means splits off the outlier,
+     log-domain 2-means finds the real gap *)
+  let xs =
+    Array.concat
+      [
+        Array.make 50 2_000.0;  (* cache hits, ~2us *)
+        Array.make 45 5_000_000.0;  (* disk misses, ~5ms *)
+        [| 38_000_000.0 |];  (* one straggler *)
+      ]
+  in
+  let linear = Cluster.two_means xs in
+  let log_split = Cluster.two_means_log xs in
+  Alcotest.(check int) "linear hijacked by the outlier" 1 linear.Cluster.high_count;
+  Alcotest.(check int) "log split finds the gap" 46 log_split.Cluster.high_count;
+  Alcotest.(check bool) "threshold in the gap" true
+    (log_split.Cluster.threshold > 2_000.0 && log_split.Cluster.threshold < 5_000_000.0)
+
+let test_log_clustering_validates () =
+  Alcotest.(check bool) "rejects non-positive" true
+    (try
+       ignore (Cluster.two_means_log [| 1.0; 0.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_k_means_three () =
+  let rng = Rng.create ~seed:23 in
+  let xs =
+    Array.concat
+      [
+        Array.init 30 (fun _ -> Rng.gaussian rng ~mu:0.0 ~sigma:0.2);
+        Array.init 30 (fun _ -> Rng.gaussian rng ~mu:10.0 ~sigma:0.2);
+        Array.init 30 (fun _ -> Rng.gaussian rng ~mu:20.0 ~sigma:0.2);
+      ]
+  in
+  let centroids, assignment = Cluster.k_means rng ~k:3 ~max_iter:50 xs in
+  Alcotest.(check int) "k centroids" 3 (Array.length centroids);
+  Alcotest.(check bool) "centroid 0 near 0" true (Float.abs centroids.(0) < 1.0);
+  Alcotest.(check bool) "centroid 1 near 10" true (Float.abs (centroids.(1) -. 10.0) < 1.0);
+  Alcotest.(check bool) "centroid 2 near 20" true (Float.abs (centroids.(2) -. 20.0) < 1.0);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int) (Printf.sprintf "point %d assigned" i) (i / 30) c)
+    assignment
+
+let prop_partition_counts =
+  QCheck2.Test.make ~name:"two_means partitions all points" ~count:300
+    QCheck2.Gen.(array_size (int_range 1 60) (float_range 0. 1000.))
+    (fun xs ->
+      let s = Cluster.two_means xs in
+      s.Cluster.low_count + s.Cluster.high_count = Array.length xs)
+
+let prop_threshold_separates =
+  QCheck2.Test.make ~name:"threshold separates the clusters" ~count:300
+    QCheck2.Gen.(array_size (int_range 2 60) (float_range 0. 1000.))
+    (fun xs ->
+      let s = Cluster.two_means xs in
+      s.Cluster.high_count = 0
+      || Array.for_all
+           (fun x ->
+             if x <= s.Cluster.threshold then true else x > s.Cluster.threshold)
+           xs
+         &&
+         let lows = Array.to_list xs |> List.filter (fun x -> x <= s.Cluster.threshold) in
+         List.length lows = s.Cluster.low_count)
+
+let prop_low_mean_below_high =
+  QCheck2.Test.make ~name:"low mean <= high mean" ~count:300
+    QCheck2.Gen.(array_size (int_range 2 60) (float_range 0. 1000.))
+    (fun xs ->
+      let s = Cluster.two_means xs in
+      s.Cluster.high_count = 0 || s.Cluster.low_mean <= s.Cluster.high_mean)
+
+let suite =
+  [
+    Alcotest.test_case "clean split" `Quick test_clean_split;
+    Alcotest.test_case "all equal" `Quick test_all_equal;
+    Alcotest.test_case "singleton" `Quick test_singleton;
+    Alcotest.test_case "empty raises" `Quick test_empty_raises;
+    Alcotest.test_case "two points" `Quick test_two_points;
+    Alcotest.test_case "probe-time scenario" `Quick test_probe_times_scenario;
+    Alcotest.test_case "log clustering resists outliers" `Quick
+      test_log_clustering_resists_outliers;
+    Alcotest.test_case "log clustering validates" `Quick test_log_clustering_validates;
+    Alcotest.test_case "k-means three clusters" `Quick test_k_means_three;
+    QCheck_alcotest.to_alcotest prop_partition_counts;
+    QCheck_alcotest.to_alcotest prop_threshold_separates;
+    QCheck_alcotest.to_alcotest prop_low_mean_below_high;
+  ]

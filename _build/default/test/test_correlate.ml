@@ -1,0 +1,91 @@
+(* Correlation / regression / sign test. *)
+
+open Gray_util
+
+let test_pearson_perfect () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  Alcotest.(check (float 1e-9)) "r = 1" 1.0 (Correlate.pearson xs ys);
+  let neg = Array.map (fun y -> -.y) ys in
+  Alcotest.(check (float 1e-9)) "r = -1" (-1.0) (Correlate.pearson xs neg)
+
+let test_pearson_zero_variance () =
+  Alcotest.(check (float 1e-9)) "flat series" 0.0
+    (Correlate.pearson [| 1.0; 1.0; 1.0 |] [| 1.0; 2.0; 3.0 |])
+
+let test_pearson_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Correlate.pearson: length mismatch") (fun () ->
+      ignore (Correlate.pearson [| 1.0 |] [| 1.0; 2.0 |]))
+
+let test_regression_exact () =
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let ys = Array.map (fun x -> (3.0 *. x) -. 2.0) xs in
+  let r = Correlate.linear_regression xs ys in
+  Alcotest.(check (float 1e-9)) "slope" 3.0 r.Correlate.slope;
+  Alcotest.(check (float 1e-9)) "intercept" (-2.0) r.Correlate.intercept;
+  Alcotest.(check (float 1e-9)) "r2" 1.0 r.Correlate.r2
+
+let test_regression_noisy () =
+  let rng = Rng.create ~seed:31 in
+  let xs = Array.init 500 (fun i -> float_of_int i) in
+  let ys = Array.map (fun x -> (0.5 *. x) +. 10.0 +. Rng.gaussian rng ~mu:0.0 ~sigma:1.0) xs in
+  let r = Correlate.linear_regression xs ys in
+  Alcotest.(check bool) "slope near 0.5" true (Float.abs (r.Correlate.slope -. 0.5) < 0.01);
+  Alcotest.(check bool) "good fit" true (r.Correlate.r2 > 0.99)
+
+let test_ema () =
+  let e = Correlate.ema_create ~alpha:0.5 in
+  Alcotest.(check bool) "empty" true (Correlate.ema_value e = None);
+  Alcotest.(check (float 1e-9)) "first" 10.0 (Correlate.ema_add e 10.0);
+  Alcotest.(check (float 1e-9)) "second" 15.0 (Correlate.ema_add e 20.0);
+  Alcotest.(check (float 1e-9)) "third" 17.5 (Correlate.ema_add e 20.0)
+
+let test_sign_test_identical () =
+  let xs = [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "no difference" 1.0 (Correlate.paired_sign_test xs xs)
+
+let test_sign_test_dominating () =
+  let a = Array.init 20 (fun i -> float_of_int i +. 10.0) in
+  let b = Array.init 20 (fun i -> float_of_int i) in
+  let p = Correlate.paired_sign_test a b in
+  Alcotest.(check bool) "significant" true (p < 0.001)
+
+let test_sign_test_balanced () =
+  let a = Array.init 20 (fun i -> if i mod 2 = 0 then 1.0 else 0.0) in
+  let b = Array.init 20 (fun i -> if i mod 2 = 0 then 0.0 else 1.0) in
+  let p = Correlate.paired_sign_test a b in
+  Alcotest.(check bool) "not significant" true (p > 0.5)
+
+let prop_pearson_in_range =
+  QCheck2.Test.make ~name:"pearson in [-1, 1]" ~count:300
+    QCheck2.Gen.(
+      let arr = array_size (return 20) (float_range (-100.) 100.) in
+      pair arr arr)
+    (fun (xs, ys) ->
+      let r = Correlate.pearson xs ys in
+      r >= -1.0 -. 1e-9 && r <= 1.0 +. 1e-9)
+
+let prop_sign_test_symmetric =
+  QCheck2.Test.make ~name:"sign test symmetric" ~count:200
+    QCheck2.Gen.(
+      let arr = array_size (return 15) (float_range (-10.) 10.) in
+      pair arr arr)
+    (fun (xs, ys) ->
+      Float.abs (Correlate.paired_sign_test xs ys -. Correlate.paired_sign_test ys xs)
+      < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "pearson perfect" `Quick test_pearson_perfect;
+    Alcotest.test_case "pearson zero variance" `Quick test_pearson_zero_variance;
+    Alcotest.test_case "pearson length mismatch" `Quick test_pearson_mismatch;
+    Alcotest.test_case "regression exact" `Quick test_regression_exact;
+    Alcotest.test_case "regression noisy" `Quick test_regression_noisy;
+    Alcotest.test_case "ema" `Quick test_ema;
+    Alcotest.test_case "sign test identical" `Quick test_sign_test_identical;
+    Alcotest.test_case "sign test dominating" `Quick test_sign_test_dominating;
+    Alcotest.test_case "sign test balanced" `Quick test_sign_test_balanced;
+    QCheck_alcotest.to_alcotest prop_pearson_in_range;
+    QCheck_alcotest.to_alcotest prop_sign_test_symmetric;
+  ]

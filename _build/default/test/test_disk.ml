@@ -1,0 +1,125 @@
+(* Disk model: service times, sequential streaming, queueing. *)
+
+open Simos
+
+let small_geom =
+  {
+    Disk.model = "test";
+    cylinders = 100;
+    blocks_per_cylinder = 10;
+    seek_min_ns = 1_000;
+    seek_max_ns = 10_000;
+    rotation_ns = 6_000;
+    transfer_ns_per_block = 100;
+  }
+
+let test_capacity () =
+  let d = Disk.create small_geom in
+  Alcotest.(check int) "blocks" 1000 (Disk.capacity_blocks d)
+
+let test_seek_monotone () =
+  let d = Disk.create small_geom in
+  Alcotest.(check int) "zero distance" 0 (Disk.seek_time d ~from_cyl:5 ~to_cyl:5);
+  let s1 = Disk.seek_time d ~from_cyl:0 ~to_cyl:1 in
+  let s50 = Disk.seek_time d ~from_cyl:0 ~to_cyl:50 in
+  let s99 = Disk.seek_time d ~from_cyl:0 ~to_cyl:99 in
+  Alcotest.(check bool) "monotone" true (s1 < s50 && s50 < s99);
+  Alcotest.(check bool) "min bound" true (s1 >= small_geom.Disk.seek_min_ns);
+  Alcotest.(check int) "max bound" small_geom.Disk.seek_max_ns s99
+
+let test_first_access_positions () =
+  let d = Disk.create small_geom in
+  (* first access from cylinder 0 to block 0: no seek distance, but pays
+     rotation + transfer *)
+  let delay = Disk.access d ~now:0 ~start_block:0 ~nblocks:1 in
+  Alcotest.(check int) "rot/2 + transfer" (3_000 + 100) delay
+
+let test_sequential_streaming () =
+  let d = Disk.create small_geom in
+  let first = Disk.access d ~now:0 ~start_block:0 ~nblocks:5 in
+  let second = Disk.access d ~now:first ~start_block:5 ~nblocks:5 in
+  Alcotest.(check bool) "second cheaper" true (second < first);
+  Alcotest.(check int) "pure transfer" (5 * 100) second;
+  Alcotest.(check int) "sequential hit" 1 (Disk.sequential_hits d)
+
+let test_random_costs_more_than_sequential () =
+  let dseq = Disk.create small_geom and drand = Disk.create small_geom in
+  let now = ref 0 in
+  for i = 0 to 9 do
+    now := !now + Disk.access dseq ~now:!now ~start_block:(i * 10) ~nblocks:10
+  done;
+  let seq_total = !now in
+  let rng = Gray_util.Rng.create ~seed:3 in
+  now := 0;
+  for _ = 0 to 9 do
+    let b = Gray_util.Rng.int rng 99 * 10 in
+    now := !now + Disk.access drand ~now:!now ~start_block:b ~nblocks:10
+  done;
+  Alcotest.(check bool) "random slower" true (!now > seq_total)
+
+let test_queueing () =
+  (* Two requests dispatched at the same instant: the second waits. *)
+  let d = Disk.create small_geom in
+  let d1 = Disk.access d ~now:0 ~start_block:500 ~nblocks:1 in
+  let d2 = Disk.access d ~now:0 ~start_block:500 ~nblocks:1 in
+  Alcotest.(check bool) "second delayed" true (d2 > d1)
+
+let test_cylinder_crossing_penalty () =
+  let d = Disk.create small_geom in
+  ignore (Disk.access d ~now:0 ~start_block:0 ~nblocks:1);
+  (* blocks 1..20 cross a cylinder boundary at block 10 *)
+  let within = Disk.service_time d ~start_block:1 ~nblocks:9 in
+  let crossing = Disk.service_time d ~start_block:1 ~nblocks:19 in
+  Alcotest.(check bool) "crossing costs extra" true
+    (crossing > within + (10 * small_geom.Disk.transfer_ns_per_block))
+
+let test_out_of_range () =
+  let d = Disk.create small_geom in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Disk.access d ~now:0 ~start_block:995 ~nblocks:10);
+       false
+     with Invalid_argument _ -> true)
+
+let test_counters () =
+  let d = Disk.create small_geom in
+  ignore (Disk.access d ~now:0 ~start_block:0 ~nblocks:4);
+  ignore (Disk.access d ~now:0 ~start_block:4 ~nblocks:4);
+  Alcotest.(check int) "requests" 2 (Disk.requests d);
+  Alcotest.(check int) "blocks" 8 (Disk.blocks_transferred d);
+  Alcotest.(check bool) "busy" true (Disk.busy_ns d > 0);
+  Disk.reset_counters d;
+  Alcotest.(check int) "reset" 0 (Disk.requests d)
+
+let test_ibm_9lzx_scan_rate () =
+  (* A full sequential 1 GB scan should land near 20 MB/s (the paper's
+     cold-cache 1 GB scans take ~54 s). *)
+  let d = Disk.create Disk.ibm_9lzx in
+  let blocks = 262_144 (* 1 GB *) in
+  let now = ref 0 in
+  let unit_blocks = 5_120 (* 20 MB *) in
+  let i = ref 0 in
+  while !i < blocks do
+    now := !now + Disk.access d ~now:!now ~start_block:!i ~nblocks:unit_blocks;
+    i := !i + unit_blocks
+  done;
+  let seconds = Gray_util.Units.sec_of_ns !now in
+  Alcotest.(check bool)
+    (Printf.sprintf "1GB scan in ~50-60s (got %.1f)" seconds)
+    true
+    (seconds > 45.0 && seconds < 65.0)
+
+let suite =
+  [
+    Alcotest.test_case "capacity" `Quick test_capacity;
+    Alcotest.test_case "seek monotone" `Quick test_seek_monotone;
+    Alcotest.test_case "first access" `Quick test_first_access_positions;
+    Alcotest.test_case "sequential streaming" `Quick test_sequential_streaming;
+    Alcotest.test_case "random slower than sequential" `Quick
+      test_random_costs_more_than_sequential;
+    Alcotest.test_case "queueing" `Quick test_queueing;
+    Alcotest.test_case "cylinder crossing" `Quick test_cylinder_crossing_penalty;
+    Alcotest.test_case "out of range" `Quick test_out_of_range;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "ibm 9lzx scan rate" `Quick test_ibm_9lzx_scan_rate;
+  ]

@@ -1,0 +1,149 @@
+(* Discrete-event engine: ordering, determinism, fiber interleaving. *)
+
+open Simos
+
+let test_single_fiber_time () =
+  let e = Engine.create () in
+  let finished = ref 0 in
+  Engine.spawn e (fun () ->
+      Engine.delay 100;
+      Engine.delay 50;
+      finished := Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "time advanced" 150 !finished
+
+let test_interleaving () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag = log := (tag, Engine.now e) :: !log in
+  Engine.spawn e ~name:"a" (fun () ->
+      note "a0";
+      Engine.delay 10;
+      note "a1";
+      Engine.delay 20;
+      note "a2");
+  Engine.spawn e ~name:"b" (fun () ->
+      note "b0";
+      Engine.delay 15;
+      note "b1");
+  Engine.run e;
+  Alcotest.(check (list (pair string int)))
+    "event order"
+    [ ("a0", 0); ("b0", 0); ("a1", 10); ("b1", 15); ("a2", 30) ]
+    (List.rev !log)
+
+let test_same_time_fifo () =
+  (* Fibers scheduled for the same instant run in spawn order. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.spawn e (fun () ->
+        Engine.delay 100;
+        log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_spawn_from_fiber () =
+  let e = Engine.create () in
+  let child_time = ref (-1) in
+  Engine.spawn e (fun () ->
+      Engine.delay 42;
+      Engine.spawn e (fun () ->
+          Engine.delay 8;
+          child_time := Engine.now e));
+  Engine.run e;
+  Alcotest.(check int) "child inherits clock" 50 !child_time
+
+let test_spawn_at () =
+  let e = Engine.create () in
+  let t = ref (-1) in
+  Engine.spawn e ~at:500 (fun () -> t := Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "starts at" 500 !t
+
+let test_spawn_in_past_rejected () =
+  let e = Engine.create () in
+  Engine.spawn e (fun () ->
+      Engine.delay 100;
+      Alcotest.(check bool) "raises" true
+        (try
+           Engine.spawn e ~at:10 (fun () -> ());
+           false
+         with Invalid_argument _ -> true));
+  Engine.run e
+
+let test_delay_outside_fiber () =
+  Alcotest.(check bool) "raises" true
+    (try
+       Engine.delay 1;
+       false
+     with Failure _ -> true)
+
+let test_negative_delay () =
+  let e = Engine.create () in
+  Engine.spawn e (fun () ->
+      Alcotest.(check bool) "raises" true
+        (try
+           Engine.delay (-1);
+           false
+         with Invalid_argument _ -> true));
+  Engine.run e
+
+let test_fiber_crash_propagates () =
+  let e = Engine.create () in
+  Engine.spawn e ~name:"boom" (fun () -> failwith "bad");
+  Alcotest.(check bool) "crash surfaces" true
+    (try
+       Engine.run e;
+       false
+     with Engine.Fiber_crash ("boom", Failure _) -> true)
+
+let test_many_events_flat_stack () =
+  (* The shallow-handler trampoline must survive very long runs: two fibers
+     ping-ponging half a million context switches. *)
+  let e = Engine.create () in
+  let count = ref 0 in
+  let body () =
+    for _ = 1 to 250_000 do
+      Engine.delay 1;
+      incr count
+    done
+  in
+  Engine.spawn e body;
+  Engine.spawn e body;
+  Engine.run e;
+  Alcotest.(check int) "all iterations" 500_000 !count;
+  Alcotest.(check bool) "events counted" true (Engine.events_processed e >= 500_000)
+
+let test_determinism () =
+  let trace () =
+    let e = Engine.create () in
+    let rng = Gray_util.Rng.create ~seed:7 in
+    let log = ref [] in
+    for i = 1 to 10 do
+      Engine.spawn e (fun () ->
+          for _ = 1 to 20 do
+            Engine.delay (Gray_util.Rng.int rng 100);
+            log := (i, Engine.now e) :: !log
+          done)
+    done;
+    Engine.run e;
+    !log
+  in
+  Alcotest.(check bool) "identical traces" true (trace () = trace ())
+
+let suite =
+  [
+    Alcotest.test_case "single fiber time" `Quick test_single_fiber_time;
+    Alcotest.test_case "interleaving" `Quick test_interleaving;
+    Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+    Alcotest.test_case "spawn from fiber" `Quick test_spawn_from_fiber;
+    Alcotest.test_case "spawn at" `Quick test_spawn_at;
+    Alcotest.test_case "spawn in past rejected" `Quick test_spawn_in_past_rejected;
+    Alcotest.test_case "delay outside fiber" `Quick test_delay_outside_fiber;
+    Alcotest.test_case "negative delay" `Quick test_negative_delay;
+    Alcotest.test_case "fiber crash propagates" `Quick test_fiber_crash_propagates;
+    Alcotest.test_case "many events, flat stack" `Quick test_many_events_flat_stack;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

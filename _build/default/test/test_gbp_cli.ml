@@ -1,0 +1,66 @@
+(* gbp/search/scan odds and ends not covered elsewhere, plus FLDC path
+   helpers. *)
+
+open Graybox_core
+
+let test_dirname_basename () =
+  Alcotest.(check string) "dirname" "/d0/a" (Fldc.dirname "/d0/a/b");
+  Alcotest.(check string) "dirname root" "/" (Fldc.dirname "/x");
+  Alcotest.(check string) "basename" "b" (Fldc.basename "/d0/a/b");
+  Alcotest.(check string) "basename bare" "x" (Fldc.basename "x")
+
+let test_crash_points_enumeration () =
+  Alcotest.(check int) "five points" 5 (List.length Fldc.crash_points);
+  Alcotest.(check bool) "includes no-crash" true
+    (List.mem Fldc.No_crash Fldc.crash_points)
+
+let test_journal_name_stable () =
+  (* the repair scan keys off this prefix; changing it breaks recovery of
+     in-flight refreshes across versions *)
+  Alcotest.(check string) "journal prefix" ".gb_refresh_journal" Fldc.journal_name
+
+let test_fccd_config_align_validation () =
+  let c = Fccd.default_config ~seed:1 () in
+  Alcotest.(check bool) "rejects zero" true
+    (try
+       ignore (Fccd.with_align c 0);
+       false
+     with Invalid_argument _ -> true);
+  let c100 = Fccd.with_align c 100 in
+  Alcotest.(check int) "align stored" 100 c100.Fccd.align
+
+let test_fccd_default_config_sizes () =
+  let c = Fccd.default_config ~seed:2 () in
+  Alcotest.(check int) "access unit 20MB" (20 * 1024 * 1024) c.Fccd.access_unit;
+  Alcotest.(check int) "prediction unit 5MB" (5 * 1024 * 1024) c.Fccd.prediction_unit;
+  (* repo override *)
+  let repo = Gray_util.Param_repo.create () in
+  Gray_util.Param_repo.set repo ~key:Gray_util.Param_repo.key_access_unit_bytes
+    ~value:(8.0 *. 1024.0 *. 1024.0) ~source:"test";
+  let c2 = Fccd.default_config ~repo ~seed:3 () in
+  Alcotest.(check int) "repo override" (8 * 1024 * 1024) c2.Fccd.access_unit
+
+let test_mac_default_config () =
+  let c = Mac.default_config () in
+  Alcotest.(check bool) "no threshold without repo" true (c.Mac.slow_threshold_ns = None);
+  Alcotest.(check bool) "headroom sane" true (c.Mac.headroom > 0.0 && c.Mac.headroom < 0.5);
+  let repo = Gray_util.Param_repo.create () in
+  Gray_util.Param_repo.set repo ~key:Gray_util.Param_repo.key_page_in_ns ~value:9e6
+    ~source:"test";
+  Gray_util.Param_repo.set repo ~key:Gray_util.Param_repo.key_page_alloc_zero_ns
+    ~value:9e3 ~source:"test";
+  match (Mac.default_config ~repo ()).Mac.slow_threshold_ns with
+  | Some t ->
+    (* geometric mean of 9ms and 9us = ~285us *)
+    Alcotest.(check bool) "threshold between" true (t > 9_000 && t < 9_000_000)
+  | None -> Alcotest.fail "expected threshold"
+
+let suite =
+  [
+    Alcotest.test_case "dirname/basename" `Quick test_dirname_basename;
+    Alcotest.test_case "crash points" `Quick test_crash_points_enumeration;
+    Alcotest.test_case "journal name stable" `Quick test_journal_name_stable;
+    Alcotest.test_case "fccd align validation" `Quick test_fccd_config_align_validation;
+    Alcotest.test_case "fccd default config" `Quick test_fccd_default_config_sizes;
+    Alcotest.test_case "mac default config" `Quick test_mac_default_config;
+  ]

@@ -1,0 +1,113 @@
+(* The Linux 2.2-style balanced layout: anonymous demand shrinks the file
+   cache, streaming file pages never push out anonymous memory. *)
+
+open Simos
+
+let fkey i = Page.File { ino = 9; idx = i }
+let akey i = Page.Anon { pid = 1; vpn = i }
+
+let make ?(usable = 100) ?(floor = 10) () =
+  Memory.create ~usable_pages:usable
+    (Memory.Unified_balanced { policy = Replacement.lru; file_floor_pages = floor })
+
+let test_initial_capacities () =
+  let m = make () in
+  Alcotest.(check int) "file can use everything" 100 (Memory.file_capacity m);
+  Alcotest.(check int) "anon capped by floor" 90 (Memory.anon_capacity m)
+
+let test_anon_growth_shrinks_file () =
+  let m = make () in
+  for i = 0 to 99 do
+    ignore (Memory.access m (fkey i) ~dirty:false)
+  done;
+  Alcotest.(check int) "cache filled" 100 (Memory.resident_file m);
+  (* 30 anon pages arrive: the file cache must yield exactly 30 frames *)
+  for i = 0 to 29 do
+    ignore (Memory.access m (akey i) ~dirty:true)
+  done;
+  Alcotest.(check int) "file shrunk" 70 (Memory.resident_file m);
+  Alcotest.(check int) "file capacity follows" 70 (Memory.file_capacity m);
+  Alcotest.(check int) "anon resident" 30 (Memory.resident_anon m)
+
+let test_streaming_cannot_evict_anon () =
+  let m = make () in
+  for i = 0 to 39 do
+    ignore (Memory.access m (akey i) ~dirty:true)
+  done;
+  (* stream many more file pages than fit: only file pages may be evicted *)
+  for i = 0 to 499 do
+    ignore (Memory.access m (fkey i) ~dirty:false)
+  done;
+  Alcotest.(check int) "anon untouched" 40 (Memory.resident_anon m);
+  Alcotest.(check int) "file bounded by remainder" 60 (Memory.resident_file m)
+
+let test_floor_respected () =
+  let m = make () in
+  (* anon demand beyond its capacity pages out anon, not the floor *)
+  let evicted_anon = ref 0 in
+  for i = 0 to 99 do
+    match Memory.access m (akey i) ~dirty:true with
+    | `Hit -> ()
+    | `Filled evicted ->
+      List.iter
+        (fun (e : Pool.evicted) -> if Page.is_anon e.Pool.key then incr evicted_anon)
+        evicted
+  done;
+  Alcotest.(check int) "anon capped" 90 (Memory.resident_anon m);
+  Alcotest.(check int) "anon overflow evicted anon" 10 !evicted_anon;
+  (* the floor is still available to file pages *)
+  for i = 0 to 9 do
+    ignore (Memory.access m (fkey i) ~dirty:false)
+  done;
+  Alcotest.(check int) "floor usable" 10 (Memory.resident_file m)
+
+let test_release_returns_frames_to_cache () =
+  let m = make () in
+  for i = 0 to 49 do
+    ignore (Memory.access m (akey i) ~dirty:true)
+  done;
+  Alcotest.(check int) "capacity down" 50 (Memory.file_capacity m);
+  for i = 0 to 49 do
+    Memory.invalidate m (akey i)
+  done;
+  Alcotest.(check int) "capacity restored" 100 (Memory.file_capacity m);
+  Alcotest.(check int) "anon gone" 0 (Memory.resident_anon m)
+
+let test_rebalance_reports_evictions () =
+  let m = make () in
+  for i = 0 to 99 do
+    ignore (Memory.access m (fkey i) ~dirty:true)
+  done;
+  (* the first anon page displaces file pages: `Filled must report them *)
+  match Memory.access m (akey 0) ~dirty:true with
+  | `Hit -> Alcotest.fail "expected a fill"
+  | `Filled evicted ->
+    let file_victims = List.filter (fun (e : Pool.evicted) -> Page.is_file e.Pool.key) evicted in
+    Alcotest.(check bool) "file victims reported" true (List.length file_victims >= 1);
+    Alcotest.(check bool) "victims dirty bit preserved" true
+      (List.for_all (fun (e : Pool.evicted) -> e.Pool.dirty) file_victims)
+
+let prop_invariant_under_mixed_load =
+  QCheck2.Test.make ~name:"balanced: file+anon <= usable, anon <= cap" ~count:150
+    QCheck2.Gen.(list_size (int_range 0 300) (pair bool (int_range 0 150)))
+    (fun ops ->
+      let m = make ~usable:64 ~floor:8 () in
+      List.for_all
+        (fun (is_file, i) ->
+          let key = if is_file then fkey i else akey i in
+          ignore (Memory.access m key ~dirty:true);
+          Memory.resident_file m + Memory.resident_anon m <= 64
+          && Memory.resident_anon m <= 56
+          && Memory.file_capacity m = max 1 (64 - Memory.resident_anon m))
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "initial capacities" `Quick test_initial_capacities;
+    Alcotest.test_case "anon growth shrinks file" `Quick test_anon_growth_shrinks_file;
+    Alcotest.test_case "streaming cannot evict anon" `Quick test_streaming_cannot_evict_anon;
+    Alcotest.test_case "floor respected" `Quick test_floor_respected;
+    Alcotest.test_case "release returns frames" `Quick test_release_returns_frames_to_cache;
+    Alcotest.test_case "rebalance reports evictions" `Quick test_rebalance_reports_evictions;
+    QCheck_alcotest.to_alcotest prop_invariant_under_mixed_load;
+  ]

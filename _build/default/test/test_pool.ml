@@ -1,0 +1,136 @@
+(* Pool + Memory: capacity enforcement, dirty tracking, layout routing. *)
+
+open Simos
+
+let fkey i = Page.File { ino = 9; idx = i }
+let akey i = Page.Anon { pid = 1; vpn = i }
+
+let test_capacity_enforced () =
+  let p = Pool.create ~name:"t" ~capacity_pages:4 ~policy:Replacement.lru in
+  for i = 0 to 9 do
+    ignore (Pool.access p (fkey i) ~dirty:false)
+  done;
+  Alcotest.(check int) "resident bounded" 4 (Pool.resident p);
+  Alcotest.(check int) "evictions" 6 (Pool.evictions p)
+
+let test_hit_miss_counters () =
+  let p = Pool.create ~name:"t" ~capacity_pages:4 ~policy:Replacement.lru in
+  ignore (Pool.access p (fkey 0) ~dirty:false);
+  ignore (Pool.access p (fkey 0) ~dirty:false);
+  ignore (Pool.access p (fkey 1) ~dirty:false);
+  Alcotest.(check int) "hits" 1 (Pool.hits p);
+  Alcotest.(check int) "misses" 2 (Pool.misses p);
+  Pool.reset_counters p;
+  Alcotest.(check int) "reset" 0 (Pool.hits p)
+
+let test_dirty_propagates_to_eviction () =
+  let p = Pool.create ~name:"t" ~capacity_pages:2 ~policy:Replacement.lru in
+  ignore (Pool.access p (fkey 0) ~dirty:true);
+  ignore (Pool.access p (fkey 1) ~dirty:false);
+  Alcotest.(check bool) "dirty recorded" true (Pool.is_dirty p (fkey 0));
+  (match Pool.access p (fkey 2) ~dirty:false with
+  | `Filled [ e ] ->
+    Alcotest.(check string) "victim" (Page.to_string (fkey 0)) (Page.to_string e.Pool.key);
+    Alcotest.(check bool) "victim dirty" true e.Pool.dirty
+  | _ -> Alcotest.fail "expected one eviction");
+  (* re-insert 0: dirty bit must have been cleared with the eviction *)
+  ignore (Pool.access p (fkey 0) ~dirty:false);
+  Alcotest.(check bool) "dirty cleared" false (Pool.is_dirty p (fkey 0))
+
+let test_invalidate () =
+  let p = Pool.create ~name:"t" ~capacity_pages:4 ~policy:Replacement.lru in
+  ignore (Pool.access p (fkey 0) ~dirty:true);
+  Pool.invalidate p (fkey 0);
+  Alcotest.(check bool) "gone" false (Pool.contains p (fkey 0));
+  Alcotest.(check int) "resident" 0 (Pool.resident p)
+
+let test_evict_one () =
+  let p = Pool.create ~name:"t" ~capacity_pages:4 ~policy:Replacement.lru in
+  Alcotest.(check bool) "empty returns none" true (Pool.evict_one p = None);
+  ignore (Pool.access p (fkey 0) ~dirty:false);
+  (match Pool.evict_one p with
+  | Some e -> Alcotest.(check string) "evicted" (Page.to_string (fkey 0)) (Page.to_string e.Pool.key)
+  | None -> Alcotest.fail "expected eviction")
+
+let test_memory_unified_shares () =
+  let m = Memory.create ~usable_pages:4 (Memory.Unified Replacement.lru) in
+  ignore (Memory.access m (fkey 0) ~dirty:false);
+  ignore (Memory.access m (fkey 1) ~dirty:false);
+  ignore (Memory.access m (akey 0) ~dirty:true);
+  ignore (Memory.access m (akey 1) ~dirty:true);
+  Alcotest.(check int) "file resident" 2 (Memory.resident_file m);
+  Alcotest.(check int) "anon resident" 2 (Memory.resident_anon m);
+  (* the next anon page evicts the LRU file page *)
+  (match Memory.access m (akey 2) ~dirty:true with
+  | `Filled [ e ] -> Alcotest.(check bool) "victim is file" true (Page.is_file e.Pool.key)
+  | _ -> Alcotest.fail "expected eviction");
+  Alcotest.(check int) "file shrunk" 1 (Memory.resident_file m);
+  Alcotest.(check int) "anon grew" 3 (Memory.resident_anon m)
+
+let test_memory_split_isolates () =
+  let m =
+    Memory.create ~usable_pages:8
+      (Memory.Split
+         { file_pages = 2; file_policy = Replacement.lru; anon_policy = Replacement.lru })
+  in
+  Alcotest.(check int) "file capacity" 2 (Memory.file_capacity m);
+  Alcotest.(check int) "anon capacity" 6 (Memory.anon_capacity m);
+  ignore (Memory.access m (akey 0) ~dirty:true);
+  (* filling the file pool cannot evict anon pages *)
+  for i = 0 to 5 do
+    ignore (Memory.access m (fkey i) ~dirty:false)
+  done;
+  Alcotest.(check int) "file bounded" 2 (Memory.resident_file m);
+  Alcotest.(check int) "anon untouched" 1 (Memory.resident_anon m)
+
+let test_memory_invalidate_if () =
+  let m = Memory.create ~usable_pages:8 (Memory.Unified Replacement.lru) in
+  for i = 0 to 3 do
+    ignore (Memory.access m (fkey i) ~dirty:false)
+  done;
+  ignore (Memory.access m (akey 0) ~dirty:true);
+  let dropped = Memory.invalidate_if m Page.is_file in
+  Alcotest.(check int) "dropped files" 4 dropped;
+  Alcotest.(check int) "file 0" 0 (Memory.resident_file m);
+  Alcotest.(check int) "anon kept" 1 (Memory.resident_anon m)
+
+let prop_pool_never_exceeds_capacity =
+  QCheck2.Test.make ~name:"pool never exceeds capacity" ~count:100
+    QCheck2.Gen.(
+      pair (int_range 1 16) (list_size (int_range 0 200) (int_range 0 40)))
+    (fun (cap, accesses) ->
+      let p = Pool.create ~name:"t" ~capacity_pages:cap ~policy:Replacement.clock in
+      List.for_all
+        (fun i ->
+          ignore (Pool.access p (fkey i) ~dirty:(i mod 2 = 0));
+          Pool.resident p <= cap)
+        accesses)
+
+let prop_accounting_consistent =
+  QCheck2.Test.make ~name:"memory kind accounting consistent" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 150) (pair bool (int_range 0 30)))
+    (fun ops ->
+      let m = Memory.create ~usable_pages:16 (Memory.Unified Replacement.lru) in
+      List.iter
+        (fun (is_file, i) ->
+          let key = if is_file then fkey i else akey i in
+          ignore (Memory.access m key ~dirty:true))
+        ops;
+      let file = ref 0 and anon = ref 0 in
+      Pool.iter (Memory.file_pool m) (fun k ->
+          if Page.is_file k then incr file else incr anon);
+      !file = Memory.resident_file m && !anon = Memory.resident_anon m)
+
+let suite =
+  [
+    Alcotest.test_case "capacity enforced" `Quick test_capacity_enforced;
+    Alcotest.test_case "hit/miss counters" `Quick test_hit_miss_counters;
+    Alcotest.test_case "dirty propagates" `Quick test_dirty_propagates_to_eviction;
+    Alcotest.test_case "invalidate" `Quick test_invalidate;
+    Alcotest.test_case "evict one" `Quick test_evict_one;
+    Alcotest.test_case "unified shares frames" `Quick test_memory_unified_shares;
+    Alcotest.test_case "split isolates pools" `Quick test_memory_split_isolates;
+    Alcotest.test_case "invalidate_if" `Quick test_memory_invalidate_if;
+    QCheck_alcotest.to_alcotest prop_pool_never_exceeds_capacity;
+    QCheck_alcotest.to_alcotest prop_accounting_consistent;
+  ]

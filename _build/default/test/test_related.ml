@@ -1,0 +1,179 @@
+(* Table 1 systems: TCP congestion control, implicit coscheduling,
+   MS Manners. *)
+
+open Gray_related
+open Gray_util
+
+(* ---- TCP ---- *)
+
+let test_tcp_wired_inference_precise () =
+  let rng = Rng.create ~seed:1 in
+  let r =
+    Tcp.simulate rng ~flows:4 ~capacity:100 ~queue:50 ~rounds:2000
+      ~loss:Tcp.Congestion_only
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "precision %.2f" r.Tcp.r_inference_precision)
+    true
+    (r.Tcp.r_inference_precision > 0.99);
+  Alcotest.(check bool)
+    (Printf.sprintf "utilization %.2f" r.Tcp.r_utilization)
+    true
+    (r.Tcp.r_utilization > 0.7);
+  Alcotest.(check bool)
+    (Printf.sprintf "fairness %.2f" r.Tcp.r_fairness)
+    true (r.Tcp.r_fairness > 0.9)
+
+let test_tcp_wireless_breaks_inference () =
+  (* the paper's warning: random wireless loss is misread as congestion *)
+  let rng = Rng.create ~seed:2 in
+  let wired =
+    Tcp.simulate rng ~flows:4 ~capacity:100 ~queue:50 ~rounds:2000
+      ~loss:Tcp.Congestion_only
+  in
+  let rng = Rng.create ~seed:2 in
+  let wireless =
+    Tcp.simulate rng ~flows:4 ~capacity:100 ~queue:50 ~rounds:2000
+      ~loss:(Tcp.Wireless 0.02)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "precision drops: %.2f -> %.2f" wired.Tcp.r_inference_precision
+       wireless.Tcp.r_inference_precision)
+    true
+    (wireless.Tcp.r_inference_precision < 0.5);
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput drops: %.2f -> %.2f" wired.Tcp.r_utilization
+       wireless.Tcp.r_utilization)
+    true
+    (wireless.Tcp.r_utilization < 0.8 *. wired.Tcp.r_utilization)
+
+let test_tcp_single_flow_fills_pipe () =
+  let rng = Rng.create ~seed:3 in
+  let r =
+    Tcp.simulate rng ~flows:1 ~capacity:50 ~queue:25 ~rounds:1000
+      ~loss:Tcp.Congestion_only
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "utilization %.2f" r.Tcp.r_utilization)
+    true (r.Tcp.r_utilization > 0.8)
+
+let test_tcp_validates_args () =
+  let rng = Rng.create ~seed:4 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Tcp.simulate rng ~flows:0 ~capacity:10 ~queue:5 ~rounds:10
+            ~loss:Tcp.Congestion_only);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- implicit coscheduling ---- *)
+
+let cosched_run ~policy ~seed =
+  let rng = Rng.create ~seed in
+  Cosched.simulate rng ~nodes:4 ~background:1 ~granularity_us:100 ~barriers:300
+    ~quantum_us:10_000 ~ctx_switch_us:50 ~policy
+
+let test_cosched_blocking_is_terrible () =
+  let block = cosched_run ~policy:Cosched.Block_immediately ~seed:5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "blocking slowdown %.1f" block.Cosched.c_slowdown)
+    true
+    (block.Cosched.c_slowdown > 8.0)
+
+let test_cosched_two_phase_close_to_spin () =
+  let two_phase = cosched_run ~policy:(Cosched.Two_phase 4_000) ~seed:5 in
+  let block = cosched_run ~policy:Cosched.Block_immediately ~seed:5 in
+  let spin = cosched_run ~policy:Cosched.Spin_forever ~seed:5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "two-phase %.1f much better than blocking %.1f"
+       two_phase.Cosched.c_slowdown block.Cosched.c_slowdown)
+    true
+    (two_phase.Cosched.c_slowdown < 0.3 *. block.Cosched.c_slowdown);
+  Alcotest.(check bool)
+    (Printf.sprintf "two-phase %.1f close to spin-forever %.1f"
+       two_phase.Cosched.c_slowdown spin.Cosched.c_slowdown)
+    true
+    (two_phase.Cosched.c_slowdown < 2.0 *. spin.Cosched.c_slowdown);
+  Alcotest.(check bool)
+    (Printf.sprintf "background still runs (%.2f)" two_phase.Cosched.c_background_share)
+    true
+    (two_phase.Cosched.c_background_share > 0.1)
+
+let test_cosched_spin_forever_wastes_cpu () =
+  let spin = cosched_run ~policy:Cosched.Spin_forever ~seed:5 in
+  let two_phase = cosched_run ~policy:(Cosched.Two_phase 4_000) ~seed:5 in
+  let block = cosched_run ~policy:Cosched.Block_immediately ~seed:5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "spin-forever %.1f still beats blocking %.1f"
+       spin.Cosched.c_slowdown block.Cosched.c_slowdown)
+    true
+    (spin.Cosched.c_slowdown < block.Cosched.c_slowdown);
+  Alcotest.(check bool)
+    (Printf.sprintf "spin waste %.0fus >> two-phase waste %.0fus"
+       (float_of_int spin.Cosched.c_spin_wasted_us)
+       (float_of_int two_phase.Cosched.c_spin_wasted_us))
+    true
+    (spin.Cosched.c_spin_wasted_us > 2 * two_phase.Cosched.c_spin_wasted_us)
+
+(* ---- MS Manners ---- *)
+
+let manners_run ~naive ~seed =
+  let rng = Rng.create ~seed in
+  Manners.simulate rng Manners.default_config ~busy_us:500_000 ~idle_us:500_000
+    ~phases:40 ~naive
+
+let test_manners_politeness () =
+  let naive = manners_run ~naive:true ~seed:6 in
+  let polite = manners_run ~naive:false ~seed:6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "interference falls %.2f -> %.2f"
+       naive.Manners.m_foreground_interference polite.Manners.m_foreground_interference)
+    true
+    (polite.Manners.m_foreground_interference
+    < 0.4 *. naive.Manners.m_foreground_interference);
+  Alcotest.(check bool)
+    (Printf.sprintf "idle still used (%.2f)" polite.Manners.m_idle_utilization)
+    true
+    (polite.Manners.m_idle_utilization > 0.4);
+  Alcotest.(check bool)
+    (Printf.sprintf "detection accuracy %.2f" polite.Manners.m_detection_accuracy)
+    true
+    (polite.Manners.m_detection_accuracy > 0.7)
+
+let test_manners_naive_hogs () =
+  let naive = manners_run ~naive:true ~seed:7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "naive interference %.2f" naive.Manners.m_foreground_interference)
+    true
+    (naive.Manners.m_foreground_interference > 0.9)
+
+let test_manners_all_idle () =
+  let rng = Rng.create ~seed:8 in
+  let r =
+    Manners.simulate rng Manners.default_config ~busy_us:1_000 ~idle_us:2_000_000
+      ~phases:10 ~naive:false
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "idle machine fully used (%.2f)" r.Manners.m_idle_utilization)
+    true
+    (r.Manners.m_idle_utilization > 0.9)
+
+let suite =
+  [
+    Alcotest.test_case "tcp: wired inference precise" `Quick
+      test_tcp_wired_inference_precise;
+    Alcotest.test_case "tcp: wireless breaks inference" `Quick
+      test_tcp_wireless_breaks_inference;
+    Alcotest.test_case "tcp: single flow fills pipe" `Quick test_tcp_single_flow_fills_pipe;
+    Alcotest.test_case "tcp: validates args" `Quick test_tcp_validates_args;
+    Alcotest.test_case "cosched: blocking is terrible" `Quick
+      test_cosched_blocking_is_terrible;
+    Alcotest.test_case "cosched: two-phase works" `Quick
+      test_cosched_two_phase_close_to_spin;
+    Alcotest.test_case "cosched: spin-forever wastes cpu" `Quick
+      test_cosched_spin_forever_wastes_cpu;
+    Alcotest.test_case "manners: politeness" `Quick test_manners_politeness;
+    Alcotest.test_case "manners: naive hogs" `Quick test_manners_naive_hogs;
+    Alcotest.test_case "manners: all idle" `Quick test_manners_all_idle;
+  ]

@@ -1,0 +1,115 @@
+(* Determinism and distributional sanity of the PRNG layer. *)
+
+open Gray_util
+
+let test_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different streams" true (!same < 4)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_int_in_bounds () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 1_000 do
+    let x = Rng.int_in rng ~min:(-5) ~max:5 in
+    Alcotest.(check bool) "in range" true (x >= -5 && x <= 5)
+  done
+
+let test_int_rejects_bad_bound () =
+  let rng = Rng.create ~seed:7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_float_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_uniformity () =
+  (* chi-square-ish check: 10 buckets over 100k draws stay within 5%. *)
+  let rng = Rng.create ~seed:11 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "bucket near 10%" true (frac > 0.09 && frac < 0.11))
+    buckets
+
+let test_gaussian_moments () =
+  let rng = Rng.create ~seed:13 in
+  let acc = Stats.empty () in
+  for _ = 1 to 50_000 do
+    Stats.add acc (Rng.gaussian rng ~mu:3.0 ~sigma:2.0)
+  done;
+  Alcotest.(check bool) "mean near 3" true (Float.abs (Stats.mean acc -. 3.0) < 0.05);
+  Alcotest.(check bool) "stddev near 2" true (Float.abs (Stats.stddev acc -. 2.0) < 0.05)
+
+let test_split_independent () =
+  let parent = Rng.create ~seed:99 in
+  let child = Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 parent = Rng.bits64 child then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 4)
+
+let test_copy_replays () =
+  let a = Rng.create ~seed:5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_shuffle_permutes () =
+  let rng = Rng.create ~seed:21 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 (fun i -> i)) sorted;
+  Alcotest.(check bool) "actually shuffled" true (arr <> Array.init 50 (fun i -> i))
+
+let test_choose () =
+  let rng = Rng.create ~seed:4 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    let x = Rng.choose rng arr in
+    Alcotest.(check bool) "member" true (Array.mem x arr)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+    Alcotest.test_case "int rejects bad bound" `Quick test_int_rejects_bad_bound;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "uniformity" `Quick test_uniformity;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "copy replays" `Quick test_copy_replays;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "choose membership" `Quick test_choose;
+  ]

@@ -1,0 +1,107 @@
+(* Statistics: one-shot vs incremental agreement, plus qcheck properties. *)
+
+open Gray_util
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let test_empty () =
+  let t = Stats.empty () in
+  Alcotest.(check int) "count" 0 (Stats.count t);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.mean t));
+  Alcotest.(check (float 0.0)) "variance" 0.0 (Stats.variance t)
+
+let test_known_values () =
+  let t = Stats.empty () in
+  List.iter (Stats.add t) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean t);
+  (* population variance is 4; sample variance is 32/7 *)
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stats.variance t);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min_value t);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max_value t);
+  Alcotest.(check (float 1e-9)) "total" 40.0 (Stats.total t)
+
+let test_merge_equals_sequential () =
+  let rng = Rng.create ~seed:8 in
+  let xs = Array.init 1000 (fun _ -> Rng.gaussian rng ~mu:1.0 ~sigma:3.0) in
+  let whole = Stats.empty () in
+  Array.iter (Stats.add whole) xs;
+  let a = Stats.empty () and b = Stats.empty () in
+  Array.iteri (fun i x -> Stats.add (if i < 400 then a else b) x) xs;
+  let merged = Stats.merge a b in
+  Alcotest.(check bool) "mean" true (feq ~eps:1e-9 (Stats.mean whole) (Stats.mean merged));
+  Alcotest.(check bool) "variance" true
+    (feq ~eps:1e-6 (Stats.variance whole) (Stats.variance merged));
+  Alcotest.(check int) "count" (Stats.count whole) (Stats.count merged)
+
+let test_median_odd_even () =
+  Alcotest.(check (float 1e-9)) "odd" 3.0 (Stats.median_of [| 5.0; 3.0; 1.0 |]);
+  Alcotest.(check (float 1e-9)) "even" 2.5 (Stats.median_of [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_percentiles () =
+  let xs = Array.init 101 (fun i -> float_of_int i) in
+  Alcotest.(check (float 1e-9)) "p0" 0.0 (Stats.percentile_of xs ~p:0.0);
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile_of xs ~p:0.5);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile_of xs ~p:1.0);
+  Alcotest.(check (float 1e-9)) "p95" 95.0 (Stats.percentile_of xs ~p:0.95)
+
+let test_outlier_rejection () =
+  let xs = Array.append (Array.make 99 10.0) [| 1000.0 |] in
+  let kept = Stats.discard_outliers xs ~k:2.0 in
+  Alcotest.(check int) "dropped the outlier" 99 (Array.length kept);
+  Alcotest.(check bool) "all tens" true (Array.for_all (fun x -> x = 10.0) kept)
+
+let test_outliers_zero_stddev () =
+  let xs = Array.make 10 5.0 in
+  Alcotest.(check int) "no drop" 10 (Array.length (Stats.discard_outliers xs ~k:1.0))
+
+(* qcheck properties *)
+
+let prop_mean_bounded =
+  QCheck2.Test.make ~name:"mean within min..max" ~count:200
+    QCheck2.Gen.(array_size (int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let t = Stats.empty () in
+      Array.iter (Stats.add t) xs;
+      Stats.mean t >= Stats.min_value t -. 1e-9
+      && Stats.mean t <= Stats.max_value t +. 1e-9)
+
+let prop_variance_nonneg =
+  QCheck2.Test.make ~name:"variance non-negative" ~count:200
+    QCheck2.Gen.(array_size (int_range 2 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let t = Stats.empty () in
+      Array.iter (Stats.add t) xs;
+      Stats.variance t >= -1e-9)
+
+let prop_merge_count =
+  QCheck2.Test.make ~name:"merge adds counts" ~count:200
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 0 30) (float_range (-10.) 10.))
+        (array_size (int_range 0 30) (float_range (-10.) 10.)))
+    (fun (xs, ys) ->
+      let a = Stats.empty () and b = Stats.empty () in
+      Array.iter (Stats.add a) xs;
+      Array.iter (Stats.add b) ys;
+      Stats.count (Stats.merge a b) = Array.length xs + Array.length ys)
+
+let prop_percentile_monotone =
+  QCheck2.Test.make ~name:"percentiles monotone in p" ~count:200
+    QCheck2.Gen.(array_size (int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      Stats.percentile_of xs ~p:0.25 <= Stats.percentile_of xs ~p:0.75 +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "empty accumulator" `Quick test_empty;
+    Alcotest.test_case "known values" `Quick test_known_values;
+    Alcotest.test_case "merge equals sequential" `Quick test_merge_equals_sequential;
+    Alcotest.test_case "median odd/even" `Quick test_median_odd_even;
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "outlier rejection" `Quick test_outlier_rejection;
+    Alcotest.test_case "outliers zero stddev" `Quick test_outliers_zero_stddev;
+    QCheck_alcotest.to_alcotest prop_mean_bounded;
+    QCheck_alcotest.to_alcotest prop_variance_nonneg;
+    QCheck_alcotest.to_alcotest prop_merge_count;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+  ]

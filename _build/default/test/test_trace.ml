@@ -1,0 +1,164 @@
+(* Trace recording, persistence, and offline replay. *)
+
+open Graybox_core
+
+let ev_read path off len = Trace.Read { path; off; len }
+let ev_write path off len = Trace.Write { path; off; len }
+
+let test_roundtrip () =
+  let t = Trace.create () in
+  Trace.record t (ev_read "/d0/a" 0 8192);
+  Trace.record t (ev_write "/d0/b" 4096 100);
+  Trace.record t (Trace.Unlink { path = "/d0/a" });
+  let t2 = Trace.of_string (Trace.to_string t) in
+  Alcotest.(check int) "length" 3 (Trace.length t2);
+  Alcotest.(check bool) "events equal" true (Trace.events t = Trace.events t2)
+
+let test_rejects_bad_paths () =
+  let t = Trace.create () in
+  Alcotest.(check bool) "tab rejected" true
+    (try
+       Trace.record t (ev_read "a\tb" 0 1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_parse_errors () =
+  Alcotest.(check bool) "bad line" true
+    (try
+       ignore (Trace.of_string "X\tfoo\n");
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "bad number" true
+    (try
+       ignore (Trace.of_string "R\tfoo\tx\t1\n");
+       false
+     with Failure _ -> true)
+
+let test_summarize () =
+  let t = Trace.create () in
+  Trace.record t (ev_read "/a" 0 100);
+  Trace.record t (ev_read "/a" 100 100);
+  Trace.record t (ev_write "/b" 0 50);
+  Trace.record t (Trace.Unlink { path = "/c" });
+  let s = Trace.summarize t in
+  Alcotest.(check int) "events" 4 s.Trace.s_events;
+  Alcotest.(check int) "reads" 2 s.Trace.s_reads;
+  Alcotest.(check int) "writes" 1 s.Trace.s_writes;
+  Alcotest.(check int) "unlinks" 1 s.Trace.s_unlinks;
+  Alcotest.(check int) "bytes" 250 s.Trace.s_bytes;
+  Alcotest.(check int) "files" 3 s.Trace.s_files
+
+let test_replay_hit_rate () =
+  let t = Trace.create () in
+  (* touch one page twice: second access hits in any sane policy *)
+  Trace.record t (ev_read "/a" 0 1);
+  Trace.record t (ev_read "/a" 0 1);
+  let r = Trace.replay t ~policy:Simos.Replacement.lru ~capacity_pages:4 in
+  Alcotest.(check int) "hits" 1 r.Trace.rp_hits;
+  Alcotest.(check int) "misses" 1 r.Trace.rp_misses;
+  Alcotest.(check (float 0.001)) "rate" 0.5 r.Trace.rp_hit_rate
+
+let test_replay_residency_and_unlink () =
+  let t = Trace.create () in
+  Trace.record t (ev_read "/a" 0 (4 * 4096));
+  Trace.record t (ev_read "/b" 0 (4 * 4096));
+  Trace.record t (Trace.Unlink { path = "/b" });
+  let r = Trace.replay t ~policy:Simos.Replacement.lru ~capacity_pages:64 in
+  Alcotest.(check (list (pair string (float 0.001)))) "only /a remains"
+    [ ("/a", 1.0) ] r.Trace.rp_resident
+
+let test_replay_capacity_pressure () =
+  let t = Trace.create () in
+  (* loop over 8 pages with capacity 4: LRU gets zero hits on re-reads *)
+  for _ = 1 to 3 do
+    for p = 0 to 7 do
+      Trace.record t (ev_read "/loop" (p * 4096) 1)
+    done
+  done;
+  let r = Trace.replay t ~policy:Simos.Replacement.lru ~capacity_pages:4 in
+  Alcotest.(check int) "no hits under looping lru" 0 r.Trace.rp_hits
+
+let test_compare_policies () =
+  let t = Trace.create () in
+  for _ = 1 to 4 do
+    for p = 0 to 7 do
+      Trace.record t (ev_read "/loop" (p * 4096) 1)
+    done
+  done;
+  let ranking = Trace.compare_policies t ~capacity_pages:6 in
+  Alcotest.(check int) "all policies ranked"
+    (List.length Simos.Replacement.all_names)
+    (List.length ranking);
+  (* the looping workload is where eelru/mru-family beat lru *)
+  let rate name = List.assoc name ranking in
+  Alcotest.(check (float 0.001)) "lru thrashes" 0.0 (rate "lru");
+  Alcotest.(check bool)
+    (Printf.sprintf "eelru %.2f beats lru" (rate "eelru"))
+    true
+    (rate "eelru" > 0.2);
+  Alcotest.(check bool) "sorted descending" true
+    (let rates = List.map snd ranking in
+     List.sort (fun a b -> compare b a) rates = rates)
+
+let test_interpose_records_trace () =
+  let engine = Simos.Engine.create () in
+  let platform =
+    Simos.Platform.with_noise
+      { Simos.Platform.linux_2_2 with Simos.Platform.memory_mib = 96;
+        kernel_reserved_mib = 32 }
+      ~sigma:0.0
+  in
+  let k = Simos.Kernel.boot ~engine ~platform ~data_disks:1 ~seed:505 () in
+  let trace = Trace.create () in
+  Simos.Kernel.spawn k (fun env ->
+      let agent =
+        Interpose.create ~trace ~assumed_policy:Simos.Replacement.clock
+          ~assumed_capacity_pages:1024 ()
+      in
+      Gray_apps.Workload.write_file env "/d0/f" 8192;
+      let fd = Gray_apps.Workload.ok_exn (Simos.Kernel.open_file env "/d0/f") in
+      ignore
+        (Gray_apps.Workload.ok_exn
+           (Interpose.read agent env fd ~path:"/d0/f" ~off:0 ~len:8192));
+      Simos.Kernel.close env fd;
+      Interpose.note_unlink agent ~path:"/d0/f");
+  Simos.Kernel.run k;
+  Alcotest.(check (list bool)) "read then unlink recorded" [ true; true ]
+    (match Trace.events trace with
+    | [ Trace.Read { path = "/d0/f"; off = 0; len = 8192 }; Trace.Unlink { path = "/d0/f" } ]
+      -> [ true; true ]
+    | _ -> [ false; false ])
+
+let prop_roundtrip =
+  let gen_event =
+    QCheck2.Gen.(
+      let path = map (fun i -> Printf.sprintf "/f%d" i) (int_range 0 20) in
+      oneof
+        [
+          map3 (fun p o l -> Trace.Read { path = p; off = o; len = l }) path
+            (int_range 0 100000) (int_range 0 100000);
+          map3 (fun p o l -> Trace.Write { path = p; off = o; len = l }) path
+            (int_range 0 100000) (int_range 0 100000);
+          map (fun p -> Trace.Unlink { path = p }) path;
+        ])
+  in
+  QCheck2.Test.make ~name:"trace text format round-trips" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 50) gen_event)
+    (fun evs ->
+      let t = Trace.create () in
+      List.iter (Trace.record t) evs;
+      Trace.events (Trace.of_string (Trace.to_string t)) = evs)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "rejects bad paths" `Quick test_rejects_bad_paths;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    Alcotest.test_case "replay hit rate" `Quick test_replay_hit_rate;
+    Alcotest.test_case "replay residency + unlink" `Quick test_replay_residency_and_unlink;
+    Alcotest.test_case "replay capacity pressure" `Quick test_replay_capacity_pressure;
+    Alcotest.test_case "compare policies" `Quick test_compare_policies;
+    Alcotest.test_case "interpose records trace" `Quick test_interpose_records_trace;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

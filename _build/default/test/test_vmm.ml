@@ -1,0 +1,56 @@
+(* Disco-style VMM: gray-box idle-loop detection (Section 6). *)
+
+open Gray_related
+open Gray_util
+
+let run ~policy ~seed =
+  let rng = Rng.create ~seed in
+  Vmm.simulate rng ~guests:3 ~slice_us:10_000 ~switch_cost_us:100 ~busy_us:2_000
+    ~idle_us:8_000 ~total_work_us:200_000 ~policy
+
+let test_idle_aware_wastes_less () =
+  let naive = run ~policy:Vmm.Fixed_slice ~seed:1 in
+  let aware = run ~policy:Vmm.Idle_aware ~seed:1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "idle burn falls %dus -> %dus" naive.Vmm.d_idle_burned_us
+       aware.Vmm.d_idle_burned_us)
+    true
+    (aware.Vmm.d_idle_burned_us < naive.Vmm.d_idle_burned_us / 5);
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput rises %.2f -> %.2f" naive.Vmm.d_throughput
+       aware.Vmm.d_throughput)
+    true
+    (aware.Vmm.d_throughput > 1.5 *. naive.Vmm.d_throughput)
+
+let test_same_total_work () =
+  let naive = run ~policy:Vmm.Fixed_slice ~seed:2 in
+  let aware = run ~policy:Vmm.Idle_aware ~seed:2 in
+  Alcotest.(check int) "naive completes all work" (3 * 200_000) naive.Vmm.d_useful_us;
+  Alcotest.(check int) "aware completes all work" (3 * 200_000) aware.Vmm.d_useful_us;
+  Alcotest.(check bool)
+    (Printf.sprintf "aware finishes sooner (%dus vs %dus)" aware.Vmm.d_elapsed_us
+       naive.Vmm.d_elapsed_us)
+    true
+    (aware.Vmm.d_elapsed_us < naive.Vmm.d_elapsed_us)
+
+let test_switch_accounting () =
+  let aware = run ~policy:Vmm.Idle_aware ~seed:3 in
+  Alcotest.(check bool) "switches happen" true (aware.Vmm.d_switches > 10)
+
+let test_validates () =
+  let rng = Rng.create ~seed:4 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Vmm.simulate rng ~guests:0 ~slice_us:1 ~switch_cost_us:0 ~busy_us:1
+            ~idle_us:1 ~total_work_us:1 ~policy:Vmm.Fixed_slice);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "idle-aware wastes less" `Quick test_idle_aware_wastes_less;
+    Alcotest.test_case "same total work" `Quick test_same_total_work;
+    Alcotest.test_case "switch accounting" `Quick test_switch_accounting;
+    Alcotest.test_case "validates" `Quick test_validates;
+  ]
