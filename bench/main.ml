@@ -22,6 +22,7 @@ let experiments =
     ("baselines", Baselines.run, "SLEDs / vmstat / interposition comparators");
     ("fingerprint", Fingerprint_bench.run, "identify the cache policy from user level");
     ("micro", Micro.run, "bechamel microbenchmarks of the toolbox");
+    ("faults", Faults.run, "accuracy vs fault-intensity degradation curves");
   ]
 
 let usage () =

@@ -11,7 +11,13 @@
 
    `gbp --out` additionally streams one file in best-probe order, showing
    the (offset, length) extents an application on the other end of the
-   pipe would receive. *)
+   pipe would receive.
+
+   `--faults canonical` boots the kernel under the canonical fault
+   scenario; `--extra PATH` adds paths that need not exist (exercising
+   the error exit codes); `--min-confidence` makes a noisy mem-mode
+   ordering fall back to argument order.  Kernel errors map to distinct
+   exit codes (see Gbp.exit_code_of_error); 1 stays for usage errors. *)
 
 open Cmdliner
 open Simos
@@ -19,24 +25,23 @@ open Graybox_core
 
 let mib = 1024 * 1024
 
-let run mode files size_mib warm out noise seed =
+let run mode files size_mib warm out noise seed fault_scenario extra min_confidence =
   let platform = Platform.with_noise Platform.linux_2_2 ~sigma:noise in
   let engine = Engine.create () in
-  let k = Kernel.boot ~engine ~platform ~data_disks:1 ~seed () in
-  let mode =
-    match Gbp.mode_of_string mode with
-    | Some m -> m
-    | None -> failwith ("unknown mode: " ^ mode)
-  in
+  let k = Kernel.boot ~engine ~platform ~data_disks:1 ~seed ?faults:fault_scenario () in
+  let exit_code = ref 0 in
   Kernel.spawn k (fun env ->
-      let paths =
+      let made =
         Gray_apps.Workload.make_files env ~dir:"/d0/data" ~prefix:"file" ~count:files
           ~size:(size_mib * mib)
       in
+      let paths = made @ extra in
       Kernel.flush_file_cache k;
       let rng = Gray_util.Rng.create ~seed:(seed + 1) in
+      (* warm only files that exist: extras may be ghosts and must not eat
+         warm slots either *)
       let warmed =
-        let arr = Array.of_list paths in
+        let arr = Array.of_list made in
         Gray_util.Rng.shuffle rng arr;
         Array.to_list (Array.sub arr 0 (min warm files))
       in
@@ -51,25 +56,72 @@ let run mode files size_mib warm out noise seed =
           prediction_unit = 1 * mib;
         }
       in
-      (match Gbp.best_order env config mode ~paths with
-      | Error e -> Printf.eprintf "gbp: %s\n" (Kernel.error_to_string e)
-      | Ok ordered ->
-        Printf.printf "# gbp --mode %s ordering:\n" (Gbp.mode_to_string mode);
-        List.iter print_endline ordered);
+      let ordered, reason =
+        Gbp.best_order_or_fallback env config ~min_confidence mode ~paths
+      in
+      (* a degraded gbp keeps the pipeline alive — the caller's own
+         argument order passes through — but reports why on stderr and,
+         for kernel errors, through a distinct exit code *)
+      (match reason with
+      | None -> ()
+      | Some r ->
+        Printf.eprintf "gbp: %s; falling back to argument order\n"
+          (Gbp.fallback_reason_to_string r);
+        (match r with
+        | Gbp.Degraded_error e -> exit_code := Gbp.exit_code_of_error e
+        | Gbp.Low_confidence _ -> ()));
+      Printf.printf "# gbp --mode %s ordering%s:\n" (Gbp.mode_to_string mode)
+        (match reason with Some _ -> " (fallback: argument order)" | None -> "");
+      List.iter print_endline ordered;
       if out then begin
         match paths with
         | [] -> ()
-        | first :: _ ->
+        | first :: _ -> (
           Printf.printf "# gbp --out %s extents (best probe order):\n" first;
-          ignore
-            (Gbp.out env config ~path:first ~consume:(fun ~off ~len ->
-                 Printf.printf "  offset=%-10d length=%d\n" off len))
-      end)
-    ;
-  Kernel.run k
+          match
+            Gbp.out env config ~path:first ~consume:(fun ~off ~len ->
+                Printf.printf "  offset=%-10d length=%d\n" off len)
+          with
+          | Ok _ -> ()
+          | Error e ->
+            Printf.eprintf "gbp: --out %s: %s\n" first (Kernel.error_to_string e);
+            exit_code := Gbp.exit_code_of_error e)
+      end);
+  Kernel.run k;
+  !exit_code
+
+(* malformed values are usage errors (exit 124 with a pointer to --help),
+   not uncaught exceptions *)
+let mode_conv =
+  let parse s =
+    match Gbp.mode_of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg ("unknown mode: " ^ s ^ " (expected mem, file or compose)"))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Gbp.mode_to_string m))
+
+let fault_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "" | "none" -> Ok None
+    | "canonical" -> Ok (Some Fault.canonical)
+    | "heavy" -> Ok (Some Fault.heavy)
+    | s -> (
+      match float_of_string_opt s with
+      | Some i when i >= 0.0 -> Ok (Some (Fault.of_intensity ~intensity:i ()))
+      | Some _ -> Error (`Msg "fault intensity must be non-negative")
+      | None ->
+        Error (`Msg ("unknown fault scenario: " ^ s
+                     ^ " (expected none, canonical, heavy or an intensity)")))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "none"
+    | Some sc -> Format.pp_print_string ppf sc.Fault.sc_name
+  in
+  Arg.conv (parse, print)
 
 let mode_arg =
-  Arg.(value & opt string "mem" & info [ "mode"; "m" ] ~doc:"Ordering mode: mem, file or compose.")
+  Arg.(value & opt mode_conv Gbp.Mem & info [ "mode"; "m" ] ~doc:"Ordering mode: mem, file or compose.")
 
 let files_arg = Arg.(value & opt int 12 & info [ "files"; "n" ] ~doc:"Number of files.")
 let size_arg = Arg.(value & opt int 4 & info [ "size" ] ~doc:"File size in MB.")
@@ -78,9 +130,28 @@ let out_arg = Arg.(value & flag & info [ "out" ] ~doc:"Also stream the first fil
 let noise_arg = Arg.(value & opt float 0.05 & info [ "noise" ] ~doc:"Timing noise sigma.")
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
 
+let faults_arg =
+  Arg.(
+    value & opt fault_conv None
+    & info [ "faults" ]
+        ~doc:"Fault scenario: none, canonical, heavy, or a float intensity.")
+
+let extra_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "extra" ] ~doc:"Extra path to include in the probe set (may not exist).")
+
+let min_confidence_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "min-confidence" ]
+        ~doc:"Fall back to argument order below this mem-mode probe confidence.")
+
 let cmd =
   Cmd.v
     (Cmd.info "gbp" ~doc:"Gray-box probe utility on a simulated volume")
-    Term.(const run $ mode_arg $ files_arg $ size_arg $ warm_arg $ out_arg $ noise_arg $ seed_arg)
+    Term.(
+      const run $ mode_arg $ files_arg $ size_arg $ warm_arg $ out_arg $ noise_arg
+      $ seed_arg $ faults_arg $ extra_arg $ min_confidence_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -1,4 +1,5 @@
 open Simos
+open Graybox_core
 
 let chunk = 8 * 1024 * 1024
 
@@ -6,22 +7,28 @@ let ok_exn = function
   | Ok v -> v
   | Error e -> failwith ("Workload: syscall failed: " ^ Kernel.error_to_string e)
 
+(* Workload drivers behave like a well-written application: transient
+   syscall faults are retried (free when fault injection is off), only
+   permanent errors abort the run. *)
+let retry f = ok_exn (Resilient.retry f)
+
 let write_file env path size =
   let fd = ok_exn (Kernel.create_file env path) in
   let off = ref 0 in
   while !off < size do
     let len = min chunk (size - !off) in
-    ignore (ok_exn (Kernel.write env fd ~off:!off ~len));
+    ignore (retry (fun () -> Kernel.write env fd ~off:!off ~len));
     off := !off + len
   done;
   Kernel.close env fd
 
 let read_file_in_units env path ~unit_bytes =
-  let fd = ok_exn (Kernel.open_file env path) in
+  let fd = retry (fun () -> Kernel.open_file env path) in
   let size = Kernel.file_size env fd in
   let off = ref 0 in
   while !off < size do
-    ignore (ok_exn (Kernel.read env fd ~off:!off ~len:(min unit_bytes (size - !off))));
+    ignore
+      (retry (fun () -> Kernel.read env fd ~off:!off ~len:(min unit_bytes (size - !off))));
     off := !off + unit_bytes
   done;
   Kernel.close env fd
@@ -48,7 +55,9 @@ let age_directory env rng ~dir ~deletes ~creates ~size =
     (* fresh names so aging never recreates a deleted name *)
     let rec fresh () =
       let name = Printf.sprintf "%s/aged%06d" dir (Gray_util.Rng.int rng 1_000_000) in
-      match Kernel.stat env name with Error _ -> name | Ok _ -> fresh ()
+      match Resilient.retry (fun () -> Kernel.stat env name) with
+      | Error _ -> name
+      | Ok _ -> fresh ()
     in
     write_file env (fresh ()) size
   done

@@ -7,6 +7,9 @@ type config = {
   align : int;
   fake_high_ns : int;
   rng : Rng.t;
+  retry : Resilient.policy option;
+  resample : int;
+  min_confidence : float;
 }
 
 let mib = 1024 * 1024
@@ -26,6 +29,9 @@ let default_config ?repo ~seed () =
     align = 1;
     fake_high_ns = 1_000_000_000;
     rng = Rng.create ~seed;
+    retry = Some (Resilient.policy ~seed:(seed lxor 0x5e51) ());
+    resample = 0;
+    min_confidence = 0.0;
   }
 
 let with_align config align =
@@ -39,9 +45,19 @@ type plan = {
   plan_size : int;
   plan_extents : (extent * int) list;
   plan_probes : int;
+  plan_confidence : float;
 }
 
 let extents plan = List.map fst plan.plan_extents
+
+let extents_or_sequential config plan =
+  if plan.plan_confidence >= config.min_confidence then extents plan
+  else
+    (* graceful degradation: an ordering we do not believe in is worse
+       than no ordering — fall back to plain sequential offsets *)
+    List.sort
+      (fun a b -> compare a.ext_off b.ext_off)
+      (List.map fst plan.plan_extents)
 
 (* Split [0, size) into access units whose boundaries respect alignment. *)
 let partition config ~size =
@@ -55,19 +71,85 @@ let partition config ~size =
   in
   go 0 []
 
+(* One probe point, hardened: transient faults are retried with only the
+   successful attempt timed; errors that survive the budget are reported
+   as "far away" so a flaky channel degrades the plan instead of aborting
+   it. *)
+let probe_point env config fd ~off =
+  match config.retry with
+  | None -> Probe.file_byte env fd ~off
+  | Some policy -> (
+    match Probe.file_byte_r env ~policy fd ~off with
+    | Ok ns -> ns
+    | Error _ -> config.fake_high_ns)
+
+let k_open env config path =
+  match config.retry with
+  | None -> Kernel.open_file env path
+  | Some policy -> Resilient.retry ~policy (fun () -> Kernel.open_file env path)
+
+(* Relative spread > 1: the per-unit samples disagree wildly, which under
+   fault injection usually means a latency spike landed in the middle of
+   the pass. *)
+let unstable samples =
+  let m = Stats.mean_of samples in
+  m > 0.0 && Stats.stddev_of samples > m
+
 (* One probe per prediction unit, at a random byte of the unit: robust
    across runs and repeatable probing increases confidence
-   (Section 4.1.2). *)
+   (Section 4.1.2).  With [config.resample > 0], a high-variance first
+   pass triggers that many extra passes and each unit contributes its
+   outlier-rejected median instead of a single raw sample. *)
 let probe_extent env config fd ext =
   let count = max 1 ((ext.ext_len + config.prediction_unit - 1) / config.prediction_unit) in
-  let total = ref 0 in
-  for i = 0 to count - 1 do
+  let sample i =
     let pu_off = ext.ext_off + (i * config.prediction_unit) in
     let pu_len = min config.prediction_unit (ext.ext_off + ext.ext_len - pu_off) in
     let off = pu_off + Rng.int config.rng (max 1 pu_len) in
-    total := !total + Probe.file_byte env fd ~off
+    probe_point env config fd ~off
+  in
+  let first = Array.make count 0 in
+  for i = 0 to count - 1 do
+    first.(i) <- sample i
   done;
-  (!total, count)
+  let probes = ref count in
+  let total =
+    if config.resample > 0 && unstable (Array.map float_of_int first) then begin
+      let per_unit = Array.map (fun ns -> ref [ float_of_int ns ]) first in
+      for _pass = 1 to config.resample do
+        for i = 0 to count - 1 do
+          let cell = per_unit.(i) in
+          cell := float_of_int (sample i) :: !cell;
+          incr probes
+        done
+      done;
+      int_of_float
+        (Array.fold_left
+           (fun acc cell -> acc +. Resilient.robust_median (Array.of_list !cell))
+           0.0 per_unit)
+    end
+    else Array.fold_left ( + ) 0 first
+  in
+  (total, !probes)
+
+(* How much we believe a probe-time ordering: cluster the per-unit mean
+   times of the extents in log domain and turn the cache/disk separation
+   into [0, 1] — a clean two-decade gap is ~1, a spurious split is ~0.  A
+   homogeneous population (everything cached, or nothing) is unambiguous
+   and scores 1. *)
+let confidence_of_means means =
+  if Array.length means < 2 then 1.0
+  else begin
+    let split = Cluster.two_means_log (Array.map (Float.max 1.0) means) in
+    if split.Cluster.low_count = 0 || split.Cluster.high_count = 0 then 1.0
+    else begin
+      let sep = Cluster.separation split in
+      if sep <= 1.0 then 0.0 else 1.0 -. (1.0 /. sep)
+    end
+  end
+
+let units_of config ext =
+  max 1 ((ext.ext_len + config.prediction_unit - 1) / config.prediction_unit)
 
 let probe_fd env config ~path fd =
   let size = Kernel.file_size env fd in
@@ -80,6 +162,7 @@ let probe_fd env config ~path fd =
       plan_extents =
         (if size = 0 then [] else [ ({ ext_off = 0; ext_len = size }, config.fake_high_ns) ]);
       plan_probes = 0;
+      plan_confidence = 1.0;
     }
   else begin
     let parts = partition config ~size in
@@ -92,6 +175,13 @@ let probe_fd env config ~path fd =
           (ext, ns))
         parts
     in
+    let confidence =
+      confidence_of_means
+        (Array.of_list
+           (List.map
+              (fun (ext, ns) -> float_of_int ns /. float_of_int (units_of config ext))
+              timed))
+    in
     let ordered =
       (* Ties (e.g. an all-cached prefix) break towards HIGHER offsets:
          under the LRU-like assumption, sequentially produced data is
@@ -103,11 +193,17 @@ let probe_fd env config ~path fd =
           if ta <> tb then compare ta tb else compare b.ext_off a.ext_off)
         timed
     in
-    { plan_path = path; plan_size = size; plan_extents = ordered; plan_probes = !probes }
+    {
+      plan_path = path;
+      plan_size = size;
+      plan_extents = ordered;
+      plan_probes = !probes;
+      plan_confidence = confidence;
+    }
   end
 
 let probe_file env config ~path =
-  match Kernel.open_file env path with
+  match k_open env config path with
   | Error e -> Error e
   | Ok fd ->
     let plan = probe_fd env config ~path fd in
@@ -126,35 +222,34 @@ let order_files env config ~paths =
              else compare a.fr_path b.fr_path)
            (List.rev acc))
     | path :: rest -> (
-      match Kernel.open_file env path with
+      match k_open env config path with
       | Error e -> Error e
       | Ok fd ->
         let size = Kernel.file_size env fd in
         let probe_ns =
           if size < page then config.fake_high_ns
-          else begin
-            let count =
-              max 1 ((size + config.prediction_unit - 1) / config.prediction_unit)
-            in
-            let total = ref 0 in
-            for i = 0 to count - 1 do
-              let pu_off = i * config.prediction_unit in
-              let pu_len = min config.prediction_unit (size - pu_off) in
-              let off = pu_off + Rng.int config.rng (max 1 pu_len) in
-              total := !total + Probe.file_byte env fd ~off
-            done;
-            !total
-          end
+          else fst (probe_extent env config fd { ext_off = 0; ext_len = size })
         in
         Kernel.close env fd;
         rank ({ fr_path = path; fr_probe_ns = probe_ns; fr_size = size } :: acc) rest)
   in
   rank [] paths
 
-let read_plan env fd plan ~f =
+let order_confidence config ranked =
+  confidence_of_means
+    (Array.of_list
+       (List.map
+          (fun r ->
+            let units =
+              max 1 ((r.fr_size + config.prediction_unit - 1) / config.prediction_unit)
+            in
+            float_of_int r.fr_probe_ns /. float_of_int units)
+          ranked))
+
+let read_plan ?policy env fd plan ~f =
   List.iter
     (fun ({ ext_off; ext_len }, _) ->
-      match Kernel.read env fd ~off:ext_off ~len:ext_len with
+      match Resilient.retry ?policy (fun () -> Kernel.read env fd ~off:ext_off ~len:ext_len) with
       | Ok n -> f ~off:ext_off ~len:n
       | Error _ -> ())
     plan.plan_extents

@@ -21,6 +21,15 @@ type config = {
   align : int;  (** extent boundaries snap to this (records), default 1 *)
   fake_high_ns : int;  (** reported time for unprobeable small files *)
   rng : Rng.t;  (** probe-point randomisation (Section 4.1.2) *)
+  retry : Resilient.policy option;
+      (** retry transient probe faults (default [Some] of a seeded
+          policy); [None] restores the raw non-retrying probes *)
+  resample : int;
+      (** extra probe passes per extent when the first pass has high
+          variance (default 0 = off; keeps benign runs bit-identical) *)
+  min_confidence : float;
+      (** below this {!plan} confidence, {!extents_or_sequential} falls
+          back to sequential order (default 0 = never) *)
 }
 
 val default_config : ?repo:Param_repo.t -> seed:int -> unit -> config
@@ -38,10 +47,19 @@ type plan = {
   plan_extents : (extent * int) list;
       (** extents with their total probe time, fastest first *)
   plan_probes : int;  (** how many probes were issued *)
+  plan_confidence : float;
+      (** how much to believe the ordering, in [0, 1]: log-domain
+          cluster separation of the per-unit probe times.  Noise that
+          blurs the cache/disk gap drives it towards 0. *)
 }
 
 val extents : plan -> extent list
 (** Just the ordering, fastest first. *)
+
+val extents_or_sequential : config -> plan -> extent list
+(** {!extents} when [plan_confidence >= config.min_confidence], otherwise
+    the same extents in plain sequential (offset) order — a low-belief
+    reordering is worse than none. *)
 
 val probe_file : Simos.Kernel.env -> config -> path:string -> (plan, Simos.Kernel.error) result
 (** Probe one file and plan its best access order. *)
@@ -61,11 +79,18 @@ val order_files :
     multi-file interface behind [gbp -mem] and [gb-grep].  Each file gets
     one probe per prediction unit; sub-page files get [fake_high_ns]. *)
 
+val order_confidence : config -> file_rank list -> float
+(** Confidence in a {!order_files} ranking, in [0, 1] (same clustering
+    metric as [plan_confidence]). *)
+
 val read_plan :
+  ?policy:Resilient.policy ->
   Simos.Kernel.env ->
   Simos.Kernel.fd ->
   plan ->
   f:(off:int -> len:int -> unit) ->
   unit
 (** Read the file extent-by-extent in plan order, invoking [f] after each
-    extent arrives (the application's processing hook). *)
+    extent arrives (the application's processing hook).  With [?policy],
+    transient read errors are retried; an extent whose read still fails is
+    skipped (so [f] never sees bytes that did not arrive). *)

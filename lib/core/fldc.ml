@@ -13,6 +13,7 @@ let basename path =
   | Some i -> String.sub path (i + 1) (String.length path - i - 1)
 
 let order_by_inumber env ~paths =
+  let policy = Resilient.default () in
   let rec stat_all acc = function
     | [] ->
       Ok
@@ -20,7 +21,7 @@ let order_by_inumber env ~paths =
            (fun a b -> compare a.so_ino b.so_ino)
            (List.rev acc))
     | path :: rest -> (
-      match Kernel.stat env path with
+      match Resilient.retry ~policy (fun () -> Kernel.stat env path) with
       | Error e -> Error e
       | Ok st ->
         stat_all
@@ -63,16 +64,16 @@ let tmp_dir_path ~parent ~base = parent ^ "/." ^ base ^ ".gb_refresh"
 
 let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v
 
-let copy_file env ~src ~dst ~size =
-  let* src_fd = Kernel.open_file env src in
+let copy_file env ~policy ~src ~dst ~size =
+  let* src_fd = Resilient.retry ~policy (fun () -> Kernel.open_file env src) in
   let* dst_fd = Kernel.create_file env dst in
   let chunk = 4 * 1024 * 1024 in
   let rec go off =
     if off >= size then Ok ()
     else
       let len = min chunk (size - off) in
-      let* _ = Kernel.read env src_fd ~off ~len in
-      let* _ = Kernel.write env dst_fd ~off ~len in
+      let* _ = Resilient.retry ~policy (fun () -> Kernel.read env src_fd ~off ~len) in
+      let* _ = Resilient.retry ~policy (fun () -> Kernel.write env dst_fd ~off ~len) in
       go (off + len)
   in
   let result = go 0 in
@@ -81,7 +82,11 @@ let copy_file env ~src ~dst ~size =
   result
 
 let exists env path =
-  match Kernel.stat env path with Ok _ -> true | Error _ -> false
+  (* a transient stat failure must not be read as "gone" — repair uses
+     this answer to pick roll-back vs roll-forward *)
+  match Resilient.retry (fun () -> Kernel.stat env path) with
+  | Ok _ -> true
+  | Error _ -> false
 
 let remove_dir_recursive env dir =
   let* entries = Kernel.readdir env dir in
@@ -95,13 +100,14 @@ let remove_dir_recursive env dir =
 
 let refresh_directory env ?(order = `Size_ascending) ?(crash_at = No_crash) ~dir () =
   let maybe_crash point = if crash_at = point then raise (Injected_crash point) in
+  let policy = Resilient.default () in
   let parent = dirname dir and base = basename dir in
   let* names = Kernel.readdir env dir in
   (* collect sizes and times; refuse directories inside *)
   let rec stat_all acc = function
     | [] -> Ok (List.rev acc)
     | name :: rest ->
-      let* st = Kernel.stat env (dir ^ "/" ^ name) in
+      let* st = Resilient.retry ~policy (fun () -> Kernel.stat env (dir ^ "/" ^ name)) in
       if st.Fs.st_is_dir then Error (Kernel.Fs_error Fs.Eisdir)
       else stat_all ((name, st) :: acc) rest
   in
@@ -138,7 +144,7 @@ let refresh_directory env ?(order = `Size_ascending) ?(crash_at = No_crash) ~dir
     | [] -> Ok ()
     | (name, st) :: rest ->
       let* () =
-        copy_file env ~src:(dir ^ "/" ^ name) ~dst:(tmp ^ "/" ^ name)
+        copy_file env ~policy ~src:(dir ^ "/" ^ name) ~dst:(tmp ^ "/" ^ name)
           ~size:st.Fs.st_size
       in
       copy_all rest

@@ -24,6 +24,42 @@ let best_order env config mode ~paths =
     let* decision = Compose.order_files env config paths in
     Ok decision.Compose.d_order
 
+type fallback_reason =
+  | Degraded_error of Kernel.error
+  | Low_confidence of float
+
+let fallback_reason_to_string = function
+  | Degraded_error e -> Kernel.error_to_string e
+  | Low_confidence c -> Printf.sprintf "low probe confidence (%.2f)" c
+
+(* A reordering hint must never make the pipeline worse than not asking:
+   on error, or when the probe timings do not support a believable
+   ordering, hand back the caller's own argument order and say why. *)
+let best_order_or_fallback env config ?(min_confidence = 0.0) mode ~paths =
+  let fallback reason = (paths, Some reason) in
+  match mode with
+  | Mem -> (
+    match Fccd.order_files env config ~paths with
+    | Error e -> fallback (Degraded_error e)
+    | Ok ranked ->
+      let conf = Fccd.order_confidence config ranked in
+      if conf < min_confidence then fallback (Low_confidence conf)
+      else (List.map (fun r -> r.Fccd.fr_path) ranked, None))
+  | File | Compose -> (
+    match best_order env config mode ~paths with
+    | Error e -> fallback (Degraded_error e)
+    | Ok order -> (order, None))
+
+(* Distinct, stable shell exit codes per kernel error (1 is reserved for
+   usage errors). *)
+let exit_code_of_error = function
+  | Kernel.Bad_path -> 2
+  | Kernel.Bad_fd -> 3
+  | Kernel.Retryable -> 4
+  | Kernel.Fs_error Fs.Enoent -> 5
+  | Kernel.Fs_error Fs.Eexist -> 6
+  | Kernel.Fs_error _ -> 7
+
 (* One pipe transfer costs a kernel-to-user copy of the payload (writer
    copies in, reader copies out — we charge the reader side once more,
    which is the "extra copy of all data through the operating system via
@@ -37,7 +73,7 @@ let out env config ~path ~consume =
   let* fd = Kernel.open_file env path in
   let per_byte = pipe_ns_per_byte env in
   let total = ref 0 in
-  Fccd.read_plan env fd plan ~f:(fun ~off ~len ->
+  Fccd.read_plan ?policy:config.Fccd.retry env fd plan ~f:(fun ~off ~len ->
       Kernel.compute_bytes env ~bytes:len ~ns_per_byte:per_byte;
       consume ~off ~len;
       total := !total + len);

@@ -23,6 +23,31 @@ val best_order :
   (string list, Simos.Kernel.error) result
 (** The file ordering a shell substitution would receive. *)
 
+type fallback_reason =
+  | Degraded_error of Simos.Kernel.error  (** probing itself failed *)
+  | Low_confidence of float  (** the ordering exists but is not believable *)
+
+val fallback_reason_to_string : fallback_reason -> string
+
+val best_order_or_fallback :
+  Simos.Kernel.env ->
+  Fccd.config ->
+  ?min_confidence:float ->
+  mode ->
+  paths:string list ->
+  string list * fallback_reason option
+(** Like {!best_order} but total: on a kernel error, or (in [Mem] mode)
+    when {!Fccd.order_confidence} falls below [min_confidence]
+    (default 0), the input [paths] come back unchanged together with the
+    reason — a degraded [gbp] passes the arguments through rather than
+    break the pipeline.  [None] reason means the ordering is the real
+    prediction. *)
+
+val exit_code_of_error : Simos.Kernel.error -> int
+(** Stable non-zero shell exit code for each kernel error ([Bad_path] 2,
+    [Bad_fd] 3, [Retryable] 4, [Enoent] 5, [Eexist] 6, other fs errors
+    7); code 1 stays reserved for usage errors. *)
+
 val out :
   Simos.Kernel.env ->
   Fccd.config ->

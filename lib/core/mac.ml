@@ -10,6 +10,8 @@ type config = {
   slow_threshold_ns : int option;
   headroom : float;
   detection : detector;
+  robust : bool;
+  min_confidence : float;
 }
 
 let page = 4096
@@ -36,34 +38,61 @@ let default_config ?repo () =
     slow_threshold_ns;
     headroom = 0.15;
     detection = Timing;
+    robust = false;
+    min_confidence = 0.0;
   }
 
 type allocation = {
   a_region : Kernel.region;
   a_pages : int;
   a_bytes : int;
+  a_confidence : float;
   mutable a_live : bool;
 }
 
 let bytes a = a.a_bytes
 let pages a = a.a_pages
 let region a = a.a_region
+let confidence a = a.a_confidence
 
-type stats = { s_probe_ns : int; s_steps : int; s_backoffs : int }
+type stats = {
+  s_probe_ns : int;
+  s_steps : int;
+  s_backoffs : int;
+  s_chunks : int;
+  s_suspect_chunks : int;
+  s_confidence : float;
+}
 
-let last = ref { s_probe_ns = 0; s_steps = 0; s_backoffs = 0 }
+let last =
+  ref
+    {
+      s_probe_ns = 0;
+      s_steps = 0;
+      s_backoffs = 0;
+      s_chunks = 0;
+      s_suspect_chunks = 0;
+      s_confidence = 1.0;
+    }
+
 let last_stats () = !last
 
 (* Self-calibration (Section 4.3.2, second method): time accesses to a few
    pages that are certainly resident, and fresh first-touches; "slow" is
    set well above the worst benign cost observed. *)
-let calibrate env =
+let calibrate config env =
   let probe_pages = 64 in
   let r = Kernel.valloc env ~pages:probe_pages in
   let first = Kernel.touch_pages env r ~first:0 ~count:probe_pages in
   let again = Kernel.touch_pages env r ~first:0 ~count:probe_pages in
   Kernel.vfree env r;
-  let med a = Stats.median_of (Array.map float_of_int a) in
+  let summarise =
+    (* under fault injection a latency spike landing inside the
+       calibration pass would inflate "benign" tenfold and blind the
+       detector; the robust path rejects such outliers first *)
+    if config.robust then Resilient.robust_median else Stats.median_of
+  in
+  let med a = summarise (Array.map float_of_int a) in
   let benign = Float.max (med first) (med again) in
   max 1_000 (int_of_float (10.0 *. benign))
 
@@ -109,27 +138,52 @@ let gb_alloc env config ~min ~max ~multiple =
   if effective_min > max then
     invalid_arg "Mac.gb_alloc: no multiple of [multiple] within [min, max]";
   let max_pages = (max + page - 1) / page in
-  let chunk_slow =
+  let threshold_opt, chunk_slow_raw =
     match config.detection with
     | Timing ->
       let threshold =
-        match config.slow_threshold_ns with Some t -> t | None -> calibrate env
+        match config.slow_threshold_ns with Some t -> t | None -> calibrate config env
       in
-      fun times ->
-        has_consecutive_slow times ~threshold ~k:config.consecutive_slow
+      ( Some threshold,
+        fun times -> has_consecutive_slow times ~threshold ~k:config.consecutive_slow )
     | Vmstat ->
       (* any page traffic since the last chunk means the page daemon is
          active on our behalf (or somebody else's: coarser than timing,
          but exact where it fires) *)
       let baseline = ref (Kernel.vmstat env) in
-      fun _times ->
-        let now = Kernel.vmstat env in
-        let active =
-          now.Kernel.vm_page_outs > !baseline.Kernel.vm_page_outs
-          || now.Kernel.vm_page_ins > !baseline.Kernel.vm_page_ins
-        in
-        baseline := now;
-        active
+      ( None,
+        fun _times ->
+          let now = Kernel.vmstat env in
+          let active =
+            now.Kernel.vm_page_outs > !baseline.Kernel.vm_page_outs
+            || now.Kernel.vm_page_ins > !baseline.Kernel.vm_page_ins
+          in
+          baseline := now;
+          active )
+  in
+  (* Confidence bookkeeping: a slow sample inside a detected k-run is
+     paging; a slow sample in a chunk with NO such run is spike-like —
+     something (a fault burst, an interrupt) inflated an isolated access.
+     The fraction of spike-like samples is how murky the timing channel
+     is, and lowers the decision's confidence.  The exact vmstat channel
+     is always fully confident. *)
+  let chunks = ref 0 and suspect_chunks = ref 0 in
+  let page_samples = ref 0 and ambiguous = ref 0 in
+  let chunk_slow times =
+    incr chunks;
+    let slow = chunk_slow_raw times in
+    if slow then incr suspect_chunks;
+    (match threshold_opt with
+    | Some t ->
+      page_samples := !page_samples + Array.length times;
+      if not slow then
+        Array.iter (fun x -> if x > t then incr ambiguous) times
+    | None -> ());
+    slow
+  in
+  let current_confidence () =
+    if !page_samples = 0 then 1.0
+    else 1.0 -. (float_of_int !ambiguous /. float_of_int !page_samples)
   in
   let t0 = Kernel.gettime env in
   let region = Kernel.valloc env ~pages:max_pages in
@@ -178,8 +232,18 @@ let gb_alloc env config ~min ~max ~multiple =
     else int_of_float ((1.0 -. config.headroom) *. float_of_int (!committed * page))
   in
   let granted_bytes = floor_multiple (Stdlib.min max discounted) in
-  last :=
-    { s_probe_ns = Kernel.gettime env - t0; s_steps = !steps; s_backoffs = !backoffs };
+  let record_stats () =
+    last :=
+      {
+        s_probe_ns = Kernel.gettime env - t0;
+        s_steps = !steps;
+        s_backoffs = !backoffs;
+        s_chunks = !chunks;
+        s_suspect_chunks = !suspect_chunks;
+        s_confidence = current_confidence ();
+      }
+  in
+  record_stats ();
   if granted_bytes < effective_min then begin
     Kernel.vfree env region;
     None
@@ -213,14 +277,26 @@ let gb_alloc env config ~min ~max ~multiple =
       if !backoffs = 0 then Some (granted_pages, granted_bytes)
       else settle granted_pages
     in
-    last :=
-      { s_probe_ns = Kernel.gettime env - t0; s_steps = !steps; s_backoffs = !backoffs };
+    record_stats ();
     match result with
     | None ->
       Kernel.vfree env region;
       None
     | Some (a_pages, a_bytes) ->
-      Some { a_region = region; a_pages; a_bytes; a_live = true }
+      let conf = current_confidence () in
+      let a_pages, a_bytes =
+        if conf < config.min_confidence && a_bytes > effective_min then begin
+          (* graceful degradation: the timing channel was too murky to
+             trust the climb, so grant only the conservative minimum the
+             caller said it can live with *)
+          let p = (effective_min + page - 1) / page in
+          if p < a_pages then
+            Kernel.vrelease env region ~first:p ~count:(a_pages - p);
+          (p, effective_min)
+        end
+        else (a_pages, a_bytes)
+      in
+      Some { a_region = region; a_pages; a_bytes; a_confidence = conf; a_live = true }
   end
 
 let touch_all env a =

@@ -44,6 +44,13 @@ type config = {
           slightly less aggressive", Section 4.3.1) so the caller's own
           file I/O has cache room; default 0.15 *)
   detection : detector;  (** default [Timing] *)
+  robust : bool;
+      (** outlier-rejecting self-calibration (default [false]): a fault-
+          injected latency spike inside the calibration pass must not
+          inflate the "benign" baseline tenfold *)
+  min_confidence : float;
+      (** below this classification confidence the grant is shrunk to the
+          caller's minimum (default 0 = never shrink) *)
 }
 
 val default_config : ?repo:Param_repo.t -> unit -> config
@@ -62,6 +69,14 @@ val touch_all : Simos.Kernel.env -> allocation -> unit
 
 val region : allocation -> Simos.Kernel.region
 (** The backing region, for direct page access by the application. *)
+
+val confidence : allocation -> float
+(** How cleanly the timing channel classified pages during this
+    [gb_alloc], in [0, 1]: one minus the fraction of page-touch samples
+    that looked slow {e without} belonging to a consecutive-slow paging
+    run — isolated slowness is spike-like noise, not paging, and the
+    more of it the murkier the channel.  [1.0] under the exact [Vmstat]
+    detector. *)
 
 val gb_alloc :
   Simos.Kernel.env ->
@@ -84,6 +99,9 @@ type stats = {
   s_probe_ns : int;  (** virtual time spent inside gb_alloc probing *)
   s_steps : int;  (** increments attempted *)
   s_backoffs : int;  (** steps that detected paging *)
+  s_chunks : int;  (** probe chunks classified *)
+  s_suspect_chunks : int;  (** chunks the detector called slow *)
+  s_confidence : float;  (** same value as {!confidence} of the result *)
 }
 
 val last_stats : unit -> stats

@@ -13,3 +13,10 @@ let timed_read env fd ~off ~len =
 let file_byte env fd ~off =
   let _, ns = timed_read env fd ~off ~len:1 in
   ns
+
+let file_byte_r env ?policy fd ~off =
+  Resilient.retry ?policy (fun () ->
+      let r, ns = timed env (fun () -> Kernel.read env fd ~off ~len:1) in
+      match r with
+      | Ok _ -> Ok ns
+      | Error e -> Error e)

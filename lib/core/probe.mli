@@ -7,7 +7,21 @@
 
 val file_byte : Simos.Kernel.env -> Simos.Kernel.fd -> off:int -> int
 (** Read one byte at [off] and return the observed elapsed nanoseconds.
-    Destructive: a missing page is faulted into the file cache. *)
+    Destructive: a missing page is faulted into the file cache.  A failed
+    read is reported as its own (small) elapsed time — under fault
+    injection prefer {!file_byte_r}, which would misread an [EINTR]
+    return as a cache hit. *)
+
+val file_byte_r :
+  Simos.Kernel.env ->
+  ?policy:Resilient.policy ->
+  Simos.Kernel.fd ->
+  off:int ->
+  (int, Simos.Kernel.error) result
+(** Like {!file_byte} but transient failures are retried
+    ({!Resilient.retry}) and only the {e successful} attempt's elapsed
+    time is reported — backoff sleeps never pollute the sample.  Errors
+    that survive the retry budget are returned. *)
 
 val timed_read : Simos.Kernel.env -> Simos.Kernel.fd -> off:int -> len:int -> int * int
 (** [(bytes_read, elapsed_ns)]. *)

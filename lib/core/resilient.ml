@@ -1,0 +1,63 @@
+open Gray_util
+open Simos
+
+type policy = {
+  max_attempts : int;
+  base_backoff_ns : int;
+  max_backoff_ns : int;
+  budget : int;
+  rng : Rng.t;
+  mutable spent : int;
+}
+
+let policy ?(max_attempts = 6) ?(base_backoff_ns = 50_000) ?(max_backoff_ns = 20_000_000)
+    ?(budget = 10_000) ~seed () =
+  if max_attempts < 1 then invalid_arg "Resilient.policy: max_attempts < 1";
+  { max_attempts; base_backoff_ns; max_backoff_ns; budget; rng = Rng.create ~seed; spent = 0 }
+
+let default_seed = 0x5E511E47
+
+let default () = policy ~seed:default_seed ()
+
+let classify = function
+  | Kernel.Retryable -> `Transient
+  | Kernel.Fs_error _ | Kernel.Bad_fd | Kernel.Bad_path -> `Permanent
+
+let retries_spent p = p.spent
+
+let retry ?policy:p f =
+  let p = match p with Some p -> p | None -> default () in
+  let rec attempt n prev_sleep =
+    match f () with
+    | Ok v -> Ok v
+    | Error e -> (
+      match classify e with
+      | `Permanent -> Error e
+      | `Transient ->
+        if n >= p.max_attempts || p.spent >= p.budget then Error e
+        else begin
+          p.spent <- p.spent + 1;
+          (* decorrelated jitter: sleep in [base, 3 * previous], capped *)
+          let hi = max p.base_backoff_ns (3 * prev_sleep) in
+          let sleep =
+            min p.max_backoff_ns
+              (p.base_backoff_ns + Rng.int p.rng (max 1 (hi - p.base_backoff_ns + 1)))
+          in
+          Engine.delay sleep;
+          attempt (n + 1) sleep
+        end)
+  in
+  attempt 1 p.base_backoff_ns
+
+let reject samples =
+  if Array.length samples = 0 then samples
+  else begin
+    let kept = Stats.discard_outliers samples ~k:2.0 in
+    if Array.length kept = 0 then samples else kept
+  end
+
+let robust_mean samples =
+  if Array.length samples = 0 then Float.nan else Stats.mean_of (reject samples)
+
+let robust_median samples =
+  if Array.length samples = 0 then Float.nan else Stats.median_of (reject samples)

@@ -1,6 +1,7 @@
 type _ Effect.t += Delay : int -> unit Effect.t
 
 exception Fiber_crash of string * exn
+exception Cancelled
 
 let () =
   Printexc.register_printer (function
@@ -76,6 +77,38 @@ let run t =
     t.running <- false;
     current := None
   in
+  (* When a fiber crashes, the run aborts — but the other fibers may be
+     parked mid-syscall holding resources (fds, anonymous memory) whose
+     reclamation lives in [Fun.protect] finalisers on their stacks.  Unwind
+     each parked continuation with [Cancelled] so those finalisers run; a
+     finaliser that performs [Delay] during the unwind is resumed
+     immediately (virtual time no longer advances). *)
+  let drain_cancelled () =
+    let rec cancel_handler : (unit, unit) Effect.Shallow.handler =
+      {
+        retc = (fun () -> ());
+        exnc = (fun _ -> ());
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Delay _ ->
+              Some
+                (fun (k : (a, unit) Effect.Shallow.continuation) ->
+                  Effect.Shallow.continue_with k () cancel_handler)
+            | _ -> None);
+      }
+    in
+    let rec go () =
+      match Gray_util.Pqueue.pop t.queue with
+      | None -> ()
+      | Some ev ->
+        let (Job (k, _)) = ev.job in
+        (try Effect.Shallow.discontinue_with k Cancelled cancel_handler
+         with _ -> ());
+        go ()
+    in
+    go ()
+  in
   Fun.protect ~finally:finish (fun () ->
       let rec loop () =
         match Gray_util.Pqueue.pop t.queue with
@@ -88,6 +121,9 @@ let run t =
           Effect.Shallow.continue_with k v handler;
           loop ()
       in
-      loop ())
+      try loop ()
+      with Fiber_crash _ as crash ->
+        drain_cancelled ();
+        raise crash)
 
 let events_processed t = t.events

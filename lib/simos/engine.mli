@@ -30,10 +30,17 @@ val delay : int -> unit
 
 val run : t -> unit
 (** Process events until the queue is empty.  An exception escaping a fiber
-    aborts the run, annotated with the fiber name. *)
+    aborts the run, annotated with the fiber name; every {e other} parked
+    fiber is then unwound with {!Cancelled} so its [Fun.protect]
+    finalisers (resource reclamation) still execute. *)
 
 val events_processed : t -> int
 (** Total resume events handled so far (a cheap progress metric). *)
 
 exception Fiber_crash of string * exn
 (** Raised by {!run} when a fiber dies: fiber name and original exception. *)
+
+exception Cancelled
+(** Raised {e inside} the surviving fibers while the engine aborts after a
+    {!Fiber_crash}, to run their cleanup handlers.  Catching it to keep
+    computing is a protocol violation. *)

@@ -1,9 +1,10 @@
-type error = Fs_error of Fs.error | Bad_fd | Bad_path
+type error = Fs_error of Fs.error | Bad_fd | Bad_path | Retryable
 
 let error_to_string = function
   | Fs_error e -> Fs.error_to_string e
   | Bad_fd -> "bad file descriptor"
   | Bad_path -> "bad path (expected /d<volume>/...)"
+  | Retryable -> "interrupted by transient fault (EINTR/EAGAIN-style; retry)"
 
 type fd = int
 type open_file = { of_vol : int; of_ino : int }
@@ -49,6 +50,7 @@ type t = {
   k_procs : (int, proc) Hashtbl.t;
   mutable k_next_pid : int;
   k_ctr : mutable_counters;
+  k_faults : Fault.t option;
 }
 
 type env = { e_k : t; e_proc : proc }
@@ -64,7 +66,7 @@ let vol_of_gino gino = gino lsr vol_shift
 let local_ino_of_gino gino = gino land (meta_bit - 1)
 let gino_is_meta gino = gino land meta_bit <> 0
 
-let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ~seed () =
+let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ?faults ~seed () =
   if data_disks < 1 then invalid_arg "Kernel.boot: need at least one data disk";
   let make_volume _ =
     let disk = Disk.create platform.Platform.disk in
@@ -97,6 +99,17 @@ let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ~seed () =
         m_file_fetches = 0;
         m_file_writebacks = 0;
       };
+    k_faults =
+      (match faults with
+      | Some scenario -> Some (Fault.create scenario)
+      | None -> (
+        match platform.Platform.faults with
+        | Some scenario -> Some (Fault.create scenario)
+        | None ->
+          (* opt-in from the outside: GRAYBOX_FAULTS=canonical|heavy|<x>
+             runs any unsuspecting boot under fault injection, which is how
+             CI keeps the resilience paths exercised *)
+          Option.map Fault.create (Fault.of_env ())));
   }
 
 let engine t = t.k_engine
@@ -135,7 +148,6 @@ let spawn t ?(name = "proc") ?at body =
   let proc =
     { p_pid; p_fds = Hashtbl.create 8; p_next_fd = 3; p_next_vpn = 0; p_regions = [] }
   in
-  Hashtbl.replace t.k_procs p_pid proc;
   let env = { e_k = t; e_proc = proc } in
   let cleanup () =
     List.iter
@@ -158,7 +170,11 @@ let spawn t ?(name = "proc") ?at body =
       (Page.Tbl.copy t.k_swapped);
     Hashtbl.remove t.k_procs p_pid
   in
+  (* Registration happens when the fiber actually starts, inside the same
+     protected scope as [cleanup]: a fiber cancelled before its first
+     instruction (crash-path queue drain) then leaves no trace either. *)
   Engine.spawn t.k_engine ?at ~name (fun () ->
+      Hashtbl.replace t.k_procs p_pid proc;
       Fun.protect ~finally:cleanup (fun () -> body env))
 
 let run t = Engine.run t.k_engine
@@ -167,8 +183,20 @@ let run t = Engine.run t.k_engine
 
 let quantise resolution ns = if resolution <= 1 then ns else ns / resolution * resolution
 
+(* Gray-box timer granularity, coarsened when a fault plane asks for it. *)
+let timer_resolution t =
+  let base = t.k_platform.Platform.timer_resolution_ns in
+  match t.k_faults with
+  | None -> base
+  | Some f -> Fault.timer_resolution f ~base
+
 let gettime env =
-  quantise env.e_k.k_platform.Platform.timer_resolution_ns (Engine.now env.e_k.k_engine)
+  let t = env.e_k in
+  match t.k_faults with
+  | None -> quantise t.k_platform.Platform.timer_resolution_ns (Engine.now t.k_engine)
+  | Some f ->
+    quantise (Fault.timer_resolution f ~base:t.k_platform.Platform.timer_resolution_ns)
+      (Engine.now t.k_engine + Fault.timer_jitter f)
 
 let noised t ns =
   let sigma = t.k_platform.Platform.noise_sigma in
@@ -183,7 +211,23 @@ let start_call env = Engine.now env.e_k.k_engine + env.e_k.k_platform.Platform.s
 let finish_call env ~t0 ~now =
   let total = now - Engine.now env.e_k.k_engine in
   ignore t0;
-  Engine.delay (noised env.e_k total)
+  let extra =
+    match env.e_k.k_faults with
+    | None -> 0
+    | Some f -> Fault.extra_latency f ~now:(Engine.now env.e_k.k_engine)
+  in
+  Engine.delay (noised env.e_k total + extra)
+
+(* Transient-failure injection: the call is charged its overhead (the
+   kernel did run) but performs no work and reports [Retryable]. *)
+let injected env target =
+  match env.e_k.k_faults with
+  | None -> false
+  | Some f -> Fault.inject_error f target
+
+let fail_transient env =
+  Engine.delay (noised env.e_k env.e_k.k_platform.Platform.syscall_overhead_ns);
+  Error Retryable
 
 let copy_cost t bytes =
   int_of_float (float_of_int bytes *. t.k_platform.Platform.memcopy_byte_ns)
@@ -265,6 +309,8 @@ let alloc_fd env ~vol ~ino =
   fd
 
 let open_file env path =
+  if injected env Fault.Open then fail_transient env
+  else
   simple_path_call env path (fun vol rest now ->
       let fs = env.e_k.k_volumes.(vol).v_fs in
       match Fs.lookup fs rest with
@@ -354,6 +400,8 @@ let io_pages env ~vol ~ino ~off ~len ~write =
 
 let read env fd ~off ~len =
   if off < 0 || len < 0 then invalid_arg "Kernel.read: negative offset or length";
+  if injected env Fault.Read then fail_transient env
+  else
   match find_fd env fd with
   | Error e -> Error e
   | Ok { of_vol; of_ino } ->
@@ -377,6 +425,8 @@ let read env fd ~off ~len =
 
 let write env fd ~off ~len =
   if off < 0 || len < 0 then invalid_arg "Kernel.write: negative offset or length";
+  if injected env Fault.Write then fail_transient env
+  else
   match find_fd env fd with
   | Error e -> Error e
   | Ok { of_vol; of_ino } ->
@@ -440,6 +490,8 @@ let readdir env path =
       | Ok names -> (Ok names, now))
 
 let stat env path =
+  if injected env Fault.Stat then fail_transient env
+  else
   simple_path_call env path (fun vol rest now ->
       let fs = env.e_k.k_volumes.(vol).v_fs in
       match Fs.stat_path fs rest with
@@ -516,7 +568,7 @@ let touch_pages env region ~first ~count =
     invalid_arg "Kernel.touch_pages: out of range";
   let t = env.e_k in
   let plat = t.k_platform in
-  let resolution = plat.Platform.timer_resolution_ns in
+  let resolution = timer_resolution t in
   let t0 = Engine.now t.k_engine in
   let now = ref t0 in
   let results = Array.make count 0 in
@@ -543,6 +595,12 @@ let touch_pages env region ~first ~count =
       | `Hit -> ()
       | `Filled evicted -> now := handle_evictions env ~now:!now evicted
     end;
+    (* Background interference steals time mid-touch; the stolen time is
+       real (advances the clock) and visible in the observed sample —
+       exactly what fools a naive timing-based paging detector. *)
+    (match t.k_faults with
+    | None -> ()
+    | Some f -> now := !now + Fault.extra_latency f ~now:!now);
     let raw = !now - before in
     results.(i) <- max resolution (quantise resolution (noised t raw))
   done;
@@ -567,6 +625,59 @@ let compute env ~ns =
 let compute_bytes env ~bytes ~ns_per_byte =
   compute env ~ns:(int_of_float (float_of_int bytes *. ns_per_byte))
 
+(* ---- fault plane ---- *)
+
+let fault_plane t = t.k_faults
+let stop_faults t = Option.iter Fault.stop t.k_faults
+
+(* The scenario's background interference, run as ordinary simulated
+   processes.  Both fibers are horizon-bounded (and honour [stop_faults])
+   so [Engine.run] still terminates. *)
+let start_fault_daemons t =
+  match t.k_faults with
+  | None -> ()
+  | Some f ->
+    let sc = Fault.scenario f in
+    (match sc.Fault.sc_disturb with
+    | Some d when d.Fault.di_evict_frac > 0.0 ->
+      spawn t ~name:"fault.disturber" (fun _env ->
+          let rng = Fault.rng f in
+          let rec loop () =
+            if (not (Fault.stopped f)) && Engine.now t.k_engine < d.Fault.di_horizon_ns
+            then begin
+              let evicted =
+                Memory.invalidate_if t.k_mem (fun key ->
+                    match key with
+                    | Page.File _ ->
+                      Gray_util.Rng.float rng 1.0 < d.Fault.di_evict_frac
+                    | Page.Anon _ -> false)
+              in
+              Fault.note_evictions f evicted;
+              Engine.delay d.Fault.di_period_ns;
+              loop ()
+            end
+          in
+          loop ())
+    | Some _ | None -> ());
+    (match sc.Fault.sc_pressure with
+    | Some p when p.Fault.pr_pages > 0 ->
+      spawn t ~name:"fault.pressure" (fun env ->
+          let region = valloc env ~pages:p.Fault.pr_pages in
+          let rec loop () =
+            if (not (Fault.stopped f)) && Engine.now t.k_engine < p.Fault.pr_horizon_ns
+            then begin
+              ignore (touch_pages env region ~first:0 ~count:p.Fault.pr_pages);
+              Fault.note_pressure_wave f;
+              Engine.delay p.Fault.pr_hold_ns;
+              vrelease env region ~first:0 ~count:p.Fault.pr_pages;
+              Engine.delay p.Fault.pr_gap_ns;
+              loop ()
+            end
+          in
+          loop ();
+          vfree env region)
+    | Some _ | None -> ())
+
 (* ---- experiment control ---- *)
 
 let flush_file_cache t = Memory.drop_file_cache t.k_mem
@@ -574,6 +685,8 @@ let flush_file_cache t = Memory.drop_file_cache t.k_mem
 let drop_all_memory t =
   ignore (Memory.invalidate_if t.k_mem (fun _ -> true));
   Page.Tbl.reset t.k_swapped
+
+let live_procs t = Hashtbl.length t.k_procs
 
 let swapped_pages t ~pid =
   let n = ref 0 in

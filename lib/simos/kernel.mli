@@ -20,9 +20,12 @@ type env
 type fd = int
 (** File descriptors are plain ints (per-process). *)
 
-type error = Fs_error of Fs.error | Bad_fd | Bad_path
+type error = Fs_error of Fs.error | Bad_fd | Bad_path | Retryable
 
 val error_to_string : error -> string
+(** [Retryable] is an injected EINTR/EAGAIN-style transient failure (only
+    ever returned when a {!Fault} scenario is installed); callers should
+    back off and retry — see [Graybox_core.Resilient]. *)
 
 (** {1 Boot and processes} *)
 
@@ -31,11 +34,14 @@ val boot :
   platform:Platform.t ->
   ?data_disks:int ->
   ?volume_blocks:int ->
+  ?faults:Fault.scenario ->
   seed:int ->
   unit ->
   t
 (** [data_disks] defaults to 4 (paper setup); [volume_blocks] defaults to
-    the disk capacity. *)
+    the disk capacity.  [faults] installs a fault-injection scenario
+    (default: the platform's [faults] field, usually none); when absent the
+    kernel performs no fault-related work at all. *)
 
 val engine : t -> Engine.t
 val platform : t -> Platform.t
@@ -127,6 +133,21 @@ val compute : env -> ns:int -> unit
 
 val compute_bytes : env -> bytes:int -> ns_per_byte:float -> unit
 
+(** {1 Fault plane (experiment control, not for ICLs)} *)
+
+val fault_plane : t -> Fault.t option
+(** The installed fault plane, for stats and scenario inspection. *)
+
+val start_fault_daemons : t -> unit
+(** Spawn the scenario's background interference as simulated processes: a
+    cache disturber that evicts random file pages while ICLs probe, and a
+    memory-pressure fiber that touches/releases anonymous memory in waves.
+    Both exit at their scenario horizon (or on {!stop_faults}), so
+    {!run} still terminates.  No-op without a fault plane. *)
+
+val stop_faults : t -> unit
+(** Ask the fault daemons to exit at their next wake-up. *)
+
 (** {1 Experiment control (used between runs, not by ICLs)} *)
 
 val flush_file_cache : t -> unit
@@ -167,3 +188,8 @@ val global_ino : t -> volume:int -> ino:int -> int
 
 val swapped_pages : t -> pid:int -> int
 (** Anonymous pages of this process currently on the swap disk. *)
+
+val live_procs : t -> int
+(** Processes whose fiber has started and not yet cleaned up — crashed
+    fibers must not linger here (their fds and memory are reclaimed on the
+    crash path). *)

@@ -19,6 +19,30 @@ let pearson xs ys =
     else !sxy /. sqrt (!sxx *. !syy)
   end
 
+(* Fractional (average) ranks, ties sharing their mean rank. *)
+let ranks_of xs =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    let avg = (float_of_int (!i + !j) /. 2.0) +. 1.0 in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman xs ys =
+  check_lengths xs ys "Correlate.spearman";
+  pearson (ranks_of xs) (ranks_of ys)
+
 type regression = { slope : float; intercept : float; r2 : float }
 
 let linear_regression xs ys =

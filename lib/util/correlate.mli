@@ -7,6 +7,12 @@ val pearson : float array -> float array -> float
 (** Pearson correlation coefficient.  Returns [0.] when either series has
     zero variance.  Raises [Invalid_argument] on length mismatch. *)
 
+val spearman : float array -> float array -> float
+(** Spearman rank correlation (Pearson over fractional ranks, ties
+    averaged) — the right accuracy metric for an {e ordering} ICL such as
+    FCCD, where only the predicted ranks matter, not the raw probe
+    times.  Raises [Invalid_argument] on length mismatch. *)
+
 type regression = { slope : float; intercept : float; r2 : float }
 
 val linear_regression : float array -> float array -> regression

@@ -27,4 +27,6 @@ let () =
       ("vmm", Test_vmm.suite);
       ("trace", Test_trace.suite);
       ("edge", Test_edge.suite);
+      ("faults", Test_faults.suite);
+      ("error-paths", Test_error_paths.suite);
     ]

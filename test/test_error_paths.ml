@@ -1,0 +1,119 @@
+(* Kernel error paths as the ICLs and gbp see them: missing files, bad
+   descriptors, malformed paths, and the exit-code mapping. *)
+
+open Simos
+open Graybox_core
+
+let mib = 1024 * 1024
+
+let tiny_linux =
+  Platform.with_noise
+    { Platform.linux_2_2 with Platform.memory_mib = 96; kernel_reserved_mib = 32 }
+    ~sigma:0.0
+
+let boot () =
+  let engine = Engine.create () in
+  Kernel.boot ~engine ~platform:tiny_linux ~data_disks:1 ~seed:11 ()
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Kernel.error_to_string e)
+
+let config ~seed =
+  {
+    (Fccd.default_config ~seed ()) with
+    Fccd.access_unit = 1 * mib;
+    prediction_unit = 256 * 1024;
+  }
+
+let check_error name expected = function
+  | Error e when e = expected -> ()
+  | Error e -> Alcotest.failf "%s: wrong error %s" name (Kernel.error_to_string e)
+  | Ok _ -> Alcotest.failf "%s: unexpectedly succeeded" name
+
+let test_fccd_missing_and_malformed () =
+  let k = boot () in
+  Kernel.spawn k (fun env ->
+      check_error "missing file" (Kernel.Fs_error Fs.Enoent)
+        (Fccd.probe_file env (config ~seed:1) ~path:"/d0/nope");
+      check_error "malformed path" Kernel.Bad_path
+        (Fccd.probe_file env (config ~seed:2) ~path:"bogus");
+      check_error "order_files missing" (Kernel.Fs_error Fs.Enoent)
+        (Fccd.order_files env (config ~seed:3) ~paths:[ "/d0/nope" ]));
+  Kernel.run k
+
+let test_fldc_missing_and_malformed () =
+  let k = boot () in
+  Kernel.spawn k (fun env ->
+      check_error "stat missing" (Kernel.Fs_error Fs.Enoent)
+        (Fldc.order_by_inumber env ~paths:[ "/d0/nope" ]);
+      check_error "stat malformed" Kernel.Bad_path
+        (Fldc.order_by_inumber env ~paths:[ "not-a-path" ]));
+  Kernel.run k
+
+let test_probe_bad_fd_not_retried () =
+  let k = boot () in
+  Kernel.spawn k (fun env ->
+      let fd = ok (Kernel.create_file env "/d0/a") in
+      ignore (ok (Kernel.write env fd ~off:0 ~len:4096));
+      Kernel.close env fd;
+      (* a permanent error must come back immediately, not after a retry
+         storm: the policy's retry counter stays at zero *)
+      let policy = Resilient.policy ~seed:7 () in
+      check_error "closed fd" Kernel.Bad_fd (Probe.file_byte_r env ~policy fd ~off:0);
+      Alcotest.(check int) "no retries burned" 0 (Resilient.retries_spent policy));
+  Kernel.run k
+
+let test_classify () =
+  Alcotest.(check bool) "retryable is transient" true
+    (Resilient.classify Kernel.Retryable = `Transient);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "permanent" true (Resilient.classify e = `Permanent))
+    [ Kernel.Bad_fd; Kernel.Bad_path; Kernel.Fs_error Fs.Enoent ]
+
+let test_exit_codes_distinct_and_nonzero () =
+  let errors =
+    [
+      Kernel.Bad_path;
+      Kernel.Bad_fd;
+      Kernel.Retryable;
+      Kernel.Fs_error Fs.Enoent;
+      Kernel.Fs_error Fs.Eexist;
+      Kernel.Fs_error Fs.Enospc;
+    ]
+  in
+  let codes = List.map Gbp.exit_code_of_error errors in
+  List.iter
+    (fun c -> Alcotest.(check bool) "not 0 or 1" true (c <> 0 && c <> 1))
+    codes;
+  Alcotest.(check int) "distinct codes" (List.length codes)
+    (List.length (List.sort_uniq compare codes))
+
+let test_gbp_error_fallback_passthrough () =
+  let k = boot () in
+  Kernel.spawn k (fun env ->
+      let paths =
+        Gray_apps.Workload.make_files env ~dir:"/d0/data" ~prefix:"f" ~count:3
+          ~size:(1 * mib)
+      in
+      let with_ghost = paths @ [ "/d0/data/ghost" ] in
+      let ordered, reason =
+        Gbp.best_order_or_fallback env (config ~seed:4) Gbp.Mem ~paths:with_ghost
+      in
+      Alcotest.(check (list string)) "argument order preserved" with_ghost ordered;
+      match reason with
+      | Some (Gbp.Degraded_error (Kernel.Fs_error Fs.Enoent)) -> ()
+      | Some r -> Alcotest.failf "wrong reason: %s" (Gbp.fallback_reason_to_string r)
+      | None -> Alcotest.fail "expected a fallback reason");
+  Kernel.run k
+
+let suite =
+  [
+    Alcotest.test_case "fccd missing/malformed" `Quick test_fccd_missing_and_malformed;
+    Alcotest.test_case "fldc missing/malformed" `Quick test_fldc_missing_and_malformed;
+    Alcotest.test_case "probe bad fd not retried" `Quick test_probe_bad_fd_not_retried;
+    Alcotest.test_case "error classification" `Quick test_classify;
+    Alcotest.test_case "exit codes distinct" `Quick test_exit_codes_distinct_and_nonzero;
+    Alcotest.test_case "gbp fallback passthrough" `Quick test_gbp_error_fallback_passthrough;
+  ]

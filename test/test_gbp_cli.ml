@@ -55,6 +55,63 @@ let test_mac_default_config () =
     Alcotest.(check bool) "threshold between" true (t > 9_000 && t < 9_000_000)
   | None -> Alcotest.fail "expected threshold"
 
+(* ---- fallback ordering (the degraded gbp pipeline) ---- *)
+
+open Simos
+
+let mib = 1024 * 1024
+
+let tiny_linux =
+  Platform.with_noise
+    { Platform.linux_2_2 with Platform.memory_mib = 96; kernel_reserved_mib = 32 }
+    ~sigma:0.0
+
+let in_sim body =
+  let engine = Engine.create () in
+  let k = Kernel.boot ~engine ~platform:tiny_linux ~data_disks:1 ~seed:11 () in
+  Kernel.spawn k (fun env -> body env);
+  Kernel.run k
+
+let small_config ~seed =
+  {
+    (Fccd.default_config ~seed ()) with
+    Fccd.access_unit = 1 * mib;
+    prediction_unit = 256 * 1024;
+  }
+
+let test_gbp_fallback_low_confidence () =
+  in_sim (fun env ->
+      let paths =
+        Gray_apps.Workload.make_files env ~dir:"/d0/data" ~prefix:"f" ~count:3
+          ~size:(1 * mib)
+      in
+      (* an impossible bar forces the low-confidence passthrough *)
+      let ordered, reason =
+        Gbp.best_order_or_fallback env (small_config ~seed:4) ~min_confidence:1.1
+          Gbp.Mem ~paths
+      in
+      Alcotest.(check (list string)) "argument order preserved" paths ordered;
+      (match reason with
+      | Some (Gbp.Low_confidence c) ->
+        Alcotest.(check bool) "confidence in range" true (c >= 0.0 && c <= 1.0)
+      | Some r -> Alcotest.failf "wrong reason: %s" (Gbp.fallback_reason_to_string r)
+      | None -> Alcotest.fail "expected low-confidence fallback");
+      (* the default bar accepts the same ordering *)
+      let _, reason0 =
+        Gbp.best_order_or_fallback env (small_config ~seed:5) Gbp.Mem ~paths
+      in
+      Alcotest.(check bool) "no fallback by default" true (reason0 = None))
+
+let test_gbp_fallback_file_mode_error () =
+  in_sim (fun env ->
+      let paths = [ "/d0/data/ghost1"; "/d0/data/ghost2" ] in
+      let ordered, reason =
+        Gbp.best_order_or_fallback env (small_config ~seed:6) Gbp.File ~paths
+      in
+      Alcotest.(check (list string)) "argument order preserved" paths ordered;
+      Alcotest.(check bool) "degraded with an error" true
+        (match reason with Some (Gbp.Degraded_error _) -> true | _ -> false))
+
 let suite =
   [
     Alcotest.test_case "dirname/basename" `Quick test_dirname_basename;
@@ -63,4 +120,8 @@ let suite =
     Alcotest.test_case "fccd align validation" `Quick test_fccd_config_align_validation;
     Alcotest.test_case "fccd default config" `Quick test_fccd_default_config_sizes;
     Alcotest.test_case "mac default config" `Quick test_mac_default_config;
+    Alcotest.test_case "gbp fallback on low confidence" `Quick
+      test_gbp_fallback_low_confidence;
+    Alcotest.test_case "gbp fallback on file-mode error" `Quick
+      test_gbp_fallback_file_mode_error;
   ]

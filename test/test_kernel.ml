@@ -12,12 +12,14 @@ let tiny_linux =
     { Platform.linux_2_2 with Platform.memory_mib = 96; kernel_reserved_mib = 32 }
     ~sigma:0.0
 
-let boot ?(platform = tiny_linux) ?(data_disks = 2) () =
+let boot ?faults ?(platform = tiny_linux) ?(data_disks = 2) () =
   let engine = Engine.create () in
-  Kernel.boot ~engine ~platform ~data_disks ~seed:11 ()
+  Kernel.boot ~engine ~platform ~data_disks ~seed:11 ?faults ()
 
-let run_proc ?platform ?data_disks body =
-  let k = boot ?platform ?data_disks () in
+(* [~faults:Fault.quiet] (bit-identical to no plane) is for tests whose
+   timing thresholds cannot tolerate GRAYBOX_FAULTS chaos injection. *)
+let run_proc ?faults ?platform ?data_disks body =
+  let k = boot ?faults ?platform ?data_disks () in
   let result = ref None in
   Kernel.spawn k (fun env -> result := Some (body env));
   Kernel.run k;
@@ -179,7 +181,7 @@ let test_write_then_read_cached () =
 
 let test_stat_caches_inode () =
   let _, (first, second) =
-    run_proc (fun env ->
+    run_proc ~faults:Fault.quiet (fun env ->
         make_file env "/d0/a" kib4;
         Kernel.flush_file_cache (Kernel.kernel_of_env env);
         let _, first = timed env (fun () -> ok (Kernel.stat env "/d0/a")) in
@@ -335,7 +337,7 @@ let test_two_processes_share_memory_pressure () =
 
 let test_vrelease_drops_range () =
   let _, (mid_resident, after_touch) =
-    run_proc (fun env ->
+    run_proc ~faults:Fault.quiet (fun env ->
         let r = Kernel.valloc env ~pages:256 in
         ignore (Kernel.touch_pages env r ~first:0 ~count:256);
         (* drop the middle half *)
