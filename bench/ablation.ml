@@ -7,7 +7,10 @@
    2. FCCD accuracy vs timing noise — how far the statistics carry when
       the covert channel gets dirty.
    3. MAC increment strategy — conservative doubling vs fixed-step vs
-      aggressive, measuring probe overhead against grant quality. *)
+      aggressive, measuring probe overhead against grant quality.
+
+   One task per table row (policy, sigma, or strategy): every row is an
+   independent kernel, so the three ablations fan out fully. *)
 
 open Simos
 open Graybox_core
@@ -77,110 +80,162 @@ let scan_speedup ~platform ~seed =
       done;
       float_of_int !linear /. float_of_int !gray)
 
-let policy_ablation () =
-  header "Ablation A: FCCD vs replacement policy (plan accuracy and warm-scan speedup)";
-  let t =
-    Gray_util.Table.create
-      ~title:"probing stays accurate on every policy; the exploitable benefit varies"
-      ~columns:[ "file-cache policy"; "plan accuracy"; "warm-scan speedup" ]
-  in
-  List.iter
-    (fun name ->
-      let platform =
-        Platform.with_file_policy Platform.linux_2_2 (Replacement.of_name name)
+let mac_strategy ~initial ~maxi () =
+  let k = boot () in
+  let stop = ref false and held = ref false in
+  Kernel.spawn k ~name:"competitor" (fun env ->
+      let pages = 300 * mib / 4096 in
+      let r = Kernel.valloc env ~pages in
+      ignore (Kernel.touch_pages env r ~first:0 ~count:pages);
+      held := true;
+      while not !stop do
+        let slice = 4096 in
+        let off = ref 0 in
+        while !off < pages do
+          ignore (Kernel.touch_pages env r ~first:!off ~count:(min slice (pages - !off)));
+          off := !off + slice;
+          Engine.delay 500_000
+        done
+      done;
+      Kernel.vfree env r);
+  let granted = ref 0 and stats = ref None in
+  Kernel.spawn k ~name:"mac" (fun env ->
+      while not !held do
+        Engine.delay 1_000_000
+      done;
+      let config =
+        { (Mac.default_config ()) with Mac.initial_increment = initial;
+          max_increment = maxi }
       in
-      let acc = fccd_under ~platform ~seed:51 in
-      let speedup = scan_speedup ~platform ~seed:52 in
-      Gray_util.Table.add_row t
-        [ name; Printf.sprintf "%.2f" acc; Printf.sprintf "%.1fx" speedup ])
-    Replacement.all_names;
-  print_string (Gray_util.Table.render t);
-  note "probing measures the cache as it is, so accuracy is policy-independent;";
-  note "the speedup collapses where repeated scans are already cheap (mru-sticky: the";
-  note "Solaris effect of Fig. 4) or where the cache state defeats reordering"
+      (match Mac.gb_alloc env config ~min:(50 * mib) ~max:(830 * mib) ~multiple:100 with
+      | Some a ->
+        granted := Mac.bytes a;
+        Mac.gb_free env a
+      | None -> ());
+      stats := Some (Mac.last_stats ());
+      stop := true);
+  Kernel.run k;
+  (!granted, !stats)
 
-let noise_ablation () =
-  header "Ablation B: FCCD plan accuracy vs timing noise";
-  let t =
-    Gray_util.Table.create ~title:"accuracy under log-normal service-time noise"
-      ~columns:[ "sigma"; "plan accuracy" ]
-  in
-  List.iter
-    (fun sigma ->
-      let platform = Platform.with_noise Platform.linux_2_2 ~sigma in
-      let acc = fccd_under ~platform ~seed:53 in
-      Gray_util.Table.add_row t [ Printf.sprintf "%.2f" sigma; Printf.sprintf "%.2f" acc ])
-    [ 0.0; 0.05; 0.1; 0.2; 0.4; 0.8 ];
-  print_string (Gray_util.Table.render t);
-  note "expected: robust well past the default 0.05 — cache/disk are orders of magnitude apart"
+let strategies =
+  [
+    ("conservative 8->64 MB (paper)", 8 * mib, 64 * mib);
+    ("fixed 8 MB", 8 * mib, 8 * mib);
+    ("fixed 64 MB", 64 * mib, 64 * mib);
+    ("aggressive 64->256 MB", 64 * mib, 256 * mib);
+  ]
 
-let mac_ablation () =
-  header "Ablation C: MAC increment strategy (probe cost vs grant under a 300 MB competitor)";
-  let t =
-    Gray_util.Table.create ~title:""
-      ~columns:[ "strategy"; "granted"; "probe time"; "steps"; "backoffs" ]
-  in
-  let strategies =
-    [
-      ("conservative 8->64 MB (paper)", 8 * mib, 64 * mib);
-      ("fixed 8 MB", 8 * mib, 8 * mib);
-      ("fixed 64 MB", 64 * mib, 64 * mib);
-      ("aggressive 64->256 MB", 64 * mib, 256 * mib);
-    ]
-  in
-  List.iter
-    (fun (label, initial, maxi) ->
-      let k = boot () in
-      let stop = ref false and held = ref false in
-      Kernel.spawn k ~name:"competitor" (fun env ->
-          let pages = 300 * mib / 4096 in
-          let r = Kernel.valloc env ~pages in
-          ignore (Kernel.touch_pages env r ~first:0 ~count:pages);
-          held := true;
-          while not !stop do
-            let slice = 4096 in
-            let off = ref 0 in
-            while !off < pages do
-              ignore (Kernel.touch_pages env r ~first:!off ~count:(min slice (pages - !off)));
-              off := !off + slice;
-              Engine.delay 500_000
-            done
-          done;
-          Kernel.vfree env r);
-      let granted = ref 0 and stats = ref None in
-      Kernel.spawn k ~name:"mac" (fun env ->
-          while not !held do
-            Engine.delay 1_000_000
-          done;
-          let config =
-            { (Mac.default_config ()) with Mac.initial_increment = initial;
-              max_increment = maxi }
-          in
-          (match Mac.gb_alloc env config ~min:(50 * mib) ~max:(830 * mib) ~multiple:100 with
-          | Some a ->
-            granted := Mac.bytes a;
-            Mac.gb_free env a
-          | None -> ());
-          stats := Some (Mac.last_stats ());
-          stop := true);
-      Kernel.run k;
-      match !stats with
-      | None -> ()
-      | Some s ->
-        Gray_util.Table.add_row t
-          [
-            label;
-            Printf.sprintf "%d MB" (!granted / mib);
-            Printf.sprintf "%.2f s" (float_of_int s.Mac.s_probe_ns /. 1e9);
-            string_of_int s.Mac.s_steps;
-            string_of_int s.Mac.s_backoffs;
-          ])
-    strategies;
-  print_string (Gray_util.Table.render t);
-  note "with stop-at-first-failure semantics the strategies trade probe steps for grant";
-  note "resolution: fixed-small needs many steps; the paper's doubling is the compromise"
+let sigmas = [ 0.0; 0.05; 0.1; 0.2; 0.4; 0.8 ]
 
-let run () =
-  policy_ablation ();
-  noise_ablation ();
-  mac_ablation ()
+let plan () =
+  let policy_cells =
+    List.map
+      (fun name ->
+        let platform =
+          Platform.with_file_policy Platform.linux_2_2 (Replacement.of_name name)
+        in
+        let t, get =
+          task ~label:(Printf.sprintf "ablation[policy=%s]" name) (fun () ->
+              (fccd_under ~platform ~seed:51, scan_speedup ~platform ~seed:52))
+        in
+        (name, t, get))
+      Replacement.all_names
+  in
+  let noise_cells =
+    List.map
+      (fun sigma ->
+        let platform = Platform.with_noise Platform.linux_2_2 ~sigma in
+        let t, get =
+          task ~label:(Printf.sprintf "ablation[sigma=%.2f]" sigma) (fun () ->
+              fccd_under ~platform ~seed:53)
+        in
+        (sigma, t, get))
+      sigmas
+  in
+  let mac_cells =
+    List.map
+      (fun (label, initial, maxi) ->
+        let t, get =
+          task ~label:(Printf.sprintf "ablation[mac=%s]" label) (mac_strategy ~initial ~maxi)
+        in
+        (label, t, get))
+      strategies
+  in
+  let render () =
+    let b = Buffer.create 2048 in
+    let figures = ref [] and checks = ref [] in
+    header b "Ablation A: FCCD vs replacement policy (plan accuracy and warm-scan speedup)";
+    let ta =
+      Gray_util.Table.create
+        ~title:"probing stays accurate on every policy; the exploitable benefit varies"
+        ~columns:[ "file-cache policy"; "plan accuracy"; "warm-scan speedup" ]
+    in
+    List.iter
+      (fun (name, _, get) ->
+        let acc, speedup = get () in
+        figures :=
+          figure (Printf.sprintf "fccd_accuracy[%s]" name) acc
+          :: figure (Printf.sprintf "scan_speedup[%s]" name) speedup
+          :: !figures;
+        checks :=
+          check (Printf.sprintf "plan accuracy high under %s" name) (acc >= 0.8) :: !checks;
+        Gray_util.Table.add_row ta
+          [ name; Printf.sprintf "%.2f" acc; Printf.sprintf "%.1fx" speedup ])
+      policy_cells;
+    Buffer.add_string b (Gray_util.Table.render ta);
+    note b "probing measures the cache as it is, so accuracy is policy-independent;";
+    note b "the speedup collapses where repeated scans are already cheap (mru-sticky: the";
+    note b "Solaris effect of Fig. 4) or where the cache state defeats reordering";
+    header b "Ablation B: FCCD plan accuracy vs timing noise";
+    let tb =
+      Gray_util.Table.create ~title:"accuracy under log-normal service-time noise"
+        ~columns:[ "sigma"; "plan accuracy" ]
+    in
+    List.iter
+      (fun (sigma, _, get) ->
+        let acc = get () in
+        figures := figure (Printf.sprintf "fccd_accuracy[sigma=%.2f]" sigma) acc :: !figures;
+        if sigma <= 0.1 then
+          checks :=
+            check (Printf.sprintf "plan accuracy survives sigma=%.2f" sigma) (acc >= 0.8)
+            :: !checks;
+        Gray_util.Table.add_row tb
+          [ Printf.sprintf "%.2f" sigma; Printf.sprintf "%.2f" acc ])
+      noise_cells;
+    Buffer.add_string b (Gray_util.Table.render tb);
+    note b "expected: robust well past the default 0.05 — cache/disk are orders of magnitude apart";
+    header b "Ablation C: MAC increment strategy (probe cost vs grant under a 300 MB competitor)";
+    let tc =
+      Gray_util.Table.create ~title:""
+        ~columns:[ "strategy"; "granted"; "probe time"; "steps"; "backoffs" ]
+    in
+    List.iter
+      (fun (label, _, get) ->
+        match get () with
+        | _, None -> ()
+        | granted, Some s ->
+          figures :=
+            figure (Printf.sprintf "mac_granted_mib[%s]" label)
+              (float_of_int (granted / mib))
+            :: !figures;
+          Gray_util.Table.add_row tc
+            [
+              label;
+              Printf.sprintf "%d MB" (granted / mib);
+              Printf.sprintf "%.2f s" (float_of_int s.Mac.s_probe_ns /. 1e9);
+              string_of_int s.Mac.s_steps;
+              string_of_int s.Mac.s_backoffs;
+            ])
+      mac_cells;
+    Buffer.add_string b (Gray_util.Table.render tc);
+    note b "with stop-at-first-failure semantics the strategies trade probe steps for grant";
+    note b "resolution: fixed-small needs many steps; the paper's doubling is the compromise";
+    { rd_output = Buffer.contents b; rd_figures = List.rev !figures; rd_checks = List.rev !checks }
+  in
+  {
+    p_tasks =
+      List.map (fun (_, t, _) -> t) policy_cells
+      @ List.map (fun (_, t, _) -> t) noise_cells
+      @ List.map (fun (_, t, _) -> t) mac_cells;
+    p_render = render;
+  }

@@ -1,26 +1,65 @@
-(* Shared plumbing for the figure/table reproductions. *)
+(* Shared plumbing for the figure/table reproductions.
+
+   Experiments no longer print as they compute.  Each module builds a
+   {!plan}: a list of self-contained {!task}s (one kernel boot each, all
+   seeds derived up front) plus a [render] function that turns the task
+   results into human output, machine-readable figure numbers and
+   expected-shape checks.  The driver fans every task of every selected
+   experiment over a {!Gray_util.Domain_pool} and renders in submission
+   order afterwards — so the output is byte-identical at any [-j]. *)
 
 open Simos
 
 let mib = 1024 * 1024
 
-(* Trials default low to keep the harness snappy; the paper used 30.
-   Override with GRAYBOX_TRIALS. *)
-let trials =
+(* ---- trial count ----------------------------------------------------- *)
+
+(* The paper used 30 trials per figure; the default here is 10 — high
+   enough for stable error bars now that trials run domain-parallel,
+   low enough for a laptop.  Override with GRAYBOX_TRIALS. *)
+let default_trials = 10
+
+let trials_of_env () =
   match Sys.getenv_opt "GRAYBOX_TRIALS" with
-  | Some s -> (try max 1 (int_of_string s) with _ -> 5)
-  | None -> 5
+  | None | Some "" -> default_trials
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some n ->
+      Printf.eprintf "warning: GRAYBOX_TRIALS=%d is below 1; using 1 trial\n%!" n;
+      1
+    | None ->
+      Printf.eprintf
+        "error: GRAYBOX_TRIALS=%s is not a number (unset it or pass an integer >= 1)\n%!"
+        s;
+      exit 2)
 
-let header title =
-  Printf.printf "\n==============================================================\n";
-  Printf.printf "%s\n" title;
-  Printf.printf "==============================================================\n%!"
+let trials_slot = ref None
+let trials () = match !trials_slot with
+  | Some n -> n
+  | None ->
+    let n = trials_of_env () in
+    trials_slot := Some n;
+    n
 
-let note fmt = Printf.ksprintf (fun s -> Printf.printf "  # %s\n%!" s) fmt
+let set_trials n = trials_slot := Some (max 1 n)
 
-let boot ?(platform = Platform.linux_2_2) ?(data_disks = 4) ?(seed = 42) () =
+(* ---- simulation helpers ---------------------------------------------- *)
+
+(* Engines booted while a task runs are registered domain-locally so the
+   harness can report simulated-time and event totals per experiment. *)
+let engine_collector : Engine.t list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let register_engine engine =
+  match Domain.DLS.get engine_collector with
+  | None -> ()
+  | Some engines -> engines := engine :: !engines
+
+let boot ?(platform = Platform.linux_2_2) ?(data_disks = 4) ?(seed = 42) ?faults () =
   let engine = Engine.create () in
-  Kernel.boot ~engine ~platform ~data_disks ~seed ()
+  register_engine engine;
+  Kernel.boot ~engine ~platform ~data_disks ~seed ?faults ()
 
 (* Run one simulated process to completion and return its result. *)
 let in_proc k body =
@@ -36,3 +75,157 @@ let mean_std samples =
   (Gray_util.Stats.mean_of arr, Gray_util.Stats.stddev_of arr)
 
 let pp_mean_std (m, s) = Printf.sprintf "%7.2f ± %5.2f s" (m /. 1e9) (s /. 1e9)
+
+(* ---- tasks ------------------------------------------------------------ *)
+
+type task = {
+  t_label : string;
+  t_run : unit -> unit;
+  mutable t_wall_ns : int;
+  mutable t_sim_ns : int;
+  mutable t_events : int;
+}
+
+let task ~label f =
+  let cell = ref None in
+  let t =
+    {
+      t_label = label;
+      t_run = (fun () -> cell := Some (f ()));
+      t_wall_ns = 0;
+      t_sim_ns = 0;
+      t_events = 0;
+    }
+  in
+  let get () =
+    match !cell with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "bench task %S rendered before it ran" label)
+  in
+  (t, get)
+
+(* One task per item; the getter returns results in item order. *)
+let tasks ~label items f =
+  let pairs = List.map (fun item -> task ~label:(label item) (fun () -> f item)) items in
+  let ts = List.map fst pairs in
+  let get () = List.map (fun (_, g) -> g ()) pairs in
+  (ts, get)
+
+(* One independent, seeded task per trial; results merge in seed order.
+   This is the harness's determinism contract: a trial owns its seed and
+   everything derived from it, so the schedule cannot change the data. *)
+let run_trials ~label ~seeds f =
+  tasks ~label:(fun seed -> Printf.sprintf "%s[seed=%d]" label seed) seeds
+    (fun seed -> f ~seed)
+
+(* Standard per-figure seed derivation: one small, readable namespace per
+   experiment, disjoint across experiments by construction. *)
+let trial_seeds ~base n = List.init n (fun i -> base + i)
+
+(* ---- plans ------------------------------------------------------------ *)
+
+type figure = { fg_name : string; fg_value : float }
+type check = { ck_name : string; ck_ok : bool }
+
+type rendered = {
+  rd_output : string;
+  rd_figures : figure list;
+  rd_checks : check list;
+}
+
+type plan = { p_tasks : task list; p_render : unit -> rendered }
+
+let figure name value = { fg_name = name; fg_value = value }
+let check name ok = { ck_name = name; ck_ok = ok }
+
+(* ---- rendering helpers ------------------------------------------------ *)
+
+let header b title =
+  Buffer.add_string b "\n==============================================================\n";
+  Buffer.add_string b title;
+  Buffer.add_string b "\n==============================================================\n"
+
+let note b fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string b "  # ";
+      Buffer.add_string b s;
+      Buffer.add_char b '\n')
+    fmt
+
+(* ---- execution -------------------------------------------------------- *)
+
+let exec_task t =
+  let t0 = Unix.gettimeofday () in
+  let engines = ref [] in
+  Domain.DLS.set engine_collector (Some engines);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set engine_collector None)
+    t.t_run;
+  t.t_wall_ns <- int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
+  List.iter
+    (fun e ->
+      t.t_sim_ns <- t.t_sim_ns + Engine.now e;
+      t.t_events <- t.t_events + Engine.events_processed e)
+    !engines
+
+let execute ?pool plans =
+  let all = List.concat_map (fun p -> p.p_tasks) plans in
+  match pool with
+  | Some pool when Gray_util.Domain_pool.size pool > 1 ->
+    Gray_util.Domain_pool.run pool (List.map (fun t () -> exec_task t) all)
+  | Some _ | None -> List.iter exec_task all
+
+type plan_stats = {
+  st_tasks : int;
+  st_wall_ns : int;  (* sum of task wall times: work, not elapsed, time *)
+  st_sim_ns : int;
+  st_events : int;
+}
+
+let plan_stats p =
+  List.fold_left
+    (fun acc t ->
+      {
+        st_tasks = acc.st_tasks + 1;
+        st_wall_ns = acc.st_wall_ns + t.t_wall_ns;
+        st_sim_ns = acc.st_sim_ns + t.t_sim_ns;
+        st_events = acc.st_events + t.t_events;
+      })
+    { st_tasks = 0; st_wall_ns = 0; st_sim_ns = 0; st_events = 0 }
+    p.p_tasks
+
+(* ---- the machine-readable perf trajectory ----------------------------- *)
+
+let suite_json ~jobs ~suite_wall_ns results =
+  let open Gray_util.Json in
+  let experiment (name, doc, plan, rendered) =
+    let st = plan_stats plan in
+    Obj
+      [
+        ("name", String name);
+        ("doc", String doc);
+        ("tasks", Int st.st_tasks);
+        ("wall_ns", Int st.st_wall_ns);
+        ("sim_ns", Int st.st_sim_ns);
+        ("events", Int st.st_events);
+        ( "figures",
+          List
+            (List.map
+               (fun f -> Obj [ ("name", String f.fg_name); ("value", Float f.fg_value) ])
+               rendered.rd_figures) );
+        ( "checks",
+          List
+            (List.map
+               (fun c -> Obj [ ("name", String c.ck_name); ("ok", Bool c.ck_ok) ])
+               rendered.rd_checks) );
+      ]
+  in
+  Obj
+    [
+      ("schema", String "graybox-bench-suite/1");
+      ("jobs", Int jobs);
+      ("trials", Int (trials ()));
+      ("suite_wall_ns", Int suite_wall_ns);
+      ("experiments", List (List.map experiment results));
+    ]

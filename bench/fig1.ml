@@ -8,7 +8,9 @@
    file that is accessed is roughly twice the size of the file cache."
 
    Ground truth comes from Introspect.cache_bitmap — the role the paper's
-   modified kernel played. *)
+   modified kernel played.  Every trial is an independent, seeded
+   simulation (own kernel, own RNG), so trials fan out over the domain
+   pool and the figure is identical at any parallelism. *)
 
 open Simos
 open Bench_common
@@ -19,78 +21,123 @@ let access_units = [ 1 * mib; 10 * mib; 100 * mib ]
 let prediction_units =
   [ 1 * mib; 2 * mib; 5 * mib; 10 * mib; 20 * mib; 50 * mib; 100 * mib; 200 * mib ]
 
-(* One trial: flush, read file_bytes worth of data in random access-unit
-   chunks, then compute the presence/fraction correlation for every
-   prediction-unit size from the same cache bitmap. *)
-let trial k env rng ~access_unit =
-  Kernel.flush_file_cache k;
-  let fd = Gray_apps.Workload.ok_exn (Kernel.open_file env "/d0/corpus") in
-  let chunks = file_bytes / access_unit in
-  for _ = 1 to chunks do
-    let off = Gray_util.Rng.int rng chunks * access_unit in
-    ignore (Gray_apps.Workload.ok_exn (Kernel.read env fd ~off ~len:access_unit))
-  done;
-  Kernel.close env fd;
-  let bitmap =
-    match Introspect.cache_bitmap k ~path:"/d0/corpus" with
-    | Ok b -> b
-    | Error _ -> failwith "fig1: bitmap"
-  in
-  let page = 4096 in
-  let correlation_for pu =
-    let pages_per_unit = pu / page in
-    let units = Array.length bitmap / pages_per_unit in
-    let xs = Array.make units 0.0 and ys = Array.make units 0.0 in
-    for u = 0 to units - 1 do
-      let base = u * pages_per_unit in
-      let probe = base + Gray_util.Rng.int rng pages_per_unit in
-      xs.(u) <- (if bitmap.(probe) then 1.0 else 0.0);
-      let cached = ref 0 in
-      for p = base to base + pages_per_unit - 1 do
-        if bitmap.(p) then incr cached
+(* One trial: boot, lay out the corpus, read file_bytes worth of data in
+   random access-unit chunks, then compute the presence/fraction
+   correlation for every prediction-unit size from the same cache bitmap. *)
+let trial ~file_bytes ~prediction_units ~access_unit ~seed =
+  let k = boot () in
+  in_proc k (fun env ->
+      Gray_apps.Workload.write_file env "/d0/corpus" file_bytes;
+      Kernel.flush_file_cache k;
+      let rng = Gray_util.Rng.create ~seed in
+      let fd = Gray_apps.Workload.ok_exn (Kernel.open_file env "/d0/corpus") in
+      let chunks = file_bytes / access_unit in
+      for _ = 1 to chunks do
+        let off = Gray_util.Rng.int rng chunks * access_unit in
+        ignore (Gray_apps.Workload.ok_exn (Kernel.read env fd ~off ~len:access_unit))
       done;
-      ys.(u) <- float_of_int !cached /. float_of_int pages_per_unit
-    done;
-    Gray_util.Correlate.pearson xs ys
-  in
-  List.map correlation_for prediction_units
+      Kernel.close env fd;
+      let bitmap =
+        match Introspect.cache_bitmap k ~path:"/d0/corpus" with
+        | Ok b -> b
+        | Error _ -> failwith "fig1: bitmap"
+      in
+      let page = 4096 in
+      let correlation_for pu =
+        let pages_per_unit = pu / page in
+        let units = Array.length bitmap / pages_per_unit in
+        let xs = Array.make units 0.0 and ys = Array.make units 0.0 in
+        for u = 0 to units - 1 do
+          let base = u * pages_per_unit in
+          let probe = base + Gray_util.Rng.int rng pages_per_unit in
+          xs.(u) <- (if bitmap.(probe) then 1.0 else 0.0);
+          let cached = ref 0 in
+          for p = base to base + pages_per_unit - 1 do
+            if bitmap.(p) then incr cached
+          done;
+          ys.(u) <- float_of_int !cached /. float_of_int pages_per_unit
+        done;
+        Gray_util.Correlate.pearson xs ys
+      in
+      List.map correlation_for prediction_units)
 
-let run () =
-  header "Figure 1: Probe Correlation (presence of one probed page vs fraction of prediction unit cached)";
-  note "file %s, cache %d MB, %d trials (paper: 30)" (Gray_util.Units.bytes_to_string file_bytes)
-    830 trials;
-  let table =
-    Gray_util.Table.create ~title:"correlation (mean +/- std over trials)"
-      ~columns:
-        ("prediction unit"
-        :: List.map (fun au -> Printf.sprintf "access %s" (Gray_util.Units.bytes_to_string au))
-             access_units)
-  in
-  (* per access unit: trials x prediction-unit correlations *)
-  let results =
-    List.map
-      (fun access_unit ->
-        let k = boot () in
-        in_proc k (fun env ->
-            Gray_apps.Workload.write_file env "/d0/corpus" file_bytes;
-            let rng = Gray_util.Rng.create ~seed:(1000 + access_unit) in
-            List.init trials (fun _ -> trial k env rng ~access_unit)))
+let plan_sized ~file_bytes ~access_units ~prediction_units ~trials () =
+  let per_au =
+    List.mapi
+      (fun ai access_unit ->
+        let seeds = trial_seeds ~base:(1000 + (ai * 100)) trials in
+        let ts, get =
+          run_trials
+            ~label:(Printf.sprintf "fig1[au=%s]" (Gray_util.Units.bytes_to_string access_unit))
+            ~seeds
+            (fun ~seed -> trial ~file_bytes ~prediction_units ~access_unit ~seed)
+        in
+        (access_unit, ts, get))
       access_units
   in
-  List.iteri
-    (fun pi pu ->
-      let row =
-        Gray_util.Units.bytes_to_string pu
-        :: List.map
-             (fun per_trial ->
-               let samples =
-                 Array.of_list (List.map (fun tr -> List.nth tr pi) per_trial)
-               in
-               Printf.sprintf "%5.2f ± %4.2f" (Gray_util.Stats.mean_of samples)
-                 (Gray_util.Stats.stddev_of samples))
-             results
-      in
-      Gray_util.Table.add_row table row)
-    prediction_units;
-  print_string (Gray_util.Table.render table);
-  note "expected shape: correlation stays high while prediction unit <= access unit, then falls off"
+  let render () =
+    let b = Buffer.create 1024 in
+    header b
+      "Figure 1: Probe Correlation (presence of one probed page vs fraction of prediction unit cached)";
+    note b "file %s, cache %d MB, %d trials (paper: 30)"
+      (Gray_util.Units.bytes_to_string file_bytes) 830 trials;
+    let table =
+      Gray_util.Table.create ~title:"correlation (mean +/- std over trials)"
+        ~columns:
+          ("prediction unit"
+          :: List.map
+               (fun au -> Printf.sprintf "access %s" (Gray_util.Units.bytes_to_string au))
+               access_units)
+    in
+    (* per access unit: trials x prediction-unit correlations *)
+    let results = List.map (fun (au, _, get) -> (au, get ())) per_au in
+    let means = Hashtbl.create 32 in
+    List.iteri
+      (fun pi pu ->
+        let row =
+          Gray_util.Units.bytes_to_string pu
+          :: List.map
+               (fun (au, per_trial) ->
+                 let samples =
+                   Array.of_list (List.map (fun tr -> List.nth tr pi) per_trial)
+                 in
+                 let m = Gray_util.Stats.mean_of samples in
+                 Hashtbl.replace means (au, pu) m;
+                 Printf.sprintf "%5.2f ± %4.2f" m (Gray_util.Stats.stddev_of samples))
+               results
+        in
+        Gray_util.Table.add_row table row)
+      prediction_units;
+    Buffer.add_string b (Gray_util.Table.render table);
+    note b
+      "expected shape: correlation stays high while prediction unit <= access unit, then falls off";
+    let figures =
+      List.concat_map
+        (fun au ->
+          List.map
+            (fun pu ->
+              figure
+                (Printf.sprintf "corr[au=%s,pu=%s]"
+                   (Gray_util.Units.bytes_to_string au)
+                   (Gray_util.Units.bytes_to_string pu))
+                (Hashtbl.find means (au, pu)))
+            prediction_units)
+        access_units
+    in
+    let smallest_pu = List.hd prediction_units in
+    let largest_pu = List.nth prediction_units (List.length prediction_units - 1) in
+    let checks =
+      List.map
+        (fun au ->
+          check
+            (Printf.sprintf "corr falls off past the access unit (au=%s)"
+               (Gray_util.Units.bytes_to_string au))
+            (Hashtbl.find means (au, smallest_pu) > Hashtbl.find means (au, largest_pu)))
+        access_units
+    in
+    { rd_output = Buffer.contents b; rd_figures = figures; rd_checks = checks }
+  in
+  { p_tasks = List.concat_map (fun (_, ts, _) -> ts) per_au; p_render = render }
+
+let plan () =
+  plan_sized ~file_bytes ~access_units ~prediction_units ~trials:(trials ()) ()

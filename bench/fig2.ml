@@ -2,7 +2,10 @@
 
    Warm-cache repeated scans of a file of varying size: traditional linear
    scan vs gray-box scan, with the predicted worst-case (all from disk) and
-   predicted ideal (cached part at memory-copy rate) model curves. *)
+   predicted ideal (cached part at memory-copy rate) model curves.
+
+   One task per file size (the repeated warm-cache runs inside a size are
+   a sequential steady-state experiment and stay serial by design). *)
 
 open Simos
 open Bench_common
@@ -25,7 +28,7 @@ let models (platform : Platform.t) size =
   in
   (worst, ideal)
 
-let steady_scan k env ~variant ~path =
+let steady_scan k env ~trials ~variant ~path =
   Kernel.flush_file_cache k;
   let config =
     { (Graybox_core.Fccd.default_config ~seed:7 ()) with Graybox_core.Fccd.access_unit = 20 * mib;
@@ -40,33 +43,56 @@ let steady_scan k env ~variant ~path =
   (* warm-up: establishes the steady-state cache contents *)
   List.init trials (fun _ -> once ())
 
-let run () =
-  header "Figure 2: Single-File Scan (warm cache, repeated runs)";
-  note "%d timed runs after one warm-up per point (paper: 30)" trials;
+let plan () =
+  let trials = trials () in
   let platform = Platform.linux_2_2 in
-  let table =
-    Gray_util.Table.create ~title:"total access time"
-      ~columns:[ "file size"; "linear scan"; "gray-box scan"; "model worst"; "model ideal" ]
-  in
-  List.iter
-    (fun size ->
-      let k = boot ~platform () in
-      let linear, gray =
+  let ts, get =
+    tasks
+      ~label:(fun size -> Printf.sprintf "fig2[%s]" (Gray_util.Units.bytes_to_string size))
+      sizes
+      (fun size ->
+        let k = boot ~platform () in
         in_proc k (fun env ->
             Gray_apps.Workload.write_file env "/d0/scanfile" size;
-            let linear = steady_scan k env ~variant:`Linear ~path:"/d0/scanfile" in
-            let gray = steady_scan k env ~variant:`Gray ~path:"/d0/scanfile" in
-            (linear, gray))
-      in
-      let worst, ideal = models platform size in
-      Gray_util.Table.add_row table
-        [
-          Gray_util.Units.bytes_to_string size;
-          pp_mean_std (mean_std linear);
-          pp_mean_std (mean_std gray);
-          Printf.sprintf "%7.2f s" (worst /. 1e9);
-          Printf.sprintf "%7.2f s" (ideal /. 1e9);
-        ])
-    sizes;
-  print_string (Gray_util.Table.render table);
-  note "expected shape: linear collapses to disk rate past ~830 MB; gray-box tracks the ideal model"
+            let linear = steady_scan k env ~trials ~variant:`Linear ~path:"/d0/scanfile" in
+            let gray = steady_scan k env ~trials ~variant:`Gray ~path:"/d0/scanfile" in
+            (linear, gray)))
+  in
+  let render () =
+    let b = Buffer.create 1024 in
+    header b "Figure 2: Single-File Scan (warm cache, repeated runs)";
+    note b "%d timed runs after one warm-up per point (paper: 30)" trials;
+    let table =
+      Gray_util.Table.create ~title:"total access time"
+        ~columns:[ "file size"; "linear scan"; "gray-box scan"; "model worst"; "model ideal" ]
+    in
+    let results = List.combine sizes (get ()) in
+    let figures = ref [] and checks = ref [] in
+    List.iter
+      (fun (size, (linear, gray)) ->
+        let lm, _ = mean_std linear and gm, _ = mean_std gray in
+        let worst, ideal = models platform size in
+        let sz = Gray_util.Units.bytes_to_string size in
+        figures :=
+          figure (Printf.sprintf "gray_s[%s]" sz) (gm /. 1e9)
+          :: figure (Printf.sprintf "linear_s[%s]" sz) (lm /. 1e9)
+          :: !figures;
+        if size > cache_bytes then
+          checks :=
+            check (Printf.sprintf "gray beats linear past the cache size (%s)" sz) (gm < lm)
+            :: !checks;
+        Gray_util.Table.add_row table
+          [
+            sz;
+            pp_mean_std (mean_std linear);
+            pp_mean_std (mean_std gray);
+            Printf.sprintf "%7.2f s" (worst /. 1e9);
+            Printf.sprintf "%7.2f s" (ideal /. 1e9);
+          ])
+      results;
+    Buffer.add_string b (Gray_util.Table.render table);
+    note b
+      "expected shape: linear collapses to disk rate past ~830 MB; gray-box tracks the ideal model";
+    { rd_output = Buffer.contents b; rd_figures = List.rev !figures; rd_checks = List.rev !checks }
+  in
+  { p_tasks = ts; p_render = render }

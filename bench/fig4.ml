@@ -8,7 +8,9 @@
    Platform-specific sizes follow the paper: scans are over 1 GB on Linux
    and Solaris but 65 MB on NetBSD (its file cache is a fixed 64 MB);
    searches are over 100 x 10 MB files (NetBSD: 65 x 1 MB) with the match
-   in a cached file named last. *)
+   in a cached file named last.
+
+   One task per (platform, scan|search): six independent kernels. *)
 
 open Simos
 open Graybox_core
@@ -65,48 +67,85 @@ let search_experiment platform ~count ~size =
       in
       (cold, warm, gray))
 
-let run () =
-  header "Figure 4: Multi-Platform Experiments (normalised to the cold-cache run per platform)";
-  let spec =
-    [
-      (Platform.linux_2_2, 1024 * mib, 100, 10 * mib);
-      (Platform.netbsd_1_5, 65 * mib, 65, 1 * mib);
-      (Platform.solaris_7, 1024 * mib, 100, 10 * mib);
-    ]
-  in
-  let results =
+let spec =
+  [
+    (Platform.linux_2_2, 1024 * mib, 100, 10 * mib);
+    (Platform.netbsd_1_5, 65 * mib, 65, 1 * mib);
+    (Platform.solaris_7, 1024 * mib, 100, 10 * mib);
+  ]
+
+let plan () =
+  let per_platform =
     List.map
       (fun (platform, scan_bytes, n, sz) ->
-        let sc, sw, sg = scan_experiment platform ~file_bytes:scan_bytes in
-        let ec, ew, eg = search_experiment platform ~count:n ~size:sz in
-        (platform.Platform.name, (sc, sw, sg), (ec, ew, eg)))
+        let name = platform.Platform.name in
+        let scan_task, scan_get =
+          task ~label:(Printf.sprintf "fig4[scan,%s]" name) (fun () ->
+              scan_experiment platform ~file_bytes:scan_bytes)
+        in
+        let search_task, search_get =
+          task ~label:(Printf.sprintf "fig4[search,%s]" name) (fun () ->
+              search_experiment platform ~count:n ~size:sz)
+        in
+        (name, [ scan_task; search_task ], fun () -> (scan_get (), search_get ())))
       spec
   in
-  let rel (c, w, g) =
-    (1.0, float_of_int w /. float_of_int c, float_of_int g /. float_of_int c)
+  let render () =
+    let b = Buffer.create 1024 in
+    header b "Figure 4: Multi-Platform Experiments (normalised to the cold-cache run per platform)";
+    let results = List.map (fun (name, _, get) -> (name, get ())) per_platform in
+    let rel (c, w, g) =
+      (1.0, float_of_int w /. float_of_int c, float_of_int g /. float_of_int c)
+    in
+    let table =
+      Gray_util.Table.create ~title:"relative execution time (cold = 1.00)"
+        ~columns:
+          [ "platform"; "scan cold"; "scan warm"; "scan gray"; "search cold";
+            "search warm"; "search gray" ]
+    in
+    let figures = ref [] and checks = ref [] in
+    List.iter
+      (fun (name, (scan, search)) ->
+        let _, sw, sg = rel scan and _, ew, eg = rel search in
+        let c1, _, _ = scan and c2, _, _ = search in
+        figures :=
+          figure (Printf.sprintf "search_gray_rel[%s]" name) eg
+          :: figure (Printf.sprintf "search_warm_rel[%s]" name) ew
+          :: figure (Printf.sprintf "scan_gray_rel[%s]" name) sg
+          :: figure (Printf.sprintf "scan_warm_rel[%s]" name) sw
+          :: !figures;
+        checks :=
+          check (Printf.sprintf "gray search beats warm search on %s" name) (eg < ew)
+          :: !checks;
+        Gray_util.Table.add_row table
+          [
+            name;
+            Printf.sprintf "1.00 (%.1fs)" (seconds c1);
+            Printf.sprintf "%.2f" sw;
+            Printf.sprintf "%.2f" sg;
+            Printf.sprintf "1.00 (%.1fs)" (seconds c2);
+            Printf.sprintf "%.2f" ew;
+            Printf.sprintf "%.2f" eg;
+          ])
+      results;
+    Buffer.add_string b (Gray_util.Table.render table);
+    note b "expected shape: linux warm scan ~ cold (LRU thrash) but gray much faster;";
+    note b "solaris warm ~ gray (sticky cache); search gray << warm everywhere;";
+    note b "paper cold baselines: scans 54.3/3.5/75.3s, searches 53.3/17.0/76.9s";
+    let scan_check =
+      let linux_scan, _ =
+        List.assoc "linux-2.2" results
+      in
+      let _, sw, sg = rel linux_scan in
+      check "gray scan beats warm scan on linux-2.2" (sg < sw)
+    in
+    {
+      rd_output = Buffer.contents b;
+      rd_figures = List.rev !figures;
+      rd_checks = scan_check :: List.rev !checks;
+    }
   in
-  let table =
-    Gray_util.Table.create ~title:"relative execution time (cold = 1.00)"
-      ~columns:
-        [ "platform"; "scan cold"; "scan warm"; "scan gray"; "search cold";
-          "search warm"; "search gray" ]
-  in
-  List.iter
-    (fun (name, scan, search) ->
-      let _, sw, sg = rel scan and _, ew, eg = rel search in
-      let c1, _, _ = scan and c2, _, _ = search in
-      Gray_util.Table.add_row table
-        [
-          name;
-          Printf.sprintf "1.00 (%.1fs)" (seconds c1);
-          Printf.sprintf "%.2f" sw;
-          Printf.sprintf "%.2f" sg;
-          Printf.sprintf "1.00 (%.1fs)" (seconds c2);
-          Printf.sprintf "%.2f" ew;
-          Printf.sprintf "%.2f" eg;
-        ])
-    results;
-  print_string (Gray_util.Table.render table);
-  note "expected shape: linux warm scan ~ cold (LRU thrash) but gray much faster;";
-  note "solaris warm ~ gray (sticky cache); search gray << warm everywhere;";
-  note "paper cold baselines: scans 54.3/3.5/75.3s, searches 53.3/17.0/76.9s"
+  {
+    p_tasks = List.concat_map (fun (_, ts, _) -> ts) per_platform;
+    p_render = render;
+  }

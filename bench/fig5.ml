@@ -2,7 +2,11 @@
 
    Total time to read 200 x 8 KB files split across two directories on a
    cold cache, in three orders: random, sorted by directory, sorted by
-   i-number — on each platform preset. *)
+   i-number — on each platform preset.
+
+   One task per (platform, order): nine independent kernels, each with its
+   own RNG seeded from the (platform, order) pair so the figure is
+   schedule-independent. *)
 
 open Simos
 open Graybox_core
@@ -11,7 +15,14 @@ open Bench_common
 let files_per_dir = 100
 let file_bytes = 8 * 1024
 
-let experiment platform =
+type order = Random_order | By_directory | By_inumber
+
+let order_name = function
+  | Random_order -> "random order"
+  | By_directory -> "sort by directory"
+  | By_inumber -> "sort by i-number"
+
+let experiment platform order ~seed ~trials =
   let k = boot ~platform () in
   in_proc k (fun env ->
       let a =
@@ -24,48 +35,84 @@ let experiment platform =
       in
       (* interleave the two directories, as a shell glob across dirs might *)
       let mixed = List.concat (List.map2 (fun x y -> [ x; y ]) a b) in
-      let rng = Gray_util.Rng.create ~seed:29 in
+      let rng = Gray_util.Rng.create ~seed in
       let timed_read order =
         Kernel.flush_file_cache k;
         let t0 = Kernel.gettime env in
         List.iter (fun p -> Gray_apps.Workload.read_file env p) order;
         Kernel.gettime env - t0
       in
-      let random_runs =
-        List.init trials (fun _ ->
-            let arr = Array.of_list mixed in
-            Gray_util.Rng.shuffle rng arr;
-            timed_read (Array.to_list arr))
-      in
-      let dir_runs =
-        List.init trials (fun _ ->
+      List.init trials (fun _ ->
+          let arr = Array.of_list mixed in
+          Gray_util.Rng.shuffle rng arr;
+          let shuffled = Array.to_list arr in
+          match order with
+          | Random_order -> timed_read shuffled
+          | By_directory ->
             (* group a randomly ordered argument list by directory: within
                a directory the order stays random, as for a user's shell *)
-            let arr = Array.of_list mixed in
-            Gray_util.Rng.shuffle rng arr;
-            timed_read (Fldc.order_by_directory ~paths:(Array.to_list arr)))
-      in
-      let ino_runs =
-        List.init trials (fun _ ->
+            timed_read (Fldc.order_by_directory ~paths:shuffled)
+          | By_inumber ->
             let ordered = Gray_apps.Workload.ok_exn (Fldc.order_by_inumber env ~paths:mixed) in
-            timed_read (List.map (fun s -> s.Fldc.so_path) ordered))
-      in
-      (mean_std random_runs, mean_std dir_runs, mean_std ino_runs))
+            timed_read (List.map (fun s -> s.Fldc.so_path) ordered)))
 
-let run () =
-  header "Figure 5: File Ordering Matters (200 x 8 KB files in two directories, cold cache)";
-  note "%d trials per bar (paper: 30)" trials;
-  let table =
-    Gray_util.Table.create ~title:"total access time"
-      ~columns:[ "platform"; "random order"; "sort by directory"; "sort by i-number" ]
+let plan () =
+  let trials = trials () in
+  let cells =
+    List.concat
+      (List.mapi
+         (fun pi platform ->
+        List.mapi
+          (fun oi order ->
+            let seed = 2900 + (100 * pi) + (10 * oi) in
+            let t, get =
+              task
+                ~label:
+                  (Printf.sprintf "fig5[%s,%s]" platform.Platform.name (order_name order))
+                (fun () -> experiment platform order ~seed ~trials)
+            in
+            ((platform, order), t, get))
+          [ Random_order; By_directory; By_inumber ])
+         Platform.all)
   in
-  List.iter
-    (fun platform ->
-      let random, bydir, byino = experiment platform in
-      Gray_util.Table.add_row table
-        [
-          platform.Platform.name; pp_mean_std random; pp_mean_std bydir; pp_mean_std byino;
-        ])
-    Platform.all;
-  print_string (Gray_util.Table.render table);
-  note "expected shape: directory sort ~10-25%% better than random; i-number sort a factor of ~6 (paper: 6x linux/netbsd, >2x solaris)"
+  let render () =
+    let b = Buffer.create 1024 in
+    header b "Figure 5: File Ordering Matters (200 x 8 KB files in two directories, cold cache)";
+    note b "%d trials per bar (paper: 30)" trials;
+    let table =
+      Gray_util.Table.create ~title:"total access time"
+        ~columns:[ "platform"; "random order"; "sort by directory"; "sort by i-number" ]
+    in
+    let result platform order =
+      let _, _, get =
+        List.find (fun ((p, o), _, _) -> p == platform && o = order) cells
+      in
+      mean_std (get ())
+    in
+    let figures = ref [] and checks = ref [] in
+    List.iter
+      (fun platform ->
+        let random = result platform Random_order in
+        let bydir = result platform By_directory in
+        let byino = result platform By_inumber in
+        let name = platform.Platform.name in
+        figures :=
+          figure (Printf.sprintf "byino_s[%s]" name) (fst byino /. 1e9)
+          :: figure (Printf.sprintf "bydir_s[%s]" name) (fst bydir /. 1e9)
+          :: figure (Printf.sprintf "random_s[%s]" name) (fst random /. 1e9)
+          :: !figures;
+        checks :=
+          check (Printf.sprintf "i-number sort beats directory sort on %s" name)
+            (fst byino < fst bydir)
+          :: check (Printf.sprintf "directory sort beats random on %s" name)
+               (fst bydir < fst random)
+          :: !checks;
+        Gray_util.Table.add_row table
+          [ name; pp_mean_std random; pp_mean_std bydir; pp_mean_std byino ])
+      Platform.all;
+    Buffer.add_string b (Gray_util.Table.render table);
+    note b
+      "expected shape: directory sort ~10-25%% better than random; i-number sort a factor of ~6 (paper: 6x linux/netbsd, >2x solaris)";
+    { rd_output = Buffer.contents b; rd_figures = List.rev !figures; rd_checks = List.rev !checks }
+  in
+  { p_tasks = List.map (fun (_, t, _) -> t) cells; p_render = render }

@@ -4,7 +4,10 @@
    creates five new ones.  An application reads all the files once per
    epoch, cold-cache, in random order vs i-number order.  At epoch 31 the
    directory is explicitly refreshed; i-number performance must snap back
-   to the fresh-directory level. *)
+   to the fresh-directory level.
+
+   A single task: aging is a serial process by construction (epoch N+1's
+   directory state depends on epoch N's deletions). *)
 
 open Simos
 open Graybox_core
@@ -15,61 +18,82 @@ let file_bytes = 8 * 1024
 let epochs = 40
 let refresh_at = 31
 
-let run () =
-  header "Figure 6: File-System Aging and Directory Refresh";
+let experiment () =
   let k = boot () in
-  let rows =
-    in_proc k (fun env ->
-        ignore
-          (Gray_apps.Workload.make_files env ~dir:"/d0/aged" ~prefix:"f"
-             ~count:file_count ~size:file_bytes);
-        let rng = Gray_util.Rng.create ~seed:31 in
-        let timed_read order =
-          Kernel.flush_file_cache k;
-          let t0 = Kernel.gettime env in
-          List.iter (fun p -> Gray_apps.Workload.read_file env p) order;
-          Kernel.gettime env - t0
-        in
-        let measure () =
-          let paths = Gray_apps.Workload.paths_in env ~dir:"/d0/aged" in
-          let arr = Array.of_list paths in
-          Gray_util.Rng.shuffle rng arr;
-          let random_ns = timed_read (Array.to_list arr) in
-          let ordered = Gray_apps.Workload.ok_exn (Fldc.order_by_inumber env ~paths) in
-          let ino_ns = timed_read (List.map (fun s -> s.Fldc.so_path) ordered) in
-          (random_ns, ino_ns)
-        in
-        List.init (epochs + 1) (fun epoch ->
-            if epoch > 0 then begin
-              if epoch = refresh_at then
-                Gray_apps.Workload.ok_exn
-                  (Result.map_error
-                     (fun e -> failwith (Kernel.error_to_string e))
-                     (Fldc.refresh_directory env ~dir:"/d0/aged" ()));
-              Gray_apps.Workload.age_directory env rng ~dir:"/d0/aged" ~deletes:5
-                ~creates:5 ~size:file_bytes
-            end;
-            let random_ns, ino_ns = measure () in
-            (epoch, random_ns, ino_ns)))
-  in
-  let table =
-    Gray_util.Table.create ~title:"read time per epoch"
-      ~columns:[ "epoch"; "random order"; "i-number order"; "" ]
-  in
-  List.iter
-    (fun (epoch, random_ns, ino_ns) ->
-      Gray_util.Table.add_row table
+  in_proc k (fun env ->
+      ignore
+        (Gray_apps.Workload.make_files env ~dir:"/d0/aged" ~prefix:"f"
+           ~count:file_count ~size:file_bytes);
+      let rng = Gray_util.Rng.create ~seed:31 in
+      let timed_read order =
+        Kernel.flush_file_cache k;
+        let t0 = Kernel.gettime env in
+        List.iter (fun p -> Gray_apps.Workload.read_file env p) order;
+        Kernel.gettime env - t0
+      in
+      let measure () =
+        let paths = Gray_apps.Workload.paths_in env ~dir:"/d0/aged" in
+        let arr = Array.of_list paths in
+        Gray_util.Rng.shuffle rng arr;
+        let random_ns = timed_read (Array.to_list arr) in
+        let ordered = Gray_apps.Workload.ok_exn (Fldc.order_by_inumber env ~paths) in
+        let ino_ns = timed_read (List.map (fun s -> s.Fldc.so_path) ordered) in
+        (random_ns, ino_ns)
+      in
+      List.init (epochs + 1) (fun epoch ->
+          if epoch > 0 then begin
+            if epoch = refresh_at then
+              Gray_apps.Workload.ok_exn
+                (Result.map_error
+                   (fun e -> failwith (Kernel.error_to_string e))
+                   (Fldc.refresh_directory env ~dir:"/d0/aged" ()));
+            Gray_apps.Workload.age_directory env rng ~dir:"/d0/aged" ~deletes:5
+              ~creates:5 ~size:file_bytes
+          end;
+          let random_ns, ino_ns = measure () in
+          (epoch, random_ns, ino_ns)))
+
+let plan () =
+  let t, get = task ~label:"fig6[aging]" experiment in
+  let render () =
+    let b = Buffer.create 1024 in
+    header b "Figure 6: File-System Aging and Directory Refresh";
+    let rows = get () in
+    let table =
+      Gray_util.Table.create ~title:"read time per epoch"
+        ~columns:[ "epoch"; "random order"; "i-number order"; "" ]
+    in
+    List.iter
+      (fun (epoch, random_ns, ino_ns) ->
+        Gray_util.Table.add_row table
+          [
+            string_of_int epoch;
+            Printf.sprintf "%6.2f s" (seconds random_ns);
+            Printf.sprintf "%6.2f s" (seconds ino_ns);
+            (if epoch = refresh_at then "<- refresh" else "");
+          ])
+      rows;
+    Buffer.add_string b (Gray_util.Table.render table);
+    let _, _, fresh = List.nth rows 0 in
+    let _, _, aged = List.nth rows (refresh_at - 1) in
+    let _, _, refreshed = List.nth rows refresh_at in
+    note b "i-number order: fresh %.2fs -> aged(30) %.2fs -> refreshed %.2fs" (seconds fresh)
+      (seconds aged) (seconds refreshed);
+    note b
+      "expected shape: i-number degrades ~3x over 30 epochs but stays below random; refresh restores it";
+    {
+      rd_output = Buffer.contents b;
+      rd_figures =
         [
-          string_of_int epoch;
-          Printf.sprintf "%6.2f s" (seconds random_ns);
-          Printf.sprintf "%6.2f s" (seconds ino_ns);
-          (if epoch = refresh_at then "<- refresh" else "");
-        ])
-    rows;
-  print_string (Gray_util.Table.render table);
-  let _, _, fresh = List.nth rows 0 in
-  let _, _, aged = List.nth rows (refresh_at - 1) in
-  let _, _, refreshed = List.nth rows refresh_at in
-  note "i-number order: fresh %.2fs -> aged(30) %.2fs -> refreshed %.2fs" (seconds fresh)
-    (seconds aged) (seconds refreshed);
-  note "expected shape: i-number degrades ~3x over 30 epochs but stays below random; refresh restores it"
+          figure "ino_fresh_s" (seconds fresh);
+          figure "ino_aged_s" (seconds aged);
+          figure "ino_refreshed_s" (seconds refreshed);
+        ];
+      rd_checks =
+        [
+          check "aging degrades i-number order" (aged > fresh);
+          check "refresh restores i-number order" (refreshed < aged);
+        ];
+    }
+  in
+  { p_tasks = [ t ]; p_render = render }

@@ -3,7 +3,9 @@
    The same probe library that exploits the cache can identify it: for
    every platform preset (and every replacement policy in an ablation
    row), run the gray-box fingerprint and report the verdict next to the
-   truth the preset encodes. *)
+   truth the preset encodes.
+
+   One task per platform preset and one per ablation policy. *)
 
 open Simos
 open Graybox_core
@@ -15,58 +17,116 @@ let policy_name = function
   | `Sticky -> "sticky (MRU-evict)"
   | `Unknown -> "unknown"
 
-let fingerprint_platform platform =
+let fingerprint_platform platform () =
   let k = boot ~platform ~data_disks:1 () in
   in_proc k (fun env -> Fingerprint.classify env ~scratch_dir:"/d0" ())
 
-let run () =
-  header "Fingerprinting: identifying the file-cache policy with timed probes only";
-  let t =
-    Gray_util.Table.create ~title:"platform presets"
-      ~columns:[ "platform"; "truth"; "verdict"; "est. capacity"; "evidence" ]
+let fingerprint_policy name () =
+  let platform =
+    Platform.with_file_policy
+      { Platform.linux_2_2 with Platform.file_cache = `Fixed_mib 640 }
+      (Replacement.of_name name)
   in
-  List.iter
-    (fun (platform, truth) ->
-      let v = fingerprint_platform platform in
-      Gray_util.Table.add_row t
-        [
-          platform.Platform.name;
-          truth;
-          policy_name v.Fingerprint.v_policy;
-          Gray_util.Units.bytes_to_string v.Fingerprint.v_capacity_bytes;
-          v.Fingerprint.v_evidence;
-        ])
-    [
-      (Platform.linux_2_2, "clock, ~830 MB unified");
-      (Platform.netbsd_1_5, "lru, fixed 64 MB");
-      (Platform.solaris_7, "mru-sticky, 700 MB");
-    ];
-  print_string (Gray_util.Table.render t);
-  let t2 =
-    Gray_util.Table.create ~title:"policy ablation (640 MB fixed file cache each)"
-      ~columns:[ "true policy"; "verdict"; "scores (recency/fifo/sticky)" ]
+  let k = boot ~platform ~data_disks:1 () in
+  in_proc k (fun env ->
+      Fingerprint.classify env ~scratch_dir:"/d0" ~capacity_hint:(640 * mib) ())
+
+let presets =
+  [
+    (Platform.linux_2_2, "clock, ~830 MB unified", `Recency);
+    (Platform.netbsd_1_5, "lru, fixed 64 MB", `Recency);
+    (Platform.solaris_7, "mru-sticky, 700 MB", `Sticky);
+  ]
+
+let expected_policy = function
+  | "lru" | "clock" | "segmented" | "eelru" -> Some `Recency
+  | "fifo" -> Some `Fifo
+  | "mru-sticky" -> Some `Sticky
+  | _ -> None (* two-q sits between fifo and recency *)
+
+let plan () =
+  let preset_cells =
+    List.map
+      (fun (platform, truth, expect) ->
+        let t, get =
+          task
+            ~label:(Printf.sprintf "fingerprint[%s]" platform.Platform.name)
+            (fingerprint_platform platform)
+        in
+        (platform, truth, expect, t, get))
+      presets
   in
-  List.iter
-    (fun name ->
-      let platform =
-        Platform.with_file_policy
-          { Platform.linux_2_2 with Platform.file_cache = `Fixed_mib 640 }
-          (Replacement.of_name name)
-      in
-      let k = boot ~platform ~data_disks:1 () in
-      let v =
-        in_proc k (fun env ->
-            Fingerprint.classify env ~scratch_dir:"/d0"
-              ~capacity_hint:(640 * mib) ())
-      in
-      Gray_util.Table.add_row t2
-        [
-          name;
-          policy_name v.Fingerprint.v_policy;
-          Printf.sprintf "%.2f / %.2f / %.2f" v.Fingerprint.v_recency_score
-            v.Fingerprint.v_fifo_score v.Fingerprint.v_sticky_score;
-        ])
-    Replacement.all_names;
-  print_string (Gray_util.Table.render t2);
-  note "expected: lru/clock/segmented/eelru -> recency; fifo -> fifo; mru-sticky -> sticky;";
-  note "two-q sits between fifo and recency (probation is a fifo)"
+  let policy_cells =
+    List.map
+      (fun name ->
+        let t, get =
+          task ~label:(Printf.sprintf "fingerprint[policy=%s]" name)
+            (fingerprint_policy name)
+        in
+        (name, t, get))
+      Replacement.all_names
+  in
+  let render () =
+    let b = Buffer.create 2048 in
+    let figures = ref [] and checks = ref [] in
+    header b "Fingerprinting: identifying the file-cache policy with timed probes only";
+    let t =
+      Gray_util.Table.create ~title:"platform presets"
+        ~columns:[ "platform"; "truth"; "verdict"; "est. capacity"; "evidence" ]
+    in
+    List.iter
+      (fun (platform, truth, expect, _, get) ->
+        let v = get () in
+        let name = platform.Platform.name in
+        figures :=
+          figure
+            (Printf.sprintf "capacity_mib[%s]" name)
+            (float_of_int (v.Fingerprint.v_capacity_bytes / mib))
+          :: !figures;
+        checks :=
+          check (Printf.sprintf "fingerprint identifies %s" name)
+            (v.Fingerprint.v_policy = expect)
+          :: !checks;
+        Gray_util.Table.add_row t
+          [
+            name;
+            truth;
+            policy_name v.Fingerprint.v_policy;
+            Gray_util.Units.bytes_to_string v.Fingerprint.v_capacity_bytes;
+            v.Fingerprint.v_evidence;
+          ])
+      preset_cells;
+    Buffer.add_string b (Gray_util.Table.render t);
+    let t2 =
+      Gray_util.Table.create ~title:"policy ablation (640 MB fixed file cache each)"
+        ~columns:[ "true policy"; "verdict"; "scores (recency/fifo/sticky)" ]
+    in
+    List.iter
+      (fun (name, _, get) ->
+        let v = get () in
+        (match expected_policy name with
+        | Some expect ->
+          checks :=
+            check (Printf.sprintf "fingerprint classifies %s" name)
+              (v.Fingerprint.v_policy = expect)
+            :: !checks
+        | None -> ());
+        Gray_util.Table.add_row t2
+          [
+            name;
+            policy_name v.Fingerprint.v_policy;
+            Printf.sprintf "%.2f / %.2f / %.2f" v.Fingerprint.v_recency_score
+              v.Fingerprint.v_fifo_score v.Fingerprint.v_sticky_score;
+          ])
+      policy_cells;
+    Buffer.add_string b (Gray_util.Table.render t2);
+    note b "expected: lru/clock/segmented/eelru -> recency; fifo -> fifo; mru-sticky -> sticky;";
+    note b "two-q sits between fifo and recency (probation is a fifo)";
+    { rd_output = Buffer.contents b; rd_figures = List.rev !figures; rd_checks = List.rev !checks }
+  in
+  {
+    p_tasks =
+      List.map (fun (_, _, _, t, _) -> t) preset_cells
+      @ List.map (fun (_, t, _) -> t) policy_cells;
+    p_render = render;
+  }

@@ -1,51 +1,135 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation, plus the ablations and toolbox microbenchmarks.
 
-     dune exec bench/main.exe                 # everything
-     dune exec bench/main.exe -- fig2 fig7    # a subset
+     dune exec bench/main.exe                        # default set
+     dune exec bench/main.exe -- fig2 fig7           # a subset
+     dune exec bench/main.exe -- -j 8                # eight domains
+     dune exec bench/main.exe -- --json out.json     # perf trajectory
      GRAYBOX_TRIALS=30 dune exec bench/main.exe -- fig5
 
-   Experiment ids: fig1..fig7, table1, table2, ablation, micro. *)
+   Every experiment builds a plan of self-contained tasks; the driver
+   fans all tasks over a domain pool and renders afterwards in
+   submission order, so stdout and the JSON are byte-identical at any
+   -j.  `micro` (hardware microbenchmarks) only runs when named
+   explicitly, because its numbers are measurements of this machine.
+
+   Experiment ids: fig1..fig7, tables, ablation, baselines,
+   fingerprint, faults, micro. *)
+
+open Gray_bench
 
 let experiments =
   [
-    ("fig1", Fig1.run, "probe correlation vs prediction-unit size");
-    ("fig2", Fig2.run, "single-file scan, linear vs gray-box vs models");
-    ("fig3", Fig3.run, "grep and fastsort application performance");
-    ("fig4", Fig4.run, "multi-platform scans and searches");
-    ("fig5", Fig5.run, "file ordering: random vs directory vs i-number");
-    ("fig6", Fig6.run, "file-system aging and directory refresh");
-    ("fig7", Fig7.run, "four competing fastsorts with MAC");
-    ("table1", Tables.table1, "techniques in existing gray-box systems");
-    ("table2", Tables.table2, "techniques in the three case-study ICLs");
-    ("ablation", Ablation.run, "policy / noise / increment ablations");
-    ("baselines", Baselines.run, "SLEDs / vmstat / interposition comparators");
-    ("fingerprint", Fingerprint_bench.run, "identify the cache policy from user level");
-    ("micro", Micro.run, "bechamel microbenchmarks of the toolbox");
-    ("faults", Faults.run, "accuracy vs fault-intensity degradation curves");
+    ("fig1", Fig1.plan, "probe correlation vs prediction-unit size");
+    ("fig2", Fig2.plan, "single-file scan, linear vs gray-box vs models");
+    ("fig3", Fig3.plan, "grep and fastsort application performance");
+    ("fig4", Fig4.plan, "multi-platform scans and searches");
+    ("fig5", Fig5.plan, "file ordering: random vs directory vs i-number");
+    ("fig6", Fig6.plan, "file-system aging and directory refresh");
+    ("fig7", Fig7.plan, "four competing fastsorts with MAC");
+    ("tables", Tables.plan, "techniques in existing systems and the case studies");
+    ("ablation", Ablation.plan, "policy / noise / increment ablations");
+    ("baselines", Baselines.plan, "SLEDs / vmstat / interposition comparators");
+    ("fingerprint", Fingerprint_bench.plan, "identify the cache policy from user level");
+    ("faults", Faults.plan, "accuracy vs fault-intensity degradation curves");
+    ("micro", Micro.plan, "bechamel microbenchmarks of the toolbox (hardware-dependent)");
   ]
 
+let default_set =
+  (* micro measures the host machine, not the simulation: only on request *)
+  List.filter (fun (name, _, _) -> name <> "micro") experiments
+
 let usage () =
-  print_endline "usage: main.exe [experiment ...]";
-  print_endline "experiments:";
-  List.iter (fun (name, _, doc) -> Printf.printf "  %-8s %s\n" name doc) experiments
+  print_endline
+    "usage: main.exe [-j N] [--json PATH] [--strict] [--trials N] [experiment ...]";
+  print_endline "options:";
+  print_endline "  -j N         run experiment tasks on N domains (default: the host's";
+  print_endline "               recommended domain count; results identical at any N)";
+  print_endline "  --json PATH  write the machine-readable perf trajectory (BENCH_suite.json)";
+  print_endline "  --strict     exit non-zero if any expected-shape check fails";
+  print_endline "  --trials N   same as GRAYBOX_TRIALS=N";
+  print_endline "experiments (default: all but micro):";
+  List.iter (fun (name, _, doc) -> Printf.printf "  %-12s %s\n" name doc) experiments
+
+let parse_args () =
+  let jobs = ref (Domain.recommended_domain_count ()) in
+  let json = ref None in
+  let strict = ref false in
+  let names = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> prerr_endline s; usage (); exit 2) fmt in
+  let int_arg flag = function
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> bad "%s expects an integer >= 1, got %s" flag s)
+    | None -> bad "%s expects an argument" flag
+  in
+  let rec go = function
+    | [] -> ()
+    | ("--help" | "-h" | "help") :: _ ->
+      usage ();
+      exit 0
+    | "-j" :: rest ->
+      let v, rest = (match rest with x :: r -> (Some x, r) | [] -> (None, [])) in
+      jobs := int_arg "-j" v;
+      go rest
+    | "--json" :: rest ->
+      let v, rest = (match rest with x :: r -> (Some x, r) | [] -> (None, [])) in
+      (match v with Some p -> json := Some p | None -> bad "--json expects a path");
+      go rest
+    | "--trials" :: rest ->
+      let v, rest = (match rest with x :: r -> (Some x, r) | [] -> (None, [])) in
+      Bench_common.set_trials (int_arg "--trials" v);
+      go rest
+    | "--strict" :: rest ->
+      strict := true;
+      go rest
+    | name :: rest ->
+      (match List.find_opt (fun (n, _, _) -> n = name) experiments with
+      | Some exp -> names := exp :: !names
+      | None -> bad "unknown experiment %s" name);
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let selected = match List.rev !names with [] -> default_set | l -> l in
+  (!jobs, !json, !strict, selected)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [ "--help" ] | [ "-h" ] | [ "help" ] -> usage ()
-  | [] ->
-    Printf.printf
-      "Reproducing all tables and figures (GRAYBOX_TRIALS=%d; paper used 30).\n%!"
-      Bench_common.trials;
-    List.iter (fun (_, run, _) -> run ()) experiments
-  | names ->
-    List.iter
-      (fun name ->
-        match List.find_opt (fun (n, _, _) -> n = name) experiments with
-        | Some (_, run, _) -> run ()
-        | None ->
-          Printf.eprintf "unknown experiment %s\n" name;
-          usage ();
-          exit 1)
-      names
+  let jobs, json_path, strict, selected = parse_args () in
+  Printf.printf
+    "Reproducing %d experiment(s): %d trials per figure (paper used 30), %d domain(s).\n%!"
+    (List.length selected) (Bench_common.trials ()) jobs;
+  let t0 = Unix.gettimeofday () in
+  let plans = List.map (fun (name, plan, doc) -> (name, doc, plan ())) selected in
+  let pool = Gray_util.Domain_pool.create ~size:jobs in
+  Fun.protect
+    ~finally:(fun () -> Gray_util.Domain_pool.shutdown pool)
+    (fun () -> Bench_common.execute ~pool (List.map (fun (_, _, p) -> p) plans));
+  let results =
+    List.map (fun (name, doc, plan) -> (name, doc, plan, plan.Bench_common.p_render ())) plans
+  in
+  let suite_wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  List.iter (fun (_, _, _, r) -> print_string r.Bench_common.rd_output) results;
+  (* check summary *)
+  let all_checks =
+    List.concat_map (fun (name, _, _, r) ->
+        List.map (fun c -> (name, c)) r.Bench_common.rd_checks)
+      results
+  in
+  let failed =
+    List.filter (fun (_, c) -> not c.Bench_common.ck_ok) all_checks
+  in
+  Printf.printf "\nexpected-shape checks: %d/%d passed"
+    (List.length all_checks - List.length failed)
+    (List.length all_checks);
+  Printf.printf "   (suite wall-clock %.1f s, -j %d)\n"
+    (float_of_int suite_wall_ns /. 1e9) jobs;
+  List.iter
+    (fun (name, c) -> Printf.printf "  FAILED [%s] %s\n" name c.Bench_common.ck_name)
+    failed;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    Gray_util.Json.save ~path (Bench_common.suite_json ~jobs ~suite_wall_ns results);
+    Printf.printf "perf trajectory written to %s\n" path);
+  if strict && failed <> [] then exit 1

@@ -1,6 +1,10 @@
 (* Bechamel microbenchmarks of the gray-toolbox primitives and the
    simulator hot paths: one Test.make per reproduced table/figure's
-   load-bearing primitive. *)
+   load-bearing primitive.
+
+   A single task; the numbers are hardware measurements, so this
+   experiment publishes no figures (it would break the -j byte-identity
+   contract) and is excluded from the default experiment set. *)
 
 open Bechamel
 open Toolkit
@@ -36,6 +40,14 @@ let test_pqueue =
       while not (Gray_util.Pqueue.is_empty q) do
         ignore (Gray_util.Pqueue.pop q)
       done))
+
+let test_gaussian =
+  Test.make ~name:"rng.gaussian (noise on every timed syscall)" (Staged.stage (fun () ->
+      ignore (Gray_util.Rng.gaussian rng ~mu:0.0 ~sigma:1.0)))
+
+let test_lognormal =
+  Test.make ~name:"dist.lognormal_factor (kernel noise path)" (Staged.stage (fun () ->
+      ignore (Gray_util.Dist.lognormal_factor rng ~sigma:0.05)))
 
 let test_lru =
   let (module P : Simos.Replacement.POLICY) = Simos.Replacement.lru ~capacity:1024 in
@@ -88,24 +100,48 @@ let benchmark test =
   Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
     instances results
 
-let run () =
-  Bench_common.header "Toolbox / simulator microbenchmarks (bechamel)";
+let experiment () =
   let tests =
     [
-      test_rng; test_stats_add; test_two_means; test_pearson; test_pqueue; test_lru;
-      test_clock; test_engine; test_zipf;
+      test_rng; test_stats_add; test_two_means; test_pearson; test_pqueue;
+      test_gaussian; test_lognormal; test_lru; test_clock; test_engine; test_zipf;
     ]
   in
-  List.iter
+  List.concat_map
     (fun t ->
       let results = benchmark t in
+      let lines = ref [] in
       Hashtbl.iter
         (fun _clock tbl ->
           Hashtbl.iter
             (fun name result ->
-              match Bechamel.Analyze.OLS.estimates result with
-              | Some [ est ] -> Printf.printf "  %-48s %12.1f ns/run\n%!" name est
-              | _ -> Printf.printf "  %-48s (no estimate)\n%!" name)
+              let est =
+                match Bechamel.Analyze.OLS.estimates result with
+                | Some [ est ] -> Some est
+                | _ -> None
+              in
+              lines := (name, est) :: !lines)
             tbl)
-        results)
+        results;
+      !lines)
     tests
+
+let plan () =
+  let t, get = Bench_common.task ~label:"micro[bechamel]" experiment in
+  let render () =
+    let b = Buffer.create 1024 in
+    Bench_common.header b "Toolbox / simulator microbenchmarks (bechamel)";
+    List.iter
+      (fun (name, est) ->
+        match est with
+        | Some est -> Printf.bprintf b "  %-48s %12.1f ns/run\n" name est
+        | None -> Printf.bprintf b "  %-48s (no estimate)\n" name)
+      (get ());
+    {
+      Bench_common.rd_output = Buffer.contents b;
+      rd_figures = [];
+      (* hardware-dependent: no figures, no checks *)
+      rd_checks = [];
+    }
+  in
+  { Bench_common.p_tasks = [ t ]; p_render = render }

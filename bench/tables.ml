@@ -1,12 +1,14 @@
 (* Tables 1 and 2: the gray-box technique summaries, backed by live
-   measurements rather than prose alone. *)
+   measurements rather than prose alone.
+
+   Two tasks: the Table-1 bundle of related-system simulations and the
+   Table-2 live case-study probes. *)
 
 open Simos
 open Graybox_core
 open Bench_common
 
-let table1 () =
-  header "Table 1: Gray-Box Techniques used in Existing Systems (behavioural reproduction)";
+let table1_experiment () =
   (* TCP *)
   let rng = Gray_util.Rng.create ~seed:1 in
   let wired =
@@ -34,6 +36,36 @@ let table1 () =
   in
   let naive = man true 6 in
   let polite = man false 6 in
+  let vmm policy seed =
+    let rng = Gray_util.Rng.create ~seed in
+    Gray_related.Vmm.simulate rng ~guests:3 ~slice_us:10_000 ~switch_cost_us:100
+      ~busy_us:2_000 ~idle_us:8_000 ~total_work_us:200_000 ~policy
+  in
+  let vmm_naive = vmm Gray_related.Vmm.Fixed_slice 7 in
+  let vmm_aware = vmm Gray_related.Vmm.Idle_aware 7 in
+  (wired, wireless, blocked, two_phase, naive, polite, vmm_naive, vmm_aware)
+
+let table2_experiment () =
+  (* small live runs to put real numbers in the cells *)
+  let k = boot () in
+  in_proc k (fun env ->
+      Gray_apps.Workload.write_file env "/d0/sample" (100 * mib);
+      Kernel.flush_file_cache k;
+      let config =
+        { (Fccd.default_config ~seed:3 ()) with Fccd.access_unit = 20 * mib;
+          prediction_unit = 5 * mib }
+      in
+      let plan = Gray_apps.Workload.ok_exn (Fccd.probe_file env config ~path:"/d0/sample") in
+      let alloc =
+        Mac.gb_alloc env
+          { (Mac.default_config ()) with Mac.initial_increment = 8 * mib }
+          ~min:(16 * mib) ~max:(256 * mib) ~multiple:100
+      in
+      (match alloc with Some a -> Mac.gb_free env a | None -> ());
+      (plan.Fccd.plan_probes, Mac.last_stats ()))
+
+let render_table1 b (wired, wireless, blocked, two_phase, naive, polite, vmm_naive, vmm_aware) =
+  header b "Table 1: Gray-Box Techniques used in Existing Systems (behavioural reproduction)";
   let t =
     Gray_util.Table.create ~title:"system / knowledge / observed output / measured result"
       ~columns:[ "system"; "gray-box knowledge"; "output observed"; "measured here" ]
@@ -65,13 +97,6 @@ let table1 () =
         blocked.Gray_related.Cosched.c_slowdown two_phase.Gray_related.Cosched.c_slowdown
         two_phase.Gray_related.Cosched.c_background_share;
     ];
-  let vmm policy seed =
-    let rng = Gray_util.Rng.create ~seed in
-    Gray_related.Vmm.simulate rng ~guests:3 ~slice_us:10_000 ~switch_cost_us:100
-      ~busy_us:2_000 ~idle_us:8_000 ~total_work_us:200_000 ~policy
-  in
-  let vmm_naive = vmm Gray_related.Vmm.Fixed_slice 7 in
-  let vmm_aware = vmm Gray_related.Vmm.Idle_aware 7 in
   Gray_util.Table.add_row t
     [
       "Disco VMM (Sec. 6)";
@@ -96,29 +121,10 @@ let table1 () =
         polite.Gray_related.Manners.m_idle_utilization
         polite.Gray_related.Manners.m_detection_accuracy;
     ];
-  print_string (Gray_util.Table.render t)
+  Buffer.add_string b (Gray_util.Table.render t)
 
-let table2 () =
-  header "Table 2: Gray-Box Techniques used in the Case Studies (with live probe counts)";
-  (* small live runs to put real numbers in the cells *)
-  let k = boot () in
-  let fccd_probes, mac_stats =
-    in_proc k (fun env ->
-        Gray_apps.Workload.write_file env "/d0/sample" (100 * mib);
-        Kernel.flush_file_cache k;
-        let config =
-          { (Fccd.default_config ~seed:3 ()) with Fccd.access_unit = 20 * mib;
-            prediction_unit = 5 * mib }
-        in
-        let plan = Gray_apps.Workload.ok_exn (Fccd.probe_file env config ~path:"/d0/sample") in
-        let alloc =
-          Mac.gb_alloc env
-            { (Mac.default_config ()) with Mac.initial_increment = 8 * mib }
-            ~min:(16 * mib) ~max:(256 * mib) ~multiple:100
-        in
-        (match alloc with Some a -> Mac.gb_free env a | None -> ());
-        (plan.Fccd.plan_probes, Mac.last_stats ()))
-  in
+let render_table2 b (fccd_probes, mac_stats) =
+  header b "Table 2: Gray-Box Techniques used in the Case Studies (with live probe counts)";
   let t =
     Gray_util.Table.create ~title:""
       ~columns:[ "technique"; "FCCD"; "FLDC"; "MAC" ]
@@ -168,8 +174,44 @@ let table2 () =
       "refreshed layout stays refreshed";
       "conservative AIMD-like increments";
     ];
-  print_string (Gray_util.Table.render t)
+  Buffer.add_string b (Gray_util.Table.render t)
 
-let run () =
-  table1 ();
-  table2 ()
+let plan () =
+  let t1, t1_get = task ~label:"tables[1]" table1_experiment in
+  let t2, t2_get = task ~label:"tables[2]" table2_experiment in
+  let render () =
+    let b = Buffer.create 4096 in
+    let ((wired, wireless, blocked, two_phase, _, polite, vmm_naive, vmm_aware) as r1) =
+      t1_get ()
+    in
+    let (fccd_probes, mac_stats) = t2_get () in
+    render_table1 b r1;
+    render_table2 b (fccd_probes, mac_stats);
+    {
+      rd_output = Buffer.contents b;
+      rd_figures =
+        [
+          figure "tcp_precision[wired]" wired.Gray_related.Tcp.r_inference_precision;
+          figure "tcp_precision[wireless]" wireless.Gray_related.Tcp.r_inference_precision;
+          figure "cosched_slowdown[two_phase]" two_phase.Gray_related.Cosched.c_slowdown;
+          figure "manners_interference[polite]"
+            polite.Gray_related.Manners.m_foreground_interference;
+          figure "vmm_throughput[idle_aware]" vmm_aware.Gray_related.Vmm.d_throughput;
+          figure "fccd_probes_100mb" (float_of_int fccd_probes);
+          figure "mac_steps" (float_of_int mac_stats.Mac.s_steps);
+        ];
+      rd_checks =
+        [
+          check "wired TCP inference beats wireless"
+            (wired.Gray_related.Tcp.r_inference_precision
+            > wireless.Gray_related.Tcp.r_inference_precision);
+          check "two-phase waiting beats block-immediately"
+            (two_phase.Gray_related.Cosched.c_slowdown
+            < blocked.Gray_related.Cosched.c_slowdown);
+          check "idle-aware VMM beats fixed slices"
+            (vmm_aware.Gray_related.Vmm.d_throughput
+            > vmm_naive.Gray_related.Vmm.d_throughput);
+        ];
+    }
+  in
+  { p_tasks = [ t1; t2 ]; p_render = render }

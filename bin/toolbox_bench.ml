@@ -1,12 +1,16 @@
 (* toolbox_bench — run the gray-toolbox configuration microbenchmarks on a
    simulated platform and print (or save) the parameter repository in its
    persistent text format (Section 5: "a common format kept in persistent
-   storage; each microbenchmark then only needs to be run once"). *)
+   storage; each microbenchmark then only needs to be run once").
+
+   -p accepts a comma-separated list of presets (or "all"); the platforms
+   fan out over a domain pool (-j) and print in the order given, so the
+   output is independent of the parallelism. *)
 
 open Cmdliner
 open Simos
 
-let run platform_name noise seed output =
+let bench_platform ~noise ~seed platform_name =
   let platform = Platform.with_noise (Platform.by_name platform_name) ~sigma:noise in
   let engine = Engine.create () in
   let k = Kernel.boot ~engine ~platform ~data_disks:1 ~seed () in
@@ -14,33 +18,78 @@ let run platform_name noise seed output =
   Kernel.spawn k (fun env ->
       repo := Some (Graybox_core.Toolbox.run_all env ~scratch_dir:"/d0"));
   Kernel.run k;
-  match !repo with
-  | None -> prerr_endline "toolbox_bench: benchmark process failed"
-  | Some repo -> (
-    Printf.printf "# gray-toolbox microbenchmark results for %s (noise sigma %.2f)\n"
-      platform.Platform.name noise;
-    print_string (Gray_util.Param_repo.to_string repo);
-    match output with
-    | None -> ()
-    | Some path ->
-      Gray_util.Param_repo.save repo ~path;
-      Printf.printf "# saved to %s\n" path)
+  (platform.Platform.name, !repo)
+
+let run platform_names noise seed jobs output =
+  let names =
+    match String.split_on_char ',' platform_names with
+    | [ "all" ] -> List.map (fun p -> p.Platform.name) Platform.all
+    | names -> List.map String.trim names
+  in
+  (* fail on typos before spending any simulation time *)
+  (try List.iter (fun n -> ignore (Platform.by_name n)) names
+   with Invalid_argument msg ->
+     Printf.eprintf "toolbox_bench: %s (try \"all\")\n" msg;
+     exit 1);
+  let pool = Gray_util.Domain_pool.create ~size:(min jobs (List.length names)) in
+  let results =
+    Fun.protect
+      ~finally:(fun () -> Gray_util.Domain_pool.shutdown pool)
+      (fun () -> Gray_util.Domain_pool.map pool (bench_platform ~noise ~seed) names)
+  in
+  let failed = ref false in
+  List.iter
+    (fun (name, repo) ->
+      match repo with
+      | None ->
+        Printf.eprintf "toolbox_bench: benchmark process failed on %s\n" name;
+        failed := true
+      | Some repo -> (
+        Printf.printf "# gray-toolbox microbenchmark results for %s (noise sigma %.2f)\n"
+          name noise;
+        print_string (Gray_util.Param_repo.to_string repo);
+        match output with
+        | None -> ()
+        | Some path ->
+          let path =
+            if List.length results = 1 then path else Printf.sprintf "%s.%s" path name
+          in
+          Gray_util.Param_repo.save repo ~path;
+          Printf.printf "# saved to %s\n" path))
+    results;
+  if !failed then exit 1
 
 let platform_arg =
   Arg.(
     value
     & opt string "linux-2.2"
-    & info [ "platform"; "p" ] ~doc:"Platform preset: linux-2.2, netbsd-1.5 or solaris-7.")
+    & info [ "platform"; "p" ]
+        ~doc:
+          "Platform preset(s): linux-2.2, netbsd-1.5 or solaris-7; a comma-separated \
+           list or \"all\" benchmarks several in parallel (see $(b,-j)).")
 
 let noise_arg = Arg.(value & opt float 0.05 & info [ "noise" ] ~doc:"Timing noise sigma.")
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ]
+        ~doc:"Domains to fan platforms out over (results are order-independent).")
+
 let output_arg =
-  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Save the repository to a file.")
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ]
+        ~doc:
+          "Save the repository to a file (suffixed with the platform name when \
+           benchmarking several).")
 
 let cmd =
   Cmd.v
     (Cmd.info "toolbox_bench" ~doc:"Gray-toolbox microbenchmarks on the simulated OS")
-    Term.(const run $ platform_arg $ noise_arg $ seed_arg $ output_arg)
+    Term.(const run $ platform_arg $ noise_arg $ seed_arg $ jobs_arg $ output_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -107,9 +107,6 @@ type phase_times = {
 
 let total_ns t = t.pt_read + t.pt_sort + t.pt_write + t.pt_overhead
 
-(* distinguishes run files across repeated phase-1 invocations *)
-let invocation_counter = ref 0
-
 (* Memory for one pass, however the policy obtains it. *)
 type pass_memory =
   | Buffer of buffer
@@ -146,8 +143,10 @@ let write_run env mem ~run_path ~bytes =
   Kernel.close env fd
 
 let run_phase1 env config ~policy ~total_bytes =
-  incr invocation_counter;
-  let invocation = ref !invocation_counter in
+  (* distinguishes run files across repeated phase-1 invocations; the
+     (pid, token) pair is unique per kernel and involves no global state,
+     keeping concurrent simulations on other domains bit-identical *)
+  let invocation = ref (Kernel.fresh_token env) in
   (match Kernel.mkdir env config.run_dir with
   | Ok () | Error (Kernel.Fs_error Fs.Eexist) -> ()
   | Error e -> failwith ("Fastsort: mkdir runs: " ^ Kernel.error_to_string e));

@@ -64,18 +64,21 @@ type stats = {
   s_confidence : float;
 }
 
-let last =
-  ref
-    {
-      s_probe_ns = 0;
-      s_steps = 0;
-      s_backoffs = 0;
-      s_chunks = 0;
-      s_suspect_chunks = 0;
-      s_confidence = 1.0;
-    }
+(* The "stats of the most recent gb_alloc" slot is domain-local: a MAC
+   run on one domain of a bench pool must not clobber the stats another
+   domain's run is about to read. *)
+let last : stats Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        s_probe_ns = 0;
+        s_steps = 0;
+        s_backoffs = 0;
+        s_chunks = 0;
+        s_suspect_chunks = 0;
+        s_confidence = 1.0;
+      })
 
-let last_stats () = !last
+let last_stats () = Domain.DLS.get last
 
 (* Self-calibration (Section 4.3.2, second method): time accesses to a few
    pages that are certainly resident, and fresh first-touches; "slow" is
@@ -233,7 +236,7 @@ let gb_alloc env config ~min ~max ~multiple =
   in
   let granted_bytes = floor_multiple (Stdlib.min max discounted) in
   let record_stats () =
-    last :=
+    Domain.DLS.set last
       {
         s_probe_ns = Kernel.gettime env - t0;
         s_steps = !steps;

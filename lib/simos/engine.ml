@@ -20,10 +20,12 @@ type t = {
   mutable running : bool;
 }
 
-(* Exactly one engine runs at a time (the simulator is single-threaded), so
-   [delay] finds its engine through this slot rather than threading it
-   through every syscall. *)
-let current : t option ref = ref None
+(* Exactly one engine runs at a time *per domain*, so [delay] finds its
+   engine through this domain-local slot rather than threading it through
+   every syscall.  Domain-local (rather than global) state is what lets
+   independent simulations run on separate domains of a pool without
+   seeing each other. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let compare_events a b =
   if a.time <> b.time then compare a.time b.time else compare a.seq b.seq
@@ -50,14 +52,17 @@ let spawn t ?at ?(name = "proc") f =
 
 let delay d =
   if d < 0 then invalid_arg "Engine.delay: negative duration";
-  match !current with
+  match Domain.DLS.get current with
   | None -> failwith "Engine.delay: not inside a running fiber"
   | Some _ -> Effect.perform (Delay d)
 
 let run t =
   if t.running then failwith "Engine.run: already running";
+  (match Domain.DLS.get current with
+  | Some _ -> failwith "Engine.run: another engine is running on this domain"
+  | None -> ());
   t.running <- true;
-  current := Some t;
+  Domain.DLS.set current (Some t);
   let fiber_name = ref "?" in
   let handler : (unit, unit) Effect.Shallow.handler =
     {
@@ -75,7 +80,7 @@ let run t =
   in
   let finish () =
     t.running <- false;
-    current := None
+    Domain.DLS.set current None
   in
   (* When a fiber crashes, the run aborts — but the other fibers may be
      parked mid-syscall holding resources (fds, anonymous memory) whose

@@ -8,7 +8,12 @@
     monotonic sequence number breaks same-time ties so runs are fully
     deterministic.
 
-    Time is an [int] count of simulated nanoseconds. *)
+    Time is an [int] count of simulated nanoseconds.
+
+    The running-engine slot that routes {!delay} back to its engine is
+    domain-local ([Domain.DLS]), so independent engines may run
+    concurrently on separate domains (one per domain at a time) — the
+    basis of the domain-parallel bench harness. *)
 
 type t
 
@@ -32,7 +37,8 @@ val run : t -> unit
 (** Process events until the queue is empty.  An exception escaping a fiber
     aborts the run, annotated with the fiber name; every {e other} parked
     fiber is then unwound with {!Cancelled} so its [Fun.protect]
-    finalisers (resource reclamation) still execute. *)
+    finalisers (resource reclamation) still execute.  At most one engine
+    may run per domain at a time; a nested [run] raises [Failure]. *)
 
 val events_processed : t -> int
 (** Total resume events handled so far (a cheap progress metric). *)

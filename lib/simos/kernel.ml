@@ -21,6 +21,7 @@ type proc = {
   p_fds : (int, open_file) Hashtbl.t;
   mutable p_next_fd : int;
   mutable p_next_vpn : int;
+  mutable p_next_token : int;
   mutable p_regions : region list;
 }
 
@@ -123,6 +124,12 @@ let swap_disk t = t.k_swap
 let pid env = env.e_proc.p_pid
 let kernel_of_env env = env.e_k
 
+let fresh_token env =
+  let proc = env.e_proc in
+  let token = proc.p_next_token in
+  proc.p_next_token <- token + 1;
+  token
+
 let resolve_path t path =
   let fail = Error Bad_path in
   if String.length path < 2 || path.[0] <> '/' || path.[1] <> 'd' then fail
@@ -146,7 +153,14 @@ let spawn t ?(name = "proc") ?at body =
   let p_pid = t.k_next_pid in
   t.k_next_pid <- t.k_next_pid + 1;
   let proc =
-    { p_pid; p_fds = Hashtbl.create 8; p_next_fd = 3; p_next_vpn = 0; p_regions = [] }
+    {
+      p_pid;
+      p_fds = Hashtbl.create 8;
+      p_next_fd = 3;
+      p_next_vpn = 0;
+      p_next_token = 1;
+      p_regions = [];
+    }
   in
   let env = { e_k = t; e_proc = proc } in
   let cleanup () =

@@ -59,6 +59,11 @@ val run : t -> unit
 val pid : env -> int
 val kernel_of_env : env -> t
 
+val fresh_token : env -> int
+(** Per-process monotone counter (1, 2, ...).  Combined with {!pid} it
+    yields names unique within a kernel without any global state, so
+    independent kernels on separate domains stay bit-identical. *)
+
 (** {1 Time} *)
 
 val gettime : env -> int

@@ -1,10 +1,10 @@
+let rec non_zero_unit rng =
+  let u = Rng.float rng 1.0 in
+  if u = 0.0 then non_zero_unit rng else u
+
 let exponential rng ~rate =
   if rate <= 0.0 then invalid_arg "Dist.exponential: rate must be positive";
-  let rec non_zero () =
-    let u = Rng.float rng 1.0 in
-    if u = 0.0 then non_zero () else u
-  in
-  -.log (non_zero ()) /. rate
+  -.log (non_zero_unit rng) /. rate
 
 let lognormal rng ~mu ~sigma = exp (Rng.gaussian rng ~mu ~sigma)
 
@@ -13,13 +13,17 @@ let lognormal_factor rng ~sigma =
   else lognormal rng ~mu:(-.(sigma *. sigma) /. 2.0) ~sigma
 
 (* Zipf via the classical inverse-harmonic rejection method of Gray et al.
-   Constants are cached per (n, theta) because benches draw millions. *)
-let zipf_cache : (int * float, float * float * float) Hashtbl.t = Hashtbl.create 8
+   Constants are cached per (n, theta) because benches draw millions.  The
+   cache is domain-local: workloads on separate domains each warm their
+   own table instead of racing on a shared [Hashtbl]. *)
+let zipf_cache_key : (int * float, float * float * float) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let zipf rng ~n ~theta =
   if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
   if theta <= 0.0 then Rng.int rng n
   else begin
+    let zipf_cache = Domain.DLS.get zipf_cache_key in
     let zetan, alpha, eta =
       match Hashtbl.find_opt zipf_cache (n, theta) with
       | Some c -> c

@@ -1,0 +1,111 @@
+(* Fixed pool of worker domains with a shared work queue.
+
+   Jobs are submitted in batches ([map] / [run]); results are collected by
+   submission index, so the output order never depends on scheduling.  A
+   job that raises does not poison the pool: every job of the batch still
+   runs, and the exception of the lowest-indexed failed job is re-raised
+   (with its backtrace) in the submitting domain — the same exception a
+   serial left-to-right execution would have surfaced first.
+
+   A pool of size <= 1 executes everything inline in the submitting
+   domain, so [create ~size:1] is exactly serial execution.  Jobs must not
+   submit work back into the pool they run on (the submitting call would
+   wait on a queue its own worker can no longer drain). *)
+
+type job = { j_run : unit -> unit }
+
+type t = {
+  p_size : int;
+  p_mutex : Mutex.t;
+  p_work : Condition.t;
+  p_queue : job Queue.t;
+  mutable p_shutdown : bool;
+  mutable p_workers : unit Domain.t list;
+}
+
+let size t = t.p_size
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.p_mutex;
+    while Queue.is_empty t.p_queue && not t.p_shutdown do
+      Condition.wait t.p_work t.p_mutex
+    done;
+    if Queue.is_empty t.p_queue then Mutex.unlock t.p_mutex (* shutdown *)
+    else begin
+      let job = Queue.pop t.p_queue in
+      Mutex.unlock t.p_mutex;
+      job.j_run ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~size =
+  let size = max 1 size in
+  let t =
+    {
+      p_size = size;
+      p_mutex = Mutex.create ();
+      p_work = Condition.create ();
+      p_queue = Queue.create ();
+      p_shutdown = false;
+      p_workers = [];
+    }
+  in
+  if size > 1 then t.p_workers <- List.init size (fun _ -> Domain.spawn (worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.p_mutex;
+  t.p_shutdown <- true;
+  Condition.broadcast t.p_work;
+  Mutex.unlock t.p_mutex;
+  List.iter Domain.join t.p_workers;
+  t.p_workers <- []
+
+let map t f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then []
+  else if t.p_size <= 1 || t.p_workers = [] then
+    Array.to_list (Array.map f items)
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let remaining = ref n in
+    let batch_done = Condition.create () in
+    let job i x =
+      {
+        j_run =
+          (fun () ->
+            (try results.(i) <- Some (f x)
+             with exn ->
+               let bt = Printexc.get_raw_backtrace () in
+               errors.(i) <- Some (exn, bt));
+            Mutex.lock t.p_mutex;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast batch_done;
+            Mutex.unlock t.p_mutex);
+      }
+    in
+    Mutex.lock t.p_mutex;
+    Array.iteri (fun i x -> Queue.add (job i x) t.p_queue) items;
+    Condition.broadcast t.p_work;
+    while !remaining > 0 do
+      Condition.wait batch_done t.p_mutex
+    done;
+    Mutex.unlock t.p_mutex;
+    (* crash propagation: re-raise the first failure by submission index *)
+    Array.iter
+      (function
+        | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+        | None -> ())
+      errors;
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> assert false (* no error, so set *))
+         results)
+  end
+
+let run t thunks = ignore (map t (fun f -> f ()) thunks)

@@ -1,0 +1,34 @@
+(** Fixed pool of worker domains with deterministic result collection.
+
+    The pool exists to fan independent, seeded simulations out over
+    OCaml 5 domains: results are gathered by submission index, so for
+    side-effect-free jobs the outcome of [map] is identical at any pool
+    size — including [size:1], which runs everything inline in the
+    submitting domain (no worker domains are spawned).
+
+    Jobs must be self-contained: they may freely use domain-local state
+    (e.g. [Simos.Engine] keeps its running-engine slot in [Domain.DLS])
+    but must not touch mutable state shared with other jobs, and must not
+    submit work back into the pool they run on. *)
+
+type t
+
+val create : size:int -> t
+(** [create ~size] spawns [size] worker domains ([size <= 1]: none; the
+    pool then executes inline and behaves exactly like serial code). *)
+
+val size : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f items] runs [f] on every item, in parallel when the pool has
+    workers, and returns the results in submission order.  Every job of
+    the batch runs even if some fail; afterwards the exception of the
+    lowest-indexed failed job (if any) is re-raised with its original
+    backtrace — the same exception serial execution would raise first. *)
+
+val run : t -> (unit -> unit) list -> unit
+(** [run t thunks] is [map] for effect-only jobs. *)
+
+val shutdown : t -> unit
+(** Terminate and join the workers.  Idempotent.  Calling [map]/[run]
+    after [shutdown] executes inline. *)

@@ -1,0 +1,120 @@
+(* Minimal JSON emitter — enough for the bench harness's machine-readable
+   perf trajectory without pulling in a JSON dependency.  Output is
+   deterministic: fields print in the order given, floats in shortest
+   round-trip form via %h-free "%.17g" trimmed, no whitespace games. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_string s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else if Float.is_nan f then "null" (* JSON has no NaN *)
+  else if f = Float.infinity then "1e999"
+  else if f = Float.neg_infinity then "-1e999"
+  else
+    (* shortest representation that round-trips *)
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | String s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape_string s);
+    Buffer.add_char b '"'
+  | List items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char b ',';
+        emit b item)
+      items;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape_string k);
+        Buffer.add_string b "\":";
+        emit b v)
+      fields;
+    Buffer.add_char b '}'
+
+(* Pretty printer with two-space indentation, for artifacts meant to be
+   read by humans and machines alike. *)
+let rec emit_pretty b ~indent = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as v -> emit b v
+  | List [] -> Buffer.add_string b "[]"
+  | List items ->
+    let pad = String.make indent ' ' and pad' = String.make (indent + 2) ' ' in
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b pad';
+        emit_pretty b ~indent:(indent + 2) item)
+      items;
+    Buffer.add_char b '\n';
+    Buffer.add_string b pad;
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+    let pad = String.make indent ' ' and pad' = String.make (indent + 2) ' ' in
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b pad';
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape_string k);
+        Buffer.add_string b "\": ";
+        emit_pretty b ~indent:(indent + 2) v)
+      fields;
+    Buffer.add_char b '\n';
+    Buffer.add_string b pad;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  emit b v;
+  Buffer.contents b
+
+let to_string_pretty v =
+  let b = Buffer.create 1024 in
+  emit_pretty b ~indent:0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let save v ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string_pretty v))

@@ -1,0 +1,23 @@
+(** Minimal JSON emitter for the bench harness's machine-readable output.
+
+    Emission is deterministic (object fields keep the given order); there
+    is deliberately no parser — the repo only produces trajectories, it
+    never consumes them. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line form. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented form, trailing newline. *)
+
+val save : t -> path:string -> unit
+(** Write the pretty form to [path] (truncating). *)

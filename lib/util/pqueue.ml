@@ -1,14 +1,23 @@
-type 'a t = { cmp : 'a -> 'a -> int; mutable data : 'a array; mutable size : int }
+(* Backing store is an [Obj.t array] so spare capacity and vacated slots
+   can be reset to [dummy]: a plain ['a array] has no value of type ['a]
+   to clear slots with, and aliasing live elements instead leaks them
+   once they are popped in turn.  [dummy] is an immediate, so the array
+   is never specialised to a flat float array and stays safe to fill
+   with boxed values. *)
+type 'a t = { cmp : 'a -> 'a -> int; mutable data : Obj.t array; mutable size : int }
+
+let dummy = Obj.repr ()
 
 let create ~cmp = { cmp; data = [||]; size = 0 }
 let length t = t.size
 let is_empty t = t.size = 0
 
-let grow t x =
+let elt (t : 'a t) i : 'a = Obj.obj t.data.(i)
+
+let grow t =
   let cap = Array.length t.data in
   if t.size = cap then begin
-    let ncap = max 16 (2 * cap) in
-    let ndata = Array.make ncap x in
+    let ndata = Array.make (max 16 (2 * cap)) dummy in
     Array.blit t.data 0 ndata 0 t.size;
     t.data <- ndata
   end
@@ -21,7 +30,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+    if t.cmp (elt t i) (elt t parent) < 0 then begin
       swap t i parent;
       sift_up t parent
     end
@@ -30,30 +39,37 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if l < t.size && t.cmp (elt t l) (elt t !smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp (elt t r) (elt t !smallest) < 0 then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
 let push t x =
-  grow t x;
-  t.data.(t.size) <- x;
+  grow t;
+  t.data.(t.size) <- Obj.repr x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let peek t = if t.size = 0 then None else Some t.data.(0)
+let peek t = if t.size = 0 then None else Some (elt t 0)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = elt t 0 in
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      (* the heap must not retain the popped value (engine events hold
+         whole fiber continuations) until a later push overwrites it *)
+      t.data.(t.size) <- dummy;
       sift_down t 0
-    end;
+    end
+    else
+      (* last element gone: drop the backing array so a parked queue
+         holds nothing at all *)
+      t.data <- [||];
     Some top
   end
 

@@ -2,7 +2,12 @@
 
     Elements are ordered by a comparison supplied at creation; ties must be
     broken by the caller (the engine uses a monotonic sequence number) so
-    that simulations are deterministic. *)
+    that simulations are deterministic.
+
+    Popped elements are unreachable from the queue as soon as {!pop}
+    returns (the vacated slot is cleared), and draining the queue — via
+    {!pop} or {!clear} — releases the backing array, so a parked queue
+    never retains dead fibers or their captured state. *)
 
 type 'a t
 

@@ -37,18 +37,19 @@ let split t =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+(* Rejection sampling to avoid modulo bias.  Top-level so the hot path
+   ([int] runs on every simulated syscall via the noise plumbing) does not
+   allocate a closure per call. *)
+let rec draw_int t bound64 limit =
+  let raw = Int64.shift_right_logical (bits64 t) 1 in
+  let candidate = Int64.rem raw bound64 in
+  if Int64.sub raw candidate > limit then draw_int t bound64 limit
+  else Int64.to_int candidate
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Rejection sampling to avoid modulo bias. *)
   let bound64 = Int64.of_int bound in
-  let rec draw () =
-    let raw = Int64.shift_right_logical (bits64 t) 1 in
-    let candidate = Int64.rem raw bound64 in
-    if Int64.sub raw candidate > Int64.sub Int64.max_int (Int64.sub bound64 1L)
-    then draw ()
-    else Int64.to_int candidate
-  in
-  draw ()
+  draw_int t bound64 (Int64.sub Int64.max_int (Int64.sub bound64 1L))
 
 let int_in t ~min ~max =
   if max < min then invalid_arg "Rng.int_in: max < min";
@@ -60,12 +61,12 @@ let float t bound =
 
 let bool t = Int64.logand (bits64 t) 1L = 1L
 
+let rec non_zero_unit t =
+  let u = float t 1.0 in
+  if u = 0.0 then non_zero_unit t else u
+
 let gaussian t ~mu ~sigma =
-  let rec non_zero () =
-    let u = float t 1.0 in
-    if u = 0.0 then non_zero () else u
-  in
-  let u1 = non_zero () in
+  let u1 = non_zero_unit t in
   let u2 = float t 1.0 in
   mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
 

@@ -29,4 +29,7 @@ let () =
       ("edge", Test_edge.suite);
       ("faults", Test_faults.suite);
       ("error-paths", Test_error_paths.suite);
+      ("pqueue", Test_pqueue.suite);
+      ("domain-pool", Test_domain_pool.suite);
+      ("bench-determinism", Test_bench_determinism.suite);
     ]

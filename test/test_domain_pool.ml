@@ -1,0 +1,109 @@
+(* The domain pool behind the parallel bench harness: deterministic
+   result collection, crash propagation, and the serial (size 1) path. *)
+
+open Gray_util
+
+let with_pool ~size f =
+  let pool = Domain_pool.create ~size in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) (fun () -> f pool)
+
+(* A self-contained job: a seeded simulation of a few hundred RNG draws,
+   the same shape the bench tasks have. *)
+let job seed =
+  let rng = Rng.create ~seed in
+  let acc = ref 0 in
+  for _ = 1 to 500 do
+    acc := !acc + Rng.int rng 1000
+  done;
+  (seed, !acc)
+
+let test_results_in_submission_order () =
+  let seeds = List.init 50 (fun i -> i * 7) in
+  with_pool ~size:4 (fun pool ->
+      let results = Domain_pool.map pool job seeds in
+      Alcotest.(check (list int)) "submission order kept" seeds (List.map fst results))
+
+let test_independent_of_pool_size () =
+  let seeds = List.init 40 (fun i -> 100 + i) in
+  let serial = List.map job seeds in
+  List.iter
+    (fun size ->
+      with_pool ~size (fun pool ->
+          let parallel = Domain_pool.map pool job seeds in
+          Alcotest.(check bool)
+            (Printf.sprintf "pool of %d = serial" size)
+            true (parallel = serial)))
+    [ 1; 2; 3; 4; 8 ]
+
+let test_pool_of_one_runs_inline () =
+  (* size 1 must execute in the submitting domain: domain-local state set
+     here is visible to the job *)
+  let slot = Domain.DLS.new_key (fun () -> 0) in
+  Domain.DLS.set slot 42;
+  with_pool ~size:1 (fun pool ->
+      let seen = Domain_pool.map pool (fun () -> Domain.DLS.get slot) [ (); () ] in
+      Alcotest.(check (list int)) "inline execution" [ 42; 42 ] seen)
+
+exception Boom of int
+
+let test_crash_propagation () =
+  with_pool ~size:4 (fun pool ->
+      match
+        Domain_pool.map pool
+          (fun i -> if i mod 3 = 1 then raise (Boom i) else i)
+          (List.init 20 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+        (* the lowest-indexed failure wins, as in serial execution *)
+        Alcotest.(check int) "first failing job's exception" 1 i)
+
+let test_crash_propagation_serial () =
+  with_pool ~size:1 (fun pool ->
+      match Domain_pool.map pool (fun i -> if i = 2 then raise (Boom i) else i) [ 0; 1; 2 ] with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i -> Alcotest.(check int) "serial propagation" 2 i)
+
+let test_pool_survives_a_crashed_batch () =
+  with_pool ~size:2 (fun pool ->
+      (try ignore (Domain_pool.map pool (fun () -> failwith "boom") [ (); () ])
+       with Failure _ -> ());
+      let ok = Domain_pool.map pool (fun x -> x * 2) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "next batch unaffected" [ 2; 4; 6 ] ok)
+
+let test_empty_batch () =
+  with_pool ~size:4 (fun pool ->
+      Alcotest.(check (list int)) "empty map" [] (Domain_pool.map pool (fun x -> x) []);
+      Domain_pool.run pool [])
+
+let test_run_executes_all () =
+  with_pool ~size:4 (fun pool ->
+      let flags = Array.make 30 false in
+      Domain_pool.run pool
+        (List.init 30 (fun i () -> flags.(i) <- true));
+      Alcotest.(check bool) "every thunk ran" true (Array.for_all Fun.id flags))
+
+let test_map_after_shutdown_is_inline () =
+  let pool = Domain_pool.create ~size:4 in
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool (* idempotent *);
+  Alcotest.(check (list int)) "inline after shutdown" [ 2; 4 ]
+    (Domain_pool.map pool (fun x -> x * 2) [ 1; 2 ])
+
+let suite =
+  [
+    Alcotest.test_case "results come back in submission order" `Quick
+      test_results_in_submission_order;
+    Alcotest.test_case "results independent of pool size" `Quick
+      test_independent_of_pool_size;
+    Alcotest.test_case "pool of one runs inline" `Quick test_pool_of_one_runs_inline;
+    Alcotest.test_case "lowest-indexed crash propagates" `Quick test_crash_propagation;
+    Alcotest.test_case "crash propagates on the serial path" `Quick
+      test_crash_propagation_serial;
+    Alcotest.test_case "pool survives a crashed batch" `Quick
+      test_pool_survives_a_crashed_batch;
+    Alcotest.test_case "empty batch" `Quick test_empty_batch;
+    Alcotest.test_case "run executes every thunk" `Quick test_run_executes_all;
+    Alcotest.test_case "map after shutdown is inline" `Quick
+      test_map_after_shutdown_is_inline;
+  ]

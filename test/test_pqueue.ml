@@ -1,0 +1,126 @@
+(* The engine's event queue: ordering, model equivalence, and the
+   no-retention guarantee behind the space-leak fix (popped elements must
+   be collectable immediately). *)
+
+open Gray_util
+
+(* The heap itself is not stable, so properties compare against a stable
+   sort of (key, seq) pairs: with the sequence number as tie-break the
+   pop order is total and equals the stable sort by key. *)
+let cmp (a_key, a_seq) (b_key, b_seq) =
+  match compare (a_key : int) (b_key : int) with 0 -> compare a_seq b_seq | c -> c
+
+let drain q =
+  let rec go acc = match Pqueue.pop q with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []
+
+let prop_pop_is_stable_sort =
+  QCheck2.Test.make ~name:"pop sequence = stable sort" ~count:500
+    QCheck2.Gen.(list_size (int_range 0 100) (int_range 0 20))
+    (fun keys ->
+      let q = Pqueue.create ~cmp in
+      List.iteri (fun seq key -> Pqueue.push q (key, seq)) keys;
+      let expected = List.stable_sort cmp (List.mapi (fun seq key -> (key, seq)) keys) in
+      drain q = expected)
+
+(* Interleave pushes and pops and compare against a sorted-list model. *)
+let prop_interleaved_matches_model =
+  QCheck2.Test.make ~name:"push/pop interleavings match a sorted-list model" ~count:500
+    QCheck2.Gen.(list_size (int_range 0 200) (option (int_range 0 50)))
+    (fun ops ->
+      let q = Pqueue.create ~cmp in
+      let model = ref [] and seq = ref 0 and ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some key ->
+            Pqueue.push q (key, !seq);
+            model := List.stable_sort cmp ((key, !seq) :: !model);
+            incr seq
+          | None -> (
+            match (Pqueue.pop q, !model) with
+            | None, [] -> ()
+            | Some x, m :: rest when x = m -> model := rest
+            | _ -> ok := false))
+        ops;
+      !ok && Pqueue.length q = List.length !model)
+
+let prop_length_and_peek =
+  QCheck2.Test.make ~name:"length/peek agree with the model" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (int_range 0 10))
+    (fun keys ->
+      let q = Pqueue.create ~cmp in
+      List.iteri (fun seq key -> Pqueue.push q (key, seq)) keys;
+      let sorted = List.stable_sort cmp (List.mapi (fun seq key -> (key, seq)) keys) in
+      Pqueue.length q = List.length keys && Pqueue.peek q = Some (List.hd sorted))
+
+(* The space-leak regression: after pop returns, the popped element must
+   be unreachable from the queue.  Weak pointers see through the heap's
+   backing array: if pop left the element in data.(size), the weak ref
+   would survive the GC. *)
+let test_pop_releases_element () =
+  let q = Pqueue.create ~cmp:(fun (a, _) (b, _) -> compare (a : int) b) in
+  let make_blob tag = (tag, Bytes.create 4096) in
+  let weaks = Weak.create 8 in
+  for i = 0 to 7 do
+    let blob = make_blob i in
+    Weak.set weaks i (Some blob);
+    Pqueue.push q blob
+  done;
+  (* pop half: those four must become collectable even though the queue
+     still holds the other four *)
+  for _ = 1 to 4 do
+    ignore (Pqueue.pop q)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "popped element %d collected" i)
+      false
+      (Weak.check weaks i)
+  done;
+  for i = 4 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "queued element %d retained" i)
+      true
+      (Weak.check weaks i)
+  done;
+  (* keep the queue alive across the majors above — without this the GC
+     is free to collect [q] itself right after the last pop *)
+  Alcotest.(check int) "four elements remain" 4 (Pqueue.length (Sys.opaque_identity q))
+
+let test_drain_releases_backing_array () =
+  let q = Pqueue.create ~cmp:(fun (a, _) (b, _) -> compare (a : int) b) in
+  let weak = Weak.create 1 in
+  let blob = (0, Bytes.create 4096) in
+  Weak.set weak 0 (Some blob);
+  Pqueue.push q blob;
+  ignore (Pqueue.pop q);
+  Gc.full_major ();
+  Alcotest.(check bool) "drained queue retains nothing" false (Weak.check weak 0);
+  Alcotest.(check int) "drained queue empty" 0 (Pqueue.length q);
+  (* and the queue still works afterwards *)
+  Pqueue.push q (1, Bytes.create 1);
+  Alcotest.(check bool) "queue usable after drain" true (Pqueue.pop q <> None)
+
+let test_clear_releases_elements () =
+  let q = Pqueue.create ~cmp:(fun (a, _) (b, _) -> compare (a : int) b) in
+  let weak = Weak.create 1 in
+  let blob = (0, Bytes.create 4096) in
+  Weak.set weak 0 (Some blob);
+  Pqueue.push q blob;
+  Pqueue.clear q;
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared queue retains nothing" false (Weak.check weak 0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_pop_is_stable_sort;
+    QCheck_alcotest.to_alcotest prop_interleaved_matches_model;
+    QCheck_alcotest.to_alcotest prop_length_and_peek;
+    Alcotest.test_case "pop releases the popped element" `Quick test_pop_releases_element;
+    Alcotest.test_case "draining releases the backing array" `Quick
+      test_drain_releases_backing_array;
+    Alcotest.test_case "clear releases elements" `Quick test_clear_releases_elements;
+  ]
