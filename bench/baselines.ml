@@ -174,7 +174,9 @@ let interpose_experiment () =
             let truth = Introspect.cached_fraction k ~path > 0.5 in
             if predicted = truth then incr correct)
           paths;
-        float_of_int !correct /. 20.0
+        let acc = float_of_int !correct /. 20.0 in
+        Gray_util.Telemetry.observe "bench.baselines.predict_accuracy" acc;
+        acc
       in
       let own = accuracy () in
       (* phase 2: an un-interposed process churns the cache *)

@@ -44,6 +44,22 @@ let trials () = match !trials_slot with
 
 let set_trials n = trials_slot := Some (max 1 n)
 
+(* ---- telemetry mode --------------------------------------------------- *)
+
+(* Resolved once (before the pool fans out, so the env warning prints at
+   most once) and shared by every task of the run. *)
+let telemetry_slot = ref None
+
+let telemetry_mode () =
+  match !telemetry_slot with
+  | Some m -> m
+  | None ->
+    let m = Gray_util.Telemetry.of_env () in
+    telemetry_slot := Some m;
+    m
+
+let set_telemetry_mode m = telemetry_slot := Some m
+
 (* ---- simulation helpers ---------------------------------------------- *)
 
 (* Engines booted while a task runs are registered domain-locally so the
@@ -84,6 +100,7 @@ type task = {
   mutable t_wall_ns : int;
   mutable t_sim_ns : int;
   mutable t_events : int;
+  mutable t_sink : Gray_util.Telemetry.sink option;
 }
 
 let task ~label f =
@@ -95,6 +112,7 @@ let task ~label f =
       t_wall_ns = 0;
       t_sim_ns = 0;
       t_events = 0;
+      t_sink = None;
     }
   in
   let get () =
@@ -161,7 +179,15 @@ let exec_task t =
   Domain.DLS.set engine_collector (Some engines);
   Fun.protect
     ~finally:(fun () -> Domain.DLS.set engine_collector None)
-    t.t_run;
+    (fun () ->
+      match telemetry_mode () with
+      | Gray_util.Telemetry.Off -> t.t_run ()
+      | mode ->
+        (* Each task owns a hermetic sink: no cross-domain interleaving,
+           and exports in submission order are identical at any -j. *)
+        let sink = Gray_util.Telemetry.create ~mode ~name:t.t_label () in
+        t.t_sink <- Some sink;
+        Gray_util.Telemetry.with_sink sink t.t_run);
   t.t_wall_ns <- int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
   List.iter
     (fun e ->
@@ -170,6 +196,7 @@ let exec_task t =
     !engines
 
 let execute ?pool plans =
+  ignore (telemetry_mode ());
   let all = List.concat_map (fun p -> p.p_tasks) plans in
   match pool with
   | Some pool when Gray_util.Domain_pool.size pool > 1 ->
@@ -195,6 +222,31 @@ let plan_stats p =
     { st_tasks = 0; st_wall_ns = 0; st_sim_ns = 0; st_events = 0 }
     p.p_tasks
 
+(* ---- telemetry exports ------------------------------------------------ *)
+
+let plan_sinks p = List.filter_map (fun t -> t.t_sink) p.p_tasks
+
+(* One Chrome trace for the whole run: pid per experiment, tid per task,
+   both in submission order — so the export is byte-identical at any -j. *)
+let chrome_trace_of plans =
+  let events =
+    List.concat
+      (List.mapi
+         (fun pid plan ->
+           List.concat
+             (List.mapi
+                (fun tid t ->
+                  match t.t_sink with
+                  | None -> []
+                  | Some s -> Gray_util.Telemetry.chrome_events s ~pid:(pid + 1) ~tid:(tid + 1))
+                plan.p_tasks))
+         plans)
+  in
+  Gray_util.Telemetry.chrome_trace events
+
+let telemetry_summary plans =
+  Gray_util.Telemetry.summary (List.concat_map plan_sinks plans)
+
 (* ---- the machine-readable perf trajectory ----------------------------- *)
 
 let suite_json ~jobs ~suite_wall_ns results =
@@ -209,6 +261,7 @@ let suite_json ~jobs ~suite_wall_ns results =
         ("wall_ns", Int st.st_wall_ns);
         ("sim_ns", Int st.st_sim_ns);
         ("events", Int st.st_events);
+        ("metrics", Gray_util.Telemetry.merge_metrics_json (plan_sinks plan));
         ( "figures",
           List
             (List.map
@@ -223,9 +276,10 @@ let suite_json ~jobs ~suite_wall_ns results =
   in
   Obj
     [
-      ("schema", String "graybox-bench-suite/1");
+      ("schema", String "graybox-bench-suite/2");
       ("jobs", Int jobs);
       ("trials", Int (trials ()));
+      ("telemetry", String (Gray_util.Telemetry.mode_to_string (telemetry_mode ())));
       ("suite_wall_ns", Int suite_wall_ns);
       ("experiments", List (List.map experiment results));
     ]

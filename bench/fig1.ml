@@ -57,6 +57,12 @@ let trial ~file_bytes ~prediction_units ~access_unit ~seed =
           done;
           ys.(u) <- float_of_int !cached /. float_of_int pages_per_unit
         done;
+        (* prefab metric: how often the single-probe cache-hit prediction
+           agrees with the Introspect ground truth for the whole unit *)
+        let agree = ref 0 in
+        Array.iteri (fun u x -> if x > 0.5 = (ys.(u) > 0.5) then incr agree) xs;
+        Gray_util.Telemetry.observe "bench.fig1.probe_accuracy"
+          (float_of_int !agree /. float_of_int (Stdlib.max 1 units));
         Gray_util.Correlate.pearson xs ys
       in
       List.map correlation_for prediction_units)

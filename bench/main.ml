@@ -41,13 +41,19 @@ let default_set =
 
 let usage () =
   print_endline
-    "usage: main.exe [-j N] [--json PATH] [--strict] [--trials N] [experiment ...]";
+    "usage: main.exe [-j N] [--json PATH] [--strict] [--trials N] [--trace PATH]";
+  print_endline "               [--trace-summary] [experiment ...]";
   print_endline "options:";
-  print_endline "  -j N         run experiment tasks on N domains (default: the host's";
-  print_endline "               recommended domain count; results identical at any N)";
-  print_endline "  --json PATH  write the machine-readable perf trajectory (BENCH_suite.json)";
-  print_endline "  --strict     exit non-zero if any expected-shape check fails";
-  print_endline "  --trials N   same as GRAYBOX_TRIALS=N";
+  print_endline "  -j N            run experiment tasks on N domains (default: the host's";
+  print_endline "                  recommended domain count; results identical at any N)";
+  print_endline "  --json PATH     write the machine-readable perf trajectory (BENCH_suite.json)";
+  print_endline "  --strict        exit non-zero if any expected-shape check fails";
+  print_endline "  --trials N      same as GRAYBOX_TRIALS=N";
+  print_endline "  --trace PATH    write a Chrome trace_event JSON (Perfetto-loadable);";
+  print_endline "                  turns telemetry on (full) unless GRAYBOX_TELEMETRY says";
+  print_endline "                  otherwise";
+  print_endline "  --trace-summary print a human-readable span/metric summary table;";
+  print_endline "                  also turns telemetry on";
   print_endline "experiments (default: all but micro):";
   List.iter (fun (name, _, doc) -> Printf.printf "  %-12s %s\n" name doc) experiments
 
@@ -55,6 +61,8 @@ let parse_args () =
   let jobs = ref (Domain.recommended_domain_count ()) in
   let json = ref None in
   let strict = ref false in
+  let trace = ref None in
+  let trace_summary = ref false in
   let names = ref [] in
   let bad fmt = Printf.ksprintf (fun s -> prerr_endline s; usage (); exit 2) fmt in
   let int_arg flag = function
@@ -84,6 +92,13 @@ let parse_args () =
     | "--strict" :: rest ->
       strict := true;
       go rest
+    | "--trace" :: rest ->
+      let v, rest = (match rest with x :: r -> (Some x, r) | [] -> (None, [])) in
+      (match v with Some p -> trace := Some p | None -> bad "--trace expects a path");
+      go rest
+    | "--trace-summary" :: rest ->
+      trace_summary := true;
+      go rest
     | name :: rest ->
       (match List.find_opt (fun (n, _, _) -> n = name) experiments with
       | Some exp -> names := exp :: !names
@@ -92,10 +107,27 @@ let parse_args () =
   in
   go (List.tl (Array.to_list Sys.argv));
   let selected = match List.rev !names with [] -> default_set | l -> l in
-  (!jobs, !json, !strict, selected)
+  (!jobs, !json, !strict, !trace, !trace_summary, selected)
+
+(* Export-write failures get their own exit code (3), distinct from the
+   strict-check failure (1) and the usage error (2). *)
+let exit_export_failed = 3
+
+let save_or_die ~what ~path json =
+  try Gray_util.Json.save ~path json
+  with Sys_error msg ->
+    Printf.eprintf "error: cannot write %s to %s: %s\n%!" what path msg;
+    exit exit_export_failed
 
 let () =
-  let jobs, json_path, strict, selected = parse_args () in
+  let jobs, json_path, strict, trace_path, trace_summary, selected = parse_args () in
+  (* Asking for a trace export opts into telemetry; an explicit
+     GRAYBOX_TELEMETRY (e.g. a sample rate) still wins. *)
+  if trace_path <> None || trace_summary then begin
+    match Gray_util.Telemetry.of_env () with
+    | Gray_util.Telemetry.Off -> Bench_common.set_telemetry_mode Gray_util.Telemetry.Full
+    | mode -> Bench_common.set_telemetry_mode mode
+  end;
   Printf.printf
     "Reproducing %d experiment(s): %d trials per figure (paper used 30), %d domain(s).\n%!"
     (List.length selected) (Bench_common.trials ()) jobs;
@@ -130,6 +162,14 @@ let () =
   (match json_path with
   | None -> ()
   | Some path ->
-    Gray_util.Json.save ~path (Bench_common.suite_json ~jobs ~suite_wall_ns results);
+    save_or_die ~what:"perf trajectory" ~path
+      (Bench_common.suite_json ~jobs ~suite_wall_ns results);
     Printf.printf "perf trajectory written to %s\n" path);
+  let bare_plans = List.map (fun (_, _, p) -> p) plans in
+  (match trace_path with
+  | None -> ()
+  | Some path ->
+    save_or_die ~what:"trace" ~path (Bench_common.chrome_trace_of bare_plans);
+    Printf.printf "chrome trace written to %s\n" path);
+  if trace_summary then print_string (Bench_common.telemetry_summary bare_plans);
   if strict && failed <> [] then exit 1

@@ -25,7 +25,19 @@ open Graybox_core
 
 let mib = 1024 * 1024
 
-let run mode files size_mib warm out noise seed fault_scenario extra min_confidence =
+let run mode files size_mib warm out noise seed fault_scenario extra min_confidence trace
+    metrics =
+  let module Tele = Gray_util.Telemetry in
+  (* --trace / --metrics opt into telemetry; an explicit GRAYBOX_TELEMETRY
+     (e.g. a sample rate) still wins *)
+  let tele_mode =
+    match Tele.of_env () with
+    | Tele.Off when trace <> None || metrics -> Tele.Full
+    | m -> m
+  in
+  let sink =
+    match tele_mode with Tele.Off -> None | m -> Some (Tele.create ~mode:m ~name:"gbp" ())
+  in
   let platform = Platform.with_noise Platform.linux_2_2 ~sigma:noise in
   let engine = Engine.create () in
   let k = Kernel.boot ~engine ~platform ~data_disks:1 ~seed ?faults:fault_scenario () in
@@ -87,7 +99,20 @@ let run mode files size_mib warm out noise seed fault_scenario extra min_confide
             Printf.eprintf "gbp: --out %s: %s\n" first (Kernel.error_to_string e);
             exit_code := Gbp.exit_code_of_error e)
       end);
-  Kernel.run k;
+  (match sink with
+  | None -> Kernel.run k
+  | Some s -> Tele.with_sink s (fun () -> Kernel.run k));
+  (match (sink, trace) with
+  | Some s, Some path -> (
+    try
+      Gray_util.Json.save ~path (Tele.chrome_trace (Tele.chrome_events s ~pid:1 ~tid:1))
+    with Sys_error msg ->
+      Printf.eprintf "gbp: cannot write trace to %s: %s\n%!" path msg;
+      exit_code := Gbp.exit_export_failed)
+  | _ -> ());
+  (match sink with
+  | Some s when metrics -> print_string (Gray_util.Json.to_string_pretty (Tele.metrics_json s))
+  | _ -> ());
   !exit_code
 
 (* malformed values are usage errors (exit 124 with a pointer to --help),
@@ -147,11 +172,25 @@ let min_confidence_arg =
     & info [ "min-confidence" ]
         ~doc:"Fall back to argument order below this mem-mode probe confidence.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of the simulated run to $(docv) \
+           (Perfetto-loadable); exit code 8 if the file cannot be written.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Print the run's telemetry metrics as JSON on stdout.")
+
 let cmd =
   Cmd.v
     (Cmd.info "gbp" ~doc:"Gray-box probe utility on a simulated volume")
     Term.(
       const run $ mode_arg $ files_arg $ size_arg $ warm_arg $ out_arg $ noise_arg
-      $ seed_arg $ faults_arg $ extra_arg $ min_confidence_arg)
+      $ seed_arg $ faults_arg $ extra_arg $ min_confidence_arg $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

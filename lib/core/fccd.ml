@@ -101,6 +101,8 @@ let unstable samples =
    pass triggers that many extra passes and each unit contributes its
    outlier-rejected median instead of a single raw sample. *)
 let probe_extent env config fd ext =
+  let tele = Telemetry.active () in
+  let ts = match tele with None -> 0 | Some s -> Telemetry.now s in
   let count = max 1 ((ext.ext_len + config.prediction_unit - 1) / config.prediction_unit) in
   let sample i =
     let pu_off = ext.ext_off + (i * config.prediction_unit) in
@@ -115,6 +117,9 @@ let probe_extent env config fd ext =
   let probes = ref count in
   let total =
     if config.resample > 0 && unstable (Array.map float_of_int first) then begin
+      Telemetry.event "core.fccd.resample"
+        ~attrs:(fun () ->
+          [ ("off", Telemetry.Int ext.ext_off); ("passes", Telemetry.Int config.resample) ]);
       let per_unit = Array.map (fun ns -> ref [ float_of_int ns ]) first in
       for _pass = 1 to config.resample do
         for i = 0 to count - 1 do
@@ -130,6 +135,17 @@ let probe_extent env config fd ext =
     end
     else Array.fold_left ( + ) 0 first
   in
+  (match tele with
+  | None -> ()
+  | Some s ->
+    Telemetry.add_in s ~n:!probes "core.fccd.probes";
+    Telemetry.span_end s "core.fccd.probe_extent" ~ts
+      ~attrs:(fun () ->
+        [
+          ("off", Telemetry.Int ext.ext_off);
+          ("len", Telemetry.Int ext.ext_len);
+          ("probes", Telemetry.Int !probes);
+        ]));
   (total, !probes)
 
 (* How much we believe a probe-time ordering: cluster the per-unit mean
@@ -168,12 +184,15 @@ let probe_fd env config ~path fd =
     let parts = partition config ~size in
     let probes = ref 0 in
     let timed =
-      List.map
-        (fun ext ->
-          let ns, count = probe_extent env config fd ext in
-          probes := !probes + count;
-          (ext, ns))
-        parts
+      Telemetry.span "core.fccd.probe_file"
+        ~attrs:(fun () -> [ ("path", Telemetry.String path); ("size", Telemetry.Int size) ])
+        (fun () ->
+          List.map
+            (fun ext ->
+              let ns, count = probe_extent env config fd ext in
+              probes := !probes + count;
+              (ext, ns))
+            parts)
     in
     let confidence =
       confidence_of_means
@@ -182,6 +201,7 @@ let probe_fd env config ~path fd =
               (fun (ext, ns) -> float_of_int ns /. float_of_int (units_of config ext))
               timed))
     in
+    Telemetry.observe "core.fccd.confidence" confidence;
     let ordered =
       (* Ties (e.g. an all-cached prefix) break towards HIGHER offsets:
          under the LRU-like assumption, sequentially produced data is

@@ -1,4 +1,5 @@
 open Simos
+module Tele = Gray_util.Telemetry
 
 type stat_order = { so_path : string; so_ino : int; so_size : int }
 
@@ -99,6 +100,8 @@ let remove_dir_recursive env dir =
   remove entries
 
 let refresh_directory env ?(order = `Size_ascending) ?(crash_at = No_crash) ~dir () =
+  Tele.span "core.fldc.refresh" ~attrs:(fun () -> [ ("dir", Tele.String dir) ])
+  @@ fun () ->
   let maybe_crash point = if crash_at = point then raise (Injected_crash point) in
   let policy = Resilient.default () in
   let parent = dirname dir and base = basename dir in
@@ -149,7 +152,11 @@ let refresh_directory env ?(order = `Size_ascending) ?(crash_at = No_crash) ~dir
       in
       copy_all rest
   in
-  let* () = copy_all ordered in
+  let* () =
+    Tele.span "core.fldc.copy"
+      ~attrs:(fun () -> [ ("files", Tele.Int (List.length ordered)) ])
+      (fun () -> copy_all ordered)
+  in
   maybe_crash After_copies;
   let rec times_all = function
     | [] -> Ok ()
@@ -159,11 +166,11 @@ let refresh_directory env ?(order = `Size_ascending) ?(crash_at = No_crash) ~dir
       in
       times_all rest
   in
-  let* () = times_all ordered in
+  let* () = Tele.span "core.fldc.utimes" (fun () -> times_all ordered) in
   maybe_crash After_utimes;
-  let* () = remove_dir_recursive env dir in
+  let* () = Tele.span "core.fldc.delete" (fun () -> remove_dir_recursive env dir) in
   maybe_crash After_delete;
-  let* () = Kernel.rename env ~src:tmp ~dst:dir in
+  let* () = Tele.span "core.fldc.rename" (fun () -> Kernel.rename env ~src:tmp ~dst:dir) in
   Kernel.unlink env journal
 
 let repair env ~parent =

@@ -60,6 +60,10 @@ let exit_code_of_error = function
   | Kernel.Fs_error Fs.Eexist -> 6
   | Kernel.Fs_error _ -> 7
 
+(* A telemetry export that cannot be written is not a kernel error, but it
+   still deserves its own code in the same namespace. *)
+let exit_export_failed = 8
+
 (* One pipe transfer costs a kernel-to-user copy of the payload (writer
    copies in, reader copies out — we charge the reader side once more,
    which is the "extra copy of all data through the operating system via

@@ -48,6 +48,10 @@ val exit_code_of_error : Simos.Kernel.error -> int
     [Bad_fd] 3, [Retryable] 4, [Enoent] 5, [Eexist] 6, other fs errors
     7); code 1 stays reserved for usage errors. *)
 
+val exit_export_failed : int
+(** Exit code (8) for a telemetry export that could not be written —
+    same namespace as {!exit_code_of_error}, next free slot. *)
+
 val out :
   Simos.Kernel.env ->
   Fccd.config ->

@@ -84,6 +84,7 @@ let last_stats () = Domain.DLS.get last
    pages that are certainly resident, and fresh first-touches; "slow" is
    set well above the worst benign cost observed. *)
 let calibrate config env =
+  Telemetry.span "core.mac.calibrate" (fun () ->
   let probe_pages = 64 in
   let r = Kernel.valloc env ~pages:probe_pages in
   let first = Kernel.touch_pages env r ~first:0 ~count:probe_pages in
@@ -97,7 +98,7 @@ let calibrate config env =
   in
   let med a = summarise (Array.map float_of_int a) in
   let benign = Float.max (med first) (med again) in
-  max 1_000 (int_of_float (10.0 *. benign))
+  max 1_000 (int_of_float (10.0 *. benign)))
 
 (* Touch a range in bounded chunks so that competing processes get to run
    (and re-reference their working sets) while we probe — one huge vectored
@@ -188,6 +189,8 @@ let gb_alloc env config ~min ~max ~multiple =
     if !page_samples = 0 then 1.0
     else 1.0 -. (float_of_int !ambiguous /. float_of_int !page_samples)
   in
+  let tele = Telemetry.active () in
+  let ts = match tele with None -> 0 | Some s -> Telemetry.now s in
   let t0 = Kernel.gettime env in
   let region = Kernel.valloc env ~pages:max_pages in
   let min_step = Stdlib.max 1 (config.initial_increment / page) in
@@ -216,6 +219,9 @@ let gb_alloc env config ~min ~max ~multiple =
          evicting the neighbours, so competing gb_allocs would never
          converge. *)
       incr backoffs;
+      Telemetry.event "core.mac.backoff"
+        ~attrs:(fun () ->
+          [ ("phase", Telemetry.String "climb"); ("committed", Telemetry.Int !committed) ]);
       Kernel.vrelease env region ~first:!committed ~count:touched;
       continue_ := false
     end
@@ -235,6 +241,21 @@ let gb_alloc env config ~min ~max ~multiple =
     else int_of_float ((1.0 -. config.headroom) *. float_of_int (!committed * page))
   in
   let granted_bytes = floor_multiple (Stdlib.min max discounted) in
+  let tele_finish ~granted =
+    match tele with
+    | None -> ()
+    | Some s ->
+      Telemetry.add_in s ~n:!steps "core.mac.steps";
+      Telemetry.add_in s ~n:!backoffs "core.mac.backoffs";
+      Telemetry.observe_in s "core.mac.confidence" (current_confidence ());
+      Telemetry.span_end s "core.mac.gb_alloc" ~ts
+        ~attrs:(fun () ->
+          [
+            ("steps", Telemetry.Int !steps);
+            ("backoffs", Telemetry.Int !backoffs);
+            ("granted", Telemetry.Int granted);
+          ])
+  in
   let record_stats () =
     Domain.DLS.set last
       {
@@ -249,6 +270,7 @@ let gb_alloc env config ~min ~max ~multiple =
   record_stats ();
   if granted_bytes < effective_min then begin
     Kernel.vfree env region;
+    tele_finish ~granted:0;
     None
   end
   else begin
@@ -270,6 +292,9 @@ let gb_alloc env config ~min ~max ~multiple =
         if not paged then Some (p, bytes)
         else begin
           incr backoffs;
+          Telemetry.event "core.mac.backoff"
+            ~attrs:(fun () ->
+              [ ("phase", Telemetry.String "settle"); ("pages", Telemetry.Int p) ]);
           let next = Stdlib.max 0 (p - shrink) in
           Kernel.vrelease env region ~first:next ~count:(p - next);
           settle next
@@ -278,12 +303,13 @@ let gb_alloc env config ~min ~max ~multiple =
     in
     let result =
       if !backoffs = 0 then Some (granted_pages, granted_bytes)
-      else settle granted_pages
+      else Telemetry.span "core.mac.settle" (fun () -> settle granted_pages)
     in
     record_stats ();
     match result with
     | None ->
       Kernel.vfree env region;
+      tele_finish ~granted:0;
       None
     | Some (a_pages, a_bytes) ->
       let conf = current_confidence () in
@@ -299,6 +325,7 @@ let gb_alloc env config ~min ~max ~multiple =
         end
         else (a_pages, a_bytes)
       in
+      tele_finish ~granted:a_bytes;
       Some { a_region = region; a_pages; a_bytes; a_confidence = conf; a_live = true }
   end
 

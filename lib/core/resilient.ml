@@ -43,6 +43,13 @@ let retry ?policy:p f =
             min p.max_backoff_ns
               (p.base_backoff_ns + Rng.int p.rng (max 1 (hi - p.base_backoff_ns + 1)))
           in
+          (match Telemetry.active () with
+          | None -> ()
+          | Some s ->
+            Telemetry.add_in s "core.resilient.retries";
+            Telemetry.point s "core.resilient.retry"
+              ~attrs:(fun () ->
+                [ ("attempt", Telemetry.Int n); ("sleep_ns", Telemetry.Int sleep) ]));
           Engine.delay sleep;
           attempt (n + 1) sleep
         end)

@@ -39,21 +39,42 @@ let to_string t =
 
 let of_string s =
   let t = create () in
-  String.split_on_char '\n' s
-  |> List.iter (fun line ->
-         if line <> "" then begin
-           match String.split_on_char '\t' line with
-           | [ "R"; path; off; len ] -> (
-             match (int_of_string_opt off, int_of_string_opt len) with
-             | Some off, Some len -> record t (Read { path; off; len })
-             | _ -> failwith ("Trace.of_string: bad numbers: " ^ line))
-           | [ "W"; path; off; len ] -> (
-             match (int_of_string_opt off, int_of_string_opt len) with
-             | Some off, Some len -> record t (Write { path; off; len })
-             | _ -> failwith ("Trace.of_string: bad numbers: " ^ line))
-           | [ "U"; path ] -> record t (Unlink { path })
-           | _ -> failwith ("Trace.of_string: bad line: " ^ line)
-         end);
+  List.iteri
+    (fun i line ->
+      (* 1-based, so the message matches what an editor or `sed -n Np` shows *)
+      let lineno = i + 1 in
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg -> failwith (Printf.sprintf "Trace.of_string: line %d: %s" lineno msg))
+          fmt
+      in
+      if line <> "" then begin
+        let fields = String.split_on_char '\t' line in
+        let num what s =
+          match int_of_string_opt s with
+          | Some n -> n
+          | None -> fail "bad %s %S (expected an integer)" what s
+        in
+        let checked ev =
+          (* negative offsets/lengths and tab/newline paths are rejected by
+             [record]; re-raise with the line number attached *)
+          try record t ev with Invalid_argument msg -> fail "%s" msg
+        in
+        match fields with
+        | [ "R"; path; off; len ] ->
+          checked (Read { path; off = num "offset" off; len = num "length" len })
+        | [ "W"; path; off; len ] ->
+          checked (Write { path; off = num "offset" off; len = num "length" len })
+        | [ "U"; path ] -> checked (Unlink { path })
+        | (("R" | "W") as tag) :: _ ->
+          fail "%s record needs 4 tab-separated fields (%s\\tPATH\\tOFF\\tLEN), got %d" tag
+            tag (List.length fields)
+        | "U" :: _ ->
+          fail "U record needs 2 tab-separated fields (U\\tPATH), got %d" (List.length fields)
+        | tag :: _ -> fail "unknown tag %S (expected R, W or U)" tag
+        | [] -> fail "empty line"
+      end)
+    (String.split_on_char '\n' s);
   t
 
 (* ---- offline analysis ---- *)

@@ -26,8 +26,10 @@ val events : t -> event list
 
 val to_string : t -> string
 val of_string : string -> t
-(** Raises [Failure] on malformed lines.  Paths must not contain tabs or
-    newlines ({!record} enforces this). *)
+(** Raises [Failure] on malformed lines; the message names the 1-based
+    offending line and the defect class (unknown tag, wrong field count,
+    non-integer offset/length, negative offset/length).  Paths must not
+    contain tabs or newlines ({!record} enforces this). *)
 
 (** {1 Offline analysis} *)
 

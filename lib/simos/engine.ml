@@ -1,3 +1,5 @@
+module Tele = Gray_util.Telemetry
+
 type _ Effect.t += Delay : int -> unit Effect.t
 
 exception Fiber_crash of string * exn
@@ -63,6 +65,13 @@ let run t =
   | None -> ());
   t.running <- true;
   Domain.DLS.set current (Some t);
+  (* While this engine runs, telemetry timestamps are virtual time — a
+     span around a syscall measures simulated, not wall, nanoseconds. *)
+  let tele = Tele.active () in
+  let restore_clock =
+    match tele with None -> fun () -> () | Some _ -> Tele.install_clock (fun () -> t.now)
+  in
+  let run_t0 = t.now in
   let fiber_name = ref "?" in
   let handler : (unit, unit) Effect.Shallow.handler =
     {
@@ -79,6 +88,12 @@ let run t =
     }
   in
   let finish () =
+    (match tele with
+    | None -> ()
+    | Some s ->
+      Tele.span_end s "simos.engine.run" ~ts:run_t0
+        ~attrs:(fun () -> [ ("events", Tele.Int t.events) ]));
+    restore_clock ();
     t.running <- false;
     Domain.DLS.set current None
   in
@@ -121,6 +136,11 @@ let run t =
         | Some ev ->
           t.now <- ev.time;
           t.events <- t.events + 1;
+          (match tele with
+          | None -> ()
+          | Some s ->
+            Tele.point s "simos.engine.dispatch"
+              ~attrs:(fun () -> [ ("fiber", Tele.String ev.name) ]));
           fiber_name := ev.name;
           let (Job (k, v)) = ev.job in
           Effect.Shallow.continue_with k v handler;

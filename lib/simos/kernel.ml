@@ -1,3 +1,5 @@
+module Tele = Gray_util.Telemetry
+
 type error = Fs_error of Fs.error | Bad_fd | Bad_path | Retryable
 
 let error_to_string = function
@@ -234,10 +236,21 @@ let finish_call env ~t0 ~now =
 
 (* Transient-failure injection: the call is charged its overhead (the
    kernel did run) but performs no work and reports [Retryable]. *)
+let target_name = function
+  | Fault.Open -> "open"
+  | Fault.Read -> "read"
+  | Fault.Write -> "write"
+  | Fault.Stat -> "stat"
+
 let injected env target =
   match env.e_k.k_faults with
   | None -> false
-  | Some f -> Fault.inject_error f target
+  | Some f ->
+    let hit = Fault.inject_error f target in
+    if hit then
+      Tele.event "simos.fault.inject"
+        ~attrs:(fun () -> [ ("target", Tele.String (target_name target)) ]);
+    hit
 
 let fail_transient env =
   Engine.delay (noised env.e_k env.e_k.k_platform.Platform.syscall_overhead_ns);
@@ -275,6 +288,14 @@ let handle_evictions env ~now evicted =
         t.k_ctr.m_page_outs <- t.k_ctr.m_page_outs + 1;
         Page.Tbl.replace t.k_swapped key ())
     evicted;
+  (match Tele.active () with
+  | None -> ()
+  | Some s ->
+    let n = List.length evicted in
+    if n > 0 then begin
+      Tele.add_in s ~n "simos.kernel.evictions";
+      Tele.point s "simos.kernel.evict" ~attrs:(fun () -> [ ("pages", Tele.Int n) ])
+    end);
   !cur
 
 (* Fetch one file-metadata or data page into the cache. *)
@@ -307,12 +328,17 @@ let with_volume env path f =
 
 let lift_fs = function Ok v -> Ok v | Error e -> Error (Fs_error e)
 
-let simple_path_call env path f =
+let simple_path_call env ~name path f =
   with_volume env path (fun vol rest ->
       let t0 = Engine.now env.e_k.k_engine in
       let now = start_call env in
       let result, now = f vol rest now in
       finish_call env ~t0 ~now;
+      (match Tele.active () with
+      | None -> ()
+      | Some s ->
+        Tele.span_end s name ~ts:t0
+          ~attrs:(fun () -> [ ("path", Tele.String path) ]));
       result)
 
 let alloc_fd env ~vol ~ino =
@@ -325,7 +351,7 @@ let alloc_fd env ~vol ~ino =
 let open_file env path =
   if injected env Fault.Open then fail_transient env
   else
-  simple_path_call env path (fun vol rest now ->
+  simple_path_call env ~name:"simos.kernel.open" path (fun vol rest now ->
       let fs = env.e_k.k_volumes.(vol).v_fs in
       match Fs.lookup fs rest with
       | Error e -> (Error (Fs_error e), now)
@@ -334,7 +360,7 @@ let open_file env path =
         (Ok (alloc_fd env ~vol ~ino), now))
 
 let create_file env path =
-  simple_path_call env path (fun vol rest now ->
+  simple_path_call env ~name:"simos.kernel.create" path (fun vol rest now ->
       let fs = env.e_k.k_volumes.(vol).v_fs in
       match Fs.create_file fs rest with
       | Error e -> (Error (Fs_error e), now)
@@ -379,6 +405,7 @@ let io_pages env ~vol ~ino ~off ~len ~write =
       pending_count := 0
     end
   in
+  let tele = Tele.active () in
   for p = first_page to last_page do
     let key = Page.File { ino = gino; idx = p } in
     let page_lo = p * psz in
@@ -410,7 +437,14 @@ let io_pages env ~vol ~ino ~off ~len ~write =
     now := !now + copy_cost t bytes_in_page
   done;
   flush_pending ();
-  finish_call env ~t0 ~now:!now
+  finish_call env ~t0 ~now:!now;
+  match tele with
+  | None -> ()
+  | Some s ->
+    Tele.span_end s
+      (if write then "simos.kernel.write" else "simos.kernel.read")
+      ~ts:t0
+      ~attrs:(fun () -> [ ("off", Tele.Int off); ("len", Tele.Int len) ])
 
 let read env fd ~off ~len =
   if off < 0 || len < 0 then invalid_arg "Kernel.read: negative offset or length";
@@ -464,11 +498,11 @@ let write env fd ~off ~len =
       Ok len)
 
 let mkdir env path =
-  simple_path_call env path (fun vol rest now ->
+  simple_path_call env ~name:"simos.kernel.mkdir" path (fun vol rest now ->
       (lift_fs (Result.map ignore (Fs.mkdir env.e_k.k_volumes.(vol).v_fs rest)), now))
 
 let unlink env path =
-  simple_path_call env path (fun vol rest now ->
+  simple_path_call env ~name:"simos.kernel.unlink" path (fun vol rest now ->
       let t = env.e_k in
       let fs = t.k_volumes.(vol).v_fs in
       match Fs.lookup fs rest with
@@ -492,12 +526,12 @@ let rename env ~src ~dst =
   | Ok (v1, r1), Ok (v2, r2) ->
     if v1 <> v2 then Error Bad_path
     else
-      simple_path_call env src (fun _ _ now ->
+      simple_path_call env ~name:"simos.kernel.rename" src (fun _ _ now ->
           ignore r1;
           (lift_fs (Fs.rename env.e_k.k_volumes.(v1).v_fs ~src:r1 ~dst:r2), now))
 
 let readdir env path =
-  simple_path_call env path (fun vol rest now ->
+  simple_path_call env ~name:"simos.kernel.readdir" path (fun vol rest now ->
       let fs = env.e_k.k_volumes.(vol).v_fs in
       match Fs.readdir fs rest with
       | Error e -> (Error (Fs_error e), now)
@@ -506,7 +540,7 @@ let readdir env path =
 let stat env path =
   if injected env Fault.Stat then fail_transient env
   else
-  simple_path_call env path (fun vol rest now ->
+  simple_path_call env ~name:"simos.kernel.stat" path (fun vol rest now ->
       let fs = env.e_k.k_volumes.(vol).v_fs in
       match Fs.stat_path fs rest with
       | Error e -> (Error (Fs_error e), now)
@@ -515,7 +549,7 @@ let stat env path =
         (Ok st, now))
 
 let utimes env path ~atime ~mtime =
-  simple_path_call env path (fun vol rest now ->
+  simple_path_call env ~name:"simos.kernel.utimes" path (fun vol rest now ->
       let fs = env.e_k.k_volumes.(vol).v_fs in
       match Fs.lookup fs rest with
       | Error e -> (Error (Fs_error e), now)
@@ -583,6 +617,7 @@ let touch_pages env region ~first ~count =
   let t = env.e_k in
   let plat = t.k_platform in
   let resolution = timer_resolution t in
+  let tele = Tele.active () in
   let t0 = Engine.now t.k_engine in
   let now = ref t0 in
   let results = Array.make count 0 in
@@ -599,11 +634,17 @@ let touch_pages env region ~first ~count =
          let slot = ((region.r_owner * 1_000_003) + vpn) mod Disk.capacity_blocks t.k_swap in
          now := !now + Disk.access t.k_swap ~now:!now ~start_block:slot ~nblocks:1;
          Page.Tbl.remove t.k_swapped key;
-         t.k_ctr.m_page_ins <- t.k_ctr.m_page_ins + 1
+         t.k_ctr.m_page_ins <- t.k_ctr.m_page_ins + 1;
+         match tele with
+         | None -> ()
+         | Some s -> Tele.point s "simos.kernel.page_in"
        end
        else begin
          now := !now + plat.Platform.page_alloc_zero_ns;
-         t.k_ctr.m_zero_fills <- t.k_ctr.m_zero_fills + 1
+         t.k_ctr.m_zero_fills <- t.k_ctr.m_zero_fills + 1;
+         match tele with
+         | None -> ()
+         | Some s -> Tele.point s "simos.kernel.zero_fill"
        end);
       match Memory.access t.k_mem key ~dirty:true with
       | `Hit -> ()
@@ -619,6 +660,11 @@ let touch_pages env region ~first ~count =
     results.(i) <- max resolution (quantise resolution (noised t raw))
   done;
   Engine.delay (!now - t0);
+  (match tele with
+  | None -> ()
+  | Some s ->
+    Tele.span_end s "simos.kernel.touch_pages" ~ts:t0
+      ~attrs:(fun () -> [ ("pages", Tele.Int count) ]));
   results
 
 type vmstat = { vm_page_ins : int; vm_page_outs : int }
@@ -667,6 +713,9 @@ let start_fault_daemons t =
                     | Page.Anon _ -> false)
               in
               Fault.note_evictions f evicted;
+              if evicted > 0 then
+                Tele.event "simos.fault.disturb"
+                  ~attrs:(fun () -> [ ("evicted", Tele.Int evicted) ]);
               Engine.delay d.Fault.di_period_ns;
               loop ()
             end
@@ -682,6 +731,7 @@ let start_fault_daemons t =
             then begin
               ignore (touch_pages env region ~first:0 ~count:p.Fault.pr_pages);
               Fault.note_pressure_wave f;
+              Tele.event "simos.fault.pressure_wave";
               Engine.delay p.Fault.pr_hold_ns;
               vrelease env region ~first:0 ~count:p.Fault.pr_pages;
               Engine.delay p.Fault.pr_gap_ns;

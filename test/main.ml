@@ -30,6 +30,7 @@ let () =
       ("faults", Test_faults.suite);
       ("error-paths", Test_error_paths.suite);
       ("pqueue", Test_pqueue.suite);
+      ("telemetry", Test_telemetry.suite);
       ("domain-pool", Test_domain_pool.suite);
       ("bench-determinism", Test_bench_determinism.suite);
     ]

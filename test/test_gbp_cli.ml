@@ -112,9 +112,27 @@ let test_gbp_fallback_file_mode_error () =
       Alcotest.(check bool) "degraded with an error" true
         (match reason with Some (Gbp.Degraded_error _) -> true | _ -> false))
 
+let test_gbp_exit_codes_distinct () =
+  let kernel_codes =
+    List.map Gbp.exit_code_of_error
+      [
+        Kernel.Bad_path;
+        Kernel.Bad_fd;
+        Kernel.Retryable;
+        Kernel.Fs_error Fs.Enoent;
+        Kernel.Fs_error Fs.Eexist;
+        Kernel.Fs_error Fs.Enospc;
+      ]
+  in
+  let all = (1 :: kernel_codes) @ [ Gbp.exit_export_failed ] in
+  Alcotest.(check int) "all exit codes distinct" (List.length all)
+    (List.length (List.sort_uniq compare all));
+  Alcotest.(check int) "export failure is 8" 8 Gbp.exit_export_failed
+
 let suite =
   [
     Alcotest.test_case "dirname/basename" `Quick test_dirname_basename;
+    Alcotest.test_case "gbp exit codes distinct" `Quick test_gbp_exit_codes_distinct;
     Alcotest.test_case "crash points" `Quick test_crash_points_enumeration;
     Alcotest.test_case "journal name stable" `Quick test_journal_name_stable;
     Alcotest.test_case "fccd align validation" `Quick test_fccd_config_align_validation;

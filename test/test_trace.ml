@@ -22,17 +22,36 @@ let test_rejects_bad_paths () =
        false
      with Invalid_argument _ -> true)
 
+(* Every malformed-line class produces a [Failure] whose message names the
+   1-based offending line; a valid prefix must not hide it. *)
+let check_parse_failure label input expected_fragments =
+  match Trace.of_string input with
+  | _ -> Alcotest.failf "%s: expected Failure" label
+  | exception Failure msg ->
+    List.iter
+      (fun frag ->
+        let found =
+          let fl = String.length frag and ml = String.length msg in
+          let rec at i = i + fl <= ml && (String.sub msg i fl = frag || at (i + 1)) in
+          at 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %S appears in %S" label frag msg)
+          true found)
+      expected_fragments
+
 let test_parse_errors () =
-  Alcotest.(check bool) "bad line" true
-    (try
-       ignore (Trace.of_string "X\tfoo\n");
-       false
-     with Failure _ -> true);
-  Alcotest.(check bool) "bad number" true
-    (try
-       ignore (Trace.of_string "R\tfoo\tx\t1\n");
-       false
-     with Failure _ -> true)
+  let ok = "R\t/d0/a\t0\t4096\n" in
+  check_parse_failure "unknown tag" (ok ^ "X\tfoo\n") [ "line 2"; "unknown tag"; "\"X\"" ];
+  check_parse_failure "bad field count (R)" (ok ^ ok ^ "R\tfoo\t1\n")
+    [ "line 3"; "4 tab-separated fields" ];
+  check_parse_failure "bad field count (U)" (ok ^ "U\tfoo\t3\n")
+    [ "line 2"; "2 tab-separated fields" ];
+  check_parse_failure "bad number" (ok ^ "R\tfoo\tx\t1\n")
+    [ "line 2"; "offset"; "\"x\"" ];
+  check_parse_failure "bad length" ("W\tfoo\t0\tzz\n") [ "line 1"; "length"; "\"zz\"" ];
+  check_parse_failure "negative offset" (ok ^ "R\tfoo\t-1\t1\n")
+    [ "line 2"; "negative" ]
 
 let test_summarize () =
   let t = Trace.create () in
