@@ -42,7 +42,8 @@ let default_set =
 let usage () =
   print_endline
     "usage: main.exe [-j N] [--json PATH] [--strict] [--trials N] [--trace PATH]";
-  print_endline "               [--trace-summary] [experiment ...]";
+  print_endline "               [--trace-summary] [--compare BASELINE.json]";
+  print_endline "               [--compare-threshold PCT] [experiment ...]";
   print_endline "options:";
   print_endline "  -j N            run experiment tasks on N domains (default: the host's";
   print_endline "                  recommended domain count; results identical at any N)";
@@ -54,6 +55,13 @@ let usage () =
   print_endline "                  otherwise";
   print_endline "  --trace-summary print a human-readable span/metric summary table;";
   print_endline "                  also turns telemetry on";
+  print_endline "  --compare BASELINE.json";
+  print_endline "                  print per-experiment wall-time deltas against an earlier";
+  print_endline "                  trajectory; exit 4 if any experiment regressed past the";
+  print_endline "                  threshold (gate skipped when trial counts differ)";
+  print_endline "  --compare-threshold PCT";
+  print_endline "                  regression threshold for --compare, percent (default 25;";
+  print_endline "                  wall time on shared runners jitters ~10%)";
   print_endline "experiments (default: all but micro):";
   List.iter (fun (name, _, doc) -> Printf.printf "  %-12s %s\n" name doc) experiments
 
@@ -63,6 +71,8 @@ let parse_args () =
   let strict = ref false in
   let trace = ref None in
   let trace_summary = ref false in
+  let compare_path = ref None in
+  let compare_threshold = ref 25.0 in
   let names = ref [] in
   let bad fmt = Printf.ksprintf (fun s -> prerr_endline s; usage (); exit 2) fmt in
   let int_arg flag = function
@@ -99,6 +109,22 @@ let parse_args () =
     | "--trace-summary" :: rest ->
       trace_summary := true;
       go rest
+    | "--compare" :: rest ->
+      let v, rest = (match rest with x :: r -> (Some x, r) | [] -> (None, [])) in
+      (match v with
+      | Some p -> compare_path := Some p
+      | None -> bad "--compare expects a path");
+      go rest
+    | "--compare-threshold" :: rest ->
+      let v, rest = (match rest with x :: r -> (Some x, r) | [] -> (None, [])) in
+      (match v with
+      | Some s -> (
+        match float_of_string_opt s with
+        | Some pct when pct > 0.0 -> compare_threshold := pct
+        | Some _ | None ->
+          bad "--compare-threshold expects a positive percentage, got %s" s)
+      | None -> bad "--compare-threshold expects an argument");
+      go rest
     | name :: rest ->
       (match List.find_opt (fun (n, _, _) -> n = name) experiments with
       | Some exp -> names := exp :: !names
@@ -107,11 +133,14 @@ let parse_args () =
   in
   go (List.tl (Array.to_list Sys.argv));
   let selected = match List.rev !names with [] -> default_set | l -> l in
-  (!jobs, !json, !strict, !trace, !trace_summary, selected)
+  ( !jobs, !json, !strict, !trace, !trace_summary,
+    !compare_path, !compare_threshold, selected )
 
 (* Export-write failures get their own exit code (3), distinct from the
-   strict-check failure (1) and the usage error (2). *)
+   strict-check failure (1) and the usage error (2); a perf regression
+   caught by --compare is 4. *)
 let exit_export_failed = 3
+let exit_perf_regressed = 4
 
 let save_or_die ~what ~path json =
   try Gray_util.Json.save ~path json
@@ -119,8 +148,81 @@ let save_or_die ~what ~path json =
     Printf.eprintf "error: cannot write %s to %s: %s\n%!" what path msg;
     exit exit_export_failed
 
+(* ---- perf gate (--compare) -------------------------------------------- *)
+
+(* Per-experiment wall-time deltas against an earlier BENCH_suite.json.
+   Experiment wall time is the sum of task work times, so the comparison
+   is meaningful even when the two runs used different -j; trial counts
+   must match, though — when they differ the deltas still print but the
+   gate does not fire.  Returns [true] if some experiment present in both
+   trajectories slowed down past [threshold_pct]. *)
+let perf_gate ~baseline_path ~threshold_pct results =
+  let open Gray_util.Json in
+  let die msg =
+    Printf.eprintf "error: --compare: %s\n%!" msg;
+    exit exit_export_failed
+  in
+  let base =
+    match load ~path:baseline_path with Ok v -> v | Error e -> die e
+  in
+  let base_trials = Option.bind (member "trials" base) to_float_opt in
+  let trials_match =
+    base_trials = Some (float_of_int (Bench_common.trials ()))
+  in
+  let base_wall =
+    match Option.bind (member "experiments" base) to_list_opt with
+    | None -> die "baseline has no experiments array"
+    | Some exps ->
+      List.filter_map
+        (fun e ->
+          match
+            ( Option.bind (member "name" e) to_string_opt,
+              Option.bind (member "wall_ns" e) to_float_opt )
+          with
+          | Some n, Some w -> Some (n, w)
+          | _ -> None)
+        exps
+  in
+  let regressed = ref false in
+  Printf.printf "\nperf vs %s (threshold +%.0f%%):\n" baseline_path threshold_pct;
+  if not trials_match then
+    Printf.printf
+      "  note: trial counts differ (baseline %s, this run %d) — deltas are\n\
+      \  not comparable, gate disabled\n"
+      (match base_trials with
+      | Some t -> string_of_int (int_of_float t)
+      | None -> "unknown")
+      (Bench_common.trials ());
+  List.iter
+    (fun (name, _, plan, _) ->
+      let now_s =
+        float_of_int (Bench_common.plan_stats plan).Bench_common.st_wall_ns /. 1e9
+      in
+      match List.assoc_opt name base_wall with
+      | None -> Printf.printf "  %-12s %8.1f s   (not in baseline)\n" name now_s
+      | Some base_ns ->
+        let base_s = base_ns /. 1e9 in
+        let delta_pct =
+          if base_s > 0.0 then (now_s -. base_s) /. base_s *. 100.0 else 0.0
+        in
+        let slow = trials_match && delta_pct > threshold_pct in
+        if slow then regressed := true;
+        Printf.printf "  %-12s %8.1f s  -> %8.1f s   %+6.1f%%%s\n" name base_s
+          now_s delta_pct
+          (if slow then "  REGRESSED" else ""))
+    results;
+  !regressed
+
 let () =
-  let jobs, json_path, strict, trace_path, trace_summary, selected = parse_args () in
+  (* The simulator is allocation-heavy (fibers, per-syscall records); a
+     larger minor heap keeps short-lived values out of the major heap.
+     GC settings cannot affect results — the simulation is deterministic
+     in its own virtual clock. *)
+  Gc.set { (Gc.get ()) with minor_heap_size = 8 * 1024 * 1024; space_overhead = 200 };
+  let jobs, json_path, strict, trace_path, trace_summary, compare_path,
+      compare_threshold, selected =
+    parse_args ()
+  in
   (* Asking for a trace export opts into telemetry; an explicit
      GRAYBOX_TELEMETRY (e.g. a sample rate) still wins. *)
   if trace_path <> None || trace_summary then begin
@@ -172,4 +274,11 @@ let () =
     save_or_die ~what:"trace" ~path (Bench_common.chrome_trace_of bare_plans);
     Printf.printf "chrome trace written to %s\n" path);
   if trace_summary then print_string (Bench_common.telemetry_summary bare_plans);
-  if strict && failed <> [] then exit 1
+  let regressed =
+    match compare_path with
+    | None -> false
+    | Some baseline_path ->
+      perf_gate ~baseline_path ~threshold_pct:compare_threshold results
+  in
+  if strict && failed <> [] then exit 1;
+  if regressed then exit exit_perf_regressed

@@ -49,6 +49,8 @@ let test_lognormal =
   Test.make ~name:"dist.lognormal_factor (kernel noise path)" (Staged.stage (fun () ->
       ignore (Gray_util.Dist.lognormal_factor rng ~sigma:0.05)))
 
+let drop_victim _key ~dirty:_ = ()
+
 let test_lru =
   let (module P : Simos.Replacement.POLICY) = Simos.Replacement.lru ~capacity:1024 in
   let i = ref 0 in
@@ -56,10 +58,9 @@ let test_lru =
     (Staged.stage (fun () ->
          incr i;
          let key = Simos.Page.File { ino = 1; idx = !i mod 2048 } in
-         if P.mem key then P.touch key
-         else begin
-           if P.size () >= 1024 then ignore (P.victim ());
-           P.insert key
+         if not (P.access key ~dirty:false) then begin
+           if P.size () >= 1024 then ignore (P.evict drop_victim);
+           P.insert key ~dirty:false
          end))
 
 let test_clock =
@@ -69,10 +70,9 @@ let test_clock =
     (Staged.stage (fun () ->
          incr i;
          let key = Simos.Page.Anon { pid = 1; vpn = !i mod 2048 } in
-         if P.mem key then P.touch key
-         else begin
-           if P.size () >= 1024 then ignore (P.victim ());
-           P.insert key
+         if not (P.access key ~dirty:true) then begin
+           if P.size () >= 1024 then ignore (P.evict drop_victim);
+           P.insert key ~dirty:true
          end))
 
 let test_engine =

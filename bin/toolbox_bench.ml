@@ -20,7 +20,126 @@ let bench_platform ~noise ~seed platform_name =
   Kernel.run k;
   (platform.Platform.name, !repo)
 
-let run platform_names noise seed jobs output =
+(* --hot-paths: bechamel measurement of the batched run API against the
+   per-page path, isolated from the experiment harness.  The numbers are
+   hardware measurements of this machine (like bench/main.exe micro), so
+   this mode prints ns/page and the speedup ratio instead of publishing
+   figures.  Hits and misses are measured separately: a hit is one policy
+   lookup either way, a miss adds insert + eviction + (per-page only) the
+   result-list allocation. *)
+
+let run_len = 64
+
+let hot_paths_benchmark test =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    List.map
+      (fun instance ->
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          instance raw)
+      instances
+  in
+  let merged =
+    Analyze.merge
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      instances results
+  in
+  (* one instance, one test: pull out the single OLS estimate *)
+  let est = ref None in
+  Hashtbl.iter
+    (fun _clock tbl ->
+      Hashtbl.iter
+        (fun _name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ e ] -> est := Some e
+          | _ -> ())
+        tbl)
+    merged;
+  !est
+
+let run_hot_paths () =
+  let open Bechamel in
+  let fkey i = Page.File { ino = 1; idx = i } in
+  let capacity = 4096 in
+  let no_evict _ ~dirty:_ = () in
+  let mk name =
+    let p = Pool.create ~name ~capacity_pages:capacity ~policy:Replacement.lru in
+    for i = 0 to capacity - 1 do
+      ignore (Pool.access p (fkey i) ~dirty:false)
+    done;
+    p
+  in
+  (* hits: the working set stays resident, every access is one lookup *)
+  let hit_per_page =
+    let p = mk "hit-pp" and base = ref 0 in
+    Test.make ~name:"hit/per-page" (Staged.stage (fun () ->
+        let b = !base in
+        for i = b to b + run_len - 1 do
+          ignore (Pool.access p (fkey (i mod capacity)) ~dirty:false)
+        done;
+        base := (b + run_len) mod capacity))
+  in
+  let hit_batched =
+    let p = mk "hit-run" and base = ref 0 in
+    Test.make ~name:"hit/batched" (Staged.stage (fun () ->
+        let b = !base in
+        Pool.access_run p ~n:run_len
+          ~key:(fun i -> fkey ((b + i) mod capacity))
+          ~dirty:false
+          ~on_hit:(fun _ _ -> ())
+          ~on_miss:(fun _ _ -> ())
+          ~on_evict:no_evict
+          ~on_page_end:(fun _ ~evicted:_ -> ());
+        base := (b + run_len) mod capacity))
+  in
+  (* misses: an endless sequential scan, every access evicts one page *)
+  let miss_per_page =
+    let p = mk "miss-pp" and next = ref capacity in
+    Test.make ~name:"miss/per-page" (Staged.stage (fun () ->
+        let b = !next in
+        for i = b to b + run_len - 1 do
+          ignore (Pool.access p (fkey i) ~dirty:false)
+        done;
+        next := b + run_len))
+  in
+  let miss_batched =
+    let p = mk "miss-run" and next = ref capacity in
+    Test.make ~name:"miss/batched" (Staged.stage (fun () ->
+        let b = !next in
+        Pool.access_run p ~n:run_len
+          ~key:(fun i -> fkey (b + i))
+          ~dirty:false
+          ~on_hit:(fun _ _ -> ())
+          ~on_miss:(fun _ _ -> ())
+          ~on_evict:no_evict
+          ~on_page_end:(fun _ ~evicted:_ -> ());
+        next := b + run_len))
+  in
+  Printf.printf
+    "# page-pool hot paths: batched run API vs per-page (%d-page runs, lru, \
+     capacity %d)\n"
+    run_len capacity;
+  let measure test =
+    match hot_paths_benchmark test with
+    | Some est -> Some (est /. float_of_int run_len)
+    | None -> None
+  in
+  let report label per_page batched =
+    match (measure per_page, measure batched) with
+    | Some pp, Some bt ->
+      Printf.printf "  %-5s per-page %7.1f ns/page   batched %7.1f ns/page   (%.2fx)\n"
+        label pp bt (pp /. bt)
+    | _ -> Printf.printf "  %-5s (no estimate)\n" label
+  in
+  report "hit" hit_per_page hit_batched;
+  report "miss" miss_per_page miss_batched
+
+let run_platforms platform_names noise seed jobs output =
   let names =
     match String.split_on_char ',' platform_names with
     | [ "all" ] -> List.map (fun p -> p.Platform.name) Platform.all
@@ -59,6 +178,19 @@ let run platform_names noise seed jobs output =
     results;
   if !failed then exit 1
 
+let run hot_paths platform_names noise seed jobs output =
+  if hot_paths then run_hot_paths ()
+  else run_platforms platform_names noise seed jobs output
+
+let hot_paths_arg =
+  Arg.(
+    value & flag
+    & info [ "hot-paths" ]
+        ~doc:
+          "Instead of the toolbox microbenchmarks, run a bechamel comparison of \
+           the page pool's batched run API against the per-page path (hits and \
+           misses separately).  Numbers measure this machine.")
+
 let platform_arg =
   Arg.(
     value
@@ -90,6 +222,8 @@ let output_arg =
 let cmd =
   Cmd.v
     (Cmd.info "toolbox_bench" ~doc:"Gray-toolbox microbenchmarks on the simulated OS")
-    Term.(const run $ platform_arg $ noise_arg $ seed_arg $ jobs_arg $ output_arg)
+    Term.(
+      const run $ hot_paths_arg $ platform_arg $ noise_arg $ seed_arg $ jobs_arg
+      $ output_arg)
 
 let () = exit (Cmd.eval cmd)

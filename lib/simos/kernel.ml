@@ -259,43 +259,51 @@ let fail_transient env =
 let copy_cost t bytes =
   int_of_float (float_of_int bytes *. t.k_platform.Platform.memcopy_byte_ns)
 
-(* Write back / swap out the victims of a cache fill; returns the updated
+(* Write back / swap out one victim of a cache fill; returns the updated
    cursor.  Deleted files have no backing block left and are dropped. *)
-let handle_evictions env ~now evicted =
+let writeback_victim env ~now key ~dirty =
   let t = env.e_k in
+  match key with
+  | Page.File { ino = gino; idx } ->
+    if dirty then begin
+      let vol = vol_of_gino gino in
+      let v = t.k_volumes.(vol) in
+      let block =
+        if gino_is_meta gino then Some idx
+        else Fs.block_of_page v.v_fs ~ino:(local_ino_of_gino gino) ~idx
+      in
+      match block with
+      | None -> now
+      | Some b ->
+        t.k_ctr.m_file_writebacks <- t.k_ctr.m_file_writebacks + 1;
+        now + Disk.access v.v_disk ~now ~start_block:b ~nblocks:1
+    end
+    else now
+  | Page.Anon { pid; vpn } ->
+    (* Anonymous pages are dirty by construction (touches write). *)
+    let slot = ((pid * 1_000_003) + vpn) mod Disk.capacity_blocks t.k_swap in
+    let now = now + Disk.access t.k_swap ~now ~start_block:slot ~nblocks:1 in
+    t.k_ctr.m_page_outs <- t.k_ctr.m_page_outs + 1;
+    Page.Tbl.replace t.k_swapped key ();
+    now
+
+(* One page's worth of eviction telemetry (a metric bump and a point, as
+   the per-page path has always emitted). *)
+let note_evictions ~n =
+  if n > 0 then
+    match Tele.active () with
+    | None -> ()
+    | Some s ->
+      Tele.add_in s ~n "simos.kernel.evictions";
+      Tele.point s "simos.kernel.evict" ~attrs:(fun () -> [ ("pages", Tele.Int n) ])
+
+let handle_evictions env ~now evicted =
   let cur = ref now in
   List.iter
     (fun ({ key; dirty } : Pool.evicted) ->
-      match key with
-      | Page.File { ino = gino; idx } ->
-        if dirty then begin
-          let vol = vol_of_gino gino in
-          let v = t.k_volumes.(vol) in
-          let block =
-            if gino_is_meta gino then Some idx
-            else Fs.block_of_page v.v_fs ~ino:(local_ino_of_gino gino) ~idx
-          in
-          match block with
-          | None -> ()
-          | Some b ->
-            cur := !cur + Disk.access v.v_disk ~now:!cur ~start_block:b ~nblocks:1;
-            t.k_ctr.m_file_writebacks <- t.k_ctr.m_file_writebacks + 1
-        end
-      | Page.Anon { pid; vpn } ->
-        (* Anonymous pages are dirty by construction (touches write). *)
-        let slot = ((pid * 1_000_003) + vpn) mod Disk.capacity_blocks t.k_swap in
-        cur := !cur + Disk.access t.k_swap ~now:!cur ~start_block:slot ~nblocks:1;
-        t.k_ctr.m_page_outs <- t.k_ctr.m_page_outs + 1;
-        Page.Tbl.replace t.k_swapped key ())
+      cur := writeback_victim env ~now:!cur key ~dirty)
     evicted;
-  (match Tele.active () with
-  | None -> ()
-  | Some s ->
-    let n = List.length evicted in
-    if n > 0 then begin
-      Tele.add_in s ~n "simos.kernel.evictions";
-      Tele.point s "simos.kernel.evict" ~attrs:(fun () -> [ ("pages", Tele.Int n) ])
-    end);
+  note_evictions ~n:(List.length evicted);
   !cur
 
 (* Fetch one file-metadata or data page into the cache. *)
@@ -406,20 +414,20 @@ let io_pages env ~vol ~ino ~off ~len ~write =
     end
   in
   let tele = Tele.active () in
-  for p = first_page to last_page do
-    let key = Page.File { ino = gino; idx = p } in
-    let page_lo = p * psz in
-    let bytes_in_page = min (off + len) (page_lo + psz) - max off page_lo in
-    let cached = Memory.contains t.k_mem key in
-    if cached then begin
-      flush_pending ();
-      ignore (Memory.access t.k_mem key ~dirty:write)
-    end
-    else begin
+  (* Batched fast path: one policy lookup classifies each page, and the
+     callbacks replay the per-page path's actions in the same order — the
+     pending-run accumulator still batches consecutive missing blocks into
+     single disk transfers, and victims write back between them. *)
+  Memory.access_run t.k_mem
+    ~n:(last_page - first_page + 1)
+    ~key:(fun i -> Page.File { ino = gino; idx = first_page + i })
+    ~dirty:write
+    ~on_hit:(fun _ _ -> flush_pending ())
+    ~on_miss:(fun i _ ->
       (* Reads must fetch the page; writes of whole pages just allocate a
          cache page (read-modify-write of partial pages is not modelled). *)
-      if not write then begin
-        match Fs.block_of_page v.v_fs ~ino ~idx:p with
+      if not write then
+        match Fs.block_of_page v.v_fs ~ino ~idx:(first_page + i) with
         | None -> () (* hole: zero-fill, copy cost only *)
         | Some b ->
           if !pending_count > 0 && b = !pending_start + !pending_count then
@@ -428,14 +436,13 @@ let io_pages env ~vol ~ino ~off ~len ~write =
             flush_pending ();
             pending_start := b;
             pending_count := 1
-          end
-      end;
-      (match Memory.access t.k_mem key ~dirty:write with
-      | `Hit -> ()
-      | `Filled evicted -> now := handle_evictions env ~now:!now evicted)
-    end;
-    now := !now + copy_cost t bytes_in_page
-  done;
+          end)
+    ~on_evict:(fun k ~dirty -> now := writeback_victim env ~now:!now k ~dirty)
+    ~on_page_end:(fun i ~evicted ->
+      note_evictions ~n:evicted;
+      let p = first_page + i in
+      let page_lo = p * psz in
+      now := !now + copy_cost t (min (off + len) (page_lo + psz) - max off page_lo));
   flush_pending ();
   finish_call env ~t0 ~now:!now;
   match tele with
@@ -621,44 +628,46 @@ let touch_pages env region ~first ~count =
   let t0 = Engine.now t.k_engine in
   let now = ref t0 in
   let results = Array.make count 0 in
-  for i = 0 to count - 1 do
-    let vpn = region.r_start_vpn + first + i in
-    let key = Page.Anon { pid = region.r_owner; vpn } in
-    let before = !now in
-    if Memory.contains t.k_mem key then begin
-      ignore (Memory.access t.k_mem key ~dirty:true);
-      now := !now + plat.Platform.mem_touch_ns
-    end
-    else begin
-      (if Page.Tbl.mem t.k_swapped key then begin
-         let slot = ((region.r_owner * 1_000_003) + vpn) mod Disk.capacity_blocks t.k_swap in
-         now := !now + Disk.access t.k_swap ~now:!now ~start_block:slot ~nblocks:1;
-         Page.Tbl.remove t.k_swapped key;
-         t.k_ctr.m_page_ins <- t.k_ctr.m_page_ins + 1;
-         match tele with
-         | None -> ()
-         | Some s -> Tele.point s "simos.kernel.page_in"
-       end
-       else begin
-         now := !now + plat.Platform.page_alloc_zero_ns;
-         t.k_ctr.m_zero_fills <- t.k_ctr.m_zero_fills + 1;
-         match tele with
-         | None -> ()
-         | Some s -> Tele.point s "simos.kernel.zero_fill"
-       end);
-      match Memory.access t.k_mem key ~dirty:true with
-      | `Hit -> ()
-      | `Filled evicted -> now := handle_evictions env ~now:!now evicted
-    end;
-    (* Background interference steals time mid-touch; the stolen time is
-       real (advances the clock) and visible in the observed sample —
-       exactly what fools a naive timing-based paging detector. *)
-    (match t.k_faults with
-    | None -> ()
-    | Some f -> now := !now + Fault.extra_latency f ~now:!now);
-    let raw = !now - before in
-    results.(i) <- max resolution (quantise resolution (noised t raw))
-  done;
+  let base_vpn = region.r_start_vpn + first in
+  let owner = region.r_owner in
+  let before = ref !now in
+  Memory.access_run t.k_mem ~n:count
+    ~key:(fun i -> Page.Anon { pid = owner; vpn = base_vpn + i })
+    ~dirty:true
+    ~on_hit:(fun _ _ ->
+      before := !now;
+      now := !now + plat.Platform.mem_touch_ns)
+    ~on_miss:(fun i key ->
+      before := !now;
+      if Page.Tbl.mem t.k_swapped key then begin
+        let slot =
+          ((owner * 1_000_003) + (base_vpn + i)) mod Disk.capacity_blocks t.k_swap
+        in
+        now := !now + Disk.access t.k_swap ~now:!now ~start_block:slot ~nblocks:1;
+        Page.Tbl.remove t.k_swapped key;
+        t.k_ctr.m_page_ins <- t.k_ctr.m_page_ins + 1;
+        match tele with
+        | None -> ()
+        | Some s -> Tele.point s "simos.kernel.page_in"
+      end
+      else begin
+        now := !now + plat.Platform.page_alloc_zero_ns;
+        t.k_ctr.m_zero_fills <- t.k_ctr.m_zero_fills + 1;
+        match tele with
+        | None -> ()
+        | Some s -> Tele.point s "simos.kernel.zero_fill"
+      end)
+    ~on_evict:(fun k ~dirty -> now := writeback_victim env ~now:!now k ~dirty)
+    ~on_page_end:(fun i ~evicted ->
+      note_evictions ~n:evicted;
+      (* Background interference steals time mid-touch; the stolen time is
+         real (advances the clock) and visible in the observed sample —
+         exactly what fools a naive timing-based paging detector. *)
+      (match t.k_faults with
+      | None -> ()
+      | Some f -> now := !now + Fault.extra_latency f ~now:!now);
+      let raw = !now - !before in
+      results.(i) <- max resolution (quantise resolution (noised t raw)));
   Engine.delay (!now - t0);
   (match tele with
   | None -> ()

@@ -54,27 +54,63 @@ let bump t key delta =
   else t.n_anon <- t.n_anon + delta
 
 (* In the balanced layout the file cache holds whatever anonymous memory
-   does not use; growing anon evicts file overflow. *)
-let rebalance t =
+   does not use; growing anon evicts file overflow.  [on_evict] receives
+   the overflow victims and must bump the resident counts itself. *)
+let rebalance_into t ~on_evict =
   match t.balanced_usable with
-  | None -> []
+  | None -> ()
   | Some usable ->
     let target = max 1 (usable - t.n_anon) in
-    if target = Pool.capacity t.file then []
-    else begin
-      let evicted = Pool.resize t.file ~capacity_pages:target in
-      List.iter (fun (e : Pool.evicted) -> bump t e.key (-1)) evicted;
-      evicted
-    end
+    if target <> Pool.capacity t.file then
+      Pool.resize_into t.file ~capacity_pages:target ~on_evict
+
+let rebalance t =
+  rebalance_into t ~on_evict:(fun key ~dirty:_ -> bump t key (-1))
 
 let access t key ~dirty =
-  match Pool.access (pool_for t key) key ~dirty with
-  | `Hit -> `Hit
-  | `Filled evicted ->
+  let pool = pool_for t key in
+  if Pool.try_hit pool key ~dirty then `Hit
+  else begin
+    let out = ref [] in
+    let on_evict k ~dirty =
+      bump t k (-1);
+      out := { Pool.key = k; dirty } :: !out
+    in
+    Pool.fill pool key ~dirty ~on_evict;
     bump t key 1;
-    List.iter (fun (e : Pool.evicted) -> bump t e.key (-1)) evicted;
-    let rebalanced = if Page.is_anon key then rebalance t else [] in
-    `Filled (evicted @ rebalanced)
+    if Page.is_anon key then rebalance_into t ~on_evict;
+    `Filled (List.rev !out)
+  end
+
+let access_run t ~n ~key ~dirty ~on_hit ~on_miss ~on_evict ~on_page_end =
+  if n > 0 then begin
+    (* One pool-routing decision for the whole run: kernel runs are
+       homogeneous (a file extent or an anonymous page range). *)
+    let k0 = key 0 in
+    let anon = Page.is_anon k0 in
+    let pool = pool_for t k0 in
+    let nev = ref 0 in
+    let counting k ~dirty =
+      bump t k (-1);
+      incr nev;
+      on_evict k ~dirty
+    in
+    for i = 0 to n - 1 do
+      let k = key i in
+      if Pool.try_hit pool k ~dirty then begin
+        on_hit i k;
+        on_page_end i ~evicted:0
+      end
+      else begin
+        on_miss i k;
+        nev := 0;
+        Pool.fill pool k ~dirty ~on_evict:counting;
+        bump t k 1;
+        if anon then rebalance_into t ~on_evict:counting;
+        on_page_end i ~evicted:!nev
+      end
+    done
+  end
 
 let contains t key = Pool.contains (pool_for t key) key
 
@@ -84,7 +120,7 @@ let invalidate t key =
     Pool.invalidate pool key;
     bump t key (-1);
     (* freed anonymous frames flow back to the file cache silently *)
-    if Page.is_anon key then ignore (rebalance t)
+    if Page.is_anon key then rebalance t
   end
 
 let invalidate_if t pred =
@@ -104,7 +140,7 @@ let invalidate_if t pred =
     drop_matching t.file Page.is_file;
     drop_matching t.anon Page.is_anon
   end;
-  ignore (rebalance t);
+  rebalance t;
   !dropped
 
 let drop_file_cache t = ignore (invalidate_if t Page.is_file)

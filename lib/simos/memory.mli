@@ -34,6 +34,24 @@ val create : usable_pages:int -> layout -> t
 val access : t -> Page.key -> dirty:bool -> [ `Hit | `Filled of Pool.evicted list ]
 (** Route the page to its pool (by key kind). *)
 
+val access_run :
+  t ->
+  n:int ->
+  key:(int -> Page.key) ->
+  dirty:bool ->
+  on_hit:(int -> Page.key -> unit) ->
+  on_miss:(int -> Page.key -> unit) ->
+  on_evict:(Page.key -> dirty:bool -> unit) ->
+  on_page_end:(int -> evicted:int -> unit) ->
+  unit
+(** Batched access of [key 0 .. key (n-1)], which must all be the same
+    kind (one file extent or one anonymous range — the pool is routed
+    once).  Per page, in per-page-path order: [on_hit] {e or} [on_miss]
+    (before the insert), then the page's evictions — pool victims first,
+    then any balanced-layout rebalance overflow — through [on_evict],
+    then [on_page_end] with the eviction count.  Observably equivalent to
+    [n] {!access} calls, without the per-page list/option allocation. *)
+
 val contains : t -> Page.key -> bool
 val invalidate : t -> Page.key -> unit
 val invalidate_if : t -> (Page.key -> bool) -> int

@@ -2,11 +2,24 @@ type key =
   | File of { ino : int; idx : int }
   | Anon of { pid : int; vpn : int }
 
-let equal (a : key) (b : key) = a = b
+let equal (a : key) (b : key) =
+  match (a, b) with
+  | File a, File b -> a.ino = b.ino && a.idx = b.idx
+  | Anon a, Anon b -> a.pid = b.pid && a.vpn = b.vpn
+  | File _, Anon _ | Anon _, File _ -> false
+
+(* Page lookups dominate the simulator's hot path, so the hash must not
+   allocate (the generic [Hashtbl.hash] boxes a scratch tuple per call).
+   Fibonacci-style integer mixing keeps neighbouring (ino, idx) pairs well
+   spread; the kind constant separates file from anonymous keys. *)
+let mix a b kind =
+  let h = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor kind in
+  let h = h lxor (h lsr 23) in
+  (h * 0xC2B2AE3D) land max_int
 
 let hash = function
-  | File { ino; idx } -> Hashtbl.hash (0, ino, idx)
-  | Anon { pid; vpn } -> Hashtbl.hash (1, pid, vpn)
+  | File { ino; idx } -> mix ino idx 0
+  | Anon { pid; vpn } -> mix pid vpn 0x5bd1e995
 
 let pp ppf = function
   | File { ino; idx } -> Format.fprintf ppf "file(ino=%d,page=%d)" ino idx
@@ -16,9 +29,136 @@ let to_string k = Format.asprintf "%a" pp k
 let is_file = function File _ -> true | Anon _ -> false
 let is_anon = function Anon _ -> true | File _ -> false
 
-module Tbl = Hashtbl.Make (struct
-  type t = key
+(* Open-addressing hash table specialised to page keys.
 
-  let equal = equal
-  let hash = hash
-end)
+   A resident set of a few hundred thousand pages does not fit in cache,
+   so every page access pays DRAM latency per dependent pointer chase; the
+   bucket-chained stdlib [Hashtbl] costs one chase for the bucket, one per
+   cons cell, and one per key compare.  Here a probe touches a flat [int]
+   array of stored hashes — linear probing stays within a cache line for
+   the common cluster — and dereferences the boxed key only when the
+   stored hash already matches, so a lookup is one or two cache misses
+   total.  Deletions leave tombstones; a rehash (on growth, or when
+   tombstones outnumber live entries) drops them.
+
+   Only the operations the simulator uses are provided.  Iteration order
+   is arbitrary, as with [Hashtbl]; no caller depends on it. *)
+module Tbl = struct
+  type 'a t = {
+    mutable hs : int array;  (* stored hash, or empty / tombstone *)
+    mutable ks : key array;
+    mutable vs : Obj.t array;
+    mutable live : int;      (* entries holding a binding *)
+    mutable fill : int;      (* live + tombstones *)
+  }
+
+  let empty_h = -1
+  let tomb_h = -2
+  let dummy_key = File { ino = min_int; idx = min_int }
+  let dummy_val = Obj.repr ()
+
+  let norm_capacity n =
+    let rec up c = if c >= n then c else up (c * 2) in
+    up 16
+
+  let create n =
+    let cap = norm_capacity (max 16 (n * 2)) in
+    {
+      hs = Array.make cap empty_h;
+      ks = Array.make cap dummy_key;
+      vs = Array.make cap dummy_val;
+      live = 0;
+      fill = 0;
+    }
+
+  let length t = t.live
+
+  (* Slot of [key] (stored hash [h]) if present, or the negated insertion
+     point minus 1: the first tombstone on the probe path if any, else the
+     empty slot that terminated it. *)
+  let probe t key h =
+    let mask = Array.length t.hs - 1 in
+    let rec go i first_tomb =
+      let sh = Array.unsafe_get t.hs i in
+      if sh = empty_h then
+        -(if first_tomb >= 0 then first_tomb else i) - 1
+      else if sh = h && equal (Array.unsafe_get t.ks i) key then i
+      else
+        go
+          ((i + 1) land mask)
+          (if first_tomb < 0 && sh = tomb_h then i else first_tomb)
+    in
+    go (h land mask) (-1)
+
+  let rec rehash t cap =
+    let ohs = t.hs and oks = t.ks and ovs = t.vs in
+    t.hs <- Array.make cap empty_h;
+    t.ks <- Array.make cap dummy_key;
+    t.vs <- Array.make cap dummy_val;
+    t.live <- 0;
+    t.fill <- 0;
+    Array.iteri
+      (fun i h -> if h >= 0 then insert_fresh t h oks.(i) ovs.(i))
+      ohs
+
+  (* Insert a binding known to be absent. *)
+  and insert_fresh t h key v =
+    let cap = Array.length t.hs in
+    if 3 * t.fill >= 2 * cap then begin
+      (* grow only when live entries need the room; otherwise the rehash
+         just clears tombstones at the same size *)
+      rehash t (if 3 * t.live >= cap then cap * 2 else cap);
+      insert_fresh t h key v
+    end
+    else begin
+      let i = probe t key h in
+      let i = if i < 0 then -i - 1 else i in
+      if t.hs.(i) = empty_h then t.fill <- t.fill + 1;
+      t.hs.(i) <- h;
+      t.ks.(i) <- key;
+      t.vs.(i) <- v;
+      t.live <- t.live + 1
+    end
+
+  let find (t : 'a t) key : 'a =
+    let i = probe t key (hash key) in
+    if i < 0 then raise Not_found else Obj.obj (Array.unsafe_get t.vs i)
+
+  let mem t key = probe t key (hash key) >= 0
+
+  let replace (t : 'a t) key (v : 'a) =
+    let h = hash key in
+    let i = probe t key h in
+    if i >= 0 then t.vs.(i) <- Obj.repr v else insert_fresh t h key (Obj.repr v)
+
+  let remove t key =
+    let i = probe t key (hash key) in
+    if i >= 0 then begin
+      t.hs.(i) <- tomb_h;
+      t.ks.(i) <- dummy_key;
+      t.vs.(i) <- dummy_val;
+      t.live <- t.live - 1;
+      (* a table dominated by tombstones degrades probes: compact it *)
+      if t.live > 16 && 3 * t.live < t.fill then rehash t (Array.length t.hs)
+    end
+
+  let iter f (t : 'a t) =
+    Array.iteri (fun i h -> if h >= 0 then f t.ks.(i) (Obj.obj t.vs.(i))) t.hs
+
+  let copy t =
+    {
+      hs = Array.copy t.hs;
+      ks = Array.copy t.ks;
+      vs = Array.copy t.vs;
+      live = t.live;
+      fill = t.fill;
+    }
+
+  let reset t =
+    let cap = 16 in
+    t.hs <- Array.make cap empty_h;
+    t.ks <- Array.make cap dummy_key;
+    t.vs <- Array.make cap dummy_val;
+    t.live <- 0;
+    t.fill <- 0
+end

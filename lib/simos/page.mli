@@ -16,4 +16,24 @@ val to_string : key -> string
 val is_file : key -> bool
 val is_anon : key -> bool
 
-module Tbl : Hashtbl.S with type key = key
+(** Open-addressing hash table specialised to page keys — the simulator's
+    hottest data structure.  A probe walks a flat array of stored hashes
+    and dereferences the boxed key only on a hash match, so a lookup in a
+    larger-than-cache resident set costs one or two cache misses where a
+    bucket-chained [Hashtbl] pays one per pointer chase.  The supported
+    subset of the [Hashtbl.S] interface keeps [Hashtbl] calling
+    conventions ([replace] upserts, [find] raises [Not_found], iteration
+    order arbitrary). *)
+module Tbl : sig
+  type 'a t
+
+  val create : int -> 'a t
+  val length : 'a t -> int
+  val find : 'a t -> key -> 'a
+  val mem : 'a t -> key -> bool
+  val replace : 'a t -> key -> 'a -> unit
+  val remove : 'a t -> key -> unit
+  val iter : (key -> 'a -> unit) -> 'a t -> unit
+  val copy : 'a t -> 'a t
+  val reset : 'a t -> unit
+end

@@ -4,7 +4,6 @@ type t = {
   name : string;
   mutable capacity : int;
   policy : Replacement.t;
-  dirty : bool Page.Tbl.t;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -16,7 +15,6 @@ let create ~name ~capacity_pages ~policy =
     name;
     capacity = capacity_pages;
     policy = policy ~capacity:capacity_pages;
-    dirty = Page.Tbl.create (min 65536 capacity_pages);
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -33,55 +31,95 @@ let contains t key =
   let (module P : Replacement.POLICY) = t.policy in
   P.mem key
 
-let pop_victim t =
-  let (module P : Replacement.POLICY) = t.policy in
-  match P.victim () with
-  | None -> None
-  | Some key ->
-    let dirty = Option.value (Page.Tbl.find_opt t.dirty key) ~default:false in
-    Page.Tbl.remove t.dirty key;
-    t.evictions <- t.evictions + 1;
-    Some { key; dirty }
+(* ---- fast path ---- *)
 
-let access t key ~dirty =
+let try_hit t key ~dirty =
   let (module P : Replacement.POLICY) = t.policy in
-  if P.mem key then begin
+  if P.access key ~dirty then begin
     t.hits <- t.hits + 1;
-    P.touch key;
-    if dirty then Page.Tbl.replace t.dirty key true;
-    `Hit
+    true
   end
   else begin
     t.misses <- t.misses + 1;
-    let out = ref [] in
+    false
+  end
+
+let fill t key ~dirty ~on_evict =
+  let (module P : Replacement.POLICY) = t.policy in
+  if P.size () >= t.capacity then begin
+    let counted k ~dirty =
+      t.evictions <- t.evictions + 1;
+      on_evict k ~dirty
+    in
     while P.size () >= t.capacity do
-      match pop_victim t with
-      | Some victim -> out := victim :: !out
-      | None -> failwith "Pool.access: policy lost pages"
-    done;
-    P.insert key;
-    if dirty then Page.Tbl.replace t.dirty key true;
+      if not (P.evict counted) then failwith "Pool.access: policy lost pages"
+    done
+  end;
+  P.insert key ~dirty
+
+let access_run t ~n ~key ~dirty ~on_hit ~on_miss ~on_evict ~on_page_end =
+  let nev = ref 0 in
+  let counting k ~dirty =
+    incr nev;
+    on_evict k ~dirty
+  in
+  for i = 0 to n - 1 do
+    let k = key i in
+    if try_hit t k ~dirty then begin
+      on_hit i k;
+      on_page_end i ~evicted:0
+    end
+    else begin
+      on_miss i k;
+      nev := 0;
+      fill t k ~dirty ~on_evict:counting;
+      on_page_end i ~evicted:!nev
+    end
+  done
+
+(* ---- list-building compatibility path ---- *)
+
+let access t key ~dirty =
+  if try_hit t key ~dirty then `Hit
+  else begin
+    let out = ref [] in
+    fill t key ~dirty ~on_evict:(fun k ~dirty -> out := { key = k; dirty } :: !out);
     `Filled (List.rev !out)
   end
 
-let evict_one t = pop_victim t
+let evict_one t =
+  let (module P : Replacement.POLICY) = t.policy in
+  let out = ref None in
+  if
+    P.evict (fun k ~dirty ->
+        t.evictions <- t.evictions + 1;
+        out := Some { key = k; dirty })
+  then !out
+  else None
 
-let resize t ~capacity_pages =
+let resize_into t ~capacity_pages ~on_evict =
   if capacity_pages <= 0 then invalid_arg "Pool.resize: capacity must be positive";
   t.capacity <- capacity_pages;
-  let out = ref [] in
   let (module P : Replacement.POLICY) = t.policy in
-  while P.size () > t.capacity do
-    match pop_victim t with
-    | Some victim -> out := victim :: !out
-    | None -> failwith "Pool.resize: policy lost pages"
-  done;
+  if P.size () > t.capacity then begin
+    let counted k ~dirty =
+      t.evictions <- t.evictions + 1;
+      on_evict k ~dirty
+    in
+    while P.size () > t.capacity do
+      if not (P.evict counted) then failwith "Pool.resize: policy lost pages"
+    done
+  end
+
+let resize t ~capacity_pages =
+  let out = ref [] in
+  resize_into t ~capacity_pages ~on_evict:(fun k ~dirty ->
+      out := { key = k; dirty } :: !out);
   List.rev !out
 
 let invalidate t key =
   let (module P : Replacement.POLICY) = t.policy in
-  P.remove key;
-  Page.Tbl.remove t.dirty key
+  P.remove key
 
 let invalidate_if t pred =
   let (module P : Replacement.POLICY) = t.policy in
@@ -92,7 +130,9 @@ let invalidate_if t pred =
 
 let drop_all t = ignore (invalidate_if t (fun _ -> true))
 
-let is_dirty t key = Option.value (Page.Tbl.find_opt t.dirty key) ~default:false
+let is_dirty t key =
+  let (module P : Replacement.POLICY) = t.policy in
+  P.is_dirty key
 
 let iter t f =
   let (module P : Replacement.POLICY) = t.policy in

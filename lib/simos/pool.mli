@@ -1,9 +1,15 @@
 (** Capacity-enforced page pool over a replacement policy.
 
-    The pool owns the resident-set bookkeeping (capacity, dirty bits, hit
-    and eviction counters) and delegates ordering decisions to a
-    {!Replacement} policy instance.  The kernel charges I/O costs for the
-    dirty pages an access pushes out. *)
+    The pool owns the resident-set bookkeeping (capacity, hit and eviction
+    counters) and delegates ordering decisions — and the per-page dirty
+    bits — to a {!Replacement} policy instance.  The kernel charges I/O
+    costs for the dirty pages an access pushes out.
+
+    Two API styles cover the same semantics: the list-building {!access}
+    (one allocation-friendly result per page, convenient for tests and
+    cold paths) and the callback-based fast path ({!try_hit}/{!fill}/
+    {!access_run}) that the kernel's page loops use.  The differential
+    suite [test_pool_equiv] holds them observably identical. *)
 
 type t
 
@@ -20,12 +26,51 @@ val access : t -> Page.key -> dirty:bool -> [ `Hit | `Filled of evicted list ]
     marks the page dirty (writes).  The returned list holds the evicted
     pages (at most one per access in steady state). *)
 
+(** {1 Batched fast path}
+
+    The run API classifies each page of a contiguous run as hit or miss in
+    a single policy lookup and streams evictions through callbacks, so the
+    hot loop performs no list or option allocation.  Per-page observable
+    behaviour (hit/miss counters, eviction order, dirty bits) is identical
+    to calling {!access} page by page. *)
+
+val try_hit : t -> Page.key -> dirty:bool -> bool
+(** One-lookup access: on a hit, count it, touch the policy, OR in the
+    dirty bit, return [true].  On a miss, count the miss and return
+    [false] {e without} inserting — the caller must follow up with
+    {!fill} (this is the miss half of {!access}). *)
+
+val fill : t -> Page.key -> dirty:bool -> on_evict:(Page.key -> dirty:bool -> unit) -> unit
+(** Insert a key that {!try_hit} just missed, evicting while the pool is
+    at capacity; victims stream through [on_evict] in eviction order. *)
+
+val access_run :
+  t ->
+  n:int ->
+  key:(int -> Page.key) ->
+  dirty:bool ->
+  on_hit:(int -> Page.key -> unit) ->
+  on_miss:(int -> Page.key -> unit) ->
+  on_evict:(Page.key -> dirty:bool -> unit) ->
+  on_page_end:(int -> evicted:int -> unit) ->
+  unit
+(** Access pages [key 0 .. key (n-1)] in order.  Per page: exactly one of
+    [on_hit]/[on_miss] fires first ([on_miss] before the insert and its
+    evictions, matching the per-page path), then the page's evictions
+    stream through [on_evict], then [on_page_end] reports how many there
+    were.  Equivalent to [n] calls of {!access}. *)
+
 val evict_one : t -> evicted option
 (** Force one eviction (page-daemon style), if any page is resident. *)
 
 val resize : t -> capacity_pages:int -> evicted list
 (** Change the capacity; shrinking below the resident count evicts the
     overflow and returns it (for writeback charging). *)
+
+val resize_into :
+  t -> capacity_pages:int -> on_evict:(Page.key -> dirty:bool -> unit) -> unit
+(** {!resize} with victims streamed through a callback instead of a
+    list (the balanced-memory rebalance path runs per anonymous miss). *)
 
 val invalidate : t -> Page.key -> unit
 (** Drop a page without writeback (file deleted, process exited). *)

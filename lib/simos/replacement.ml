@@ -1,9 +1,10 @@
 module type POLICY = sig
   val name : string
   val mem : Page.key -> bool
-  val touch : Page.key -> unit
-  val insert : Page.key -> unit
-  val victim : unit -> Page.key option
+  val is_dirty : Page.key -> bool
+  val access : Page.key -> dirty:bool -> bool
+  val insert : Page.key -> dirty:bool -> unit
+  val evict : (Page.key -> dirty:bool -> unit) -> bool
   val remove : Page.key -> unit
   val size : unit -> int
   val iter : (Page.key -> unit) -> unit
@@ -14,57 +15,89 @@ type factory = capacity:int -> t
 
 let name (module P : POLICY) = P.name
 
-(* Intrusive doubly-linked list shared by the list-based policies.  The
-   [weight] field holds the clock's aged reference count. *)
+(* Intrusive circular doubly-linked list with a sentinel, shared by all the
+   list-based policies.  Every pointer is a plain [node] (the sentinel
+   closes the ring), so linking and unlinking never allocate — this list
+   sits under every page access of the simulator.  [weight] holds the
+   clock's aged reference count; [tag] the owning segment of the
+   two-queue policies; [dirty] the page's dirty bit (owned here rather
+   than in a side table so a hit costs exactly one hash lookup). *)
 module Dll = struct
   type node = {
     key : Page.key;
-    mutable prev : node option;
-    mutable next : node option;
+    mutable prev : node;
+    mutable next : node;
     mutable weight : int;
+    mutable dirty : bool;
+    mutable tag : int;
   }
 
-  type list_t = {
-    mutable head : node option;  (* MRU end *)
-    mutable tail : node option;  (* LRU end *)
-    mutable count : int;
-  }
+  type list_t = { sentinel : node; mutable count : int }
 
-  let create () = { head = None; tail = None; count = 0 }
+  let dummy_key = Page.File { ino = min_int; idx = min_int }
 
-  let push_front t key =
-    let node = { key; prev = None; next = t.head; weight = 0 } in
-    (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
-    t.head <- Some node;
+  let create () =
+    let rec s =
+      { key = dummy_key; prev = s; next = s; weight = 0; dirty = false; tag = 0 }
+    in
+    { sentinel = s; count = 0 }
+
+  let is_empty t = t.count = 0
+
+  (* head = MRU end, tail = LRU end *)
+  let head t = t.sentinel.next
+  let tail t = t.sentinel.prev
+
+  let attach_front t node =
+    let s = t.sentinel in
+    node.prev <- s;
+    node.next <- s.next;
+    s.next.prev <- node;
+    s.next <- node;
+    t.count <- t.count + 1
+
+  let push_front t key ~dirty =
+    let s = t.sentinel in
+    let node = { key; prev = s; next = s.next; weight = 0; dirty; tag = 0 } in
+    s.next.prev <- node;
+    s.next <- node;
     t.count <- t.count + 1;
     node
 
   let unlink t node =
-    (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
-    (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
-    node.prev <- None;
-    node.next <- None;
+    node.prev.next <- node.next;
+    node.next.prev <- node.prev;
+    node.prev <- node;
+    node.next <- node;
     t.count <- t.count - 1
 
   let move_to_front t node =
-    if t.head != Some node then begin
+    if t.sentinel.next != node then begin
       unlink t node;
-      node.next <- t.head;
-      (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
-      t.head <- Some node;
-      t.count <- t.count + 1
+      attach_front t node
     end
 
   let iter t f =
-    let rec go = function
-      | None -> ()
-      | Some node ->
+    let s = t.sentinel in
+    let rec go node =
+      if node != s then begin
         let next = node.next in
         f node;
         go next
+      end
     in
-    go t.head
+    go s.next
 end
+
+let find_node tbl key : Dll.node =
+  (* [Hashtbl.find] + Not_found keeps the hit path allocation-free where
+     [find_opt] would box a [Some] per lookup. *)
+  Page.Tbl.find tbl key
+
+let tbl_is_dirty tbl key =
+  match find_node tbl key with
+  | exception Not_found -> false
+  | node -> node.Dll.dirty
 
 (* LRU and MRU share everything except which end of the list the victim
    comes from. *)
@@ -74,31 +107,36 @@ let list_policy ~policy_name ~victim_end () : t =
   (module struct
     let name = policy_name
     let mem key = Page.Tbl.mem tbl key
+    let is_dirty key = tbl_is_dirty tbl key
 
-    let touch key =
-      match Page.Tbl.find_opt tbl key with
-      | Some node -> Dll.move_to_front list node
-      | None -> ()
+    let access key ~dirty =
+      match find_node tbl key with
+      | exception Not_found -> false
+      | node ->
+        if dirty then node.Dll.dirty <- true;
+        Dll.move_to_front list node;
+        true
 
-    let insert key =
+    let insert key ~dirty =
       assert (not (Page.Tbl.mem tbl key));
-      Page.Tbl.replace tbl key (Dll.push_front list key)
+      Page.Tbl.replace tbl key (Dll.push_front list key ~dirty)
 
-    let victim () =
-      let node = match victim_end with `Lru -> list.Dll.tail | `Mru -> list.Dll.head in
-      match node with
-      | None -> None
-      | Some node ->
+    let evict on_evict =
+      if Dll.is_empty list then false
+      else begin
+        let node = match victim_end with `Lru -> Dll.tail list | `Mru -> Dll.head list in
         Dll.unlink list node;
         Page.Tbl.remove tbl node.Dll.key;
-        Some node.Dll.key
+        on_evict node.Dll.key ~dirty:node.Dll.dirty;
+        true
+      end
 
     let remove key =
-      match Page.Tbl.find_opt tbl key with
-      | Some node ->
+      match find_node tbl key with
+      | exception Not_found -> ()
+      | node ->
         Dll.unlink list node;
         Page.Tbl.remove tbl key
-      | None -> ()
 
     let size () = list.Dll.count
     let iter f = Dll.iter list (fun node -> f node.Dll.key)
@@ -113,26 +151,35 @@ let fifo ~capacity:_ : t =
   (module struct
     let name = "fifo"
     let mem key = Page.Tbl.mem tbl key
-    let touch _ = ()
+    let is_dirty key = tbl_is_dirty tbl key
 
-    let insert key =
+    let access key ~dirty =
+      match find_node tbl key with
+      | exception Not_found -> false
+      | node ->
+        if dirty then node.Dll.dirty <- true;
+        true
+
+    let insert key ~dirty =
       assert (not (Page.Tbl.mem tbl key));
-      Page.Tbl.replace tbl key (Dll.push_front list key)
+      Page.Tbl.replace tbl key (Dll.push_front list key ~dirty)
 
-    let victim () =
-      match list.Dll.tail with
-      | None -> None
-      | Some node ->
+    let evict on_evict =
+      if Dll.is_empty list then false
+      else begin
+        let node = Dll.tail list in
         Dll.unlink list node;
         Page.Tbl.remove tbl node.Dll.key;
-        Some node.Dll.key
+        on_evict node.Dll.key ~dirty:node.Dll.dirty;
+        true
+      end
 
     let remove key =
-      match Page.Tbl.find_opt tbl key with
-      | Some node ->
+      match find_node tbl key with
+      | exception Not_found -> ()
+      | node ->
         Dll.unlink list node;
         Page.Tbl.remove tbl key
-      | None -> ()
 
     let size () = list.Dll.count
     let iter f = Dll.iter list (fun node -> f node.Dll.key)
@@ -154,23 +201,27 @@ let clock ~capacity:_ : t =
   (module struct
     let name = "clock"
     let mem key = Page.Tbl.mem tbl key
+    let is_dirty key = tbl_is_dirty tbl key
 
-    let touch key =
-      match Page.Tbl.find_opt tbl key with
-      | Some node -> node.Dll.weight <- min (node.Dll.weight + 1) clock_max_weight
-      | None -> ()
+    let access key ~dirty =
+      match find_node tbl key with
+      | exception Not_found -> false
+      | node ->
+        if dirty then node.Dll.dirty <- true;
+        node.Dll.weight <- min (node.Dll.weight + 1) clock_max_weight;
+        true
 
-    let insert key =
+    let insert key ~dirty =
       assert (not (Page.Tbl.mem tbl key));
-      let node = Dll.push_front list key in
+      let node = Dll.push_front list key ~dirty in
       node.Dll.weight <- 1;
       Page.Tbl.replace tbl key node
 
-    let victim () =
+    let evict on_evict =
       let rec sweep () =
-        match list.Dll.tail with
-        | None -> None
-        | Some node ->
+        if Dll.is_empty list then false
+        else begin
+          let node = Dll.tail list in
           if node.Dll.weight > 0 then begin
             node.Dll.weight <- node.Dll.weight - 1;
             Dll.move_to_front list node;
@@ -179,71 +230,82 @@ let clock ~capacity:_ : t =
           else begin
             Dll.unlink list node;
             Page.Tbl.remove tbl node.Dll.key;
-            Some node.Dll.key
+            on_evict node.Dll.key ~dirty:node.Dll.dirty;
+            true
           end
+        end
       in
       sweep ()
 
     let remove key =
-      match Page.Tbl.find_opt tbl key with
-      | Some node ->
+      match find_node tbl key with
+      | exception Not_found -> ()
+      | node ->
         Dll.unlink list node;
         Page.Tbl.remove tbl key
-      | None -> ()
 
     let size () = list.Dll.count
     let iter f = Dll.iter list (fun node -> f node.Dll.key)
   end)
 
+(* Segment tags for the two-queue policies. *)
+let tag_probation = 0
+let tag_main = 1
+
 (* Simplified 2Q: new pages enter a FIFO probation queue sized to a quarter
    of capacity; a hit while on probation promotes to the protected LRU main
-   queue.  Victims come from probation first. *)
+   queue.  Victims come from probation first.  Promotion moves the node
+   between lists (same node, so its dirty bit travels with it). *)
 let two_q ~capacity : t =
   let probation = Dll.create () in
   let main = Dll.create () in
-  let where : (Dll.node * [ `Probation | `Main ]) Page.Tbl.t = Page.Tbl.create 1024 in
+  let where : Dll.node Page.Tbl.t = Page.Tbl.create 1024 in
   let probation_max = max 1 (capacity / 4) in
   (module struct
     let name = "two-q"
     let mem key = Page.Tbl.mem where key
+    let is_dirty key = tbl_is_dirty where key
 
-    let touch key =
-      match Page.Tbl.find_opt where key with
-      | Some (node, `Probation) ->
-        Dll.unlink probation node;
-        Page.Tbl.replace where key (Dll.push_front main key, `Main)
-      | Some (node, `Main) -> Dll.move_to_front main node
-      | None -> ()
+    let access key ~dirty =
+      match find_node where key with
+      | exception Not_found -> false
+      | node ->
+        if dirty then node.Dll.dirty <- true;
+        if node.Dll.tag = tag_probation then begin
+          Dll.unlink probation node;
+          Dll.attach_front main node;
+          node.Dll.tag <- tag_main
+        end
+        else Dll.move_to_front main node;
+        true
 
-    let insert key =
+    let insert key ~dirty =
       assert (not (Page.Tbl.mem where key));
-      Page.Tbl.replace where key (Dll.push_front probation key, `Probation)
+      Page.Tbl.replace where key (Dll.push_front probation key ~dirty)
 
-    let take list =
-      match list.Dll.tail with
-      | None -> None
-      | Some node ->
+    let take list on_evict =
+      if Dll.is_empty list then false
+      else begin
+        let node = Dll.tail list in
         Dll.unlink list node;
         Page.Tbl.remove where node.Dll.key;
-        Some node.Dll.key
+        on_evict node.Dll.key ~dirty:node.Dll.dirty;
+        true
+      end
 
-    let victim () =
+    let evict on_evict =
       (* Evict from probation while it exceeds its share, otherwise give up
          the coldest protected page; fall back to whichever queue has
          pages. *)
-      if probation.Dll.count > probation_max then take probation
-      else
-        match take main with Some _ as v -> v | None -> take probation
+      if probation.Dll.count > probation_max then take probation on_evict
+      else take main on_evict || take probation on_evict
 
     let remove key =
-      match Page.Tbl.find_opt where key with
-      | Some (node, `Probation) ->
-        Dll.unlink probation node;
+      match find_node where key with
+      | exception Not_found -> ()
+      | node ->
+        Dll.unlink (if node.Dll.tag = tag_probation then probation else main) node;
         Page.Tbl.remove where key
-      | Some (node, `Main) ->
-        Dll.unlink main node;
-        Page.Tbl.remove where key
-      | None -> ()
 
     let size () = probation.Dll.count + main.Dll.count
 
@@ -258,57 +320,57 @@ let two_q ~capacity : t =
 let segmented_lru ~capacity : t =
   let probation = Dll.create () in
   let protected_ = Dll.create () in
-  let where : (Dll.node * [ `Probation | `Protected ]) Page.Tbl.t =
-    Page.Tbl.create 1024
-  in
+  let where : Dll.node Page.Tbl.t = Page.Tbl.create 1024 in
   let protected_max = max 1 (capacity * 3 / 4) in
   (module struct
     let name = "segmented-lru"
     let mem key = Page.Tbl.mem where key
+    let is_dirty key = tbl_is_dirty where key
 
     let demote_overflow () =
       while protected_.Dll.count > protected_max do
-        match protected_.Dll.tail with
-        | None -> ()
-        | Some node ->
-          Dll.unlink protected_ node;
-          let key = node.Dll.key in
-          Page.Tbl.replace where key (Dll.push_front probation key, `Probation)
+        let node = Dll.tail protected_ in
+        Dll.unlink protected_ node;
+        Dll.attach_front probation node;
+        node.Dll.tag <- tag_probation
       done
 
-    let touch key =
-      match Page.Tbl.find_opt where key with
-      | Some (node, `Probation) ->
-        Dll.unlink probation node;
-        Page.Tbl.replace where key (Dll.push_front protected_ key, `Protected);
-        demote_overflow ()
-      | Some (node, `Protected) -> Dll.move_to_front protected_ node
-      | None -> ()
+    let access key ~dirty =
+      match find_node where key with
+      | exception Not_found -> false
+      | node ->
+        if dirty then node.Dll.dirty <- true;
+        if node.Dll.tag = tag_probation then begin
+          Dll.unlink probation node;
+          Dll.attach_front protected_ node;
+          node.Dll.tag <- tag_main;
+          demote_overflow ()
+        end
+        else Dll.move_to_front protected_ node;
+        true
 
-    let insert key =
+    let insert key ~dirty =
       assert (not (Page.Tbl.mem where key));
-      Page.Tbl.replace where key (Dll.push_front probation key, `Probation)
+      Page.Tbl.replace where key (Dll.push_front probation key ~dirty)
 
-    let victim () =
-      let from_list list =
-        match list.Dll.tail with
-        | None -> None
-        | Some node ->
-          Dll.unlink list node;
-          Page.Tbl.remove where node.Dll.key;
-          Some node.Dll.key
-      in
-      match from_list probation with Some _ as v -> v | None -> from_list protected_
+    let take list on_evict =
+      if Dll.is_empty list then false
+      else begin
+        let node = Dll.tail list in
+        Dll.unlink list node;
+        Page.Tbl.remove where node.Dll.key;
+        on_evict node.Dll.key ~dirty:node.Dll.dirty;
+        true
+      end
+
+    let evict on_evict = take probation on_evict || take protected_ on_evict
 
     let remove key =
-      match Page.Tbl.find_opt where key with
-      | Some (node, `Probation) ->
-        Dll.unlink probation node;
+      match find_node where key with
+      | exception Not_found -> ()
+      | node ->
+        Dll.unlink (if node.Dll.tag = tag_probation then probation else protected_) node;
         Page.Tbl.remove where key
-      | Some (node, `Protected) ->
-        Dll.unlink protected_ node;
-        Page.Tbl.remove where key
-      | None -> ()
 
     let size () = probation.Dll.count + protected_.Dll.count
 
@@ -328,7 +390,7 @@ let segmented_lru ~capacity : t =
 let eelru ~capacity : t =
   let early = Dll.create () in
   let late = Dll.create () in
-  let where : (Dll.node * [ `Early | `Late ]) Page.Tbl.t = Page.Tbl.create 1024 in
+  let where : Dll.node Page.Tbl.t = Page.Tbl.create 1024 in
   let ghosts : int Page.Tbl.t = Page.Tbl.create 1024 in
   let ghost_fifo = Queue.create () in
   let ghost_max = max 8 capacity in
@@ -348,74 +410,79 @@ let eelru ~capacity : t =
       done
     end
   in
+  (* early = tag_main, late = tag_probation would read backwards; use
+     explicit tags for the two recency segments instead. *)
+  let tag_early = 0 and tag_late = 1 in
   (module struct
     let name = "eelru"
     let mem key = Page.Tbl.mem where key
+    let is_dirty key = tbl_is_dirty where key
 
     let demote_overflow () =
       while early.Dll.count > early_max do
-        match early.Dll.tail with
-        | None -> ()
-        | Some node ->
-          Dll.unlink early node;
-          let key = node.Dll.key in
-          Page.Tbl.replace where key (Dll.push_front late key, `Late)
+        let node = Dll.tail early in
+        Dll.unlink early node;
+        Dll.attach_front late node;
+        node.Dll.tag <- tag_late
       done
 
-    let touch key =
-      decay ();
-      match Page.Tbl.find_opt where key with
-      | Some (node, `Early) -> Dll.move_to_front early node
-      | Some (node, `Late) ->
-        (* a hit beyond the early point argues against early eviction *)
-        late_hits := !late_hits +. 1.0;
-        Dll.unlink late node;
-        Page.Tbl.replace where key (Dll.push_front early key, `Early);
-        demote_overflow ()
-      | None -> ()
+    let access key ~dirty =
+      match find_node where key with
+      | exception Not_found -> false
+      | node ->
+        decay ();
+        if dirty then node.Dll.dirty <- true;
+        if node.Dll.tag = tag_early then Dll.move_to_front early node
+        else begin
+          (* a hit beyond the early point argues against early eviction *)
+          late_hits := !late_hits +. 1.0;
+          Dll.unlink late node;
+          Dll.attach_front early node;
+          node.Dll.tag <- tag_early;
+          demote_overflow ()
+        end;
+        true
 
-    let insert key =
+    let insert key ~dirty =
       assert (not (Page.Tbl.mem where key));
       decay ();
       if Page.Tbl.mem ghosts key then
         (* re-reference shortly after eviction: the loop is bigger than
            memory — evidence for evicting early *)
         ghost_hits := !ghost_hits +. 1.0;
-      Page.Tbl.replace where key (Dll.push_front early key, `Early);
+      Page.Tbl.replace where key (Dll.push_front early key ~dirty);
       demote_overflow ()
 
-    let take list =
-      match list.Dll.tail with
-      | None -> None
-      | Some node ->
-        Dll.unlink list node;
-        Page.Tbl.remove where node.Dll.key;
-        add_ghost node.Dll.key;
-        Some node.Dll.key
+    let take_node list node on_evict =
+      Dll.unlink list node;
+      Page.Tbl.remove where node.Dll.key;
+      add_ghost node.Dll.key;
+      on_evict node.Dll.key ~dirty:node.Dll.dirty
 
-    let victim () =
+    let take list on_evict =
+      if Dll.is_empty list then false
+      else begin
+        take_node list (Dll.tail list) on_evict;
+        true
+      end
+
+    let evict on_evict =
       let early_eviction = !ghost_hits > !late_hits +. 1.0 in
       if early_eviction then
         (* evict at the early point: the head of the late segment *)
-        match late.Dll.head with
-        | Some node ->
-          Dll.unlink late node;
-          Page.Tbl.remove where node.Dll.key;
-          add_ghost node.Dll.key;
-          Some node.Dll.key
-        | None -> take early
-      else
-        match take late with Some _ as v -> v | None -> take early
+        if not (Dll.is_empty late) then begin
+          take_node late (Dll.head late) on_evict;
+          true
+        end
+        else take early on_evict
+      else take late on_evict || take early on_evict
 
     let remove key =
-      match Page.Tbl.find_opt where key with
-      | Some (node, `Early) ->
-        Dll.unlink early node;
+      match find_node where key with
+      | exception Not_found -> ()
+      | node ->
+        Dll.unlink (if node.Dll.tag = tag_early then early else late) node;
         Page.Tbl.remove where key
-      | Some (node, `Late) ->
-        Dll.unlink late node;
-        Page.Tbl.remove where key
-      | None -> ()
 
     let size () = early.Dll.count + late.Dll.count
 

@@ -1,7 +1,8 @@
 (** Page-replacement policies.
 
-    A policy tracks the set of resident page keys and chooses eviction
-    victims; the enclosing {!Pool} enforces capacity and dirtiness.  Each
+    A policy tracks the set of resident page keys — including each page's
+    dirty bit, so the hot path costs one hash lookup — and chooses eviction
+    victims; the enclosing {!Pool} enforces capacity and counts.  Each
     call to a factory creates an independent stateful instance (a
     first-class module).
 
@@ -23,14 +24,22 @@ module type POLICY = sig
   val name : string
   val mem : Page.key -> bool
 
-  val touch : Page.key -> unit
-  (** Record a hit.  Unknown keys are ignored. *)
+  val is_dirty : Page.key -> bool
+  (** Dirty bit of a resident key; [false] for unknown keys. *)
 
-  val insert : Page.key -> unit
+  val access : Page.key -> dirty:bool -> bool
+  (** Single-lookup hit path: when the key is resident, record the hit
+      (reorder / age per the policy), OR in [dirty], and return [true].
+      When it is not, return [false] {e without} touching any policy
+      state — the caller decides whether to {!insert}. *)
+
+  val insert : Page.key -> dirty:bool -> unit
   (** Add a key that must not currently be present. *)
 
-  val victim : unit -> Page.key option
-  (** Choose an eviction victim and remove it from the policy. *)
+  val evict : (Page.key -> dirty:bool -> unit) -> bool
+  (** Choose an eviction victim, remove it, and hand it (with its dirty
+      bit) to the callback; [false] when no page is resident.  The
+      callback form keeps the per-eviction path allocation-free. *)
 
   val remove : Page.key -> unit
   val size : unit -> int

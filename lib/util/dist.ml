@@ -8,9 +8,7 @@ let exponential rng ~rate =
 
 let lognormal rng ~mu ~sigma = exp (Rng.gaussian rng ~mu ~sigma)
 
-let lognormal_factor rng ~sigma =
-  if sigma = 0.0 then 1.0
-  else lognormal rng ~mu:(-.(sigma *. sigma) /. 2.0) ~sigma
+let lognormal_factor = Rng.lognormal_factor
 
 (* Zipf via the classical inverse-harmonic rejection method of Gray et al.
    Constants are cached per (n, theta) because benches draw millions.  The

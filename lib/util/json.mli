@@ -1,8 +1,10 @@
-(** Minimal JSON emitter for the bench harness's machine-readable output.
+(** Minimal JSON emitter and parser for the bench harness's
+    machine-readable output.
 
-    Emission is deterministic (object fields keep the given order); there
-    is deliberately no parser — the repo only produces trajectories, it
-    never consumes them. *)
+    Emission is deterministic (object fields keep the given order).  The
+    parser exists for the one place the repo consumes its own output: the
+    perf gate ([bench --compare]) reads a previous run's
+    [BENCH_suite.json]. *)
 
 type t =
   | Null
@@ -21,3 +23,22 @@ val to_string_pretty : t -> string
 
 val save : t -> path:string -> unit
 (** Write the pretty form to [path] (truncating). *)
+
+val of_string : string -> (t, string) result
+(** Parse standard JSON.  Numbers without a fraction or exponent that fit
+    an OCaml [int] parse as [Int]; everything else as [Float].  Errors
+    carry the byte offset. *)
+
+val load : path:string -> (t, string) result
+(** Read and parse a file; I/O errors come back as [Error]. *)
+
+(** {1 Query helpers} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj] (first occurrence), [None] otherwise. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both read as float. *)
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -66,10 +66,13 @@ let pop t =
       t.data.(t.size) <- dummy;
       sift_down t 0
     end
-    else
-      (* last element gone: drop the backing array so a parked queue
-         holds nothing at all *)
-      t.data <- [||];
+    else begin
+      (* last element gone: release the value, but keep a small backing
+         array so a queue that oscillates around empty (the engine's
+         event loop) does not reallocate on every push *)
+      t.data.(0) <- dummy;
+      if Array.length t.data > 64 then t.data <- [||]
+    end;
     Some top
   end
 

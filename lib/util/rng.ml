@@ -1,4 +1,14 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+(* xoshiro256** with the 256-bit state held in a [Bytes.t].  The mutable
+   int64-field record this replaces boxed every intermediate (each
+   [Int64] store allocates); [Bytes.get_int64_le]/[set_int64_le] are
+   compiler primitives, so the whole step runs on unboxed int64 locals
+   and the hot path ([bits64] fires on every simulated syscall and every
+   touched page through the noise plumbing) allocates only its boxed
+   result.  The draw sequence is bit-identical to the record version. *)
+type t = Bytes.t
+
+let get = Bytes.get_int64_le
+let set = Bytes.set_int64_le
 
 (* splitmix64 is used only to expand the seed into the xoshiro state. *)
 let splitmix64 state =
@@ -11,31 +21,37 @@ let splitmix64 state =
 
 let create ~seed =
   let state = ref (Int64.of_int seed) in
-  let s0 = splitmix64 state in
-  let s1 = splitmix64 state in
-  let s2 = splitmix64 state in
-  let s3 = splitmix64 state in
-  { s0; s1; s2; s3 }
-
-let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+  let t = Bytes.create 32 in
+  set t 0 (splitmix64 state);
+  set t 8 (splitmix64 state);
+  set t 16 (splitmix64 state);
+  set t 24 (splitmix64 state);
+  t
 
 let bits64 t =
   let open Int64 in
-  let result = mul (rotl (mul t.s1 5L) 7) 9L in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
+  let s0 = get t 0 and s1 = get t 8 and s2 = get t 16 and s3 = get t 24 in
+  (* rotl written out so no intermediate crosses a function boundary *)
+  let r = mul s1 5L in
+  let result = mul (logor (shift_left r 7) (shift_right_logical r 57)) 9L in
+  let tmp = shift_left s1 17 in
+  let s2 = logxor s2 s0 in
+  let s3 = logxor s3 s1 in
+  let s1 = logxor s1 s2 in
+  let s0 = logxor s0 s3 in
+  let s2 = logxor s2 tmp in
+  let s3 = logor (shift_left s3 45) (shift_right_logical s3 19) in
+  set t 0 s0;
+  set t 8 s1;
+  set t 16 s2;
+  set t 24 s3;
   result
 
 let split t =
   let seed = Int64.to_int (bits64 t) land max_int in
   create ~seed
 
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let copy t = Bytes.copy t
 
 (* Rejection sampling to avoid modulo bias.  Top-level so the hot path
    ([int] runs on every simulated syscall via the noise plumbing) does not
@@ -69,6 +85,19 @@ let gaussian t ~mu ~sigma =
   let u1 = non_zero_unit t in
   let u2 = float t 1.0 in
   mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+(* Fused lognormal multiplier, exp(gaussian) with mu = -sigma^2/2 (mean
+   1.0).  Lives here rather than in [Dist] so the per-page noise path
+   pays one cross-module call and one boxed result; draw-for-draw
+   identical to [exp (gaussian t ~mu ~sigma)]. *)
+let lognormal_factor t ~sigma =
+  if sigma = 0.0 then 1.0
+  else begin
+    let u1 = non_zero_unit t in
+    let u2 = float t 1.0 in
+    let mu = -.(sigma *. sigma) /. 2.0 in
+    exp (mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)))
+  end
 
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do

@@ -36,6 +36,11 @@ val bool : t -> bool
 val gaussian : t -> mu:float -> sigma:float -> float
 (** Normal deviate via Box–Muller. *)
 
+val lognormal_factor : t -> sigma:float -> float
+(** Mean-1.0 lognormal multiplier, [exp (gaussian ~mu:(-sigma²/2) ~sigma)]
+    fused into one call — the simulator's per-syscall / per-page noise
+    draw.  Draw-for-draw identical to composing {!gaussian} with [exp]. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 

@@ -10,11 +10,13 @@ let () =
       ("disk", Test_disk.suite);
       ("replacement", Test_replacement.suite);
       ("pool-memory", Test_pool.suite);
+      ("pool-equiv", Test_pool_equiv.suite);
       ("memory-balanced", Test_memory_balanced.suite);
       ("fs", Test_fs.suite);
       ("kernel", Test_kernel.suite);
       ("toolbox", Test_toolbox.suite);
       ("fccd", Test_fccd.suite);
+      ("golden", Test_golden.suite);
       ("fldc", Test_fldc.suite);
       ("mac", Test_mac.suite);
       ("compose-gbp", Test_compose_gbp.suite);

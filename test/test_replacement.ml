@@ -6,41 +6,50 @@ let fkey i = Page.File { ino = 1; idx = i }
 
 let insert_range (module P : Replacement.POLICY) lo hi =
   for i = lo to hi do
-    P.insert (fkey i)
+    P.insert (fkey i) ~dirty:false
   done
+
+(* v2 policies stream the victim through a callback; tests want the key. *)
+let victim (module P : Replacement.POLICY) =
+  let r = ref None in
+  ignore (P.evict (fun k ~dirty:_ -> r := Some k));
+  !r
+
+let touch (module P : Replacement.POLICY) key = ignore (P.access key ~dirty:false)
 
 let test_lru_order () =
   let (module P) = Replacement.lru ~capacity:10 in
   insert_range (module P) 0 3;
   (* order now (MRU..LRU): 3 2 1 0; touch 0 -> 0 3 2 1 *)
-  P.touch (fkey 0);
+  touch (module P) (fkey 0);
   Alcotest.(check (option string)) "victim 1" (Some "file(ino=1,page=1)")
-    (Option.map Page.to_string (P.victim ()));
+    (Option.map Page.to_string (victim (module P)));
   Alcotest.(check (option string)) "victim 2" (Some "file(ino=1,page=2)")
-    (Option.map Page.to_string (P.victim ()));
+    (Option.map Page.to_string (victim (module P)));
   Alcotest.(check (option string)) "victim 3" (Some "file(ino=1,page=3)")
-    (Option.map Page.to_string (P.victim ()));
+    (Option.map Page.to_string (victim (module P)));
   Alcotest.(check (option string)) "victim 0" (Some "file(ino=1,page=0)")
-    (Option.map Page.to_string (P.victim ()));
-  Alcotest.(check (option string)) "empty" None (Option.map Page.to_string (P.victim ()))
+    (Option.map Page.to_string (victim (module P)));
+  Alcotest.(check (option string)) "empty" None
+    (Option.map Page.to_string (victim (module P)))
 
 let test_mru_sticky_keeps_oldest () =
   let (module P) = Replacement.mru_sticky ~capacity:10 in
   insert_range (module P) 0 4;
   (* victim should be the newest page, so the first-loaded data persists *)
   Alcotest.(check (option string)) "evicts newest" (Some "file(ino=1,page=4)")
-    (Option.map Page.to_string (P.victim ()));
+    (Option.map Page.to_string (victim (module P)));
   Alcotest.(check (option string)) "then next newest" (Some "file(ino=1,page=3)")
-    (Option.map Page.to_string (P.victim ()));
+    (Option.map Page.to_string (victim (module P)));
   Alcotest.(check bool) "oldest still resident" true (P.mem (fkey 0))
 
 let test_fifo_ignores_touch () =
   let (module P) = Replacement.fifo ~capacity:10 in
   insert_range (module P) 0 2;
-  P.touch (fkey 0);
-  P.touch (fkey 0);
+  touch (module P) (fkey 0);
+  touch (module P) (fkey 0);
   Alcotest.(check (option string)) "victim is oldest" (Some "file(ino=1,page=0)")
-    (Option.map Page.to_string (P.victim ()))
+    (Option.map Page.to_string (victim (module P)))
 
 let test_clock_second_chance () =
   let (module P) = Replacement.clock ~capacity:10 in
@@ -48,35 +57,35 @@ let test_clock_second_chance () =
   (* pages arrive referenced (fault = reference); the first sweep clears
      every bit and falls back to FIFO: the oldest page goes *)
   Alcotest.(check (option string)) "first sweep takes oldest" (Some "file(ino=1,page=0)")
-    (Option.map Page.to_string (P.victim ()));
+    (Option.map Page.to_string (victim (module P)));
   (* re-reference 1: it gets a second chance over the older 2 *)
-  P.touch (fkey 1);
+  touch (module P) (fkey 1);
   Alcotest.(check (option string)) "skips referenced" (Some "file(ino=1,page=2)")
-    (Option.map Page.to_string (P.victim ()));
+    (Option.map Page.to_string (victim (module P)));
   Alcotest.(check (option string)) "finally 1" (Some "file(ino=1,page=1)")
-    (Option.map Page.to_string (P.victim ()))
+    (Option.map Page.to_string (victim (module P)))
 
 let test_two_q_promotion () =
   let (module P) = Replacement.two_q ~capacity:8 in
   insert_range (module P) 0 7;
   (* probation quota is capacity/4 = 2 and holds 8 pages *)
-  P.touch (fkey 7);
+  touch (module P) (fkey 7);
   (* 7 promoted to main; evictions drain the over-quota probation queue *)
   for i = 0 to 4 do
     Alcotest.(check (option string))
       (Printf.sprintf "victim %d" i)
       (Some (Page.to_string (fkey i)))
-      (Option.map Page.to_string (P.victim ()))
+      (Option.map Page.to_string (victim (module P)))
   done;
   Alcotest.(check bool) "7 still resident" true (P.mem (fkey 7))
 
 let test_segmented_promotion () =
   let (module P) = Replacement.segmented_lru ~capacity:8 in
   insert_range (module P) 0 3;
-  P.touch (fkey 1);
+  touch (module P) (fkey 1);
   (* 1 is protected; probation victims go first *)
   Alcotest.(check (option string)) "probation tail" (Some "file(ino=1,page=0)")
-    (Option.map Page.to_string (P.victim ()));
+    (Option.map Page.to_string (victim (module P)));
   Alcotest.(check bool) "protected survives" true (P.mem (fkey 1))
 
 let test_remove () =
@@ -98,15 +107,42 @@ let test_remove () =
       Replacement.eelru;
     ]
 
+let test_dirty_tracking () =
+  (* the dirty bit rides with the page: set on access or insert, reported
+     at eviction, cleared only by removal *)
+  List.iter
+    (fun factory ->
+      let (module P : Replacement.POLICY) = factory ~capacity:8 in
+      P.insert (fkey 0) ~dirty:false;
+      P.insert (fkey 1) ~dirty:true;
+      Alcotest.(check bool) (P.name ^ " clean") false (P.is_dirty (fkey 0));
+      Alcotest.(check bool) (P.name ^ " dirty") true (P.is_dirty (fkey 1));
+      ignore (P.access (fkey 0) ~dirty:true);
+      Alcotest.(check bool) (P.name ^ " dirtied by access") true (P.is_dirty (fkey 0));
+      (* dirty bit is sticky: a later clean access does not clear it *)
+      ignore (P.access (fkey 0) ~dirty:false);
+      Alcotest.(check bool) (P.name ^ " sticky") true (P.is_dirty (fkey 0));
+      let dirty_evicted = ref 0 in
+      while P.evict (fun _ ~dirty -> if dirty then incr dirty_evicted) do
+        ()
+      done;
+      Alcotest.(check int) (P.name ^ " dirty victims") 2 !dirty_evicted)
+    [
+      Replacement.lru;
+      Replacement.clock;
+      Replacement.fifo;
+      Replacement.mru_sticky;
+      Replacement.two_q;
+      Replacement.segmented_lru;
+      Replacement.eelru;
+    ]
+
 (* Drive a policy like a capacity-bound pool would. *)
 let access_with (module P : Replacement.POLICY) ~capacity key =
-  if P.mem key then begin
-    P.touch key;
-    true
-  end
+  if P.access key ~dirty:false then true
   else begin
-    if P.size () >= capacity then ignore (P.victim ());
-    P.insert key;
+    if P.size () >= capacity then ignore (P.evict (fun _ ~dirty:_ -> ()));
+    P.insert key ~dirty:false;
     false
   end
 
@@ -153,7 +189,7 @@ let test_of_name () =
        false
      with Invalid_argument _ -> true)
 
-(* Property: for every policy, insert/touch/victim keeps the tracked set
+(* Property: for every policy, insert/access/evict keeps the tracked set
    consistent — size equals distinct inserts minus victims/removes, victims
    are always resident before eviction, iter visits exactly the members. *)
 let prop_policy_consistency factory policy_label =
@@ -172,21 +208,22 @@ let prop_policy_consistency factory policy_label =
             (* insert a fresh key *)
             let k = fkey !next in
             incr next;
-            P.insert k;
+            P.insert k ~dirty:false;
             Hashtbl.replace model k ();
             P.mem k
           | 1 -> (
-            match P.victim () with
+            match victim (module P) with
             | None -> Hashtbl.length model = 0
             | Some k ->
               let was_member = Hashtbl.mem model k in
               Hashtbl.remove model k;
               was_member && not (P.mem k))
           | _ ->
-            (* touch a random existing key (or a missing one: no-op) *)
+            (* access a random existing key (or a missing one: a miss
+               leaves the policy state untouched) *)
             let k = fkey (max 0 (!next - 1)) in
-            P.touch k;
-            P.size () = Hashtbl.length model)
+            let hit = P.access k ~dirty:false in
+            hit = Hashtbl.mem model k && P.size () = Hashtbl.length model)
         ops
       && P.size () = Hashtbl.length model
       &&
@@ -204,6 +241,7 @@ let suite =
     Alcotest.test_case "two-q promotion" `Quick test_two_q_promotion;
     Alcotest.test_case "segmented promotion" `Quick test_segmented_promotion;
     Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "dirty tracking" `Quick test_dirty_tracking;
     Alcotest.test_case "of_name" `Quick test_of_name;
     QCheck_alcotest.to_alcotest (prop_policy_consistency Replacement.lru "lru");
     QCheck_alcotest.to_alcotest (prop_policy_consistency Replacement.clock "clock");
