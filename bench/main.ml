@@ -14,7 +14,7 @@
    explicitly, because its numbers are measurements of this machine.
 
    Experiment ids: fig1..fig7, tables, ablation, baselines,
-   fingerprint, faults, micro. *)
+   fingerprint, faults, micro, crash. *)
 
 open Gray_bench
 
@@ -33,11 +33,13 @@ let experiments =
     ("fingerprint", Fingerprint_bench.plan, "identify the cache policy from user level");
     ("faults", Faults.plan, "accuracy vs fault-intensity degradation curves");
     ("micro", Micro.plan, "bechamel microbenchmarks of the toolbox (hardware-dependent)");
+    ("crash", Crash_bench.plan, "exhaustive crash-point exploration of ICL recovery");
   ]
 
 let default_set =
-  (* micro measures the host machine, not the simulation: only on request *)
-  List.filter (fun (name, _, _) -> name <> "micro") experiments
+  (* micro measures the host machine, not the simulation, and crash is a
+     robustness gate rather than a paper figure: both only on request *)
+  List.filter (fun (name, _, _) -> name <> "micro" && name <> "crash") experiments
 
 let usage () =
   print_endline
@@ -62,7 +64,7 @@ let usage () =
   print_endline "  --compare-threshold PCT";
   print_endline "                  regression threshold for --compare, percent (default 25;";
   print_endline "                  wall time on shared runners jitters ~10%)";
-  print_endline "experiments (default: all but micro):";
+  print_endline "experiments (default: all but micro and crash):";
   List.iter (fun (name, _, doc) -> Printf.printf "  %-12s %s\n" name doc) experiments
 
 let parse_args () =

@@ -25,8 +25,8 @@ open Graybox_core
 
 let mib = 1024 * 1024
 
-let run mode files size_mib warm out noise seed fault_scenario extra min_confidence trace
-    metrics =
+let run mode files size_mib warm out noise seed fault_scenario crash_at extra
+    min_confidence trace metrics =
   let module Tele = Gray_util.Telemetry in
   (* --trace / --metrics opt into telemetry; an explicit GRAYBOX_TELEMETRY
      (e.g. a sample rate) still wins *)
@@ -40,7 +40,11 @@ let run mode files size_mib warm out noise seed fault_scenario extra min_confide
   in
   let platform = Platform.with_noise Platform.linux_2_2 ~sigma:noise in
   let engine = Engine.create () in
-  let k = Kernel.boot ~engine ~platform ~data_disks:1 ~seed ?faults:fault_scenario () in
+  (* --crash-at wins over GRAYBOX_CRASH (boot's env fallback) *)
+  let k =
+    Kernel.boot ~engine ~platform ~data_disks:1 ~seed ?faults:fault_scenario
+      ?crash:(Option.map Crash.at_syscall crash_at) ()
+  in
   let exit_code = ref 0 in
   Kernel.spawn k (fun env ->
       let made =
@@ -99,9 +103,41 @@ let run mode files size_mib warm out noise seed fault_scenario extra min_confide
             Printf.eprintf "gbp: --out %s: %s\n" first (Kernel.error_to_string e);
             exit_code := Gbp.exit_code_of_error e)
       end);
-  (match sink with
-  | None -> Kernel.run k
-  | Some s -> Tele.with_sink s (fun () -> Kernel.run k));
+  let run_machine () =
+    match sink with
+    | None -> Kernel.run k
+    | Some s -> Tele.with_sink s (fun () -> Kernel.run k)
+  in
+  (try run_machine () with
+  | Engine.Fiber_crash (_, Crash.Crashed) ->
+    (* The scheduled crash fired: restart from the durable image, run the
+       FLDC repair pass, and audit the volume.  Two distinct exit codes
+       let a crash-matrix CI job tell "died and recovered" (9) from
+       "died and recovery failed" (10). *)
+    let ok = ref true in
+    Kernel.restart k;
+    Kernel.spawn k (fun env ->
+        match Fldc.repair env ~parent:"/d0" with
+        | Ok (_ : bool) -> ()
+        | Error e ->
+          Printf.eprintf "gbp: repair after crash: %s\n" (Kernel.error_to_string e);
+          ok := false);
+    (try run_machine () with
+    | Engine.Fiber_crash (_, e) ->
+      Printf.eprintf "gbp: repair run died: %s\n" (Printexc.to_string e);
+      ok := false);
+    (match Fs.check (Kernel.volume_fs k 0) with
+    | [] -> ()
+    | problems ->
+      List.iter (fun m -> Printf.eprintf "gbp: fsck: %s\n" m) problems;
+      ok := false);
+    if Kernel.live_procs k <> 0 then begin
+      Printf.eprintf "gbp: %d process(es) leaked across the crash\n" (Kernel.live_procs k);
+      ok := false
+    end;
+    Printf.eprintf "gbp: machine crashed as scheduled; %s\n"
+      (if !ok then "volume recovered" else "recovery FAILED");
+    exit_code := (if !ok then Gbp.exit_crash_recovered else Gbp.exit_recovery_failed));
   (match (sink, trace) with
   | Some s, Some path -> (
     try
@@ -145,6 +181,19 @@ let fault_conv =
   in
   Arg.conv (parse, print)
 
+let crash_at_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok (Some n)
+    | Some _ -> Error (`Msg "crash boundary must be >= 1")
+    | None -> Error (`Msg ("bad crash boundary: " ^ s ^ " (expected an integer >= 1)"))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "none"
+    | Some n -> Format.pp_print_int ppf n
+  in
+  Arg.conv (parse, print)
+
 let mode_arg =
   Arg.(value & opt mode_conv Gbp.Mem & info [ "mode"; "m" ] ~doc:"Ordering mode: mem, file or compose.")
 
@@ -160,6 +209,18 @@ let faults_arg =
     value & opt fault_conv None
     & info [ "faults" ]
         ~doc:"Fault scenario: none, canonical, heavy, or a float intensity.")
+
+let crash_at_arg =
+  Arg.(
+    value & opt crash_at_conv None
+    & info [ "crash-at" ] ~docv:"N"
+        ~doc:
+          "Crash the simulated machine at syscall boundary $(docv) (counted \
+           from boot, >= 1), then restart it from the durable image and run \
+           the repair pass.  Exit code 9 means the volume recovered, 10 means \
+           recovery failed; a boundary past the end of the run never fires \
+           and the pipeline completes normally.  GRAYBOX_CRASH=at:N is the \
+           environment equivalent.")
 
 let extra_arg =
   Arg.(
@@ -191,6 +252,7 @@ let cmd =
     (Cmd.info "gbp" ~doc:"Gray-box probe utility on a simulated volume")
     Term.(
       const run $ mode_arg $ files_arg $ size_arg $ warm_arg $ out_arg $ noise_arg
-      $ seed_arg $ faults_arg $ extra_arg $ min_confidence_arg $ trace_arg $ metrics_arg)
+      $ seed_arg $ faults_arg $ crash_at_arg $ extra_arg $ min_confidence_arg
+      $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

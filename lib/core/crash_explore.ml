@@ -1,0 +1,372 @@
+open Simos
+
+(* ALICE/CrashMonkey-style exhaustive crash-point exploration (cf.
+   Pillai et al., OSDI '14; Mohan et al., OSDI '18) of the ICL recovery
+   protocols.  A workload is run once against the crash plane to count
+   its syscall boundaries T, then re-run T more times on identical
+   kernels, crashing at boundary n = 1..T, restarting from the durable
+   image, running the recovery path, and checking invariants.  Every
+   boundary is visited — no sampling — and a violating boundary is
+   reported as a replayable seed. *)
+
+type violation = {
+  vi_boundary : int;
+  vi_seed : int;
+  vi_problem : string;
+  vi_replay : string;
+}
+
+type report = {
+  rp_workload_syscalls : int;
+  rp_boundaries : int;
+  rp_rolled_back : int;
+  rp_rolled_forward : int;
+  rp_violations : violation list;
+}
+
+let small_platform =
+  Platform.with_noise
+    { Platform.linux_2_2 with Platform.memory_mib = 96; kernel_reserved_mib = 32 }
+    ~sigma:0.0
+
+let boot ~seed =
+  let engine = Engine.create () in
+  Kernel.boot ~engine ~platform:small_platform ~data_disks:1 ~volume_blocks:16384
+    ~crash:Crash.durable ~seed ()
+
+let must = function
+  | Ok v -> v
+  | Error e -> failwith ("Crash_explore: " ^ Kernel.error_to_string e)
+
+let parent = "/d0"
+let dir = parent ^ "/dir"
+
+(* The explorer lives below [Gray_apps], so the workload is built from
+   raw syscalls.  Sizes decrease with creation order so that the
+   refreshed (size-ascending) layout is distinguishable from the
+   original creation order.  Setup ends with [sync]: the pre-state must
+   be durable, or the first crash boundary would roll the workload
+   itself away. *)
+let setup env ~files ~file_size =
+  must (Kernel.mkdir env dir);
+  for i = 0 to files - 1 do
+    let path = Printf.sprintf "%s/f%02d" dir i in
+    let fd = must (Kernel.create_file env path) in
+    let len = file_size * (files - i) in
+    ignore (must (Kernel.write env fd ~off:0 ~len));
+    Kernel.close env fd
+  done;
+  Kernel.sync env
+
+(* White-box observation of the durable directory state: sorted
+   (name, ino, size, mtime).  Taken through [Fs] directly, not through
+   syscalls, so observing does not perturb the crash schedule. *)
+let observe fs =
+  match Fs.readdir fs "/dir" with
+  | Error _ -> None
+  | Ok names ->
+    Some
+      (List.map
+         (fun n ->
+           match Fs.stat_path fs ("/dir/" ^ n) with
+           | Ok st -> (n, st.Fs.st_ino, st.Fs.st_size, st.Fs.st_mtime)
+           | Error _ -> (n, -1, -1, -1))
+         (List.sort compare names))
+
+(* The paper's layout goal: i-number order matches size order. *)
+let ino_order_ok obs =
+  let by_ino =
+    List.sort (fun (_, a, _, _) (_, b, _, _) -> compare a b) obs
+    |> List.map (fun (n, _, _, _) -> n)
+  in
+  let by_size =
+    List.sort (fun (na, _, sa, _) (nb, _, sb, _) -> compare (sa, na) (sb, nb)) obs
+    |> List.map (fun (n, _, _, _) -> n)
+  in
+  by_ino = by_size
+
+(* A deliberately wrong repair for mutation-testing the explorer: it
+   ignores the commit record and always rolls back.  After a post-commit
+   crash (original directory already deleted) it destroys the only copy
+   of the data — the explorer must catch this. *)
+let broken_repair env ~parent =
+  let ( let* ) r f = Result.bind r f in
+  let rm_dir d =
+    let* entries = Kernel.readdir env d in
+    let rec go = function
+      | [] -> Kernel.unlink env d
+      | n :: rest -> (
+        match Kernel.unlink env (d ^ "/" ^ n) with
+        | Ok () -> go rest
+        | Error e -> Error e)
+    in
+    go entries
+  in
+  let* entries = Kernel.readdir env parent in
+  let prefix = Fldc.journal_name ^ "." in
+  let plen = String.length prefix in
+  let journals =
+    List.filter (fun n -> String.length n > plen && String.sub n 0 plen = prefix) entries
+    |> List.sort compare
+  in
+  let rec fix = function
+    | [] -> Ok (journals <> [])
+    | jname :: rest ->
+      let base = String.sub jname plen (String.length jname - plen) in
+      let tmp = Fldc.tmp_dir_path ~parent ~base in
+      let* () =
+        match Kernel.stat env tmp with
+        | Ok _ -> rm_dir tmp
+        | Error _ -> Ok ()
+      in
+      let* () = Kernel.unlink env (parent ^ "/" ^ jname) in
+      fix rest
+  in
+  fix journals
+
+(* One run of the refresh workload: setup, sync, then — with the plane
+   optionally armed [n] boundaries into the window — the refresh itself.
+   Returns the kernel (for post-mortem inspection), the syscall window,
+   and whether the machine crashed. *)
+let run_refresh ~seed ~files ~file_size ~arm =
+  let k = boot ~seed in
+  let c = Option.get (Kernel.crash_plane k) in
+  let window = ref (0, 0) in
+  Kernel.spawn k ~name:"refresh" (fun env ->
+      setup env ~files ~file_size;
+      let s0 = Crash.syscalls c in
+      (match arm with Some n -> Crash.arm_at c n | None -> ());
+      (match Fldc.refresh_directory env ~dir () with
+      | Ok () -> ()
+      | Error e -> failwith ("Crash_explore: refresh: " ^ Kernel.error_to_string e));
+      window := (s0, Crash.syscalls c));
+  let crashed =
+    try
+      Kernel.run k;
+      false
+    with Engine.Fiber_crash (_, Crash.Crashed) -> true
+  in
+  (k, !window, crashed)
+
+type checker = {
+  mutable problems : string list;  (* newest first *)
+}
+
+let add ck fmt = Printf.ksprintf (fun s -> ck.problems <- s :: ck.problems) fmt
+
+(* Restart the crashed machine, run [repair], and record every invariant
+   violation: all processes reclaimed, the parent directory holds only
+   the data directory (journal and temporary directory cleaned up), the
+   surviving state is exactly the pre- or the post-refresh image, and
+   the file system passes [Fs.check].  Returns [`Back] / [`Forward] for
+   the outcome, or [`Broken] when the state matches neither image. *)
+let recover_and_check ~k ~pre ~post ~repair ck =
+  if Kernel.live_procs k <> 0 then
+    add ck "%d live processes after crash" (Kernel.live_procs k);
+  Kernel.restart k;
+  let repair_error = ref None in
+  Kernel.spawn k ~name:"repair" (fun env ->
+      match repair env ~parent with
+      | Ok (_ : bool) -> ()
+      | Error e -> repair_error := Some e);
+  (try Kernel.run k
+   with Engine.Fiber_crash (name, e) ->
+     add ck "repair fiber crashed (%s: %s)" name (Printexc.to_string e));
+  (match !repair_error with
+  | Some e -> add ck "repair returned an error: %s" (Kernel.error_to_string e)
+  | None -> ());
+  if Kernel.live_procs k <> 0 then
+    add ck "%d live processes after repair" (Kernel.live_procs k);
+  let fs = Kernel.volume_fs k 0 in
+  (match Fs.readdir fs "/" with
+  | Ok names -> (
+    match List.sort compare names with
+    | [ "dir" ] -> ()
+    | names -> add ck "parent not clean after repair: [%s]" (String.concat "; " names))
+  | Error e -> add ck "parent unreadable after repair: %s" (Fs.error_to_string e));
+  (match Fs.check fs with
+  | [] -> ()
+  | ps -> add ck "fsck: %s" (String.concat "; " ps));
+  match observe fs with
+  | None ->
+    add ck "data directory missing after repair";
+    `Broken
+  | Some obs ->
+    if obs = pre then `Back
+    else if obs = post then `Forward
+    else begin
+      add ck "surviving state is neither the pre- nor the post-refresh image";
+      `Broken
+    end
+
+let explore_refresh ?(seed = 11) ?(files = 6) ?(file_size = 8192) ?(break_repair = false)
+    () =
+  (* Pre-image: the durable state at the start of the refresh window. *)
+  let pre =
+    let k = boot ~seed in
+    Kernel.spawn k ~name:"setup" (fun env -> setup env ~files ~file_size);
+    Kernel.run k;
+    match observe (Kernel.volume_fs k 0) with
+    | Some obs -> obs
+    | None -> failwith "Crash_explore: setup produced no directory"
+  in
+  (* Baseline: count the window's syscall boundaries and capture the
+     committed post-image. *)
+  let k, (s0, s1), crashed = run_refresh ~seed ~files ~file_size ~arm:None in
+  if crashed then failwith "Crash_explore: baseline run crashed";
+  let post =
+    match observe (Kernel.volume_fs k 0) with
+    | Some obs -> obs
+    | None -> failwith "Crash_explore: baseline refresh produced no directory"
+  in
+  let t = s1 - s0 in
+  if t <= 0 then failwith "Crash_explore: empty refresh window";
+  let violations = ref [] in
+  let violate ~boundary ck =
+    violations :=
+      {
+        vi_boundary = boundary;
+        vi_seed = seed;
+        vi_problem = String.concat "; " (List.rev ck.problems);
+        vi_replay = Printf.sprintf "GRAYBOX_CRASH=at:%d seed=%d workload=refresh" boundary seed;
+      }
+      :: !violations
+  in
+  (* The committed image must itself meet the layout goal, or every
+     roll-forward would be a silent regression. *)
+  (let ck = { problems = [] } in
+   if not (ino_order_ok post) then begin
+     add ck "post-refresh image does not order i-numbers by size";
+     violate ~boundary:0 ck
+   end);
+  let rolled_back = ref 0 in
+  let rolled_forward = ref 0 in
+  let repair = if break_repair then broken_repair else Fldc.repair in
+  for n = 1 to t do
+    let k, _window, crashed = run_refresh ~seed ~files ~file_size ~arm:(Some n) in
+    let ck = { problems = [] } in
+    if not crashed then add ck "no crash fired at boundary %d" n;
+    (match recover_and_check ~k ~pre ~post ~repair ck with
+    | `Back -> incr rolled_back
+    | `Forward -> incr rolled_forward
+    | `Broken -> ());
+    if ck.problems <> [] then violate ~boundary:n ck
+  done;
+  {
+    rp_workload_syscalls = t;
+    rp_boundaries = t;
+    rp_rolled_back = !rolled_back;
+    rp_rolled_forward = !rolled_forward;
+    rp_violations = List.rev !violations;
+  }
+
+(* {1 MAC / gbp pipeline} *)
+
+let mib = 1024 * 1024
+
+(* A gbp-style pipeline: order the directory's files (cache-then-inode
+   composition), read them in that order, then run a MAC allocate /
+   touch / free cycle.  No recovery protocol of its own — after a crash
+   the invariants are that restart reclaims everything ([Fs.check]
+   clean, no processes, no leaked memory keeping a re-run from
+   completing) and the durable setup image is intact. *)
+let pipeline_window env ~files ~fccd =
+  let paths = List.init files (fun i -> Printf.sprintf "%s/f%02d" dir i) in
+  let order, (_ : Gbp.fallback_reason option) =
+    Gbp.best_order_or_fallback env fccd Gbp.Compose ~paths
+  in
+  List.iter
+    (fun path ->
+      let fd = must (Kernel.open_file env path) in
+      let size = Kernel.file_size env fd in
+      ignore (must (Kernel.read env fd ~off:0 ~len:size));
+      Kernel.close env fd)
+    order;
+  let cfg = Mac.default_config () in
+  let cfg = { cfg with Mac.initial_increment = 2 * mib; max_increment = 4 * mib } in
+  match Mac.gb_alloc env cfg ~min:mib ~max:(8 * mib) ~multiple:mib with
+  | None -> ()
+  | Some a ->
+    Mac.touch_all env a;
+    Mac.gb_free env a
+
+let run_pipeline ~seed ~files ~file_size ~fccd ~arm =
+  let k = boot ~seed in
+  let c = Option.get (Kernel.crash_plane k) in
+  let window = ref (0, 0) in
+  Kernel.spawn k ~name:"pipeline" (fun env ->
+      setup env ~files ~file_size;
+      let s0 = Crash.syscalls c in
+      (match arm with Some n -> Crash.arm_at c n | None -> ());
+      pipeline_window env ~files ~fccd;
+      window := (s0, Crash.syscalls c));
+  let crashed =
+    try
+      Kernel.run k;
+      false
+    with Engine.Fiber_crash (_, Crash.Crashed) -> true
+  in
+  (k, !window, crashed)
+
+let explore_pipeline ?(seed = 23) ?(files = 4) ?(file_size = 8192) () =
+  let fccd = Fccd.default_config ~seed () in
+  let pre =
+    let k = boot ~seed in
+    Kernel.spawn k ~name:"setup" (fun env -> setup env ~files ~file_size);
+    Kernel.run k;
+    match observe (Kernel.volume_fs k 0) with
+    | Some obs -> obs
+    | None -> failwith "Crash_explore: setup produced no directory"
+  in
+  let _k, (s0, s1), crashed = run_pipeline ~seed ~files ~file_size ~fccd ~arm:None in
+  if crashed then failwith "Crash_explore: baseline pipeline crashed";
+  let t = s1 - s0 in
+  if t <= 0 then failwith "Crash_explore: empty pipeline window";
+  let violations = ref [] in
+  for n = 1 to t do
+    let k, _window, crashed = run_pipeline ~seed ~files ~file_size ~fccd ~arm:(Some n) in
+    let ck = { problems = [] } in
+    if not crashed then add ck "no crash fired at boundary %d" n;
+    if Kernel.live_procs k <> 0 then
+      add ck "%d live processes after crash" (Kernel.live_procs k);
+    Kernel.restart k;
+    let fs = Kernel.volume_fs k 0 in
+    (match Fs.check fs with
+    | [] -> ()
+    | ps -> add ck "fsck: %s" (String.concat "; " ps));
+    (* The pipeline only reads the directory, so a crash anywhere in the
+       window must leave the durable setup image untouched. *)
+    (match observe fs with
+    | Some obs when obs = pre -> ()
+    | Some _ -> add ck "durable setup image changed under a read-only pipeline"
+    | None -> add ck "data directory missing after crash");
+    (* The restarted machine must be fully usable: the same pipeline runs
+       to completion, proving memory, swap, and descriptors were
+       reclaimed. *)
+    let reran = ref false in
+    Kernel.spawn k ~name:"pipeline-rerun" (fun env ->
+        pipeline_window env ~files ~fccd;
+        reran := true);
+    (try Kernel.run k
+     with Engine.Fiber_crash (name, e) ->
+       add ck "re-run crashed (%s: %s)" name (Printexc.to_string e));
+    if not !reran then add ck "pipeline re-run did not complete after restart";
+    if Kernel.live_procs k <> 0 then
+      add ck "%d live processes after re-run" (Kernel.live_procs k);
+    if ck.problems <> [] then
+      violations :=
+        {
+          vi_boundary = n;
+          vi_seed = seed;
+          vi_problem = String.concat "; " (List.rev ck.problems);
+          vi_replay = Printf.sprintf "GRAYBOX_CRASH=at:%d seed=%d workload=pipeline" n seed;
+        }
+        :: !violations
+  done;
+  {
+    rp_workload_syscalls = t;
+    rp_boundaries = t;
+    rp_rolled_back = 0;
+    rp_rolled_forward = 0;
+    rp_violations = List.rev !violations;
+  }

@@ -1,0 +1,53 @@
+(** Exhaustive crash-point exploration of ICL recovery (ALICE /
+    CrashMonkey style).
+
+    A workload runs once against the crash plane to count its syscall
+    boundaries [T]; it is then re-run [T] more times on byte-identical
+    kernels, crashing at boundary [n = 1..T], restarting from the
+    durable image, running recovery, and checking invariants.  {e Every}
+    boundary is visited — [rp_boundaries = rp_workload_syscalls], no
+    sampling — and each failure is reported as a replayable seed. *)
+
+type violation = {
+  vi_boundary : int;  (** 1-based syscall boundary inside the window *)
+  vi_seed : int;
+  vi_problem : string;  (** all invariant failures at this boundary *)
+  vi_replay : string;  (** e.g. ["GRAYBOX_CRASH=at:7 seed=11 workload=refresh"] *)
+}
+
+type report = {
+  rp_workload_syscalls : int;  (** syscalls in the explored window *)
+  rp_boundaries : int;  (** boundaries actually crashed at (= syscalls) *)
+  rp_rolled_back : int;  (** recoveries restoring the pre-refresh image *)
+  rp_rolled_forward : int;  (** recoveries completing the refresh *)
+  rp_violations : violation list;
+}
+
+val explore_refresh :
+  ?seed:int ->
+  ?files:int ->
+  ?file_size:int ->
+  ?break_repair:bool ->
+  unit ->
+  report
+(** Explore every crash boundary of an {!Fldc.refresh_directory} run
+    over [files] files of decreasing size, repairing with {!Fldc.repair}
+    after each crash.  Invariants: all processes reclaimed, journal and
+    temporary directory cleaned up, the surviving state is exactly the
+    pre- or the post-refresh image (no file lost or duplicated, sizes
+    and times intact), the post image orders i-numbers by size, and the
+    file system passes [Fs.check].  [break_repair] substitutes a repair
+    that ignores the commit record — a mutation the explorer must
+    catch (used to test the explorer itself).
+
+    Deterministic for a given [seed]; raises [Failure] if the baseline
+    run itself misbehaves. *)
+
+val explore_pipeline : ?seed:int -> ?files:int -> ?file_size:int -> unit -> report
+(** Explore every crash boundary of a gbp-style pipeline (compose-mode
+    ordering, reads in that order, then a MAC allocate/touch/free
+    cycle).  The pipeline has no recovery protocol; the invariants are
+    that restart reclaims everything ([Fs.check] clean, no live
+    processes), the durable setup image is untouched, and the same
+    pipeline re-runs to completion on the restarted machine.
+    [rp_rolled_back] and [rp_rolled_forward] are [0]. *)

@@ -63,6 +63,53 @@ let journal_name = ".gb_refresh_journal"
 let journal_path ~parent ~base = parent ^ "/" ^ journal_name ^ "." ^ base
 let tmp_dir_path ~parent ~base = parent ^ "/." ^ base ^ ".gb_refresh"
 
+(* ---- journal records (durable mode) ----
+
+   Under the crash plane the journal file carries real content (via the
+   kernel's blob side-band): an intent record written and fsynced before
+   any destructive step, upgraded to a commit record — the atomic switch
+   from roll-back to roll-forward — only after [Kernel.sync] has made the
+   copied data durable. *)
+
+let journal_magic = "gb-refresh/1"
+
+let journal_content ~base ~files ~commit =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf journal_magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "base ";
+  Buffer.add_string buf base;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (name, size, mtime) ->
+      Buffer.add_string buf (Printf.sprintf "file %d %d %s\n" size mtime name))
+    files;
+  if commit then Buffer.add_string buf "commit\n";
+  Buffer.contents buf
+
+(* A journal counts as committed only when it is well-formed end to end
+   and its last record is [commit].  A torn tail — truncated mid-line,
+   half a record, garbage — means the commit never became durable, so the
+   refresh must roll back.  Pure parsing: never raises. *)
+let journal_committed s ~base =
+  let file_line line =
+    match String.split_on_char ' ' line with
+    | "file" :: size :: mtime :: (_ :: _ as name_parts) ->
+      int_of_string_opt size <> None
+      && int_of_string_opt mtime <> None
+      && String.concat " " name_parts <> ""
+    | _ -> false
+  in
+  match String.split_on_char '\n' s with
+  | magic :: base_line :: rest when magic = journal_magic && base_line = "base " ^ base ->
+    let rec body = function
+      | [ "commit"; "" ] -> true (* trailing newline after the commit record *)
+      | line :: rest -> file_line line && body rest
+      | [] -> false
+    in
+    body rest
+  | _ -> false
+
 let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v
 
 let copy_file env ~policy ~src ~dst ~size =
@@ -139,8 +186,22 @@ let refresh_directory env ?(order = `Size_ascending) ?(crash_at = No_crash) ~dir
   in
   let tmp = tmp_dir_path ~parent ~base in
   let journal = journal_path ~parent ~base in
+  (* Under the crash plane the journal carries fsynced intent/commit
+     records; without one the empty journal file alone is the marker and
+     the syscall sequence stays exactly what it always was. *)
+  let durable = Kernel.durability_on (Kernel.kernel_of_env env) in
+  let jfiles = List.map (fun (n, st) -> (n, st.Fs.st_size, st.Fs.st_mtime)) ordered in
   let* jfd = Kernel.create_file env journal in
+  let intent =
+    if not durable then Ok ()
+    else
+      let* () =
+        Kernel.write_blob env jfd (journal_content ~base ~files:jfiles ~commit:false)
+      in
+      Kernel.fsync env jfd
+  in
   Kernel.close env jfd;
+  let* () = intent in
   let* _tmp_ino = Kernel.mkdir env tmp in
   maybe_crash After_mkdir;
   let rec copy_all = function
@@ -168,12 +229,30 @@ let refresh_directory env ?(order = `Size_ascending) ?(crash_at = No_crash) ~dir
   in
   let* () = Tele.span "core.fldc.utimes" (fun () -> times_all ordered) in
   maybe_crash After_utimes;
+  let* () =
+    if not durable then Ok ()
+    else begin
+      (* Persist the copied data, then the commit record.  The commit
+         reaching disk is the atomic switch: before it, repair rolls back
+         to the intact original; after it, repair rolls the rename
+         forward.  Either way no file is lost. *)
+      Kernel.sync env;
+      let* jfd = Kernel.open_file env journal in
+      let* () =
+        Kernel.write_blob env jfd (journal_content ~base ~files:jfiles ~commit:true)
+      in
+      let committed = Kernel.fsync env jfd in
+      Kernel.close env jfd;
+      committed
+    end
+  in
   let* () = Tele.span "core.fldc.delete" (fun () -> remove_dir_recursive env dir) in
   maybe_crash After_delete;
   let* () = Tele.span "core.fldc.rename" (fun () -> Kernel.rename env ~src:tmp ~dst:dir) in
   Kernel.unlink env journal
 
 let repair env ~parent =
+  let durable = Kernel.durability_on (Kernel.kernel_of_env env) in
   let* entries = Kernel.readdir env parent in
   let prefix = journal_name ^ "." in
   let journals =
@@ -183,23 +262,64 @@ let repair env ~parent =
         && String.sub n 0 (String.length prefix) = prefix)
       entries
   in
+  let fix_one jname ~base ~tmp ~orig =
+    if not durable then
+      (* legacy heuristic: no journal content to consult *)
+      match (exists env tmp, exists env orig) with
+      | true, true ->
+        (* interrupted before the delete: the original is intact, the
+           temporary copy may be partial — roll back *)
+        remove_dir_recursive env tmp
+      | true, false ->
+        (* crashed between delete and rename — roll forward *)
+        Kernel.rename env ~src:tmp ~dst:orig
+      | false, _ -> Ok ()
+    else begin
+      let committed =
+        match Kernel.open_file env (parent ^ "/" ^ jname) with
+        | Error _ -> false
+        | Ok jfd ->
+          let c =
+            match Kernel.read_blob env jfd with
+            | Ok s -> journal_committed s ~base
+            | Error _ -> false
+          in
+          Kernel.close env jfd;
+          c
+      in
+      if committed then
+        (* Roll forward.  The temporary directory still existing is the
+           discriminator: if it is gone the rename already happened and
+           only the journal needs cleaning up; if it remains, finish the
+           (possibly partial) delete of the original and rename. *)
+        if exists env tmp then
+          let* () = if exists env orig then remove_dir_recursive env orig else Ok () in
+          Kernel.rename env ~src:tmp ~dst:orig
+        else Ok ()
+      else if
+        (* Roll back: the commit never became durable (absent, torn or
+           unparseable journal — every truncation lands here), so the
+           original is authoritative and the copy is disposable. *)
+        exists env tmp
+      then
+        if exists env orig then remove_dir_recursive env tmp
+        else
+          (* defensively salvage the copy if only it survived — cannot
+             happen under the documented protocol, but a repair must
+             never strand the data it still has *)
+          Kernel.rename env ~src:tmp ~dst:orig
+      else Ok ()
+    end
+  in
   let rec fix repaired = function
     | [] -> Ok repaired
     | jname :: rest ->
-      let base = String.sub jname (String.length prefix) (String.length jname - String.length prefix) in
+      let base =
+        String.sub jname (String.length prefix) (String.length jname - String.length prefix)
+      in
       let tmp = tmp_dir_path ~parent ~base in
       let orig = parent ^ "/" ^ base in
-      let* () =
-        match (exists env tmp, exists env orig) with
-        | true, true ->
-          (* interrupted before the delete: the original is intact, the
-             temporary copy may be partial — roll back *)
-          remove_dir_recursive env tmp
-        | true, false ->
-          (* crashed between delete and rename — roll forward *)
-          Kernel.rename env ~src:tmp ~dst:orig
-        | false, _ -> Ok ()
-      in
+      let* () = fix_one jname ~base ~tmp ~orig in
       let* () = Kernel.unlink env (parent ^ "/" ^ jname) in
       fix true rest
   in

@@ -63,3 +63,31 @@ val repair : Simos.Kernel.env -> parent:string -> (bool, Simos.Kernel.error) res
 
 val journal_name : string
 (** Name of the journal file a refresh writes into the parent directory. *)
+
+val journal_path : parent:string -> base:string -> string
+(** Full path of the journal a refresh of [parent/base] uses. *)
+
+val tmp_dir_path : parent:string -> base:string -> string
+(** Full path of the temporary sibling directory the refresh copies
+    into. *)
+
+(** {1 Journal records (durable mode)}
+
+    Under the crash plane ([Simos.Kernel.durability_on]) the refresh
+    writes real intent/commit records into the journal (via the kernel's
+    blob side-band) and fsyncs them, and {!repair} consults the record to
+    choose roll-back vs roll-forward; without a plane the journal stays an
+    empty marker file and refresh/repair issue exactly the legacy syscall
+    sequence.  Exposed for the crash explorer and the torn-journal
+    tests. *)
+
+val journal_content :
+  base:string -> files:(string * int * int) list -> commit:bool -> string
+(** The exact journal image a refresh of [base] writes: magic line, base
+    line, one [file <size> <mtime> <name>] record per file, and — with
+    [commit:true] — the final commit record. *)
+
+val journal_committed : string -> base:string -> bool
+(** Whether a journal image counts as committed: well-formed end to end
+    with a final commit record.  Any torn or unparseable tail is [false]
+    (roll back).  Pure; never raises. *)

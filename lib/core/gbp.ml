@@ -64,6 +64,12 @@ let exit_code_of_error = function
    still deserves its own code in the same namespace. *)
 let exit_export_failed = 8
 
+(* Crash-injection runs (gbp --crash-at N): the machine died mid-pipeline
+   and the driver either recovered the volume to a consistent state or did
+   not — two outcomes a crash-matrix CI job must tell apart. *)
+let exit_crash_recovered = 9
+let exit_recovery_failed = 10
+
 (* One pipe transfer costs a kernel-to-user copy of the payload (writer
    copies in, reader copies out — we charge the reader side once more,
    which is the "extra copy of all data through the operating system via

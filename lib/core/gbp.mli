@@ -52,6 +52,14 @@ val exit_export_failed : int
 (** Exit code (8) for a telemetry export that could not be written —
     same namespace as {!exit_code_of_error}, next free slot. *)
 
+val exit_crash_recovered : int
+(** Exit code (9) for a [--crash-at] run: the machine died as scheduled
+    and the post-restart repair left the volume consistent. *)
+
+val exit_recovery_failed : int
+(** Exit code (10): the machine died as scheduled but recovery did not
+    restore consistency (repair error or fsck violations). *)
+
 val out :
   Simos.Kernel.env ->
   Fccd.config ->

@@ -56,6 +56,28 @@ let retry ?policy:p f =
   in
   attempt 1 p.base_backoff_ns
 
+(* Retry for non-idempotent calls under crash–restart.  A create that
+   completed durably just before a crash fails its re-issue with [Eexist];
+   [completed] recognises such an error as evidence the earlier attempt
+   took effect and supplies the result.  Crucially it is consulted only on
+   a RE-issue: the same error on the very first attempt is a genuine
+   conflict and surfaces unchanged. *)
+let retry_idempotent ?policy:p ~completed f =
+  let p = match p with Some p -> p | None -> default () in
+  let reissued = ref false in
+  let wrapped () =
+    let r = f () in
+    (match r with
+    | Error e when classify e = `Transient -> reissued := true
+    | _ -> ());
+    r
+  in
+  match retry ~policy:p wrapped with
+  | Ok v -> Ok v
+  | Error e when !reissued -> (
+    match completed e with Some v -> Ok v | None -> Error e)
+  | Error e -> Error e
+
 let reject samples =
   if Array.length samples = 0 then samples
   else begin

@@ -52,6 +52,19 @@ val retry :
 val retries_spent : policy -> int
 (** Retries this policy has performed so far (counts against [budget]). *)
 
+val retry_idempotent :
+  ?policy:policy ->
+  completed:(Simos.Kernel.error -> 'a option) ->
+  (unit -> ('a, Simos.Kernel.error) result) ->
+  ('a, Simos.Kernel.error) result
+(** {!retry} for calls that are not naturally idempotent under
+    crash–restart.  When a {e re-issued} attempt fails with a permanent
+    error that [completed] recognises as "the earlier attempt already took
+    effect" (e.g. [Eexist] from a create that became durable just before
+    the machine died), its value is returned as success.  [completed] is
+    never consulted for an error on the first attempt — that is a genuine
+    conflict, not evidence of completion. *)
+
 (** {1 Robust sample summaries}
 
     Shared by the hardened probing paths: reject outliers (a latency

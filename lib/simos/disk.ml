@@ -97,6 +97,15 @@ let access t ~now ~start_block ~nblocks =
   t.busy_ns <- t.busy_ns + service;
   completion - now
 
+(* Power-cycle: the arm homes, the track buffer empties, and any queued
+   service completes with the old machine — wall-clock restarts at 0 on the
+   fresh engine, so the busy horizon must drop too.  Lifetime transfer
+   counters survive (they describe the experiment, not the machine). *)
+let reboot t =
+  t.head_cyl <- 0;
+  t.next_sequential_block <- -1;
+  t.free_at <- 0
+
 let requests t = t.requests
 let blocks_transferred t = t.blocks
 let sequential_hits t = t.sequential

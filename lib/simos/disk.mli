@@ -49,3 +49,8 @@ val sequential_hits : t -> int
 
 val busy_ns : t -> int
 val reset_counters : t -> unit
+
+val reboot : t -> unit
+(** Power-cycle for the crash–restart plane: home the arm, drop the track
+    buffer, and clear the busy horizon (the fresh engine's clock restarts
+    at 0).  Lifetime counters survive. *)

@@ -1,4 +1,4 @@
-type target = Open | Read | Write | Stat
+type target = Open | Read | Write | Stat | Create | Unlink | Rename | Mkdir
 
 type burst = { bu_period_ns : int; bu_duration_ns : int; bu_extra_ns : int }
 

@@ -13,8 +13,11 @@
     zero extra RNG draws: benign runs are bit-identical to a build without
     this module. *)
 
-(** Syscalls eligible for transient-error injection. *)
-type target = Open | Read | Write | Stat
+(** Syscalls eligible for transient-error injection.  Namespace ops
+    ([Create]/[Unlink]/[Rename]/[Mkdir]) are absent from the canonical
+    scenario's target list — eligibility is checked before any RNG draw,
+    so adding them here does not perturb existing runs. *)
+type target = Open | Read | Write | Stat | Create | Unlink | Rename | Mkdir
 
 type burst = {
   bu_period_ns : int;  (** background-daemon cycle length *)

@@ -25,6 +25,15 @@ type inode = {
   mutable nblocks : int;
   mutable atime : int;
   mutable mtime : int;
+  mutable blob : string;  (* side-band content (journal records) *)
+  (* Durable image: the metadata as of the last fsync/sync.  The namespace
+     itself (directory entries, inode existence) is synchronous — FFS
+     writes it through at the syscall — so only per-inode write-back state
+     needs a shadow.  [Fs.crash] rolls the volatile fields back to these. *)
+  mutable dsize : int;
+  mutable datime : int;
+  mutable dmtime : int;
+  mutable dblob : string;
 }
 
 type group = {
@@ -90,7 +99,7 @@ let create cfg =
   t.total_free_inodes <- t.total_free_inodes - 1;
   Hashtbl.replace t.inodes 0
     { ino = 0; kind = Dir (Hashtbl.create 16); size = 0; blocks = [||]; nblocks = 0;
-      atime = 0; mtime = 0 };
+      atime = 0; mtime = 0; blob = ""; dsize = 0; datime = 0; dmtime = 0; dblob = "" };
   t
 
 let config t = t.cfg
@@ -236,7 +245,8 @@ let best_group_for_dir t =
 
 let add_inode t ino kind =
   Hashtbl.replace t.inodes ino
-    { ino; kind; size = 0; blocks = [||]; nblocks = 0; atime = 0; mtime = 0 }
+    { ino; kind; size = 0; blocks = [||]; nblocks = 0; atime = 0; mtime = 0;
+      blob = ""; dsize = 0; datime = 0; dmtime = 0; dblob = "" }
 
 let push_block node b =
   if node.nblocks = Array.length node.blocks then begin
@@ -447,6 +457,171 @@ let inode_block t ~ino =
   let group = ino / t.cfg.inodes_per_group in
   let slot = ino mod t.cfg.inodes_per_group in
   (group * t.cfg.blocks_per_group) + (slot / inodes_per_block)
+
+(* ---- durability ---- *)
+
+let set_blob t ~ino s =
+  match Hashtbl.find_opt t.inodes ino with
+  | None -> Error Enoent
+  | Some node -> (
+    match node.kind with
+    | Dir _ -> Error Eisdir
+    | Regular ->
+      node.blob <- s;
+      Ok ())
+
+let blob t ~ino =
+  match Hashtbl.find_opt t.inodes ino with None -> "" | Some node -> node.blob
+
+let flush_node node =
+  node.dsize <- node.size;
+  node.datime <- node.atime;
+  node.dmtime <- node.mtime;
+  node.dblob <- node.blob
+
+let fsync_ino t ~ino =
+  match Hashtbl.find_opt t.inodes ino with
+  | None -> Error Enoent
+  | Some node ->
+    flush_node node;
+    Ok ()
+
+let sync_all t = Hashtbl.iter (fun _ node -> flush_node node) t.inodes
+
+let sorted_inos t =
+  List.sort compare (Hashtbl.fold (fun ino _ acc -> ino :: acc) t.inodes [])
+
+(* The machine died: every inode's volatile fields roll back to the last
+   flushed image.  Sizes shrink (writes only ever grow files and [dsize]
+   trails [size]), freeing tail blocks, exactly as a real fsck truncates a
+   file to the length its durable inode records.  Allocator cursors reset
+   as on a fresh mount, so post-crash allocation is first-fit from slot 0. *)
+let crash t =
+  List.iter
+    (fun ino ->
+      let node = get_inode t ino in
+      (match node.kind with
+      | Regular when node.size <> node.dsize -> (
+        match resize t ~ino ~size:node.dsize with
+        | Ok () -> ()
+        | Error _ -> assert false (* dsize <= size: shrinking cannot fail *))
+      | Regular | Dir _ -> ());
+      node.atime <- node.datime;
+      node.mtime <- node.dmtime;
+      node.blob <- node.dblob)
+    (sorted_inos t);
+  Array.iter
+    (fun g ->
+      g.rotor <- 0;
+      g.inode_hint <- 0)
+    t.groups
+
+(* ---- fsck ---- *)
+
+(* Full-volume consistency check, used by the crash explorer as the ground
+   invariant after every crash+repair.  Deterministic: inodes and bitmaps
+   are scanned in sorted order, so the message list is reproducible. *)
+let check t =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let cfg = t.cfg in
+  (* namespace: every inode reachable from the root exactly once *)
+  let reached = Hashtbl.create 64 in
+  let rec visit path ino =
+    if Hashtbl.mem reached ino then add "inode %d double-linked at %s" ino path
+    else begin
+      Hashtbl.replace reached ino ();
+      match Hashtbl.find_opt t.inodes ino with
+      | None -> add "dangling entry %s -> missing inode %d" path ino
+      | Some node -> (
+        match node.kind with
+        | Regular -> ()
+        | Dir entries ->
+          let names =
+            List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) entries [])
+          in
+          List.iter
+            (fun name -> visit (path ^ "/" ^ name) (Hashtbl.find entries name))
+            names)
+    end
+  in
+  visit "" t.root;
+  List.iter
+    (fun ino -> if not (Hashtbl.mem reached ino) then add "orphan inode %d" ino)
+    (sorted_inos t);
+  (* inode bitmaps: table contents, per-group counts, global count *)
+  List.iter
+    (fun ino ->
+      let g = t.groups.(ino / cfg.inodes_per_group) in
+      if not g.inode_used.(ino mod cfg.inodes_per_group) then
+        add "inode %d exists but its slot is free in the bitmap" ino)
+    (sorted_inos t);
+  let total_free_inodes = ref 0 in
+  Array.iter
+    (fun g ->
+      let used = ref 0 in
+      Array.iteri
+        (fun slot u ->
+          if u then begin
+            incr used;
+            let ino = (g.index * cfg.inodes_per_group) + slot in
+            if not (Hashtbl.mem t.inodes ino) then
+              add "inode slot %d allocated but no inode exists" ino
+          end)
+        g.inode_used;
+      let free = cfg.inodes_per_group - !used in
+      if free <> g.inode_free then
+        add "group %d: inode free count %d but bitmap says %d" g.index g.inode_free free;
+      total_free_inodes := !total_free_inodes + g.inode_free)
+    t.groups;
+  if !total_free_inodes <> t.total_free_inodes then
+    add "total free inodes %d but groups sum to %d" t.total_free_inodes !total_free_inodes;
+  (* block ownership: in range, allocated, owned exactly once; and sizes
+     agree with block counts *)
+  let owner = Hashtbl.create 1024 in
+  List.iter
+    (fun ino ->
+      let node = get_inode t ino in
+      (match node.kind with
+      | Regular when node.nblocks <> pages_needed node.size ->
+        add "inode %d: %d blocks for size %d" ino node.nblocks node.size
+      | Regular | Dir _ -> ());
+      for i = 0 to node.nblocks - 1 do
+        let b = node.blocks.(i) in
+        if b < 0 || b >= cfg.total_blocks then add "inode %d: block %d out of range" ino b
+        else begin
+          (match Hashtbl.find_opt owner b with
+          | Some other -> add "block %d owned by inodes %d and %d" b other ino
+          | None -> Hashtbl.replace owner b ino);
+          let g = group_of_block t b in
+          let offset = b - g.first_block in
+          if offset < 0 || offset >= g.data_blocks then
+            add "inode %d: block %d lies in an inode-table region" ino b
+          else if not g.block_used.(offset) then
+            add "inode %d: block %d is free in the bitmap" ino b
+        end
+      done)
+    (sorted_inos t);
+  let total_free_blocks = ref 0 in
+  Array.iter
+    (fun g ->
+      let used = ref 0 in
+      Array.iteri
+        (fun offset u ->
+          if u then begin
+            incr used;
+            let b = g.first_block + offset in
+            if not (Hashtbl.mem owner b) then add "block %d allocated but unowned" b
+          end)
+        g.block_used;
+      let free = g.data_blocks - !used in
+      if free <> g.block_free then
+        add "group %d: block free count %d but bitmap says %d" g.index g.block_free free;
+      total_free_blocks := !total_free_blocks + g.block_free)
+    t.groups;
+  if !total_free_blocks <> t.total_free_blocks then
+    add "total free blocks %d but groups sum to %d" t.total_free_blocks !total_free_blocks;
+  List.rev !problems
 
 (* ---- introspection ---- *)
 

@@ -89,6 +89,40 @@ val inode_block : t -> ino:int -> int
 
 val group_of_ino : int -> inodes_per_group:int -> int
 
+(** {1 Durability}
+
+    Namespace operations (create/unlink/rename/mkdir) are synchronous:
+    they are durable at the syscall, FFS-style.  Per-inode write-back
+    state — file size (and hence data blocks), times, and the side-band
+    {!set_blob} content — is volatile until flushed by {!fsync_ino} or
+    {!sync_all}.  {!crash} discards the volatile image. *)
+
+val set_blob : t -> ino:int -> string -> (unit, error) result
+(** Replace a regular file's side-band content (journal records live
+    here).  [Eisdir] for directories, [Enoent] for missing inodes. *)
+
+val blob : t -> ino:int -> string
+(** Current (volatile) side-band content; [""] for unknown inodes. *)
+
+val fsync_ino : t -> ino:int -> (unit, error) result
+(** Make one inode's size, times and blob durable. *)
+
+val sync_all : t -> unit
+(** {!fsync_ino} for every inode (the [sync] syscall). *)
+
+val crash : t -> unit
+(** Roll every inode's volatile fields back to its durable image —
+    shrinking files to their flushed size and freeing the tail blocks —
+    and reset the allocator cursors as on a fresh mount.  The namespace
+    itself survives. *)
+
+val check : t -> string list
+(** Full-volume fsck: namespace reachability (no orphans, no double
+    links, no dangling entries), inode-bitmap and free-count consistency,
+    and block ownership (every file block in range, allocated, owned
+    exactly once; sizes agree with block counts).  Returns a
+    deterministic list of violations, [[]] when consistent. *)
+
 (** {1 Introspection (white-box; used by tests and benches only)} *)
 
 val layout_of_file : t -> ino:int -> int array

@@ -42,7 +42,7 @@ type mutable_counters = {
 }
 
 type t = {
-  k_engine : Engine.t;
+  mutable k_engine : Engine.t;  (* replaced wholesale by [restart] *)
   k_platform : Platform.t;
   k_volumes : volume array;
   k_swap : Disk.t;
@@ -54,6 +54,7 @@ type t = {
   mutable k_next_pid : int;
   k_ctr : mutable_counters;
   k_faults : Fault.t option;
+  k_crash : Crash.t option;
 }
 
 type env = { e_k : t; e_proc : proc }
@@ -69,7 +70,7 @@ let vol_of_gino gino = gino lsr vol_shift
 let local_ino_of_gino gino = gino land (meta_bit - 1)
 let gino_is_meta gino = gino land meta_bit <> 0
 
-let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ?faults ~seed () =
+let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ?faults ?crash ~seed () =
   if data_disks < 1 then invalid_arg "Kernel.boot: need at least one data disk";
   let make_volume _ =
     let disk = Disk.create platform.Platform.disk in
@@ -113,6 +114,12 @@ let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ?faults ~seed () =
              runs any unsuspecting boot under fault injection, which is how
              CI keeps the resilience paths exercised *)
           Option.map Fault.create (Fault.of_env ())));
+    k_crash =
+      (match crash with
+      | Some scenario -> Some (Crash.create scenario)
+      | None ->
+        (* GRAYBOX_CRASH=durable|at:N|<p> — same opt-in pattern *)
+        Option.map Crash.create (Crash.of_env ()));
   }
 
 let engine t = t.k_engine
@@ -195,6 +202,44 @@ let spawn t ?(name = "proc") ?at body =
 
 let run t = Engine.run t.k_engine
 
+(* ---- crash plane ---- *)
+
+let crash_plane t = t.k_crash
+let durability_on t = t.k_crash <> None
+
+(* One syscall boundary.  Ticked at syscall {e entry}, so "crash at
+   boundary N" means syscalls 1..N-1 completed and syscall N never
+   started.  [Crash.Crashed] unwinds through the fiber's [Fun.protect]
+   finalisers (descriptor tables, regions, the proc entry) and surfaces
+   from [run] as [Engine.Fiber_crash]. *)
+let crash_tick env =
+  match env.e_k.k_crash with
+  | None -> ()
+  | Some c -> if Crash.tick c then raise Crash.Crashed
+
+(* Whole-machine restart after a crash: volatile state (page cache,
+   anonymous memory, swap residency, processes) is discarded, each
+   volume's file system rolls back to its durable image, and the device
+   timelines reset with the fresh engine's clock.  Counters and RNG
+   streams survive — they describe the experiment, not the machine. *)
+let restart t =
+  ignore (Memory.invalidate_if t.k_mem (fun _ -> true));
+  Page.Tbl.reset t.k_swapped;
+  Hashtbl.reset t.k_procs;
+  Array.iter
+    (fun v ->
+      Fs.crash v.v_fs;
+      Disk.reboot v.v_disk)
+    t.k_volumes;
+  Disk.reboot t.k_swap;
+  Resource.reboot t.k_cpu;
+  t.k_engine <- Engine.create ();
+  match t.k_crash with
+  | None -> ()
+  | Some c ->
+    Crash.disarm c;
+    Crash.note_restart c
+
 (* ---- time and cost plumbing ---- *)
 
 let quantise resolution ns = if resolution <= 1 then ns else ns / resolution * resolution
@@ -241,6 +286,10 @@ let target_name = function
   | Fault.Read -> "read"
   | Fault.Write -> "write"
   | Fault.Stat -> "stat"
+  | Fault.Create -> "create"
+  | Fault.Unlink -> "unlink"
+  | Fault.Rename -> "rename"
+  | Fault.Mkdir -> "mkdir"
 
 let injected env target =
   match env.e_k.k_faults with
@@ -357,6 +406,7 @@ let alloc_fd env ~vol ~ino =
   fd
 
 let open_file env path =
+  crash_tick env;
   if injected env Fault.Open then fail_transient env
   else
   simple_path_call env ~name:"simos.kernel.open" path (fun vol rest now ->
@@ -368,13 +418,18 @@ let open_file env path =
         (Ok (alloc_fd env ~vol ~ino), now))
 
 let create_file env path =
+  crash_tick env;
+  if injected env Fault.Create then fail_transient env
+  else
   simple_path_call env ~name:"simos.kernel.create" path (fun vol rest now ->
       let fs = env.e_k.k_volumes.(vol).v_fs in
       match Fs.create_file fs rest with
       | Error e -> (Error (Fs_error e), now)
       | Ok ino -> (Ok (alloc_fd env ~vol ~ino), now))
 
-let close env fd = Hashtbl.remove env.e_proc.p_fds fd
+let close env fd =
+  crash_tick env;
+  Hashtbl.remove env.e_proc.p_fds fd
 
 let find_fd env fd =
   match Hashtbl.find_opt env.e_proc.p_fds fd with
@@ -455,6 +510,7 @@ let io_pages env ~vol ~ino ~off ~len ~write =
 
 let read env fd ~off ~len =
   if off < 0 || len < 0 then invalid_arg "Kernel.read: negative offset or length";
+  crash_tick env;
   if injected env Fault.Read then fail_transient env
   else
   match find_fd env fd with
@@ -480,6 +536,7 @@ let read env fd ~off ~len =
 
 let write env fd ~off ~len =
   if off < 0 || len < 0 then invalid_arg "Kernel.write: negative offset or length";
+  crash_tick env;
   if injected env Fault.Write then fail_transient env
   else
   match find_fd env fd with
@@ -505,10 +562,16 @@ let write env fd ~off ~len =
       Ok len)
 
 let mkdir env path =
+  crash_tick env;
+  if injected env Fault.Mkdir then fail_transient env
+  else
   simple_path_call env ~name:"simos.kernel.mkdir" path (fun vol rest now ->
       (lift_fs (Result.map ignore (Fs.mkdir env.e_k.k_volumes.(vol).v_fs rest)), now))
 
 let unlink env path =
+  crash_tick env;
+  if injected env Fault.Unlink then fail_transient env
+  else
   simple_path_call env ~name:"simos.kernel.unlink" path (fun vol rest now ->
       let t = env.e_k in
       let fs = t.k_volumes.(vol).v_fs in
@@ -528,6 +591,9 @@ let unlink env path =
           (Ok (), now)))
 
 let rename env ~src ~dst =
+  crash_tick env;
+  if injected env Fault.Rename then fail_transient env
+  else
   match resolve_path env.e_k src, resolve_path env.e_k dst with
   | Error e, _ | _, Error e -> Error e
   | Ok (v1, r1), Ok (v2, r2) ->
@@ -538,6 +604,7 @@ let rename env ~src ~dst =
           (lift_fs (Fs.rename env.e_k.k_volumes.(v1).v_fs ~src:r1 ~dst:r2), now))
 
 let readdir env path =
+  crash_tick env;
   simple_path_call env ~name:"simos.kernel.readdir" path (fun vol rest now ->
       let fs = env.e_k.k_volumes.(vol).v_fs in
       match Fs.readdir fs rest with
@@ -545,6 +612,7 @@ let readdir env path =
       | Ok names -> (Ok names, now))
 
 let stat env path =
+  crash_tick env;
   if injected env Fault.Stat then fail_transient env
   else
   simple_path_call env ~name:"simos.kernel.stat" path (fun vol rest now ->
@@ -556,6 +624,7 @@ let stat env path =
         (Ok st, now))
 
 let utimes env path ~atime ~mtime =
+  crash_tick env;
   simple_path_call env ~name:"simos.kernel.utimes" path (fun vol rest now ->
       let fs = env.e_k.k_volumes.(vol).v_fs in
       match Fs.lookup fs rest with
@@ -564,10 +633,165 @@ let utimes env path ~atime ~mtime =
         let now = inode_read env ~now ~vol ~ino in
         (lift_fs (Fs.set_times fs ~ino ~atime ~mtime), now))
 
+(* ---- durability syscalls ---- *)
+
+(* With no crash plane installed there is no durable/volatile distinction
+   to maintain: fsync and sync are free no-ops (no delay, no RNG draw, no
+   cache traffic), keeping benign runs byte-identical to a build without
+   this plane.  With a plane, they walk the page cache and write dirty
+   pages back in place, batching physically contiguous blocks exactly as
+   the read path batches fetches. *)
+
+let fsync env fd =
+  crash_tick env;
+  match find_fd env fd with
+  | Error e -> Error e
+  | Ok { of_vol; of_ino } ->
+    let t = env.e_k in
+    if t.k_crash = None then Ok ()
+    else begin
+      let v = t.k_volumes.(of_vol) in
+      let gino = global_ino t ~volume:of_vol ~ino:of_ino in
+      let pool = Memory.file_pool t.k_mem in
+      let t0 = Engine.now t.k_engine in
+      let now = ref (start_call env) in
+      let pending_start = ref (-1) and pending_count = ref 0 in
+      let flush_pending () =
+        if !pending_count > 0 then begin
+          now :=
+            !now
+            + Disk.access v.v_disk ~now:!now ~start_block:!pending_start
+                ~nblocks:!pending_count;
+          t.k_ctr.m_file_writebacks <- t.k_ctr.m_file_writebacks + !pending_count;
+          pending_start := -1;
+          pending_count := 0
+        end
+      in
+      for idx = 0 to Fs.pages_of_file v.v_fs ~ino:of_ino - 1 do
+        let key = Page.File { ino = gino; idx } in
+        if Pool.is_dirty pool key then begin
+          (match Fs.block_of_page v.v_fs ~ino:of_ino ~idx with
+          | None -> ()
+          | Some b ->
+            if !pending_count > 0 && b = !pending_start + !pending_count then
+              incr pending_count
+            else begin
+              flush_pending ();
+              pending_start := b;
+              pending_count := 1
+            end);
+          Pool.clean pool key
+        end
+      done;
+      flush_pending ();
+      (* the inode itself (size, times, blob) goes out last *)
+      now :=
+        !now
+        + Disk.access v.v_disk ~now:!now
+            ~start_block:(Fs.inode_block v.v_fs ~ino:of_ino)
+            ~nblocks:1;
+      (match Fs.fsync_ino v.v_fs ~ino:of_ino with Ok () -> () | Error _ -> ());
+      finish_call env ~t0 ~now:!now;
+      (match Tele.active () with
+      | None -> ()
+      | Some s ->
+        Tele.span_end s "simos.kernel.fsync" ~ts:t0
+          ~attrs:(fun () -> [ ("ino", Tele.Int of_ino) ]));
+      Ok ()
+    end
+
+let sync env =
+  crash_tick env;
+  let t = env.e_k in
+  match t.k_crash with
+  | None -> ()
+  | Some _ ->
+    let pool = Memory.file_pool t.k_mem in
+    let t0 = Engine.now t.k_engine in
+    let now = ref (start_call env) in
+    (* Collect dirty file pages with a backing block, then write them out
+       sorted (volume, block): an elevator pass, contiguous runs batched. *)
+    let dirty = ref [] in
+    Pool.iter pool (fun key ->
+        match key with
+        | Page.File { ino = gino; idx } when Pool.is_dirty pool key ->
+          let vol = vol_of_gino gino in
+          let block =
+            if gino_is_meta gino then Some idx
+            else Fs.block_of_page t.k_volumes.(vol).v_fs ~ino:(local_ino_of_gino gino) ~idx
+          in
+          (match block with None -> () | Some b -> dirty := (vol, b, key) :: !dirty)
+        | Page.File _ | Page.Anon _ -> ());
+    let pending_vol = ref (-1) and pending_start = ref (-1) and pending_count = ref 0 in
+    let flush_pending () =
+      if !pending_count > 0 then begin
+        let v = t.k_volumes.(!pending_vol) in
+        now :=
+          !now
+          + Disk.access v.v_disk ~now:!now ~start_block:!pending_start
+              ~nblocks:!pending_count;
+        t.k_ctr.m_file_writebacks <- t.k_ctr.m_file_writebacks + !pending_count;
+        pending_count := 0
+      end
+    in
+    List.iter
+      (fun (vol, b, key) ->
+        if !pending_count > 0 && vol = !pending_vol
+           && b = !pending_start + !pending_count
+        then incr pending_count
+        else begin
+          flush_pending ();
+          pending_vol := vol;
+          pending_start := b;
+          pending_count := 1
+        end;
+        Pool.clean pool key)
+      (List.sort compare !dirty);
+    flush_pending ();
+    Array.iter (fun v -> Fs.sync_all v.v_fs) t.k_volumes;
+    finish_call env ~t0 ~now:!now;
+    (match Tele.active () with
+    | None -> ()
+    | Some s -> Tele.span_end s "simos.kernel.sync" ~ts:t0)
+
+(* Side-band whole-file content (the FLDC journal records): replaces the
+   file's blob without touching its block layout.  Volatile until fsynced,
+   like any other write. *)
+let write_blob env fd s =
+  crash_tick env;
+  match find_fd env fd with
+  | Error e -> Error e
+  | Ok { of_vol; of_ino } ->
+    let t = env.e_k in
+    let fs = t.k_volumes.(of_vol).v_fs in
+    (match Fs.set_blob fs ~ino:of_ino s with
+    | Error e -> Error (Fs_error e)
+    | Ok () ->
+      Fs.mark_mtime fs ~ino:of_ino ~now:(Engine.now t.k_engine);
+      Engine.delay
+        (noised t
+           (t.k_platform.Platform.syscall_overhead_ns + copy_cost t (String.length s)));
+      Ok ())
+
+let read_blob env fd =
+  crash_tick env;
+  match find_fd env fd with
+  | Error e -> Error e
+  | Ok { of_vol; of_ino } ->
+    let t = env.e_k in
+    let fs = t.k_volumes.(of_vol).v_fs in
+    let s = Fs.blob fs ~ino:of_ino in
+    Fs.mark_atime fs ~ino:of_ino ~now:(Engine.now t.k_engine);
+    Engine.delay
+      (noised t
+         (t.k_platform.Platform.syscall_overhead_ns + copy_cost t (String.length s)));
+    Ok s
+
 (* ---- memory syscalls ---- *)
 
 let valloc env ~pages =
   if pages <= 0 then invalid_arg "Kernel.valloc: pages must be positive";
+  crash_tick env;
   let proc = env.e_proc in
   let region =
     { r_owner = proc.p_pid; r_start_vpn = proc.p_next_vpn; r_pages = pages; r_live = true }
@@ -579,6 +803,7 @@ let valloc env ~pages =
 
 let vfree env region =
   if region.r_owner <> env.e_proc.p_pid then invalid_arg "Kernel.vfree: not the owner";
+  crash_tick env;
   if region.r_live then begin
     region.r_live <- false;
     let t = env.e_k in
@@ -603,6 +828,7 @@ let vrelease env region ~first ~count =
   if not region.r_live then invalid_arg "Kernel.vrelease: region freed";
   if first < 0 || count < 0 || first + count > region.r_pages then
     invalid_arg "Kernel.vrelease: out of range";
+  crash_tick env;
   let t = env.e_k in
   let lo = region.r_start_vpn + first and hi = region.r_start_vpn + first + count in
   let in_range = function
@@ -621,6 +847,7 @@ let touch_pages env region ~first ~count =
     invalid_arg "Kernel.touch_pages: not the owner";
   if first < 0 || count < 0 || first + count > region.r_pages then
     invalid_arg "Kernel.touch_pages: out of range";
+  crash_tick env;
   let t = env.e_k in
   let plat = t.k_platform in
   let resolution = timer_resolution t in
@@ -679,6 +906,7 @@ let touch_pages env region ~first ~count =
 type vmstat = { vm_page_ins : int; vm_page_outs : int }
 
 let vmstat env =
+  crash_tick env;
   let t = env.e_k in
   Engine.delay (noised t t.k_platform.Platform.syscall_overhead_ns);
   { vm_page_ins = t.k_ctr.m_page_ins; vm_page_outs = t.k_ctr.m_page_outs }
@@ -687,6 +915,7 @@ let vmstat env =
 
 let compute env ~ns =
   if ns < 0 then invalid_arg "Kernel.compute: negative duration";
+  crash_tick env;
   let t = env.e_k in
   let duration = noised t ns in
   Engine.delay (Resource.acquire t.k_cpu ~now:(Engine.now t.k_engine) ~duration)

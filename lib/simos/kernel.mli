@@ -35,13 +35,17 @@ val boot :
   ?data_disks:int ->
   ?volume_blocks:int ->
   ?faults:Fault.scenario ->
+  ?crash:Crash.scenario ->
   seed:int ->
   unit ->
   t
 (** [data_disks] defaults to 4 (paper setup); [volume_blocks] defaults to
     the disk capacity.  [faults] installs a fault-injection scenario
     (default: the platform's [faults] field, usually none); when absent the
-    kernel performs no fault-related work at all. *)
+    kernel performs no fault-related work at all.  [crash] installs the
+    crash–restart plane (default: [GRAYBOX_CRASH] from the environment);
+    when absent there is no durability distinction and no per-syscall
+    work — see {!durability_on}. *)
 
 val engine : t -> Engine.t
 val platform : t -> Platform.t
@@ -99,6 +103,31 @@ val stat : env -> string -> (Fs.stat_info, error) result
 
 val utimes : env -> string -> atime:int -> mtime:int -> (unit, error) result
 
+(** {1 Durability syscalls}
+
+    Only meaningful under the crash plane: namespace operations are always
+    durable at the syscall (FFS-style synchronous metadata), while file
+    data, sizes, times and blobs are write-back and survive a crash only
+    once flushed.  Without a plane installed, {!fsync} and {!sync} are
+    free no-ops — there is nothing to be durable against. *)
+
+val fsync : env -> fd -> (unit, error) result
+(** Write back the file's dirty pages (batching contiguous blocks) and
+    its inode; on return the file's durable image equals its volatile
+    one. *)
+
+val sync : env -> unit
+(** {!fsync} for the whole machine: every dirty file page, every volume,
+    one elevator pass per volume, then all metadata. *)
+
+val write_blob : env -> fd -> string -> (unit, error) result
+(** Replace the file's side-band content (the FLDC journal records live
+    here) — volatile until {!fsync}ed, like any write.  Charged one
+    syscall plus a memcopy of the string. *)
+
+val read_blob : env -> fd -> (string, error) result
+(** Current (volatile) side-band content; [""] if never written. *)
+
 (** {1 Memory syscalls} *)
 
 type region
@@ -152,6 +181,24 @@ val start_fault_daemons : t -> unit
 
 val stop_faults : t -> unit
 (** Ask the fault daemons to exit at their next wake-up. *)
+
+(** {1 Crash plane (experiment control, not for ICLs)} *)
+
+val crash_plane : t -> Crash.t option
+
+val durability_on : t -> bool
+(** Whether a crash plane is installed.  ICL code uses this to decide
+    whether to pay for journaling + fsync (under a plane, where crashes
+    are possible) or to run the plain legacy path (without one, where the
+    extra syscalls would change benign-run behaviour for nothing). *)
+
+val restart : t -> unit
+(** Reboot after a crash: discard all volatile state (page cache,
+    anonymous memory, swap residency, processes), roll every volume back
+    to its durable image ({!Fs.crash}), reset device timelines, and
+    install a fresh engine at time 0.  The crash plane is disarmed; spawn
+    recovery processes and {!run} again.  Counters and RNG streams
+    survive. *)
 
 (** {1 Experiment control (used between runs, not by ICLs)} *)
 

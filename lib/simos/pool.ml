@@ -134,6 +134,10 @@ let is_dirty t key =
   let (module P : Replacement.POLICY) = t.policy in
   P.is_dirty key
 
+let clean t key =
+  let (module P : Replacement.POLICY) = t.policy in
+  P.clean key
+
 let iter t f =
   let (module P : Replacement.POLICY) = t.policy in
   P.iter f

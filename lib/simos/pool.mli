@@ -82,6 +82,11 @@ val drop_all : t -> unit
 (** Flush the pool (the experiments' "flush the file cache" step). *)
 
 val is_dirty : t -> Page.key -> bool
+
+val clean : t -> Page.key -> unit
+(** Drop a resident page's dirty bit in place (fsync wrote it back); the
+    page stays resident. *)
+
 val iter : t -> (Page.key -> unit) -> unit
 
 (** {1 Counters} *)

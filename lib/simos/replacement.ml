@@ -6,6 +6,7 @@ module type POLICY = sig
   val insert : Page.key -> dirty:bool -> unit
   val evict : (Page.key -> dirty:bool -> unit) -> bool
   val remove : Page.key -> unit
+  val clean : Page.key -> unit
   val size : unit -> int
   val iter : (Page.key -> unit) -> unit
 end
@@ -99,6 +100,13 @@ let tbl_is_dirty tbl key =
   | exception Not_found -> false
   | node -> node.Dll.dirty
 
+(* Writeback without eviction (fsync): the page stays resident in place,
+   only its dirty bit drops.  Unknown keys are ignored. *)
+let tbl_clean tbl key =
+  match find_node tbl key with
+  | exception Not_found -> ()
+  | node -> node.Dll.dirty <- false
+
 (* LRU and MRU share everything except which end of the list the victim
    comes from. *)
 let list_policy ~policy_name ~victim_end () : t =
@@ -138,6 +146,7 @@ let list_policy ~policy_name ~victim_end () : t =
         Dll.unlink list node;
         Page.Tbl.remove tbl key
 
+    let clean key = tbl_clean tbl key
     let size () = list.Dll.count
     let iter f = Dll.iter list (fun node -> f node.Dll.key)
   end)
@@ -181,6 +190,7 @@ let fifo ~capacity:_ : t =
         Dll.unlink list node;
         Page.Tbl.remove tbl key
 
+    let clean key = tbl_clean tbl key
     let size () = list.Dll.count
     let iter f = Dll.iter list (fun node -> f node.Dll.key)
   end)
@@ -244,6 +254,7 @@ let clock ~capacity:_ : t =
         Dll.unlink list node;
         Page.Tbl.remove tbl key
 
+    let clean key = tbl_clean tbl key
     let size () = list.Dll.count
     let iter f = Dll.iter list (fun node -> f node.Dll.key)
   end)
@@ -307,6 +318,7 @@ let two_q ~capacity : t =
         Dll.unlink (if node.Dll.tag = tag_probation then probation else main) node;
         Page.Tbl.remove where key
 
+    let clean key = tbl_clean where key
     let size () = probation.Dll.count + main.Dll.count
 
     let iter f =
@@ -372,6 +384,7 @@ let segmented_lru ~capacity : t =
         Dll.unlink (if node.Dll.tag = tag_probation then probation else protected_) node;
         Page.Tbl.remove where key
 
+    let clean key = tbl_clean where key
     let size () = probation.Dll.count + protected_.Dll.count
 
     let iter f =
@@ -484,6 +497,7 @@ let eelru ~capacity : t =
         Dll.unlink (if node.Dll.tag = tag_early then early else late) node;
         Page.Tbl.remove where key
 
+    let clean key = tbl_clean where key
     let size () = early.Dll.count + late.Dll.count
 
     let iter f =

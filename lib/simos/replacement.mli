@@ -42,6 +42,11 @@ module type POLICY = sig
       callback form keeps the per-eviction path allocation-free. *)
 
   val remove : Page.key -> unit
+
+  val clean : Page.key -> unit
+  (** Drop a resident key's dirty bit without evicting it (writeback in
+      place — the fsync path).  Unknown keys are ignored. *)
+
   val size : unit -> int
   val iter : (Page.key -> unit) -> unit
 end

@@ -17,3 +17,7 @@ let acquire t ~now ~duration =
   completion - now
 
 let busy_ns t = t.busy_ns
+
+(* Crash–restart: in-flight work dies with the machine and the fresh
+   engine's clock starts at 0, so every slot becomes free immediately. *)
+let reboot t = Array.fill t.free_at 0 (Array.length t.free_at) 0

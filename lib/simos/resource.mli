@@ -15,3 +15,7 @@ val acquire : t -> now:int -> duration:int -> int
 
 val busy_ns : t -> int
 (** Total reserved service time so far. *)
+
+val reboot : t -> unit
+(** Crash–restart: free every slot immediately (in-flight work died with
+    the machine; the fresh engine's clock restarts at 0). *)

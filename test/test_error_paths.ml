@@ -83,7 +83,10 @@ let test_exit_codes_distinct_and_nonzero () =
       Kernel.Fs_error Fs.Enospc;
     ]
   in
-  let codes = List.map Gbp.exit_code_of_error errors in
+  let codes =
+    List.map Gbp.exit_code_of_error errors
+    @ [ Gbp.exit_export_failed; Gbp.exit_crash_recovered; Gbp.exit_recovery_failed ]
+  in
   List.iter
     (fun c -> Alcotest.(check bool) "not 0 or 1" true (c <> 0 && c <> 1))
     codes;

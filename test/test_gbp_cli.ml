@@ -124,10 +124,15 @@ let test_gbp_exit_codes_distinct () =
         Kernel.Fs_error Fs.Enospc;
       ]
   in
-  let all = (1 :: kernel_codes) @ [ Gbp.exit_export_failed ] in
+  let all =
+    (1 :: kernel_codes)
+    @ [ Gbp.exit_export_failed; Gbp.exit_crash_recovered; Gbp.exit_recovery_failed ]
+  in
   Alcotest.(check int) "all exit codes distinct" (List.length all)
     (List.length (List.sort_uniq compare all));
-  Alcotest.(check int) "export failure is 8" 8 Gbp.exit_export_failed
+  Alcotest.(check int) "export failure is 8" 8 Gbp.exit_export_failed;
+  Alcotest.(check int) "crash recovered is 9" 9 Gbp.exit_crash_recovered;
+  Alcotest.(check int) "recovery failed is 10" 10 Gbp.exit_recovery_failed
 
 let suite =
   [

@@ -293,6 +293,7 @@ let lying_policy : Replacement.factory =
     let insert _ ~dirty:_ = ()
     let evict _ = false
     let remove _ = ()
+    let clean _ = ()
     let size () = 42
     let iter _ = ()
   end : Replacement.POLICY)
