@@ -72,10 +72,11 @@ let register_engine engine =
   | None -> ()
   | Some engines -> engines := engine :: !engines
 
-let boot ?(platform = Platform.linux_2_2) ?(data_disks = 4) ?(seed = 42) ?faults () =
+let boot ?(platform = Platform.linux_2_2) ?(data_disks = 4) ?(seed = 42) ?faults
+    ?drift () =
   let engine = Engine.create () in
   register_engine engine;
-  Kernel.boot ~engine ~platform ~data_disks ~seed ?faults ()
+  Kernel.boot ~engine ~platform ~data_disks ~seed ?faults ?drift ()
 
 (* Run one simulated process to completion and return its result. *)
 let in_proc k body =

@@ -1,0 +1,342 @@
+(* Accuracy over time under environment drift: frozen vs self-healing ICLs.
+
+   The drift plane changes the machine mid-run; a frozen ICL keeps using
+   its boot-time calibration, the adaptive wrapper (Graybox_core.Adaptive)
+   spot-checks its own assumptions, re-calibrates when stale, and blends
+   fresh measurements with its priors.  Two tracks:
+
+   - FCCD: a pressure regime and two cache resizes reshuffle which files
+     are cached.  Each round measures Spearman rho between the ICL's
+     stored probe-time estimates and the white-box truth (uncached
+     fraction per file, taken BEFORE any probes).  The frozen variant
+     ranks from its t=1s probe forever; the adaptive one spot-probes a
+     rotating subset each round.
+
+   - MAC: a 1000x timer coarsening (100 ns cycle counter -> 100 us jiffy)
+     invalidates the boot-time slow threshold: every resident touch then
+     quantises above it, so frozen gb_alloc refuses memory that is
+     actually free.  Accuracy is 1 - |granted - truth| / usable.
+
+   A third task drives the adaptive MAC with a zero re-calibration budget
+   through the same drift and asserts that it degrades into the distinct
+   `Stale_budget_exhausted error rather than thrashing or lying.
+
+   Every (variant, seed) trial is its own kernel + drift schedule, so the
+   curves are deterministic at any -j.  This experiment is NOT part of the
+   default set: drift must stay opt-in so the default suite's output is
+   byte-identical with the plane compiled in. *)
+
+open Simos
+open Graybox_core
+open Bench_common
+
+let platform =
+  Platform.with_noise
+    { Platform.linux_2_2 with Platform.memory_mib = 96; kernel_reserved_mib = 32 }
+    ~sigma:0.05
+
+(* The FCCD track runs on a tighter machine (16 MiB usable = exactly the
+   file population) so the pressure regime and cache shrink genuinely
+   evict warmed files — on the 64 MiB machine the events never bite. *)
+let fccd_platform =
+  Platform.with_noise
+    { Platform.linux_2_2 with Platform.memory_mib = 48; kernel_reserved_mib = 32 }
+    ~sigma:0.05
+
+let sec = 1_000_000_000
+
+let wait_until k ts =
+  let now = Engine.now (Kernel.engine k) in
+  if now < ts then Engine.delay (ts - now)
+
+(* ---- FCCD: rank accuracy over a reshuffling cache ---- *)
+
+let fccd_events =
+  [
+    { Drift.dv_at_ns = 5 * sec; dv_kind = Drift.Pressure_level 0.35 };
+    { Drift.dv_at_ns = 11 * sec; dv_kind = Drift.Cache_resize 0.4 };
+    { Drift.dv_at_ns = 17 * sec; dv_kind = Drift.Cache_resize 2.0 };
+  ]
+
+let fccd_scenario ~seed =
+  {
+    Drift.dr_name = "bench-fccd";
+    dr_seed = seed;
+    dr_retouch_ns = 100_000_000;
+    dr_horizon_ns = 26 * sec;
+    dr_events = fccd_events;
+  }
+
+(* measurement rounds: every 2 s from t=1 s, straddling all three events *)
+let fccd_round_ts = List.init 13 (fun i -> (1 + (2 * i)) * sec)
+let fccd_rounds = List.length fccd_round_ts
+
+let fccd_config ~seed =
+  {
+    (Fccd.default_config ~seed:(seed + 7) ()) with
+    Fccd.access_unit = 1 * mib;
+    prediction_unit = 256 * 1024;
+  }
+
+(* One trial = one kernel; returns per-round rho for one variant.  A
+   background reader keeps a hot set resident — even-indexed files until
+   t=9 s, odd-indexed ones after — while the drift plane decides how much
+   of a hot set can fit at all.  Truth is read before the round's probes
+   so the probes' own page-ins cannot flatter the prediction. *)
+let hot_shift_ns = 9 * sec
+
+let fccd_trial ~variant ~seed =
+  let k =
+    boot ~platform:fccd_platform ~data_disks:1 ~seed ~drift:(fccd_scenario ~seed)
+      ()
+  in
+  Kernel.start_drift_daemon k;
+  let accs = Array.make fccd_rounds 0.0 in
+  let paths_cell = ref [] in
+  Kernel.spawn k ~name:"reader" (fun env ->
+      let paths =
+        Gray_apps.Workload.make_files env ~dir:"/d0/data" ~prefix:"f" ~count:8
+          ~size:(2 * mib)
+      in
+      Kernel.flush_file_cache k;
+      paths_cell := paths;
+      (* first pass warms the even files immediately (the probers start
+         from this state), then the hot set flips at [hot_shift_ns] *)
+      while Engine.now (Kernel.engine k) < (25 * sec) + (sec / 2) do
+        let odd_phase = Engine.now (Kernel.engine k) >= hot_shift_ns in
+        List.iteri
+          (fun i p ->
+            if (if odd_phase then i mod 2 = 1 else i mod 2 = 0) then
+              Gray_apps.Workload.read_file env p)
+          paths;
+        Engine.delay (2 * sec)
+      done);
+  Kernel.spawn k ~name:"prober" ~at:(sec / 2) (fun env ->
+      (* the reader creates the population; wait for it *)
+      while !paths_cell = [] do
+        Engine.delay (sec / 10)
+      done;
+      let paths = !paths_cell in
+      let truth () =
+        Array.of_list
+          (List.map (fun p -> 1.0 -. Introspect.cached_fraction k ~path:p) paths)
+      in
+      let rho est tr = Gray_util.Correlate.spearman est tr in
+      let config = fccd_config ~seed in
+      match variant with
+      | `Frozen -> (
+        match Fccd.order_files env config ~paths with
+        | Error _ -> ()
+        | Ok ranked ->
+          let by_path =
+            List.map (fun r -> (r.Fccd.fr_path, r.Fccd.fr_probe_ns)) ranked
+          in
+          let est =
+            Array.of_list
+              (List.map (fun p -> float_of_int (List.assoc p by_path)) paths)
+          in
+          List.iteri
+            (fun r ts ->
+              wait_until k ts;
+              accs.(r) <- rho est (truth ()))
+            fccd_round_ts)
+      | `Adaptive -> (
+        match Adaptive.fccd env ~fccd_config:config ~paths with
+        | Error _ -> ()
+        | Ok f ->
+          List.iteri
+            (fun r ts ->
+              wait_until k ts;
+              let tr = truth () in
+              (match Adaptive.fccd_order env f with
+              | Ok _ | Error (`Kernel _) -> ()
+              | Error `Stale_budget_exhausted -> ());
+              let est =
+                Array.of_list
+                  (List.map (fun p -> List.assoc p (Adaptive.fccd_estimates f)) paths)
+              in
+              accs.(r) <- rho est tr)
+            fccd_round_ts));
+  Kernel.run k;
+  accs
+
+(* ---- MAC: admission accuracy across a timer-resolution drift ---- *)
+
+let mac_scenario ~seed =
+  {
+    Drift.dr_name = "bench-mac";
+    dr_seed = seed;
+    dr_retouch_ns = 100_000_000;
+    dr_horizon_ns = 10 * sec;
+    dr_events = [ { Drift.dv_at_ns = 3 * sec; dv_kind = Drift.Timer_scale 1000 } ];
+  }
+
+(* one pre-drift round, two post-drift rounds *)
+let mac_round_ts = [ 3 * sec / 2; 5 * sec; 17 * sec / 2 ]
+let mac_rounds = List.length mac_round_ts
+
+let mac_trial ~variant ~seed =
+  let k = boot ~platform ~data_disks:1 ~seed ~drift:(mac_scenario ~seed) () in
+  Kernel.start_drift_daemon k;
+  let usable = Platform.usable_pages platform in
+  let competitor_pages = usable * 2 / 5 in
+  let accs = Array.make mac_rounds 0.0 in
+  let exhausted = ref false in
+  Kernel.spawn k ~name:"competitor" (fun env ->
+      let r = Kernel.valloc env ~pages:competitor_pages in
+      for _ = 1 to 60 do
+        ignore (Kernel.touch_pages env r ~first:0 ~count:competitor_pages);
+        Engine.delay 50_000_000
+      done;
+      Kernel.vfree env r);
+  Kernel.spawn k ~name:"prober" ~at:1_000_000 (fun env ->
+      wait_until k sec;
+      let mcfg = { (Mac.default_config ()) with Mac.robust = true } in
+      (* truth is read before the round's allocation; [record] folds the
+         grant against it *)
+      let truth_now () =
+        Introspect.available_anon_pages k ~exclude_pid:(Kernel.pid env)
+      in
+      let record r ~truth granted =
+        accs.(r) <-
+          1.0 -. (float_of_int (abs (granted - truth)) /. float_of_int usable)
+      in
+      match variant with
+      | `Frozen ->
+        (* calibrated once at t=1 s, pinned forever *)
+        let thr = Mac.calibrate_threshold mcfg env in
+        let cfg = { mcfg with Mac.slow_threshold_ns = Some thr } in
+        List.iteri
+          (fun r ts ->
+            wait_until k ts;
+            let truth = truth_now () in
+            match Mac.gb_alloc env cfg ~min:(4 * mib) ~max:(48 * mib) ~multiple:mib with
+            | Some a ->
+              let g = Mac.pages a in
+              Mac.gb_free env a;
+              record r ~truth g
+            | None -> record r ~truth 0)
+          mac_round_ts
+      | `Adaptive budget ->
+        let acfg = { Adaptive.default_config with Adaptive.recal_budget = budget } in
+        let m = Adaptive.mac ~config:acfg env ~mac_config:mcfg in
+        List.iteri
+          (fun r ts ->
+            wait_until k ts;
+            let truth = truth_now () in
+            match Adaptive.mac_alloc env m ~min:(4 * mib) ~max:(48 * mib) ~multiple:mib with
+            | Ok (Some a) ->
+              let g = Mac.pages a in
+              Mac.gb_free env a;
+              record r ~truth g
+            | Ok None -> record r ~truth 0
+            | Error `Stale_budget_exhausted ->
+              exhausted := true;
+              record r ~truth 0)
+          mac_round_ts);
+  Kernel.run k;
+  (accs, !exhausted)
+
+(* ---- plan ---- *)
+
+let mean xs = Gray_util.Stats.mean_of (Array.of_list xs)
+
+(* per-round mean across seeds of a list of per-round arrays *)
+let round_means n rows =
+  Array.init n (fun r -> mean (List.map (fun a -> a.(r)) rows))
+
+let plan () =
+  let seeds = trial_seeds ~base:4242 (trials ()) in
+  let fccd_frozen_ts, fccd_frozen_get =
+    run_trials ~label:"drift[fccd-frozen]" ~seeds (fun ~seed ->
+        fccd_trial ~variant:`Frozen ~seed)
+  in
+  let fccd_adapt_ts, fccd_adapt_get =
+    run_trials ~label:"drift[fccd-adaptive]" ~seeds (fun ~seed ->
+        fccd_trial ~variant:`Adaptive ~seed)
+  in
+  let mac_frozen_ts, mac_frozen_get =
+    run_trials ~label:"drift[mac-frozen]" ~seeds (fun ~seed ->
+        mac_trial ~variant:`Frozen ~seed)
+  in
+  let mac_adapt_ts, mac_adapt_get =
+    run_trials ~label:"drift[mac-adaptive]" ~seeds (fun ~seed ->
+        mac_trial ~variant:(`Adaptive 8) ~seed)
+  in
+  let mac_exhaust_ts, mac_exhaust_get =
+    run_trials ~label:"drift[mac-exhausted]" ~seeds (fun ~seed ->
+        mac_trial ~variant:(`Adaptive 0) ~seed)
+  in
+  let render () =
+    let b = Buffer.create 2048 in
+    header b "Accuracy over time under environment drift (frozen vs adaptive)";
+    note b "FCCD: Spearman rho of stored estimates vs cache truth, per round";
+    note b "      drift: pressure 0.35 @5s, cache x0.4 @11s, cache x2.0 @17s";
+    note b "      workload: reader's hot set flips evens -> odds @9s";
+    note b "MAC: admission accuracy 1-|granted-truth|/usable, per round";
+    note b "      drift: timer resolution x1000 @3s (100ns -> 100us jiffy)";
+    note b "%d seeded trials per variant" (List.length seeds);
+    let figures = ref [] and checks = ref [] in
+    let fig name v = figures := figure name v :: !figures in
+    let chk name ok = checks := check name ok :: !checks in
+    (* FCCD over time *)
+    let ff = round_means fccd_rounds (fccd_frozen_get ()) in
+    let fa = round_means fccd_rounds (fccd_adapt_get ()) in
+    Printf.bprintf b "  %-8s %12s %12s\n" "t(s)" "fccd-frozen" "fccd-adaptive";
+    List.iteri
+      (fun r ts ->
+        Printf.bprintf b "  %-8d %12.3f %12.3f\n" (ts / sec) ff.(r) fa.(r);
+        fig (Printf.sprintf "fccd_frozen[t=%ds]" (ts / sec)) ff.(r);
+        fig (Printf.sprintf "fccd_adaptive[t=%ds]" (ts / sec)) fa.(r))
+      fccd_round_ts;
+    (* MAC over time *)
+    let mf = round_means mac_rounds (List.map fst (mac_frozen_get ())) in
+    let ma = round_means mac_rounds (List.map fst (mac_adapt_get ())) in
+    Printf.bprintf b "  %-8s %12s %12s\n" "t(s)" "mac-frozen" "mac-adaptive";
+    List.iteri
+      (fun r ts ->
+        Printf.bprintf b "  %-8.1f %12.3f %12.3f\n"
+          (float_of_int ts /. 1e9) mf.(r) ma.(r);
+        fig (Printf.sprintf "mac_frozen[r=%d]" r) mf.(r);
+        fig (Printf.sprintf "mac_adaptive[r=%d]" r) ma.(r))
+      mac_round_ts;
+    let exhausted_runs =
+      List.filter (fun (_, e) -> e) (mac_exhaust_get ()) |> List.length
+    in
+    Printf.bprintf b "  budget-0 adaptive runs hitting `Stale_budget_exhausted: %d/%d\n"
+      exhausted_runs (List.length seeds);
+    fig "mac_budget0_exhausted_frac"
+      (float_of_int exhausted_runs /. float_of_int (List.length seeds));
+    (* expected shape: the adaptive wrapper recovers after each drift
+       event; the frozen ICL ends degraded.  Rounds 2/5/8 close the
+       epochs opened by the events at 5/11/17 s. *)
+    List.iter
+      (fun (label, r) ->
+        chk
+          (Printf.sprintf "adaptive FCCD recovered by end of %s epoch (t=%ds)"
+             label
+             (List.nth fccd_round_ts r / sec))
+          (fa.(r) >= 0.55))
+      [ ("pressure", 4); ("shrink", 7); ("grow", 12) ];
+    chk "frozen FCCD ends degraded vs adaptive"
+      (ff.(fccd_rounds - 1) <= fa.(fccd_rounds - 1) -. 0.2);
+    chk "frozen FCCD decayed from its own start"
+      (ff.(fccd_rounds - 1) <= ff.(0) -. 0.2);
+    chk "adaptive MAC holds accuracy across the timer drift"
+      (ma.(mac_rounds - 1) >= ma.(0) -. 0.15);
+    chk "frozen MAC ends degraded vs adaptive"
+      (mf.(mac_rounds - 1) <= ma.(mac_rounds - 1) -. 0.15);
+    chk "budget-0 adaptive degrades into `Stale_budget_exhausted everywhere"
+      (exhausted_runs = List.length seeds);
+    {
+      rd_output = Buffer.contents b;
+      rd_figures = List.rev !figures;
+      rd_checks = List.rev !checks;
+    }
+  in
+  {
+    p_tasks =
+      fccd_frozen_ts @ fccd_adapt_ts @ mac_frozen_ts @ mac_adapt_ts
+      @ mac_exhaust_ts;
+    p_render = render;
+  }

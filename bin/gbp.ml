@@ -26,7 +26,7 @@ open Graybox_core
 let mib = 1024 * 1024
 
 let run mode files size_mib warm out noise seed fault_scenario crash_at extra
-    min_confidence trace metrics =
+    min_confidence trace metrics drift_scenario adaptive rounds recal_budget =
   let module Tele = Gray_util.Telemetry in
   (* --trace / --metrics opt into telemetry; an explicit GRAYBOX_TELEMETRY
      (e.g. a sample rate) still wins *)
@@ -43,8 +43,11 @@ let run mode files size_mib warm out noise seed fault_scenario crash_at extra
   (* --crash-at wins over GRAYBOX_CRASH (boot's env fallback) *)
   let k =
     Kernel.boot ~engine ~platform ~data_disks:1 ~seed ?faults:fault_scenario
-      ?crash:(Option.map Crash.at_syscall crash_at) ()
+      ?crash:(Option.map Crash.at_syscall crash_at) ?drift:drift_scenario ()
   in
+  (* no-op without a drift plane; with one, replay the schedule as a
+     background process so the orderings below see the machine change *)
+  Kernel.start_drift_daemon k;
   let exit_code = ref 0 in
   Kernel.spawn k (fun env ->
       let made =
@@ -72,23 +75,62 @@ let run mode files size_mib warm out noise seed fault_scenario crash_at extra
           prediction_unit = 1 * mib;
         }
       in
-      let ordered, reason =
-        Gbp.best_order_or_fallback env config ~min_confidence mode ~paths
-      in
-      (* a degraded gbp keeps the pipeline alive — the caller's own
-         argument order passes through — but reports why on stderr and,
-         for kernel errors, through a distinct exit code *)
-      (match reason with
-      | None -> ()
-      | Some r ->
-        Printf.eprintf "gbp: %s; falling back to argument order\n"
-          (Gbp.fallback_reason_to_string r);
-        (match r with
-        | Gbp.Degraded_error e -> exit_code := Gbp.exit_code_of_error e
-        | Gbp.Low_confidence _ -> ()));
-      Printf.printf "# gbp --mode %s ordering%s:\n" (Gbp.mode_to_string mode)
-        (match reason with Some _ -> " (fallback: argument order)" | None -> "");
-      List.iter print_endline ordered;
+      if adaptive then begin
+        (* self-healing FCCD ordering: re-order [rounds] times, two
+           virtual seconds apart, spot-checking the ranking's health
+           before each answer and re-calibrating when it went stale *)
+        let acfg = { Adaptive.default_config with Adaptive.recal_budget } in
+        match Adaptive.fccd ~config:acfg env ~fccd_config:config ~paths with
+        | Error e ->
+          Printf.eprintf "gbp: adaptive probe: %s\n" (Kernel.error_to_string e);
+          exit_code := Gbp.exit_code_of_error e
+        | Ok f ->
+          let wd = Adaptive.fccd_watchdog f in
+          let rec go round =
+            if round < rounds && !exit_code = 0 then begin
+              (match Adaptive.fccd_order env f with
+              | Ok ordered ->
+                Printf.printf "# gbp --adaptive round %d (health %.2f, %s, %d recalibrations):\n"
+                  round (Adaptive.health wd)
+                  (Adaptive.status_to_string (Adaptive.status wd))
+                  (Adaptive.recalibrations wd);
+                List.iter print_endline ordered
+              | Error (`Kernel e) ->
+                Printf.eprintf "gbp: adaptive round %d: %s\n" round
+                  (Kernel.error_to_string e);
+                exit_code := Gbp.exit_code_of_error e
+              | Error `Stale_budget_exhausted ->
+                Printf.eprintf
+                  "gbp: adaptive round %d: ordering stale and re-calibration \
+                   budget exhausted\n"
+                  round;
+                exit_code := Gbp.exit_stale);
+              if round + 1 < rounds && !exit_code = 0 then
+                Engine.delay 2_000_000_000;
+              go (round + 1)
+            end
+          in
+          go 0
+      end
+      else begin
+        let ordered, reason =
+          Gbp.best_order_or_fallback env config ~min_confidence mode ~paths
+        in
+        (* a degraded gbp keeps the pipeline alive — the caller's own
+           argument order passes through — but reports why on stderr and,
+           for kernel errors, through a distinct exit code *)
+        (match reason with
+        | None -> ()
+        | Some r ->
+          Printf.eprintf "gbp: %s; falling back to argument order\n"
+            (Gbp.fallback_reason_to_string r);
+          (match r with
+          | Gbp.Degraded_error e -> exit_code := Gbp.exit_code_of_error e
+          | Gbp.Low_confidence _ -> ()));
+        Printf.printf "# gbp --mode %s ordering%s:\n" (Gbp.mode_to_string mode)
+          (match reason with Some _ -> " (fallback: argument order)" | None -> "");
+        List.iter print_endline ordered
+      end;
       if out then begin
         match paths with
         | [] -> ()
@@ -247,12 +289,60 @@ let metrics_arg =
     value & flag
     & info [ "metrics" ] ~doc:"Print the run's telemetry metrics as JSON on stdout.")
 
+let drift_conv =
+  let parse s =
+    match Drift.of_string s with
+    | sc -> Ok sc
+    | exception Invalid_argument _ ->
+      Error
+        (`Msg ("unknown drift scenario: " ^ s
+               ^ " (expected none, quiet, canonical or heavy)"))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "none"
+    | Some sc -> Format.pp_print_string ppf sc.Drift.dr_name
+  in
+  Arg.conv (parse, print)
+
+let drift_arg =
+  Arg.(
+    value & opt drift_conv None
+    & info [ "drift" ]
+        ~doc:
+          "Environment-drift scenario: none, quiet, canonical or heavy.  The \
+           machine then changes mid-run (cache resizes, policy swaps, timer \
+           coarsening, pressure regimes); combine with $(b,--adaptive) to \
+           watch the ordering heal.  GRAYBOX_DRIFT is the environment \
+           equivalent.")
+
+let adaptive_arg =
+  Arg.(
+    value & flag
+    & info [ "adaptive" ]
+        ~doc:
+          "Use the self-healing FCCD wrapper: spot-check the ranking's \
+           health each round, re-calibrate when stale, and exit with code \
+           11 when the re-calibration budget runs out.")
+
+let rounds_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "rounds" ]
+        ~doc:"How many adaptive ordering rounds to run (2 s of virtual time apart).")
+
+let recal_budget_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "recal-budget" ]
+        ~doc:"Re-calibration budget for --adaptive (0 = fail stale immediately).")
+
 let cmd =
   Cmd.v
     (Cmd.info "gbp" ~doc:"Gray-box probe utility on a simulated volume")
     Term.(
       const run $ mode_arg $ files_arg $ size_arg $ warm_arg $ out_arg $ noise_arg
       $ seed_arg $ faults_arg $ crash_at_arg $ extra_arg $ min_confidence_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ drift_arg $ adaptive_arg $ rounds_arg
+      $ recal_budget_arg)
 
 let () = exit (Cmd.eval' cmd)

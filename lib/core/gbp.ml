@@ -70,6 +70,12 @@ let exit_export_failed = 8
 let exit_crash_recovered = 9
 let exit_recovery_failed = 10
 
+(* Adaptive runs (gbp --adaptive under --drift): the ICL watchdog spent
+   its whole re-calibration budget and the environment was still hostile
+   — the pipeline degraded into a distinct, scriptable failure rather
+   than thrashing forever. *)
+let exit_stale = 11
+
 (* One pipe transfer costs a kernel-to-user copy of the payload (writer
    copies in, reader copies out — we charge the reader side once more,
    which is the "extra copy of all data through the operating system via

@@ -60,6 +60,12 @@ val exit_recovery_failed : int
 (** Exit code (10): the machine died as scheduled but recovery did not
     restore consistency (repair error or fsck violations). *)
 
+val exit_stale : int
+(** Exit code (11) for an adaptive run ([gbp --adaptive]) whose ICL
+    watchdog exhausted its re-calibration budget: the environment kept
+    drifting faster than the ICL could re-learn it, and the run degraded
+    into this distinct code instead of thrashing. *)
+
 val out :
   Simos.Kernel.env ->
   Fccd.config ->

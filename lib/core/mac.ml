@@ -100,6 +100,10 @@ let calibrate config env =
   let benign = Float.max (med first) (med again) in
   max 1_000 (int_of_float (10.0 *. benign)))
 
+(* Exposed so the adaptive layer can re-run calibration on demand (after
+   an environment drift) and blend the fresh threshold with its prior. *)
+let calibrate_threshold config env = calibrate config env
+
 (* Touch a range in bounded chunks so that competing processes get to run
    (and re-reference their working sets) while we probe — one huge vectored
    touch would outrun the page daemon's reference information. *)

@@ -93,6 +93,14 @@ val gb_alloc :
 
 val gb_free : Simos.Kernel.env -> allocation -> unit
 
+val calibrate_threshold : config -> Simos.Kernel.env -> int
+(** Run the self-calibration pass (Section 4.3.2) by itself and return the
+    derived slow threshold in ns: 10x the worst benign (resident or
+    zero-fill) page-touch cost observed, floored at 1 us.  [gb_alloc] does
+    this implicitly when [slow_threshold_ns] is [None]; the adaptive layer
+    calls it explicitly to re-calibrate after environment drift and blend
+    the fresh value with its prior. *)
+
 (** {1 Introspection of the last call (for experiments)} *)
 
 type stats = {

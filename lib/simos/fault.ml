@@ -126,7 +126,49 @@ type t = {
   f_stats : mutable_stats;
 }
 
+(* Reject malformed scenarios at install time, naming the offending
+   field.  A negative probability or a zero period (used as a modulus)
+   would otherwise surface as silently wrong arithmetic deep inside a
+   run, or a Division_by_zero with no hint of which field caused it. *)
+let validate sc =
+  let bad field fmt =
+    Printf.ksprintf
+      (fun msg -> invalid_arg (Printf.sprintf "Fault: %s %s" field msg))
+      fmt
+  in
+  let prob field p =
+    if not (p >= 0.0 && p <= 1.0) then bad field "must be in [0, 1] (got %g)" p
+  in
+  let non_neg field n = if n < 0 then bad field "must be >= 0 (got %d)" n in
+  let period field n = if n < 1 then bad field "must be >= 1 ns (got %d)" n in
+  prob "sc_error_prob" sc.sc_error_prob;
+  prob "sc_spike_prob" sc.sc_spike_prob;
+  non_neg "sc_spike_ns" sc.sc_spike_ns;
+  if sc.sc_timer_factor < 1 then
+    bad "sc_timer_factor" "must be >= 1 (got %d)" sc.sc_timer_factor;
+  non_neg "sc_timer_jitter_ns" sc.sc_timer_jitter_ns;
+  Option.iter
+    (fun b ->
+      period "sc_burst.bu_period_ns" b.bu_period_ns;
+      non_neg "sc_burst.bu_duration_ns" b.bu_duration_ns;
+      non_neg "sc_burst.bu_extra_ns" b.bu_extra_ns)
+    sc.sc_burst;
+  Option.iter
+    (fun d ->
+      period "sc_disturb.di_period_ns" d.di_period_ns;
+      prob "sc_disturb.di_evict_frac" d.di_evict_frac;
+      non_neg "sc_disturb.di_horizon_ns" d.di_horizon_ns)
+    sc.sc_disturb;
+  Option.iter
+    (fun p ->
+      non_neg "sc_pressure.pr_pages" p.pr_pages;
+      non_neg "sc_pressure.pr_hold_ns" p.pr_hold_ns;
+      non_neg "sc_pressure.pr_gap_ns" p.pr_gap_ns;
+      non_neg "sc_pressure.pr_horizon_ns" p.pr_horizon_ns)
+    sc.sc_pressure
+
 let create sc =
+  validate sc;
   {
     f_scenario = sc;
     f_rng = Gray_util.Rng.create ~seed:sc.sc_seed;

@@ -86,7 +86,17 @@ val of_env : unit -> scenario option
 
 type t
 
+val validate : scenario -> unit
+(** Raise [Invalid_argument] naming the offending field when a scenario is
+    malformed: probabilities and [di_evict_frac] outside [0, 1], negative
+    magnitudes or horizons, [sc_timer_factor] below 1, or a period below
+    1 ns (periods are used as moduli against the clock).  Called by
+    {!create}, so a bad scenario is rejected at install time rather than
+    surfacing as wrong arithmetic mid-run. *)
+
 val create : scenario -> t
+(** Validates (see {!validate}), then builds the runtime plane. *)
+
 val scenario : t -> scenario
 
 val stop : t -> unit

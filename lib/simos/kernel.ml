@@ -55,6 +55,7 @@ type t = {
   k_ctr : mutable_counters;
   k_faults : Fault.t option;
   k_crash : Crash.t option;
+  k_drift : Drift.t option;
 }
 
 type env = { e_k : t; e_proc : proc }
@@ -70,7 +71,7 @@ let vol_of_gino gino = gino lsr vol_shift
 let local_ino_of_gino gino = gino land (meta_bit - 1)
 let gino_is_meta gino = gino land meta_bit <> 0
 
-let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ?faults ?crash ~seed () =
+let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ?faults ?crash ?drift ~seed () =
   if data_disks < 1 then invalid_arg "Kernel.boot: need at least one data disk";
   let make_volume _ =
     let disk = Disk.create platform.Platform.disk in
@@ -120,6 +121,12 @@ let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ?faults ?crash ~seed
       | None ->
         (* GRAYBOX_CRASH=durable|at:N|<p> — same opt-in pattern *)
         Option.map Crash.create (Crash.of_env ()));
+    k_drift =
+      (match drift with
+      | Some scenario -> Some (Drift.create scenario)
+      | None ->
+        (* GRAYBOX_DRIFT=quiet|canonical|heavy — same opt-in pattern *)
+        Option.map Drift.create (Drift.of_env ()));
   }
 
 let engine t = t.k_engine
@@ -244,9 +251,17 @@ let restart t =
 
 let quantise resolution ns = if resolution <= 1 then ns else ns / resolution * resolution
 
-(* Gray-box timer granularity, coarsened when a fault plane asks for it. *)
-let timer_resolution t =
+(* Gray-box timer granularity: the platform clock, coarsened by the drift
+   plane's current regime (a Timer_scale event in force), then by the
+   fault plane when one asks for it.  Both compose multiplicatively. *)
+let base_resolution t =
   let base = t.k_platform.Platform.timer_resolution_ns in
+  match t.k_drift with
+  | None -> base
+  | Some d -> base * Drift.timer_factor d
+
+let timer_resolution t =
+  let base = base_resolution t in
   match t.k_faults with
   | None -> base
   | Some f -> Fault.timer_resolution f ~base
@@ -254,9 +269,10 @@ let timer_resolution t =
 let gettime env =
   let t = env.e_k in
   match t.k_faults with
-  | None -> quantise t.k_platform.Platform.timer_resolution_ns (Engine.now t.k_engine)
+  | None -> quantise (base_resolution t) (Engine.now t.k_engine)
   | Some f ->
-    quantise (Fault.timer_resolution f ~base:t.k_platform.Platform.timer_resolution_ns)
+    quantise
+      (Fault.timer_resolution f ~base:(base_resolution t))
       (Engine.now t.k_engine + Fault.timer_jitter f)
 
 let noised t ns =
@@ -979,6 +995,105 @@ let start_fault_daemons t =
           loop ();
           vfree env region)
     | Some _ | None -> ())
+
+(* ---- drift plane ---- *)
+
+let drift_plane t = t.k_drift
+let stop_drift t = Option.iter Drift.stop t.k_drift
+
+(* Replay the drift schedule as one ordinary simulated process.  The fiber
+   is only spawned when the scenario has events, so installing [quiet] is
+   indistinguishable from installing nothing.  The daemon owns a single
+   region sized for the largest pressure regime of the schedule (untouched
+   pages cost nothing) and re-touches whatever it currently holds every
+   [dr_retouch_ns], keeping the regime resident against competitors —
+   the same shape as the fault plane's pressure fiber, but level-driven
+   rather than periodic. *)
+let start_drift_daemon t =
+  match t.k_drift with
+  | None -> ()
+  | Some d ->
+    let sc = Drift.scenario d in
+    if sc.Drift.dr_events <> [] then
+      spawn t ~name:"drift.daemon" (fun env ->
+          let usable = Platform.usable_pages t.k_platform in
+          let cap =
+            int_of_float (float_of_int usable *. Drift.max_pressure_frac sc)
+          in
+          let region = if cap > 0 then Some (valloc env ~pages:cap) else None in
+          let held = ref 0 in
+          (* Advance to [ts]; while a pressure regime is held, move in
+             re-touch steps so the held pages stay hot. *)
+          let rec wait_until ts =
+            let now = Engine.now t.k_engine in
+            if now < ts && not (Drift.stopped d) then begin
+              (match region with
+              | Some r when !held > 0 ->
+                Engine.delay (min sc.Drift.dr_retouch_ns (ts - now));
+                ignore (touch_pages env r ~first:0 ~count:!held)
+              | Some _ | None -> Engine.delay (ts - now));
+              wait_until ts
+            end
+          in
+          let apply ev =
+            match ev.Drift.dv_kind with
+            | Drift.Cache_resize f ->
+              let target =
+                max 1
+                  (int_of_float (float_of_int (Memory.file_capacity t.k_mem) *. f))
+              in
+              let t0 = Engine.now t.k_engine in
+              let now = ref t0 in
+              let evicted = ref 0 in
+              Memory.resize_file_into t.k_mem ~capacity_pages:target
+                ~on_evict:(fun k ~dirty ->
+                  incr evicted;
+                  now := writeback_victim env ~now:!now k ~dirty);
+              note_evictions ~n:!evicted;
+              Drift.note_evictions d !evicted;
+              (* shrink victims' writebacks are real time, like any fill *)
+              Engine.delay (!now - t0)
+            | Drift.Policy_swap name ->
+              Memory.swap_file_policy t.k_mem (Replacement.of_name name)
+            | Drift.Timer_scale n -> Drift.set_timer_factor d n
+            | Drift.Pressure_level f ->
+              let target =
+                min cap (int_of_float (float_of_int usable *. f))
+              in
+              (match region with
+              | None -> ()
+              | Some r ->
+                if target > !held then
+                  ignore (touch_pages env r ~first:!held ~count:(target - !held))
+                else if target < !held then
+                  vrelease env r ~first:target ~count:(!held - target));
+              held := target
+          in
+          let epoch_start = ref (Engine.now t.k_engine) in
+          List.iter
+            (fun ev ->
+              if not (Drift.stopped d) then begin
+                wait_until ev.Drift.dv_at_ns;
+                if not (Drift.stopped d) then begin
+                  apply ev;
+                  Drift.note_applied d ev.Drift.dv_kind;
+                  (match Tele.active () with
+                  | None -> ()
+                  | Some s ->
+                    (* one span per environment epoch: from the previous
+                       mutation (or boot) up to this one *)
+                    Tele.span_end s "simos.drift.epoch" ~ts:!epoch_start
+                      ~attrs:(fun () ->
+                        [ ("next", Tele.String (Drift.kind_to_string ev.Drift.dv_kind)) ]));
+                  epoch_start := Engine.now t.k_engine;
+                  Tele.event "simos.drift.apply" ~attrs:(fun () ->
+                      [ ("kind", Tele.String (Drift.kind_to_string ev.Drift.dv_kind)) ])
+                end
+              end)
+            sc.Drift.dr_events;
+          (* hold the final regime (if any) out to the horizon *)
+          if !held > 0 then wait_until sc.Drift.dr_horizon_ns;
+          Option.iter (fun r -> vfree env r) region)
 
 (* ---- experiment control ---- *)
 

@@ -36,6 +36,7 @@ val boot :
   ?volume_blocks:int ->
   ?faults:Fault.scenario ->
   ?crash:Crash.scenario ->
+  ?drift:Drift.scenario ->
   seed:int ->
   unit ->
   t
@@ -45,7 +46,10 @@ val boot :
     kernel performs no fault-related work at all.  [crash] installs the
     crash–restart plane (default: [GRAYBOX_CRASH] from the environment);
     when absent there is no durability distinction and no per-syscall
-    work — see {!durability_on}. *)
+    work — see {!durability_on}.  [drift] installs the environment-drift
+    plane (default: [GRAYBOX_DRIFT]); when absent the kernel's clock and
+    memory configuration never change mid-run and no drift-related work
+    happens at all. *)
 
 val engine : t -> Engine.t
 val platform : t -> Platform.t
@@ -181,6 +185,24 @@ val start_fault_daemons : t -> unit
 
 val stop_faults : t -> unit
 (** Ask the fault daemons to exit at their next wake-up. *)
+
+(** {1 Drift plane (experiment control, not for ICLs)} *)
+
+val drift_plane : t -> Drift.t option
+(** The installed drift plane, for stats and scenario inspection. *)
+
+val start_drift_daemon : t -> unit
+(** Spawn one simulated process that replays the drift schedule against
+    the virtual clock: cache resizes (shrink victims written back like any
+    capacity miss), replacement-policy swaps, timer-resolution changes,
+    and sustained memory-pressure regimes (held pages re-touched every
+    [dr_retouch_ns] so the regime stays resident).  The fiber exits after
+    the last event — or at the scenario horizon while a pressure regime is
+    held — so {!run} still terminates.  No-op without a drift plane or
+    with an event-free scenario ({!Drift.quiet}). *)
+
+val stop_drift : t -> unit
+(** Ask the drift daemon to exit at its next wake-up. *)
 
 (** {1 Crash plane (experiment control, not for ICLs)} *)
 

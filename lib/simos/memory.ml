@@ -14,8 +14,9 @@ type t = {
   file : Pool.t;
   anon : Pool.t;
   unified : bool;
-  (* balanced mode: file capacity floats as usable - resident_anon *)
-  balanced_usable : int option;
+  (* balanced mode: file capacity floats as usable - resident_anon;
+     mutable because a drift-plane resize moves the usable total itself *)
+  mutable balanced_usable : int option;
   mutable n_file : int;
   mutable n_anon : int;
 }
@@ -144,6 +145,30 @@ let invalidate_if t pred =
   !dropped
 
 let drop_file_cache t = ignore (invalidate_if t Page.is_file)
+
+(* ---- drift-plane mutations (mid-run environment change) ---- *)
+
+(* Resize the file cache under a live machine.  In the unified layout the
+   single pool is resized (file and anonymous pages share it, so both
+   kinds may be among the overflow victims); in the balanced layout the
+   floating rebalance target moves by the same delta, so the change is
+   not silently undone at the next anonymous miss.  Victims stream
+   through [on_evict] for writeback charging, exactly like a capacity
+   miss. *)
+let resize_file_into t ~capacity_pages ~on_evict =
+  if capacity_pages <= 0 then
+    invalid_arg "Memory.resize_file_into: capacity must be positive";
+  (match t.balanced_usable with
+  | Some usable ->
+    let delta = capacity_pages - Pool.capacity t.file in
+    t.balanced_usable <- Some (max 1 (usable + delta))
+  | None -> ());
+  Pool.resize_into t.file ~capacity_pages
+    ~on_evict:(fun key ~dirty ->
+      bump t key (-1);
+      on_evict key ~dirty)
+
+let swap_file_policy t factory = Pool.set_policy t.file factory
 
 let file_pool t = t.file
 let anon_pool t = t.anon

@@ -57,6 +57,22 @@ val invalidate : t -> Page.key -> unit
 val invalidate_if : t -> (Page.key -> bool) -> int
 val drop_file_cache : t -> unit
 
+(** {1 Drift-plane mutations (experiment control, not for ICLs)} *)
+
+val resize_file_into :
+  t -> capacity_pages:int -> on_evict:(Page.key -> dirty:bool -> unit) -> unit
+(** Resize the file cache under a live machine (the drift plane's mid-run
+    cache change).  The unified layout resizes the single shared pool
+    (overflow victims may be of either kind); the balanced layout moves
+    its floating rebalance target by the same delta so the next anonymous
+    miss does not undo the change.  Victims stream through [on_evict] for
+    writeback charging. *)
+
+val swap_file_policy : t -> Replacement.factory -> unit
+(** Swap the file pool's replacement policy in place (see
+    {!Pool.set_policy}); affects both kinds in the unified layout.  No
+    page is evicted; recency state restarts from sorted key order. *)
+
 val file_pool : t -> Pool.t
 val anon_pool : t -> Pool.t
 (** Equal to [file_pool] in the unified layout. *)

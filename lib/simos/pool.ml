@@ -3,7 +3,7 @@ type evicted = { key : Page.key; dirty : bool }
 type t = {
   name : string;
   mutable capacity : int;
-  policy : Replacement.t;
+  mutable policy : Replacement.t;  (* swappable mid-run by the drift plane *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -22,6 +22,25 @@ let create ~name ~capacity_pages ~policy =
 
 let name t = t.name
 let capacity t = t.capacity
+
+let policy_name t =
+  let (module P : Replacement.POLICY) = t.policy in
+  P.name
+
+(* Replace the replacement policy under a live pool (the drift plane's
+   mid-run policy swap).  Resident pages carry over with their dirty bits;
+   they re-enter the new policy instance in sorted key order — a fixed,
+   schedule-independent order, so a swapped run stays deterministic.  The
+   recency information of the old policy is deliberately lost: that is
+   exactly the disturbance being modelled. *)
+let set_policy t factory =
+  let (module Old : Replacement.POLICY) = t.policy in
+  let pages = ref [] in
+  Old.iter (fun key -> pages := (key, Old.is_dirty key) :: !pages);
+  let fresh = factory ~capacity:t.capacity in
+  let (module New : Replacement.POLICY) = fresh in
+  List.iter (fun (key, dirty) -> New.insert key ~dirty) (List.sort compare !pages);
+  t.policy <- fresh
 
 let resident t =
   let (module P : Replacement.POLICY) = t.policy in

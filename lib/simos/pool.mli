@@ -18,6 +18,17 @@ type evicted = { key : Page.key; dirty : bool }
 val create : name:string -> capacity_pages:int -> policy:Replacement.factory -> t
 val name : t -> string
 val capacity : t -> int
+
+val policy_name : t -> string
+(** Name of the replacement policy currently running the pool. *)
+
+val set_policy : t -> Replacement.factory -> unit
+(** Swap the replacement policy under a live pool (the drift plane's
+    mid-run policy change).  Resident pages carry over with their dirty
+    bits, re-inserted into the fresh policy instance in sorted key order —
+    a fixed order, so swapped runs stay deterministic.  The old policy's
+    recency information is lost by design; no page is evicted. *)
+
 val resident : t -> int
 val contains : t -> Page.key -> bool
 

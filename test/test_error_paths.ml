@@ -64,6 +64,60 @@ let test_probe_bad_fd_not_retried () =
       Alcotest.(check int) "no retries burned" 0 (Resilient.retries_spent policy));
   Kernel.run k
 
+(* ---- Resilient degradation bounds ---- *)
+
+(* A channel that never recovers must cost exactly the budget and then
+   surface the last error — not an unbounded stall, not a success. *)
+let test_retry_budget_exhaustion () =
+  let k = boot () in
+  Kernel.spawn k (fun _env ->
+      let policy =
+        Resilient.policy ~max_attempts:100 ~budget:3 ~seed:9 ()
+      in
+      let calls = ref 0 in
+      let r =
+        Resilient.retry ~policy (fun () ->
+            incr calls;
+            Error Kernel.Retryable)
+      in
+      check_error "last error surfaces" Kernel.Retryable r;
+      Alcotest.(check int) "budget spent exactly" 3 (Resilient.retries_spent policy);
+      (* budget retries = budget + 1 issues of the call *)
+      Alcotest.(check int) "calls = budget + 1" 4 !calls;
+      (* a drained policy stops paying on the next call too *)
+      let r2 = Resilient.retry ~policy (fun () -> Error Kernel.Retryable) in
+      check_error "drained policy returns immediately" Kernel.Retryable r2;
+      Alcotest.(check int) "no further retries" 3 (Resilient.retries_spent policy));
+  Kernel.run k
+
+(* Backoff saturates at the cap: with a tiny cap, the virtual time burned
+   by a full retry storm is bounded by retries * cap, and [retries_spent]
+   never exceeds either bound (attempts - 1, budget). *)
+let test_retry_backoff_cap_saturation () =
+  let k = boot () in
+  let engine_now = ref 0 in
+  Kernel.spawn k (fun env ->
+      let cap = 200_000 (* 200 us *) in
+      let policy =
+        Resilient.policy ~max_attempts:8 ~base_backoff_ns:50_000
+          ~max_backoff_ns:cap ~budget:1000 ~seed:10 ()
+      in
+      let t0 = Kernel.gettime env in
+      let r = Resilient.retry ~policy (fun () -> Error Kernel.Retryable) in
+      check_error "last error after attempts" Kernel.Retryable r;
+      let spent = Resilient.retries_spent policy in
+      Alcotest.(check int) "retries = attempts - 1" 7 spent;
+      Alcotest.(check bool) "spent within budget" true (spent <= 1000);
+      engine_now := Kernel.gettime env - t0;
+      (* every sleep is capped, so elapsed <= retries * cap (plus a
+         little timer-quantisation slack on the clock reads) *)
+      let slack = 1_000 in
+      Alcotest.(check bool) "elapsed bounded by cap"
+        true
+        (!engine_now <= (spent * cap) + slack));
+  Kernel.run k;
+  Alcotest.(check bool) "some backoff actually slept" true (!engine_now > 0)
+
 let test_classify () =
   Alcotest.(check bool) "retryable is transient" true
     (Resilient.classify Kernel.Retryable = `Transient);
@@ -116,6 +170,9 @@ let suite =
     Alcotest.test_case "fccd missing/malformed" `Quick test_fccd_missing_and_malformed;
     Alcotest.test_case "fldc missing/malformed" `Quick test_fldc_missing_and_malformed;
     Alcotest.test_case "probe bad fd not retried" `Quick test_probe_bad_fd_not_retried;
+    Alcotest.test_case "retry budget exhaustion" `Quick test_retry_budget_exhaustion;
+    Alcotest.test_case "retry backoff cap saturation" `Quick
+      test_retry_backoff_cap_saturation;
     Alcotest.test_case "error classification" `Quick test_classify;
     Alcotest.test_case "exit codes distinct" `Quick test_exit_codes_distinct_and_nonzero;
     Alcotest.test_case "gbp fallback passthrough" `Quick test_gbp_error_fallback_passthrough;

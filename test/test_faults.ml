@@ -254,10 +254,64 @@ let test_cancelled_fiber_finalisers_run () =
   | exception Engine.Fiber_crash ("boom", Failure _) -> ());
   Alcotest.(check (list string)) "finaliser ran" [ "holder" ] !cleaned
 
+(* ---- install-time validation ---- *)
+
+(* A malformed scenario must be rejected by [Fault.create] with the
+   offending field named, not surface as wrong arithmetic (or a
+   Division_by_zero from a zero period-modulus) mid-run. *)
+let test_scenario_validation_rejects () =
+  let rejects label sc expected_field =
+    match Fault.create sc with
+    | _ -> Alcotest.failf "%s: accepted a malformed scenario" label
+    | exception Invalid_argument msg ->
+      let mentions needle msg =
+        let nl = String.length needle and ml = String.length msg in
+        let rec at i = i + nl <= ml && (String.sub msg i nl = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s names %s (got %S)" label expected_field msg)
+        true
+        (mentions expected_field msg)
+  in
+  let c = Fault.canonical in
+  rejects "negative prob" { c with Fault.sc_error_prob = -0.1 } "sc_error_prob";
+  rejects "prob above 1" { c with Fault.sc_spike_prob = 1.5 } "sc_spike_prob";
+  rejects "negative spike" { c with Fault.sc_spike_ns = -1 } "sc_spike_ns";
+  rejects "timer factor 0" { c with Fault.sc_timer_factor = 0 } "sc_timer_factor";
+  rejects "negative jitter" { c with Fault.sc_timer_jitter_ns = -5 } "sc_timer_jitter_ns";
+  rejects "zero burst period"
+    {
+      c with
+      Fault.sc_burst =
+        Some { Fault.bu_period_ns = 0; bu_duration_ns = 1; bu_extra_ns = 1 };
+    }
+    "bu_period_ns";
+  rejects "evict frac above 1"
+    {
+      c with
+      Fault.sc_disturb =
+        Some { Fault.di_period_ns = 1000; di_evict_frac = 2.0; di_horizon_ns = 1000 };
+    }
+    "di_evict_frac";
+  rejects "negative pressure pages"
+    {
+      c with
+      Fault.sc_pressure =
+        Some { Fault.pr_pages = -1; pr_hold_ns = 0; pr_gap_ns = 0; pr_horizon_ns = 0 };
+    }
+    "pr_pages";
+  (* the presets themselves must stay installable *)
+  List.iter
+    (fun sc -> ignore (Fault.create sc))
+    [ Fault.quiet; Fault.canonical; Fault.heavy ]
+
 let suite =
   [
     Alcotest.test_case "quiet scenario is bit-identical" `Quick
       test_quiet_scenario_bit_identical;
+    Alcotest.test_case "scenario validation rejects" `Quick
+      test_scenario_validation_rejects;
     Alcotest.test_case "deterministic under faults" `Quick test_deterministic_under_faults;
     Alcotest.test_case "transient error surfaces" `Quick test_transient_error_surfaces;
     Alcotest.test_case "retry recovers flaky channel" `Quick

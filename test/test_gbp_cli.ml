@@ -125,14 +125,20 @@ let test_gbp_exit_codes_distinct () =
       ]
   in
   let all =
-    (1 :: kernel_codes)
-    @ [ Gbp.exit_export_failed; Gbp.exit_crash_recovered; Gbp.exit_recovery_failed ]
+    (0 :: 1 :: kernel_codes)
+    @ [
+        Gbp.exit_export_failed;
+        Gbp.exit_crash_recovered;
+        Gbp.exit_recovery_failed;
+        Gbp.exit_stale;
+      ]
   in
   Alcotest.(check int) "all exit codes distinct" (List.length all)
     (List.length (List.sort_uniq compare all));
   Alcotest.(check int) "export failure is 8" 8 Gbp.exit_export_failed;
   Alcotest.(check int) "crash recovered is 9" 9 Gbp.exit_crash_recovered;
-  Alcotest.(check int) "recovery failed is 10" 10 Gbp.exit_recovery_failed
+  Alcotest.(check int) "recovery failed is 10" 10 Gbp.exit_recovery_failed;
+  Alcotest.(check int) "stale budget exhausted is 11" 11 Gbp.exit_stale
 
 let suite =
   [
