@@ -8,32 +8,64 @@
    cleaned up, state is exactly the pre- or post-refresh image, layout
    goal preserved on commit, fsck clean, all processes reclaimed).
 
-   A mutation task runs the same exploration against a deliberately
+   Sharding happens at the harness level: the baselines (pre/post
+   images, boundary counts) are derived serially while the plan is
+   built, and every {!Crash_explore.window_size}-boundary window of
+   every (workload, seed) exploration becomes its own task, so windows
+   of different explorations interleave freely across domains.  Window
+   reports merge in ascending order ({!Crash_explore.merge_reports}),
+   so the rendered output is byte-identical at any -j.
+
+   A mutation task set runs the same exploration against a deliberately
    broken repair (it ignores the commit record): the explorer must
    report violations there, or the zero-violation result above would be
-   vacuous.  Everything is seeded and each (workload, seed) trial is its
-   own kernel sequence, so the output is deterministic at any -j.  This
-   experiment only runs when named explicitly (like `micro`): it is a
-   robustness gate, not a figure from the paper. *)
+   vacuous.  This experiment only runs when named explicitly (like
+   `micro`): it is a robustness gate, not a figure from the paper. *)
 
 open Graybox_core
 open Bench_common
 
 let mutation_seed = 0xC0
 
+(* One harness task per boundary window; the getter folds the window
+   reports back into the serial report. *)
+let windowed ~label baseline explore =
+  let boundaries = Crash_explore.baseline_boundaries baseline in
+  let ts, get =
+    tasks
+      ~label:(fun (lo, hi) -> Printf.sprintf "%s[w%d-%d]" label lo hi)
+      (Crash_explore.windows ~boundaries)
+      (fun (lo, hi) -> explore baseline ~lo ~hi)
+  in
+  (ts, fun () -> Crash_explore.merge_reports (get ()))
+
 let plan () =
   let seeds = trial_seeds ~base:0xC0 (trials ()) in
+  let per_seed label mk_baseline explore =
+    let parts =
+      List.map
+        (fun seed ->
+          let bl = mk_baseline ~seed in
+          windowed ~label:(Printf.sprintf "crash[%s][seed=%d]" label seed) bl explore)
+        seeds
+    in
+    (List.concat_map fst parts, fun () -> List.map (fun (_, g) -> g ()) parts)
+  in
   let refresh_ts, refresh_get =
-    run_trials ~label:"crash[refresh]" ~seeds (fun ~seed ->
-        Crash_explore.explore_refresh ~seed ())
+    per_seed "refresh"
+      (fun ~seed -> Crash_explore.refresh_baseline ~seed ())
+      (fun bl ~lo ~hi -> Crash_explore.explore_refresh_window bl ~lo ~hi)
   in
   let pipeline_ts, pipeline_get =
-    run_trials ~label:"crash[pipeline]" ~seeds (fun ~seed ->
-        Crash_explore.explore_pipeline ~seed ())
+    per_seed "pipeline"
+      (fun ~seed -> Crash_explore.pipeline_baseline ~seed ())
+      (fun bl ~lo ~hi -> Crash_explore.explore_pipeline_window bl ~lo ~hi)
   in
-  let mutation_t, mutation_get =
-    task ~label:"crash[mutation]" (fun () ->
-        Crash_explore.explore_refresh ~seed:mutation_seed ~break_repair:true ())
+  let mutation_ts, mutation_get =
+    windowed ~label:"crash[mutation]"
+      (Crash_explore.refresh_baseline ~seed:mutation_seed ())
+      (fun bl ~lo ~hi ->
+        Crash_explore.explore_refresh_window ~break_repair:true bl ~lo ~hi)
   in
   let render () =
     let b = Buffer.create 1024 in
@@ -97,4 +129,4 @@ let plan () =
       ];
     { rd_output = Buffer.contents b; rd_figures = !figures; rd_checks = List.rev !checks }
   in
-  { p_tasks = refresh_ts @ pipeline_ts @ [ mutation_t ]; p_render = render }
+  { p_tasks = refresh_ts @ pipeline_ts @ mutation_ts; p_render = render }

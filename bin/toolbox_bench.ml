@@ -62,7 +62,7 @@ let hot_paths_benchmark test =
     merged;
   !est
 
-let run_hot_paths () =
+let rec run_hot_paths () =
   let open Bechamel in
   let fkey i = Page.File { ino = 1; idx = i } in
   let capacity = 4096 in
@@ -137,7 +137,61 @@ let run_hot_paths () =
     | _ -> Printf.printf "  %-5s (no estimate)\n" label
   in
   report "hit" hit_per_page hit_batched;
-  report "miss" miss_per_page miss_batched
+  report "miss" miss_per_page miss_batched;
+  run_hot_paths_fs ()
+
+(* The PR-7 surfaces on the same trendline: the incremental fsck against
+   the full-scan oracle it replaces on the explorer's per-boundary path,
+   and the arena extent path behind read/write (append-grow + truncate,
+   chunks recycling through the free lists with no OCaml allocation in
+   steady state). *)
+and run_hot_paths_fs () =
+  let open Bechamel in
+  let must = function Ok v -> v | Error e -> failwith (Fs.error_to_string e) in
+  let block = 4096 in
+  let fs = Fs.create (Fs.default_config ~total_blocks:16384) in
+  ignore (must (Fs.mkdir fs "/dir"));
+  let inos =
+    List.init 32 (fun i ->
+        let ino = must (Fs.create_file fs (Printf.sprintf "/dir/f%02d" i)) in
+        must (Fs.resize fs ~ino ~size:(8 * block));
+        ino)
+  in
+  let cp = Fs.checkpoint fs in
+  (* a boundary-sized dirty set: one grown file, one unlink, one create *)
+  must (Fs.resize fs ~ino:(List.hd inos) ~size:(12 * block));
+  must (Fs.unlink fs "/dir/f01");
+  let fresh = must (Fs.create_file fs "/dir/f32") in
+  must (Fs.resize fs ~ino:fresh ~size:(4 * block));
+  let fsck_full =
+    Test.make ~name:"fsck/full" (Staged.stage (fun () -> ignore (Fs.check_full fs)))
+  in
+  let fsck_incr =
+    Test.make ~name:"fsck/incremental"
+      (Staged.stage (fun () -> ignore (Fs.check_incremental fs cp)))
+  in
+  Printf.printf "# fsck: full scan vs incremental (32 files, 3 inodes dirty)\n";
+  (match (hot_paths_benchmark fsck_full, hot_paths_benchmark fsck_incr) with
+  | Some full, Some incr ->
+    Printf.printf "  fsck  full     %7.1f ns/check  incremental %7.1f ns/check  (%.2fx)\n"
+      full incr (full /. incr)
+  | _ -> Printf.printf "  fsck  (no estimate)\n");
+  let cycle_blocks = 64 in
+  let victim = List.nth inos 16 in
+  let extent_cycle =
+    Test.make ~name:"extent/grow-shrink"
+      (Staged.stage (fun () ->
+           must (Fs.resize fs ~ino:victim ~size:(cycle_blocks * block));
+           must (Fs.resize fs ~ino:victim ~size:(8 * block))))
+  in
+  Printf.printf "# arena extent path: %d-block append-grow + truncate cycle\n"
+    cycle_blocks;
+  (match hot_paths_benchmark extent_cycle with
+  | Some est ->
+    (* 56 blocks attached + 56 detached per cycle *)
+    Printf.printf "  resize         %7.1f ns/block\n"
+      (est /. float_of_int (2 * (cycle_blocks - 8)))
+  | None -> Printf.printf "  resize (no estimate)\n")
 
 let run_platforms platform_names noise seed jobs output =
   let names =

@@ -7,7 +7,18 @@ open Simos
    kernels, crashing at boundary n = 1..T, restarting from the durable
    image, running the recovery path, and checking invariants.  Every
    boundary is visited — no sampling — and a violating boundary is
-   reported as a replayable seed. *)
+   reported as a replayable seed.
+
+   Exploration is window-sharded: the boundary range splits into fixed
+   contiguous windows, each a hermetic function of (baseline, lo, hi)
+   that replays its boundaries independently, so windows can run as
+   seeded tasks on a {!Gray_util.Domain_pool} and merge in submission
+   order into the exact serial report — byte-identical at any [-j].
+   The per-boundary fsck is {!Fs.check_incremental} against a
+   checkpoint taken at the end of setup (every boundary run replays the
+   identical setup whose full-fsck cleanliness the baseline verified);
+   [~full_fsck:true] pins the full-scan oracle instead, which the
+   differential tests diff against. *)
 
 type violation = {
   vi_boundary : int;
@@ -29,10 +40,16 @@ let small_platform =
     { Platform.linux_2_2 with Platform.memory_mib = 96; kernel_reserved_mib = 32 }
     ~sigma:0.0
 
+(* The explorer measures the recovery protocol, not the fault plane: like
+   the other instruments that test themselves, it pins the bit-identical
+   quiet scenario so a GRAYBOX_FAULTS=canonical run cannot inject
+   transient errors into the replayed window and desynchronise the
+   boundary schedule from the baseline count (the pre-PR-7 crash-16
+   failure under canonical faults). *)
 let boot ~seed =
   let engine = Engine.create () in
   Kernel.boot ~engine ~platform:small_platform ~data_disks:1 ~volume_blocks:16384
-    ~crash:Crash.durable ~seed ()
+    ~faults:Fault.quiet ~crash:Crash.durable ~seed ()
 
 let must = function
   | Ok v -> v
@@ -124,16 +141,25 @@ let broken_repair env ~parent =
   in
   fix journals
 
+(* ---- workload runners ---- *)
+
 (* One run of the refresh workload: setup, sync, then — with the plane
    optionally armed [n] boundaries into the window — the refresh itself.
-   Returns the kernel (for post-mortem inspection), the syscall window,
-   and whether the machine crashed. *)
+   The fsck checkpoint is taken at the end of setup: every boundary run
+   replays the byte-identical setup, and the baseline verified that
+   state passes the full fsck, so the incremental checker's contract
+   holds for everything the window (and the crash rollback, and the
+   repair) touches after it.  Returns the kernel (for post-mortem
+   inspection), the syscall window, the checkpoint, and whether the
+   machine crashed. *)
 let run_refresh ~seed ~files ~file_size ~arm =
   let k = boot ~seed in
   let c = Option.get (Kernel.crash_plane k) in
   let window = ref (0, 0) in
+  let cp = ref None in
   Kernel.spawn k ~name:"refresh" (fun env ->
       setup env ~files ~file_size;
+      cp := Some (Fs.checkpoint (Kernel.volume_fs k 0));
       let s0 = Crash.syscalls c in
       (match arm with Some n -> Crash.arm_at c n | None -> ());
       (match Fldc.refresh_directory env ~dir () with
@@ -146,119 +172,7 @@ let run_refresh ~seed ~files ~file_size ~arm =
       false
     with Engine.Fiber_crash (_, Crash.Crashed) -> true
   in
-  (k, !window, crashed)
-
-type checker = {
-  mutable problems : string list;  (* newest first *)
-}
-
-let add ck fmt = Printf.ksprintf (fun s -> ck.problems <- s :: ck.problems) fmt
-
-(* Restart the crashed machine, run [repair], and record every invariant
-   violation: all processes reclaimed, the parent directory holds only
-   the data directory (journal and temporary directory cleaned up), the
-   surviving state is exactly the pre- or the post-refresh image, and
-   the file system passes [Fs.check].  Returns [`Back] / [`Forward] for
-   the outcome, or [`Broken] when the state matches neither image. *)
-let recover_and_check ~k ~pre ~post ~repair ck =
-  if Kernel.live_procs k <> 0 then
-    add ck "%d live processes after crash" (Kernel.live_procs k);
-  Kernel.restart k;
-  let repair_error = ref None in
-  Kernel.spawn k ~name:"repair" (fun env ->
-      match repair env ~parent with
-      | Ok (_ : bool) -> ()
-      | Error e -> repair_error := Some e);
-  (try Kernel.run k
-   with Engine.Fiber_crash (name, e) ->
-     add ck "repair fiber crashed (%s: %s)" name (Printexc.to_string e));
-  (match !repair_error with
-  | Some e -> add ck "repair returned an error: %s" (Kernel.error_to_string e)
-  | None -> ());
-  if Kernel.live_procs k <> 0 then
-    add ck "%d live processes after repair" (Kernel.live_procs k);
-  let fs = Kernel.volume_fs k 0 in
-  (match Fs.readdir fs "/" with
-  | Ok names -> (
-    match List.sort compare names with
-    | [ "dir" ] -> ()
-    | names -> add ck "parent not clean after repair: [%s]" (String.concat "; " names))
-  | Error e -> add ck "parent unreadable after repair: %s" (Fs.error_to_string e));
-  (match Fs.check fs with
-  | [] -> ()
-  | ps -> add ck "fsck: %s" (String.concat "; " ps));
-  match observe fs with
-  | None ->
-    add ck "data directory missing after repair";
-    `Broken
-  | Some obs ->
-    if obs = pre then `Back
-    else if obs = post then `Forward
-    else begin
-      add ck "surviving state is neither the pre- nor the post-refresh image";
-      `Broken
-    end
-
-let explore_refresh ?(seed = 11) ?(files = 6) ?(file_size = 8192) ?(break_repair = false)
-    () =
-  (* Pre-image: the durable state at the start of the refresh window. *)
-  let pre =
-    let k = boot ~seed in
-    Kernel.spawn k ~name:"setup" (fun env -> setup env ~files ~file_size);
-    Kernel.run k;
-    match observe (Kernel.volume_fs k 0) with
-    | Some obs -> obs
-    | None -> failwith "Crash_explore: setup produced no directory"
-  in
-  (* Baseline: count the window's syscall boundaries and capture the
-     committed post-image. *)
-  let k, (s0, s1), crashed = run_refresh ~seed ~files ~file_size ~arm:None in
-  if crashed then failwith "Crash_explore: baseline run crashed";
-  let post =
-    match observe (Kernel.volume_fs k 0) with
-    | Some obs -> obs
-    | None -> failwith "Crash_explore: baseline refresh produced no directory"
-  in
-  let t = s1 - s0 in
-  if t <= 0 then failwith "Crash_explore: empty refresh window";
-  let violations = ref [] in
-  let violate ~boundary ck =
-    violations :=
-      {
-        vi_boundary = boundary;
-        vi_seed = seed;
-        vi_problem = String.concat "; " (List.rev ck.problems);
-        vi_replay = Printf.sprintf "GRAYBOX_CRASH=at:%d seed=%d workload=refresh" boundary seed;
-      }
-      :: !violations
-  in
-  (* The committed image must itself meet the layout goal, or every
-     roll-forward would be a silent regression. *)
-  (let ck = { problems = [] } in
-   if not (ino_order_ok post) then begin
-     add ck "post-refresh image does not order i-numbers by size";
-     violate ~boundary:0 ck
-   end);
-  let rolled_back = ref 0 in
-  let rolled_forward = ref 0 in
-  let repair = if break_repair then broken_repair else Fldc.repair in
-  for n = 1 to t do
-    let k, _window, crashed = run_refresh ~seed ~files ~file_size ~arm:(Some n) in
-    let ck = { problems = [] } in
-    if not crashed then add ck "no crash fired at boundary %d" n;
-    (match recover_and_check ~k ~pre ~post ~repair ck with
-    | `Back -> incr rolled_back
-    | `Forward -> incr rolled_forward
-    | `Broken -> ());
-    if ck.problems <> [] then violate ~boundary:n ck
-  done;
-  {
-    rp_workload_syscalls = t;
-    rp_boundaries = t;
-    rp_rolled_back = !rolled_back;
-    rp_rolled_forward = !rolled_forward;
-    rp_violations = List.rev !violations;
-  }
+  (k, !window, !cp, crashed)
 
 (* {1 MAC / gbp pipeline} *)
 
@@ -290,15 +204,23 @@ let pipeline_window env ~files ~fccd =
     Mac.touch_all env a;
     Mac.gb_free env a
 
-let run_pipeline ~seed ~files ~file_size ~fccd ~arm =
+(* Each run builds its own FCCD config from the seed: the config carries
+   a mutable RNG, and a shared one would let run order leak into the
+   probe schedule — boundary n would crash a {e different} syscall
+   sequence than the one the baseline counted, and windows would not be
+   independent.  Fresh-per-run, every boundary replays the baseline's
+   exact sequence. *)
+let run_pipeline ~seed ~files ~file_size ~arm =
   let k = boot ~seed in
   let c = Option.get (Kernel.crash_plane k) in
   let window = ref (0, 0) in
+  let cp = ref None in
   Kernel.spawn k ~name:"pipeline" (fun env ->
       setup env ~files ~file_size;
+      cp := Some (Fs.checkpoint (Kernel.volume_fs k 0));
       let s0 = Crash.syscalls c in
       (match arm with Some n -> Crash.arm_at c n | None -> ());
-      pipeline_window env ~files ~fccd;
+      pipeline_window env ~files ~fccd:(Fccd.default_config ~seed ());
       window := (s0, Crash.syscalls c));
   let crashed =
     try
@@ -306,67 +228,375 @@ let run_pipeline ~seed ~files ~file_size ~fccd ~arm =
       false
     with Engine.Fiber_crash (_, Crash.Crashed) -> true
   in
-  (k, !window, crashed)
+  (k, !window, !cp, crashed)
 
-let explore_pipeline ?(seed = 23) ?(files = 4) ?(file_size = 8192) () =
-  let fccd = Fccd.default_config ~seed () in
-  let pre =
-    let k = boot ~seed in
-    Kernel.spawn k ~name:"setup" (fun env -> setup env ~files ~file_size);
-    Kernel.run k;
+(* ---- baselines ---- *)
+
+type workload = Refresh | Pipeline
+
+type observation = (string * int * int * int) list
+
+type baseline = {
+  bl_workload : workload;
+  bl_seed : int;
+  bl_files : int;
+  bl_file_size : int;
+  bl_boundaries : int;
+  bl_pre : observation;   (* durable state at the start of the window *)
+  bl_post : observation;  (* committed state after an uncrashed run *)
+}
+
+let baseline_boundaries bl = bl.bl_boundaries
+
+(* The durable pre-image, observed from a setup-only run — the same
+   state every boundary run holds at its checkpoint.  The full fsck must
+   pass here: this anchors the incremental checker's contract for the
+   whole window sweep. *)
+let pre_image ~seed ~files ~file_size =
+  let k = boot ~seed in
+  Kernel.spawn k ~name:"setup" (fun env -> setup env ~files ~file_size);
+  Kernel.run k;
+  let fs = Kernel.volume_fs k 0 in
+  (match Fs.check_full fs with
+  | [] -> ()
+  | ps ->
+    failwith
+      ("Crash_explore: setup state fails the full fsck: " ^ String.concat "; " ps));
+  match observe fs with
+  | Some obs -> obs
+  | None -> failwith "Crash_explore: setup produced no directory"
+
+let refresh_baseline ?(seed = 11) ?(files = 6) ?(file_size = 8192) () =
+  let bl_pre = pre_image ~seed ~files ~file_size in
+  let k, (s0, s1), _cp, crashed = run_refresh ~seed ~files ~file_size ~arm:None in
+  if crashed then failwith "Crash_explore: baseline run crashed";
+  let bl_post =
     match observe (Kernel.volume_fs k 0) with
     | Some obs -> obs
-    | None -> failwith "Crash_explore: setup produced no directory"
+    | None -> failwith "Crash_explore: baseline refresh produced no directory"
   in
-  let _k, (s0, s1), crashed = run_pipeline ~seed ~files ~file_size ~fccd ~arm:None in
+  let t = s1 - s0 in
+  if t <= 0 then failwith "Crash_explore: empty refresh window";
+  { bl_workload = Refresh; bl_seed = seed; bl_files = files; bl_file_size = file_size;
+    bl_boundaries = t; bl_pre; bl_post }
+
+let pipeline_baseline ?(seed = 23) ?(files = 4) ?(file_size = 8192) () =
+  let bl_pre = pre_image ~seed ~files ~file_size in
+  let _k, (s0, s1), _cp, crashed = run_pipeline ~seed ~files ~file_size ~arm:None in
   if crashed then failwith "Crash_explore: baseline pipeline crashed";
   let t = s1 - s0 in
   if t <= 0 then failwith "Crash_explore: empty pipeline window";
+  { bl_workload = Pipeline; bl_seed = seed; bl_files = files; bl_file_size = file_size;
+    bl_boundaries = t; bl_pre; bl_post = bl_pre }
+
+(* ---- per-boundary invariant checking ---- *)
+
+type checker = {
+  mutable problems : string list;  (* newest first *)
+}
+
+let add ck fmt = Printf.ksprintf (fun s -> ck.problems <- s :: ck.problems) fmt
+
+let fsck_of ~full_fsck ~cp fs =
+  if full_fsck then Fs.check_full fs
+  else
+    match cp with
+    | Some cp -> Fs.check_incremental fs cp
+    | None -> Fs.check_full fs (* crashed before setup finished: no token *)
+
+(* Restart the crashed machine, run [repair], and record every invariant
+   violation: all processes reclaimed, the parent directory holds only
+   the data directory (journal and temporary directory cleaned up), the
+   surviving state is exactly the pre- or the post-refresh image, and
+   the file system passes fsck.  Returns [`Back] / [`Forward] for the
+   outcome, or [`Broken] when the state matches neither image. *)
+let recover_and_check ~k ~pre ~post ~repair ~fsck ck =
+  if Kernel.live_procs k <> 0 then
+    add ck "%d live processes after crash" (Kernel.live_procs k);
+  Kernel.restart k;
+  let repair_error = ref None in
+  Kernel.spawn k ~name:"repair" (fun env ->
+      match repair env ~parent with
+      | Ok (_ : bool) -> ()
+      | Error e -> repair_error := Some e);
+  (try Kernel.run k
+   with Engine.Fiber_crash (name, e) ->
+     add ck "repair fiber crashed (%s: %s)" name (Printexc.to_string e));
+  (match !repair_error with
+  | Some e -> add ck "repair returned an error: %s" (Kernel.error_to_string e)
+  | None -> ());
+  if Kernel.live_procs k <> 0 then
+    add ck "%d live processes after repair" (Kernel.live_procs k);
+  let fs = Kernel.volume_fs k 0 in
+  (match Fs.readdir fs "/" with
+  | Ok names -> (
+    match List.sort compare names with
+    | [ "dir" ] -> ()
+    | names -> add ck "parent not clean after repair: [%s]" (String.concat "; " names))
+  | Error e -> add ck "parent unreadable after repair: %s" (Fs.error_to_string e));
+  (match fsck fs with
+  | [] -> ()
+  | ps -> add ck "fsck: %s" (String.concat "; " ps));
+  match observe fs with
+  | None ->
+    add ck "data directory missing after repair";
+    `Broken
+  | Some obs ->
+    if obs = pre then `Back
+    else if obs = post then `Forward
+    else begin
+      add ck "surviving state is neither the pre- nor the post-refresh image";
+      `Broken
+    end
+
+(* ---- windows ---- *)
+
+(* Fixed window granularity, independent of how many domains run them:
+   the report split is a function of the boundary count alone, so the
+   merged output cannot depend on -j. *)
+let window_size = 16
+
+let windows ~boundaries =
+  let rec go lo acc =
+    if lo > boundaries then List.rev acc
+    else go (lo + window_size) ((lo, min boundaries (lo + window_size - 1)) :: acc)
+  in
+  go 1 []
+
+let merge_reports = function
+  | [] -> invalid_arg "Crash_explore.merge_reports: no reports"
+  | r0 :: _ as reports ->
+    List.iter
+      (fun r ->
+        if r.rp_workload_syscalls <> r0.rp_workload_syscalls then
+          invalid_arg "Crash_explore.merge_reports: windows of different workloads")
+      reports;
+    {
+      rp_workload_syscalls = r0.rp_workload_syscalls;
+      rp_boundaries = List.fold_left (fun a r -> a + r.rp_boundaries) 0 reports;
+      rp_rolled_back = List.fold_left (fun a r -> a + r.rp_rolled_back) 0 reports;
+      rp_rolled_forward =
+        List.fold_left (fun a r -> a + r.rp_rolled_forward) 0 reports;
+      rp_violations = List.concat_map (fun r -> r.rp_violations) reports;
+    }
+
+let check_window bl ~lo ~hi =
+  if lo < 1 || hi > bl.bl_boundaries || lo > hi then
+    invalid_arg
+      (Printf.sprintf "Crash_explore: window [%d, %d] outside boundaries [1, %d]" lo hi
+         bl.bl_boundaries)
+
+let explore_refresh_window ?(break_repair = false) ?(full_fsck = false) bl ~lo ~hi =
+  if bl.bl_workload <> Refresh then
+    invalid_arg "Crash_explore.explore_refresh_window: not a refresh baseline";
+  check_window bl ~lo ~hi;
+  let { bl_seed = seed; bl_files = files; bl_file_size = file_size; bl_pre = pre;
+        bl_post = post; _ } = bl in
   let violations = ref [] in
-  for n = 1 to t do
-    let k, _window, crashed = run_pipeline ~seed ~files ~file_size ~fccd ~arm:(Some n) in
+  let violate ~boundary ck =
+    violations :=
+      {
+        vi_boundary = boundary;
+        vi_seed = seed;
+        vi_problem = String.concat "; " (List.rev ck.problems);
+        vi_replay =
+          Printf.sprintf "GRAYBOX_CRASH=at:%d seed=%d workload=refresh" boundary seed;
+      }
+      :: !violations
+  in
+  (* The committed image must itself meet the layout goal, or every
+     roll-forward would be a silent regression.  Boundary 0 belongs to
+     the first window so the merged report carries it exactly once. *)
+  if lo = 1 then (
+    let ck = { problems = [] } in
+    if not (ino_order_ok post) then begin
+      add ck "post-refresh image does not order i-numbers by size";
+      violate ~boundary:0 ck
+    end);
+  let rolled_back = ref 0 in
+  let rolled_forward = ref 0 in
+  let repair = if break_repair then broken_repair else Fldc.repair in
+  for n = lo to hi do
+    let k, _window, cp, crashed = run_refresh ~seed ~files ~file_size ~arm:(Some n) in
+    let ck = { problems = [] } in
+    if not crashed then add ck "no crash fired at boundary %d" n;
+    (match
+       recover_and_check ~k ~pre ~post ~repair ~fsck:(fsck_of ~full_fsck ~cp) ck
+     with
+    | `Back -> incr rolled_back
+    | `Forward -> incr rolled_forward
+    | `Broken -> ());
+    if ck.problems <> [] then violate ~boundary:n ck
+  done;
+  {
+    rp_workload_syscalls = bl.bl_boundaries;
+    rp_boundaries = hi - lo + 1;
+    rp_rolled_back = !rolled_back;
+    rp_rolled_forward = !rolled_forward;
+    rp_violations = List.rev !violations;
+  }
+
+(* Invariants of a restarted pipeline machine: fsck clean, the durable
+   setup image untouched (the pipeline only reads the directory), and the
+   same pipeline re-runs to completion — proving memory, swap, and
+   descriptors were reclaimed.  [k] is either the restarted crashed
+   kernel (replay strategy) or a fresh boot carrying the rolled-back
+   image (snapshot strategy); the checks see only the volume state and
+   the re-run's completion, identical between the two constructions. *)
+let check_restarted_pipeline ~full_fsck ~cp ~pre ~seed ~files k ck =
+  let fs = Kernel.volume_fs k 0 in
+  (match fsck_of ~full_fsck ~cp fs with
+  | [] -> ()
+  | ps -> add ck "fsck: %s" (String.concat "; " ps));
+  (match observe fs with
+  | Some obs when obs = pre -> ()
+  | Some _ -> add ck "durable setup image changed under a read-only pipeline"
+  | None -> add ck "data directory missing after crash");
+  let reran = ref false in
+  Kernel.spawn k ~name:"pipeline-rerun" (fun env ->
+      pipeline_window env ~files ~fccd:(Fccd.default_config ~seed ());
+      reran := true);
+  (try Kernel.run k
+   with Engine.Fiber_crash (name, e) ->
+     add ck "re-run crashed (%s: %s)" name (Printexc.to_string e));
+  if not !reran then add ck "pipeline re-run did not complete after restart";
+  if Kernel.live_procs k <> 0 then
+    add ck "%d live processes after re-run" (Kernel.live_procs k)
+
+(* Snapshot strategy: ONE uncrashed run of the workload per window,
+   cloning the volume at each boundary in [lo, hi] through the crash
+   plane's boundary observer — the observer fires at the exact point an
+   armed crash would, so the clone {e is} the crash state.  Each clone
+   is rolled back ({!Fs.crash}) and adopted by a fresh kernel, which is
+   the restarted machine minus the O(prefix) armed replay.  Boundaries
+   whose raw volume state equals the previous boundary's (the read-only
+   pipeline dirties nothing, so in practice all of them) share its
+   verdict: every check and the full re-run are deterministic functions
+   of the adopted state, and {!Fs.equal} is exact, so the shared verdict
+   is the one the slow path would recompute.  The replay strategy below
+   remains the oracle this equivalence is differentially tested against
+   (it alone exercises arming and the crashed machine itself). *)
+let pipeline_window_snapshot ~full_fsck bl ~lo ~hi =
+  let { bl_seed = seed; bl_files = files; bl_file_size = file_size; bl_pre = pre; _ } =
+    bl
+  in
+  let width = hi - lo + 1 in
+  let snaps = Array.make width None in  (* None = same image as previous *)
+  let cp = ref None in
+  let k = boot ~seed in
+  let c = Option.get (Kernel.crash_plane k) in
+  Kernel.spawn k ~name:"pipeline" (fun env ->
+      setup env ~files ~file_size;
+      cp := Some (Fs.checkpoint (Kernel.volume_fs k 0));
+      let s0 = Crash.syscalls c in
+      let fs = Kernel.volume_fs k 0 in
+      let last = ref None in
+      Crash.observe_boundaries c (fun abs ->
+          let n = abs - s0 in
+          if n >= lo && n <= hi then begin
+            match !last with
+            | Some prev when Fs.equal fs prev -> ()
+            | Some _ | None ->
+              let img = Fs.clone fs in
+              snaps.(n - lo) <- Some img;
+              last := Some img
+          end);
+      pipeline_window env ~files ~fccd:(Fccd.default_config ~seed ()));
+  Kernel.run k;
+  let violations = ref [] in
+  let last_problems = ref [] in
+  for i = 0 to width - 1 do
+    let n = lo + i in
+    let problems =
+      match snaps.(i) with
+      | None -> !last_problems
+      | Some img ->
+        Fs.crash img;
+        let k2 = boot ~seed in
+        Kernel.install_volume_image k2 0 img;
+        let ck = { problems = [] } in
+        check_restarted_pipeline ~full_fsck ~cp:!cp ~pre ~seed ~files k2 ck;
+        let ps = List.rev ck.problems in
+        last_problems := ps;
+        ps
+    in
+    if problems <> [] then
+      violations :=
+        {
+          vi_boundary = n;
+          vi_seed = seed;
+          vi_problem = String.concat "; " problems;
+          vi_replay =
+            Printf.sprintf "GRAYBOX_CRASH=at:%d seed=%d workload=pipeline" n seed;
+        }
+        :: !violations
+  done;
+  List.rev !violations
+
+let pipeline_window_replay ~full_fsck bl ~lo ~hi =
+  let { bl_seed = seed; bl_files = files; bl_file_size = file_size; bl_pre = pre; _ } =
+    bl
+  in
+  let violations = ref [] in
+  for n = lo to hi do
+    let k, _window, cp, crashed = run_pipeline ~seed ~files ~file_size ~arm:(Some n) in
     let ck = { problems = [] } in
     if not crashed then add ck "no crash fired at boundary %d" n;
     if Kernel.live_procs k <> 0 then
       add ck "%d live processes after crash" (Kernel.live_procs k);
     Kernel.restart k;
-    let fs = Kernel.volume_fs k 0 in
-    (match Fs.check fs with
-    | [] -> ()
-    | ps -> add ck "fsck: %s" (String.concat "; " ps));
-    (* The pipeline only reads the directory, so a crash anywhere in the
-       window must leave the durable setup image untouched. *)
-    (match observe fs with
-    | Some obs when obs = pre -> ()
-    | Some _ -> add ck "durable setup image changed under a read-only pipeline"
-    | None -> add ck "data directory missing after crash");
-    (* The restarted machine must be fully usable: the same pipeline runs
-       to completion, proving memory, swap, and descriptors were
-       reclaimed. *)
-    let reran = ref false in
-    Kernel.spawn k ~name:"pipeline-rerun" (fun env ->
-        pipeline_window env ~files ~fccd;
-        reran := true);
-    (try Kernel.run k
-     with Engine.Fiber_crash (name, e) ->
-       add ck "re-run crashed (%s: %s)" name (Printexc.to_string e));
-    if not !reran then add ck "pipeline re-run did not complete after restart";
-    if Kernel.live_procs k <> 0 then
-      add ck "%d live processes after re-run" (Kernel.live_procs k);
+    check_restarted_pipeline ~full_fsck ~cp ~pre ~seed ~files k ck;
     if ck.problems <> [] then
       violations :=
         {
           vi_boundary = n;
           vi_seed = seed;
           vi_problem = String.concat "; " (List.rev ck.problems);
-          vi_replay = Printf.sprintf "GRAYBOX_CRASH=at:%d seed=%d workload=pipeline" n seed;
+          vi_replay =
+            Printf.sprintf "GRAYBOX_CRASH=at:%d seed=%d workload=pipeline" n seed;
         }
         :: !violations
   done;
+  List.rev !violations
+
+let explore_pipeline_window ?(full_fsck = false) ?(strategy = `Snapshot) bl ~lo ~hi =
+  if bl.bl_workload <> Pipeline then
+    invalid_arg "Crash_explore.explore_pipeline_window: not a pipeline baseline";
+  check_window bl ~lo ~hi;
+  let violations =
+    match strategy with
+    | `Snapshot -> pipeline_window_snapshot ~full_fsck bl ~lo ~hi
+    | `Replay -> pipeline_window_replay ~full_fsck bl ~lo ~hi
+  in
   {
-    rp_workload_syscalls = t;
-    rp_boundaries = t;
+    rp_workload_syscalls = bl.bl_boundaries;
+    rp_boundaries = hi - lo + 1;
     rp_rolled_back = 0;
     rp_rolled_forward = 0;
-    rp_violations = List.rev !violations;
+    rp_violations = violations;
   }
+
+type strategy = [ `Snapshot | `Replay ]
+
+(* ---- whole-range exploration ---- *)
+
+let sharded ?pool ~boundaries run_window =
+  let ws = windows ~boundaries in
+  let reports =
+    match pool with
+    | Some pool -> Gray_util.Domain_pool.map pool (fun (lo, hi) -> run_window ~lo ~hi) ws
+    | None -> List.map (fun (lo, hi) -> run_window ~lo ~hi) ws
+  in
+  merge_reports reports
+
+let explore_refresh ?seed ?files ?file_size ?(break_repair = false)
+    ?(full_fsck = false) ?pool () =
+  let bl = refresh_baseline ?seed ?files ?file_size () in
+  sharded ?pool ~boundaries:bl.bl_boundaries
+    (explore_refresh_window ~break_repair ~full_fsck bl)
+
+let explore_pipeline ?seed ?files ?file_size ?(full_fsck = false)
+    ?(strategy = `Snapshot) ?pool () =
+  let bl = pipeline_baseline ?seed ?files ?file_size () in
+  sharded ?pool ~boundaries:bl.bl_boundaries
+    (explore_pipeline_window ~full_fsck ~strategy bl)

@@ -50,6 +50,7 @@ type t = {
   c_rng : Gray_util.Rng.t;
   mutable c_syscalls : int;
   mutable c_armed : int option;  (* absolute tick count at which to fire *)
+  mutable c_observer : (int -> unit) option;
   c_stats : mutable_stats;
 }
 
@@ -59,6 +60,7 @@ let create sc =
     c_rng = Gray_util.Rng.create ~seed:sc.cs_seed;
     c_syscalls = 0;
     c_armed = sc.cs_crash_at;
+    c_observer = None;
     c_stats = { m_crashes = 0; m_restarts = 0 };
   }
 
@@ -71,11 +73,16 @@ let arm_at t n =
 
 let disarm t = t.c_armed <- None
 
+let observe_boundaries t f = t.c_observer <- Some f
+
 (* One syscall boundary.  Deterministic armed countdowns never draw from
    the RNG; probabilistic scenarios draw exactly once per boundary, so a
-   run is as reproducible as a benign one. *)
+   run is as reproducible as a benign one.  The observer runs first, at
+   the exact point an armed crash would fire, so the machine state it
+   sees {e is} the state a crash at this boundary would leave behind. *)
 let tick t =
   t.c_syscalls <- t.c_syscalls + 1;
+  (match t.c_observer with None -> () | Some f -> f t.c_syscalls);
   let fire =
     match t.c_armed with
     | Some n -> t.c_syscalls = n

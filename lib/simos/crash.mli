@@ -66,6 +66,15 @@ val arm_at : t -> int -> unit
 
 val disarm : t -> unit
 
+val observe_boundaries : t -> (int -> unit) -> unit
+(** Install a callback invoked at every boundary with the absolute
+    {!syscalls} count, at the exact point an armed crash would fire — so
+    the machine state the callback sees is the state a crash at that
+    boundary would leave.  The snapshot-mode crash explorer uses this to
+    capture per-boundary durable images in a single uncrashed run instead
+    of one armed replay per boundary.  One observer per plane; installing
+    replaces the previous one. *)
+
 val syscalls : t -> int
 (** Boundaries ticked since boot; the explorer differences this across a
     workload window to enumerate every crash point, no sampling. *)

@@ -68,6 +68,12 @@ type stat_info = {
 
 val stat_ino : t -> int -> (stat_info, error) result
 val stat_path : t -> string -> (stat_info, error) result
+
+val size_ino : t -> ino:int -> int
+(** Current (volatile) size of an inode, [0] for unknown inodes.  The
+    allocation-free fast path for the kernel's read/write bounds checks —
+    {!stat_ino} builds a record per call. *)
+
 val set_times : t -> ino:int -> atime:int -> mtime:int -> (unit, error) result
 val mark_atime : t -> ino:int -> now:int -> unit
 val mark_mtime : t -> ino:int -> now:int -> unit
@@ -116,12 +122,80 @@ val crash : t -> unit
     and reset the allocator cursors as on a fresh mount.  The namespace
     itself survives. *)
 
+val clone : t -> t
+(** Deep copy of the complete volume state — durable and volatile fields,
+    dirty-epoch bookkeeping included, so a {!checkpoint} token from the
+    original stays valid against the copy and {!crash} rolls the copy
+    back exactly as it would the original.  The snapshot-mode crash
+    explorer clones the volume at each syscall boundary of one uncrashed
+    run instead of replaying the workload prefix per boundary. *)
+
+val equal : t -> t -> bool
+(** Exact structural equality of the complete volume state (everything
+    {!clone} copies).  Two equal states are indistinguishable to every
+    operation in this interface, so a deterministic computation over one
+    (an fsck, a repair, a whole re-run) may reuse the verdict computed
+    over the other — the memoisation key of the snapshot-mode explorer.
+    Exact for images of a common lineage; conservative (may report
+    unequal for observably equal states with different arena layouts)
+    otherwise. *)
+
 val check : t -> string list
 (** Full-volume fsck: namespace reachability (no orphans, no double
     links, no dangling entries), inode-bitmap and free-count consistency,
     and block ownership (every file block in range, allocated, owned
     exactly once; sizes agree with block counts).  Returns a
-    deterministic list of violations, [[]] when consistent. *)
+    deterministic list of violations, [[]] when consistent.  Alias of
+    {!check_full}. *)
+
+val check_full : t -> string list
+(** The full scan, kept as the oracle {!check_incremental} is proven
+    against. *)
+
+(** {1 Incremental fsck}
+
+    Every mutating operation marks the inodes and allocation groups it
+    touches with the current {e dirty epoch}.  {!checkpoint} starts a new
+    epoch and returns a token; {!check_incremental} with that token
+    re-validates only what was dirtied since — touched inodes (their
+    reachability via maintained parent back-pointers, their block lists
+    via a maintained block-ownership map, their bitmap slots) and touched
+    groups (bitmap recounts) plus the O(groups) global totals.
+
+    Equivalence contract: if the volume passed {!check_full} with [[]] at
+    the moment of {!checkpoint}, and every subsequent change went through
+    this module's operations (or {!break_one}), then
+    [check_incremental t cp] returns the same violation multiset as
+    [check_full t].  A stale token — from an older checkpoint, or
+    invalidated by an epoch-counter wrap — can vouch for nothing, so the
+    checker silently falls back to the full scan: it can be slow, never
+    unsound. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Start a new dirty epoch; subsequent marks accumulate against the
+    returned token.  The caller is responsible for the contract above
+    (the state should be known-consistent, e.g. fresh from a passing
+    {!check_full}). *)
+
+val check_incremental : t -> checkpoint -> string list
+(** Dirty-set fsck (see the contract above).  Falls back to
+    {!check_full} when the token is stale.  Metrics counters
+    [fs.check.incremental] / [fs.check.fallback] / [fs.check.full]
+    record which path ran. *)
+
+val epoch_state : t -> int * int
+(** [(generation, epoch)] — white-box, for the wraparound tests. *)
+
+val break_one : t -> seed:int -> string option
+(** Deliberately corrupt one piece of internal state — clear or set a
+    bitmap bit, skew a free count, orphan an inode, plant a dangling
+    entry, double-own a block, grow a size past its blocks — chosen
+    deterministically from [seed], while honouring the dirty-marking
+    contract so {!check_incremental} must catch it.  Returns a
+    description of the damage, or [None] if the volume is too empty to
+    corrupt.  White-box: for the differential test harness only. *)
 
 (** {1 Introspection (white-box; used by tests and benches only)} *)
 
@@ -130,6 +204,11 @@ val layout_of_file : t -> ino:int -> int array
 
 val free_blocks : t -> int
 val free_inodes : t -> int
+
+val arena_stats : t -> int * int
+(** [(slots used, slots capacity)] of the shared extent arena backing all
+    per-file block lists. *)
+
 val fragmentation_of_file : t -> ino:int -> float
 (** Fraction of page transitions that are {e not} physically contiguous
     ([0.] = perfectly laid out). *)

@@ -27,7 +27,7 @@ type proc = {
   mutable p_regions : region list;
 }
 
-type volume = { v_fs : Fs.t; v_disk : Disk.t }
+type volume = { mutable v_fs : Fs.t; v_disk : Disk.t }
 
 type mutable_counters = {
   mutable m_reads : int;
@@ -89,7 +89,10 @@ let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ?faults ?crash ?drif
         (Platform.memory_layout platform);
     k_cpu = Resource.create ~slots:platform.Platform.cpus;
     k_noise = Gray_util.Rng.create ~seed;
-    k_swapped = Page.Tbl.create 4096;
+    (* starts small and grows on demand: most boots (and every post-crash
+       reboot in an exploration sweep) never swap, and zeroing a 4096-slot
+       table per boot dominated the explorer's boot cost *)
+    k_swapped = Page.Tbl.create 16;
     k_procs = Hashtbl.create 16;
     k_next_pid = 1;
     k_ctr =
@@ -128,6 +131,13 @@ let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ?faults ?crash ?drif
         (* GRAYBOX_DRIFT=quiet|canonical|heavy — same opt-in pattern *)
         Option.map Drift.create (Drift.of_env ()));
   }
+
+(* Adopt a volume image on a freshly booted kernel (the snapshot-mode
+   crash explorer: a fresh boot plus a rolled-back image is the restarted
+   machine, minus the replay).  Must run before any process does: resident
+   file pages and open descriptors are keyed by the old volume's inodes
+   and would go stale — on a fresh boot both sets are empty. *)
+let install_volume_image t i fs = t.k_volumes.(i).v_fs <- fs
 
 let engine t = t.k_engine
 let platform t = t.k_platform
@@ -179,25 +189,23 @@ let spawn t ?(name = "proc") ?at body =
     }
   in
   let env = { e_k = t; e_proc = proc } in
+  (* Dead regions already dropped their pages (cache and swap) at vfree
+     time, and every anonymous page of this process lives in some region,
+     so walking the live regions covers the whole address space — no
+     pid-wide scan of the swap table needed. *)
   let cleanup () =
     List.iter
       (fun r ->
         if r.r_live then begin
           r.r_live <- false;
-          ignore
-            (Memory.invalidate_if t.k_mem (fun key ->
-                 match key with
-                 | Page.Anon { pid; vpn } ->
-                   pid = p_pid && vpn >= r.r_start_vpn && vpn < r.r_start_vpn + r.r_pages
-                 | Page.File _ -> false))
+          let lo = r.r_start_vpn and hi = r.r_start_vpn + r.r_pages in
+          ignore (Memory.invalidate_anon_range t.k_mem ~pid:p_pid ~lo ~hi);
+          if Page.Tbl.length t.k_swapped > 0 then
+            for vpn = lo to hi - 1 do
+              Page.Tbl.remove t.k_swapped (Page.Anon { pid = p_pid; vpn })
+            done
         end)
       proc.p_regions;
-    Page.Tbl.iter
-      (fun key () ->
-        match key with
-        | Page.Anon { pid; _ } when pid = p_pid -> Page.Tbl.remove t.k_swapped key
-        | _ -> ())
-      (Page.Tbl.copy t.k_swapped);
     Hashtbl.remove t.k_procs p_pid
   in
   (* Registration happens when the fiber actually starts, inside the same
@@ -230,7 +238,7 @@ let crash_tick env =
    timelines reset with the fresh engine's clock.  Counters and RNG
    streams survive — they describe the experiment, not the machine. *)
 let restart t =
-  ignore (Memory.invalidate_if t.k_mem (fun _ -> true));
+  Memory.reset t.k_mem;
   Page.Tbl.reset t.k_swapped;
   Hashtbl.reset t.k_procs;
   Array.iter
@@ -455,10 +463,7 @@ let find_fd env fd =
 let file_size env fd =
   match find_fd env fd with
   | Error _ -> 0
-  | Ok { of_vol; of_ino } -> (
-    match Fs.stat_ino env.e_k.k_volumes.(of_vol).v_fs of_ino with
-    | Ok st -> st.Fs.st_size
-    | Error _ -> 0)
+  | Ok { of_vol; of_ino } -> Fs.size_ino env.e_k.k_volumes.(of_vol).v_fs ~ino:of_ino
 
 let page_size env = env.e_k.k_platform.Platform.page_size
 
@@ -534,9 +539,7 @@ let read env fd ~off ~len =
   | Ok { of_vol; of_ino } ->
     let t = env.e_k in
     let fs = t.k_volumes.(of_vol).v_fs in
-    let size =
-      match Fs.stat_ino fs of_ino with Ok st -> st.Fs.st_size | Error _ -> 0
-    in
+    let size = Fs.size_ino fs ~ino:of_ino in
     let len = max 0 (min len (size - off)) in
     if len = 0 then begin
       Engine.delay (noised t t.k_platform.Platform.syscall_overhead_ns);
@@ -560,9 +563,7 @@ let write env fd ~off ~len =
   | Ok { of_vol; of_ino } ->
     let t = env.e_k in
     let fs = t.k_volumes.(of_vol).v_fs in
-    let size =
-      match Fs.stat_ino fs of_ino with Ok st -> st.Fs.st_size | Error _ -> 0
-    in
+    let size = Fs.size_ino fs ~ino:of_ino in
     let grow =
       if off + len > size then lift_fs (Fs.resize fs ~ino:of_ino ~size:(off + len))
       else Ok ()
@@ -823,17 +824,14 @@ let vfree env region =
   if region.r_live then begin
     region.r_live <- false;
     let t = env.e_k in
-    let in_region = function
-      | Page.Anon { pid; vpn } ->
-        pid = region.r_owner
-        && vpn >= region.r_start_vpn
-        && vpn < region.r_start_vpn + region.r_pages
-      | Page.File _ -> false
-    in
-    ignore (Memory.invalidate_if t.k_mem in_region);
-    Page.Tbl.iter
-      (fun key () -> if in_region key then Page.Tbl.remove t.k_swapped key)
-      (Page.Tbl.copy t.k_swapped);
+    let lo = region.r_start_vpn and hi = region.r_start_vpn + region.r_pages in
+    ignore (Memory.invalidate_anon_range t.k_mem ~pid:region.r_owner ~lo ~hi);
+    (* swap never touched (the common case for a short-lived region):
+       skip building a probe key per page *)
+    if Page.Tbl.length t.k_swapped > 0 then
+      for vpn = lo to hi - 1 do
+        Page.Tbl.remove t.k_swapped (Page.Anon { pid = region.r_owner; vpn })
+      done;
     Engine.delay (noised t t.k_platform.Platform.syscall_overhead_ns)
   end
 
@@ -847,14 +845,11 @@ let vrelease env region ~first ~count =
   crash_tick env;
   let t = env.e_k in
   let lo = region.r_start_vpn + first and hi = region.r_start_vpn + first + count in
-  let in_range = function
-    | Page.Anon { pid; vpn } -> pid = region.r_owner && vpn >= lo && vpn < hi
-    | Page.File _ -> false
-  in
-  ignore (Memory.invalidate_if t.k_mem in_range);
-  Page.Tbl.iter
-    (fun key () -> if in_range key then Page.Tbl.remove t.k_swapped key)
-    (Page.Tbl.copy t.k_swapped);
+  ignore (Memory.invalidate_anon_range t.k_mem ~pid:region.r_owner ~lo ~hi);
+  if Page.Tbl.length t.k_swapped > 0 then
+    for vpn = lo to hi - 1 do
+      Page.Tbl.remove t.k_swapped (Page.Anon { pid = region.r_owner; vpn })
+    done;
   Engine.delay (noised t t.k_platform.Platform.syscall_overhead_ns)
 
 let touch_pages env region ~first ~count =
@@ -1100,7 +1095,7 @@ let start_drift_daemon t =
 let flush_file_cache t = Memory.drop_file_cache t.k_mem
 
 let drop_all_memory t =
-  ignore (Memory.invalidate_if t.k_mem (fun _ -> true));
+  Memory.reset t.k_mem;
   Page.Tbl.reset t.k_swapped
 
 let live_procs t = Hashtbl.length t.k_procs

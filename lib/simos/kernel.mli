@@ -222,6 +222,15 @@ val restart : t -> unit
     recovery processes and {!run} again.  Counters and RNG streams
     survive. *)
 
+val install_volume_image : t -> int -> Fs.t -> unit
+(** Adopt [fs] as volume [i]'s file system.  A freshly booted kernel
+    carrying a rolled-back durable image ({!Fs.clone} + {!Fs.crash}) is
+    the restarted machine of {!restart}, minus the armed replay that
+    produced the image — the snapshot-mode crash explorer builds its
+    per-boundary kernels this way.  Must be called before any process
+    runs: resident file pages and open descriptors are keyed by the old
+    volume's inodes, and on a fresh boot both sets are empty. *)
+
 (** {1 Experiment control (used between runs, not by ICLs)} *)
 
 val flush_file_cache : t -> unit

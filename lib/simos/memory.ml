@@ -116,9 +116,7 @@ let access_run t ~n ~key ~dirty ~on_hit ~on_miss ~on_evict ~on_page_end =
 let contains t key = Pool.contains (pool_for t key) key
 
 let invalidate t key =
-  let pool = pool_for t key in
-  if Pool.contains pool key then begin
-    Pool.invalidate pool key;
+  if Pool.take (pool_for t key) key then begin
     bump t key (-1);
     (* freed anonymous frames flow back to the file cache silently *)
     if Page.is_anon key then rebalance t
@@ -145,6 +143,36 @@ let invalidate_if t pred =
   !dropped
 
 let drop_file_cache t = ignore (invalidate_if t Page.is_file)
+
+(* Targeted invalidation of one process's virtual-page range (vfree /
+   vrelease / exit): probe each candidate key directly instead of scanning
+   every resident page with a predicate — O(range), not O(resident), and
+   no doomed-list allocation.  The single rebalance at the end matches
+   [invalidate_if]'s; intermediate states differ only in when the file
+   cache grows back, which no access can observe (nothing runs between the
+   removals). *)
+let invalidate_anon_range t ~pid ~lo ~hi =
+  let pool = t.anon in
+  let dropped = ref 0 in
+  for vpn = lo to hi - 1 do
+    if Pool.take pool (Page.Anon { pid; vpn }) then begin
+      t.n_anon <- t.n_anon - 1;
+      incr dropped
+    end
+  done;
+  if !dropped > 0 then rebalance t;
+  !dropped
+
+(* Forget all resident pages at once (whole-machine restart): rebuild the
+   pools' policy instances instead of removing pages one by one.  The
+   balanced layout's file capacity snaps back to the full usable size via
+   the ordinary rebalance (no anonymous residents left). *)
+let reset t =
+  Pool.clear t.file;
+  if not t.unified then Pool.clear t.anon;
+  t.n_file <- 0;
+  t.n_anon <- 0;
+  rebalance t
 
 (* ---- drift-plane mutations (mid-run environment change) ---- *)
 

@@ -57,6 +57,18 @@ val invalidate : t -> Page.key -> unit
 val invalidate_if : t -> (Page.key -> bool) -> int
 val drop_file_cache : t -> unit
 
+val invalidate_anon_range : t -> pid:int -> lo:int -> hi:int -> int
+(** Drop the anonymous pages [vpn ∈ [lo, hi)] of process [pid] by direct
+    per-key probes — O(range) instead of {!invalidate_if}'s O(resident)
+    predicate scan.  Returns how many were resident.  This is the
+    region-free path ([vfree]/[vrelease]/process exit), which the crash
+    explorer's MAC workloads hit once per allocate/free cycle. *)
+
+val reset : t -> unit
+(** Drop {e all} resident pages in O(1) of the resident count (see
+    {!Pool.clear}); the balanced layout's file capacity returns to the
+    full usable size.  The whole-machine restart path. *)
+
 (** {1 Drift-plane mutations (experiment control, not for ICLs)} *)
 
 val resize_file_into :

@@ -131,6 +131,10 @@ module Tbl = struct
     let i = probe t key h in
     if i >= 0 then t.vs.(i) <- Obj.repr v else insert_fresh t h key (Obj.repr v)
 
+  (* Insert a binding the caller knows is absent (e.g. right after a miss):
+     one probe, where [replace] would probe twice. *)
+  let add (t : 'a t) key (v : 'a) = insert_fresh t (hash key) key (Obj.repr v)
+
   let remove t key =
     let i = probe t key (hash key) in
     if i >= 0 then begin
@@ -138,8 +142,13 @@ module Tbl = struct
       t.ks.(i) <- dummy_key;
       t.vs.(i) <- dummy_val;
       t.live <- t.live - 1;
-      (* a table dominated by tombstones degrades probes: compact it *)
-      if t.live > 16 && 3 * t.live < t.fill then rehash t (Array.length t.hs)
+      (* Tombstones degrade probes only as the table fills up, and every
+         same-size rehash costs O(capacity): compact when the tombstones
+         alone occupy a third of the slots, so a bulk removal (a region
+         free, a machine restart) triggers at most one compaction instead
+         of one per two-thirds shrink of the live count. *)
+      let cap = Array.length t.hs in
+      if 3 * (t.fill - t.live) >= cap && cap > 16 then rehash t cap
     end
 
   let iter f (t : 'a t) =

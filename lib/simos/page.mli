@@ -32,6 +32,12 @@ module Tbl : sig
   val find : 'a t -> key -> 'a
   val mem : 'a t -> key -> bool
   val replace : 'a t -> key -> 'a -> unit
+
+  val add : 'a t -> key -> 'a -> unit
+  (** [replace] for a key the caller {e knows} is absent (the insert after
+      a miss): one probe instead of two.  Inserting a present key this way
+      duplicates it — callers own that invariant. *)
+
   val remove : 'a t -> key -> unit
   val iter : (key -> 'a -> unit) -> 'a t -> unit
   val copy : 'a t -> 'a t

@@ -4,6 +4,7 @@ type t = {
   name : string;
   mutable capacity : int;
   mutable policy : Replacement.t;  (* swappable mid-run by the drift plane *)
+  mutable factory : Replacement.factory;  (* rebuilds [policy] for {!clear} *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -15,6 +16,7 @@ let create ~name ~capacity_pages ~policy =
     name;
     capacity = capacity_pages;
     policy = policy ~capacity:capacity_pages;
+    factory = policy;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -40,7 +42,8 @@ let set_policy t factory =
   let fresh = factory ~capacity:t.capacity in
   let (module New : Replacement.POLICY) = fresh in
   List.iter (fun (key, dirty) -> New.insert key ~dirty) (List.sort compare !pages);
-  t.policy <- fresh
+  t.policy <- fresh;
+  t.factory <- factory
 
 let resident t =
   let (module P : Replacement.POLICY) = t.policy in
@@ -136,9 +139,11 @@ let resize t ~capacity_pages =
       out := { key = k; dirty } :: !out);
   List.rev !out
 
-let invalidate t key =
+let take t key =
   let (module P : Replacement.POLICY) = t.policy in
   P.remove key
+
+let invalidate t key = ignore (take t key)
 
 let invalidate_if t pred =
   let (module P : Replacement.POLICY) = t.policy in
@@ -148,6 +153,13 @@ let invalidate_if t pred =
   List.length !doomed
 
 let drop_all t = ignore (invalidate_if t (fun _ -> true))
+
+(* Forget every resident page at once by rebuilding a fresh policy
+   instance from the stored factory — O(1) in the resident count, against
+   [drop_all]'s iterate-then-remove.  Observably identical to [drop_all]:
+   both leave an empty pool running the same policy, and neither touches
+   the counters. *)
+let clear t = t.policy <- t.factory ~capacity:t.capacity
 
 let is_dirty t key =
   let (module P : Replacement.POLICY) = t.policy in

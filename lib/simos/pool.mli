@@ -86,11 +86,23 @@ val resize_into :
 val invalidate : t -> Page.key -> unit
 (** Drop a page without writeback (file deleted, process exited). *)
 
+val take : t -> Page.key -> bool
+(** [invalidate] that reports whether the key was resident, in the same
+    single probe — the building block of range invalidation, where a
+    [contains]-then-[invalidate] pair would probe twice per candidate. *)
+
 val invalidate_if : t -> (Page.key -> bool) -> int
 (** Drop all pages matching the predicate; returns how many were dropped. *)
 
 val drop_all : t -> unit
 (** Flush the pool (the experiments' "flush the file cache" step). *)
+
+val clear : t -> unit
+(** {!drop_all} in O(1) of the resident count: rebuild a fresh (empty)
+    instance of the current policy instead of removing pages one by one.
+    Counters are preserved, like {!drop_all}.  The whole-machine restart
+    path uses this so a crash boundary does not pay an O(resident)
+    scan. *)
 
 val is_dirty : t -> Page.key -> bool
 

@@ -5,7 +5,7 @@ module type POLICY = sig
   val access : Page.key -> dirty:bool -> bool
   val insert : Page.key -> dirty:bool -> unit
   val evict : (Page.key -> dirty:bool -> unit) -> bool
-  val remove : Page.key -> unit
+  val remove : Page.key -> bool
   val clean : Page.key -> unit
   val size : unit -> int
   val iter : (Page.key -> unit) -> unit
@@ -90,6 +90,15 @@ module Dll = struct
     go s.next
 end
 
+(* Size a policy's node table to its pool: a right-sized table skips the
+   grow-rehash ladder that a from-16 table pays on every fresh kernel
+   (the crash explorer boots one per boundary), while the cap keeps a
+   huge pool's boot allocation bounded — the table still grows on
+   demand.  [capacity / 8] reflects that most pools run far below
+   capacity in the simulated workloads. *)
+let node_tbl ~capacity : Dll.node Page.Tbl.t =
+  Page.Tbl.create (min (max 16 (capacity / 8)) 1024)
+
 let find_node tbl key : Dll.node =
   (* [Hashtbl.find] + Not_found keeps the hit path allocation-free where
      [find_opt] would box a [Some] per lookup. *)
@@ -109,9 +118,9 @@ let tbl_clean tbl key =
 
 (* LRU and MRU share everything except which end of the list the victim
    comes from. *)
-let list_policy ~policy_name ~victim_end () : t =
+let list_policy ~policy_name ~victim_end ~capacity () : t =
   let list = Dll.create () in
-  let tbl : Dll.node Page.Tbl.t = Page.Tbl.create 1024 in
+  let tbl = node_tbl ~capacity in
   (module struct
     let name = policy_name
     let mem key = Page.Tbl.mem tbl key
@@ -126,8 +135,9 @@ let list_policy ~policy_name ~victim_end () : t =
         true
 
     let insert key ~dirty =
-      assert (not (Page.Tbl.mem tbl key));
-      Page.Tbl.replace tbl key (Dll.push_front list key ~dirty)
+      (* the pool only inserts after a miss, so the key is known absent:
+         [Page.Tbl.add] probes once where assert+replace probed thrice *)
+      Page.Tbl.add tbl key (Dll.push_front list key ~dirty)
 
     let evict on_evict =
       if Dll.is_empty list then false
@@ -141,22 +151,25 @@ let list_policy ~policy_name ~victim_end () : t =
 
     let remove key =
       match find_node tbl key with
-      | exception Not_found -> ()
+      | exception Not_found -> false
       | node ->
         Dll.unlink list node;
-        Page.Tbl.remove tbl key
+        Page.Tbl.remove tbl key;
+        true
 
     let clean key = tbl_clean tbl key
     let size () = list.Dll.count
     let iter f = Dll.iter list (fun node -> f node.Dll.key)
   end)
 
-let lru ~capacity:_ = list_policy ~policy_name:"lru" ~victim_end:`Lru ()
-let mru_sticky ~capacity:_ = list_policy ~policy_name:"mru-sticky" ~victim_end:`Mru ()
+let lru ~capacity = list_policy ~policy_name:"lru" ~victim_end:`Lru ~capacity ()
 
-let fifo ~capacity:_ : t =
+let mru_sticky ~capacity =
+  list_policy ~policy_name:"mru-sticky" ~victim_end:`Mru ~capacity ()
+
+let fifo ~capacity : t =
   let list = Dll.create () in
-  let tbl : Dll.node Page.Tbl.t = Page.Tbl.create 1024 in
+  let tbl = node_tbl ~capacity in
   (module struct
     let name = "fifo"
     let mem key = Page.Tbl.mem tbl key
@@ -170,8 +183,7 @@ let fifo ~capacity:_ : t =
         true
 
     let insert key ~dirty =
-      assert (not (Page.Tbl.mem tbl key));
-      Page.Tbl.replace tbl key (Dll.push_front list key ~dirty)
+      Page.Tbl.add tbl key (Dll.push_front list key ~dirty)
 
     let evict on_evict =
       if Dll.is_empty list then false
@@ -185,10 +197,11 @@ let fifo ~capacity:_ : t =
 
     let remove key =
       match find_node tbl key with
-      | exception Not_found -> ()
+      | exception Not_found -> false
       | node ->
         Dll.unlink list node;
-        Page.Tbl.remove tbl key
+        Page.Tbl.remove tbl key;
+        true
 
     let clean key = tbl_clean tbl key
     let size () = list.Dll.count
@@ -205,9 +218,9 @@ let fifo ~capacity:_ : t =
    inactive page aging. *)
 let clock_max_weight = 2
 
-let clock ~capacity:_ : t =
+let clock ~capacity : t =
   let list = Dll.create () in
-  let tbl : Dll.node Page.Tbl.t = Page.Tbl.create 1024 in
+  let tbl = node_tbl ~capacity in
   (module struct
     let name = "clock"
     let mem key = Page.Tbl.mem tbl key
@@ -222,10 +235,9 @@ let clock ~capacity:_ : t =
         true
 
     let insert key ~dirty =
-      assert (not (Page.Tbl.mem tbl key));
       let node = Dll.push_front list key ~dirty in
       node.Dll.weight <- 1;
-      Page.Tbl.replace tbl key node
+      Page.Tbl.add tbl key node
 
     let evict on_evict =
       let rec sweep () =
@@ -249,10 +261,11 @@ let clock ~capacity:_ : t =
 
     let remove key =
       match find_node tbl key with
-      | exception Not_found -> ()
+      | exception Not_found -> false
       | node ->
         Dll.unlink list node;
-        Page.Tbl.remove tbl key
+        Page.Tbl.remove tbl key;
+        true
 
     let clean key = tbl_clean tbl key
     let size () = list.Dll.count
@@ -270,7 +283,7 @@ let tag_main = 1
 let two_q ~capacity : t =
   let probation = Dll.create () in
   let main = Dll.create () in
-  let where : Dll.node Page.Tbl.t = Page.Tbl.create 1024 in
+  let where = node_tbl ~capacity in
   let probation_max = max 1 (capacity / 4) in
   (module struct
     let name = "two-q"
@@ -291,8 +304,7 @@ let two_q ~capacity : t =
         true
 
     let insert key ~dirty =
-      assert (not (Page.Tbl.mem where key));
-      Page.Tbl.replace where key (Dll.push_front probation key ~dirty)
+      Page.Tbl.add where key (Dll.push_front probation key ~dirty)
 
     let take list on_evict =
       if Dll.is_empty list then false
@@ -313,10 +325,11 @@ let two_q ~capacity : t =
 
     let remove key =
       match find_node where key with
-      | exception Not_found -> ()
+      | exception Not_found -> false
       | node ->
         Dll.unlink (if node.Dll.tag = tag_probation then probation else main) node;
-        Page.Tbl.remove where key
+        Page.Tbl.remove where key;
+        true
 
     let clean key = tbl_clean where key
     let size () = probation.Dll.count + main.Dll.count
@@ -332,7 +345,7 @@ let two_q ~capacity : t =
 let segmented_lru ~capacity : t =
   let probation = Dll.create () in
   let protected_ = Dll.create () in
-  let where : Dll.node Page.Tbl.t = Page.Tbl.create 1024 in
+  let where = node_tbl ~capacity in
   let protected_max = max 1 (capacity * 3 / 4) in
   (module struct
     let name = "segmented-lru"
@@ -362,8 +375,7 @@ let segmented_lru ~capacity : t =
         true
 
     let insert key ~dirty =
-      assert (not (Page.Tbl.mem where key));
-      Page.Tbl.replace where key (Dll.push_front probation key ~dirty)
+      Page.Tbl.add where key (Dll.push_front probation key ~dirty)
 
     let take list on_evict =
       if Dll.is_empty list then false
@@ -379,10 +391,13 @@ let segmented_lru ~capacity : t =
 
     let remove key =
       match find_node where key with
-      | exception Not_found -> ()
+      | exception Not_found -> false
       | node ->
-        Dll.unlink (if node.Dll.tag = tag_probation then probation else protected_) node;
-        Page.Tbl.remove where key
+        Dll.unlink
+          (if node.Dll.tag = tag_probation then probation else protected_)
+          node;
+        Page.Tbl.remove where key;
+        true
 
     let clean key = tbl_clean where key
     let size () = probation.Dll.count + protected_.Dll.count
@@ -403,8 +418,8 @@ let segmented_lru ~capacity : t =
 let eelru ~capacity : t =
   let early = Dll.create () in
   let late = Dll.create () in
-  let where : Dll.node Page.Tbl.t = Page.Tbl.create 1024 in
-  let ghosts : int Page.Tbl.t = Page.Tbl.create 1024 in
+  let where = node_tbl ~capacity in
+  let ghosts : int Page.Tbl.t = Page.Tbl.create 64 in
   let ghost_fifo = Queue.create () in
   let ghost_max = max 8 capacity in
   let early_max = max 1 (capacity / 2) in
@@ -457,13 +472,12 @@ let eelru ~capacity : t =
         true
 
     let insert key ~dirty =
-      assert (not (Page.Tbl.mem where key));
       decay ();
       if Page.Tbl.mem ghosts key then
         (* re-reference shortly after eviction: the loop is bigger than
            memory — evidence for evicting early *)
         ghost_hits := !ghost_hits +. 1.0;
-      Page.Tbl.replace where key (Dll.push_front early key ~dirty);
+      Page.Tbl.add where key (Dll.push_front early key ~dirty);
       demote_overflow ()
 
     let take_node list node on_evict =
@@ -492,10 +506,11 @@ let eelru ~capacity : t =
 
     let remove key =
       match find_node where key with
-      | exception Not_found -> ()
+      | exception Not_found -> false
       | node ->
         Dll.unlink (if node.Dll.tag = tag_early then early else late) node;
-        Page.Tbl.remove where key
+        Page.Tbl.remove where key;
+        true
 
     let clean key = tbl_clean where key
     let size () = early.Dll.count + late.Dll.count

@@ -41,7 +41,11 @@ module type POLICY = sig
       bit) to the callback; [false] when no page is resident.  The
       callback form keeps the per-eviction path allocation-free. *)
 
-  val remove : Page.key -> unit
+  val remove : Page.key -> bool
+  (** Drop a key (invalidation, not eviction — no victim callback);
+      [true] if it was resident.  Returning presence lets range
+      invalidation probe each candidate exactly once instead of
+      [mem]-then-[remove]. *)
 
   val clean : Page.key -> unit
   (** Drop a resident key's dirty bit without evicting it (writeback in

@@ -396,6 +396,53 @@ let test_explorer_deterministic () =
   let b = Crash_explore.explore_refresh ~files:3 ~file_size:4096 () in
   Alcotest.(check bool) "same report twice" true (a = b)
 
+(* Window sharding is pure bookkeeping: exploring explicit windows and
+   merging reproduces the serial report exactly, and the incremental
+   fsck on the per-boundary path returns the same report as the
+   full-scan oracle. *)
+let test_explorer_windows_merge_and_fsck_oracle () =
+  let bl = Crash_explore.refresh_baseline ~files:3 ~file_size:4096 () in
+  let ws = Crash_explore.windows ~boundaries:(Crash_explore.baseline_boundaries bl) in
+  let sweep ~full_fsck =
+    Crash_explore.merge_reports
+      (List.map
+         (fun (lo, hi) -> Crash_explore.explore_refresh_window ~full_fsck bl ~lo ~hi)
+         ws)
+  in
+  let serial = Crash_explore.explore_refresh ~files:3 ~file_size:4096 () in
+  let merged = sweep ~full_fsck:false in
+  Alcotest.(check bool) "windows merge to the serial report" true (serial = merged);
+  Alcotest.(check bool) "incremental fsck == full-scan oracle" true
+    (merged = sweep ~full_fsck:true)
+
+(* The two proof obligations on the explorer's own optimisations, under
+   the mutation they must not be allowed to hide: with the broken repair
+   installed, the incremental fsck reports the same violations at the
+   same boundaries as the full scan... *)
+let test_explorer_mutation_fsck_oracle () =
+  let with_fsck full_fsck =
+    Crash_explore.explore_refresh ~files:3 ~file_size:4096 ~break_repair:true
+      ~full_fsck ()
+  in
+  let incr = with_fsck false in
+  Alcotest.(check bool) "mutation caught" true (incr.Crash_explore.rp_violations <> []);
+  Alcotest.(check bool) "same violations under the full-scan oracle" true
+    (incr = with_fsck true)
+
+(* ...and the snapshot strategy (one uncrashed run per window + cloned
+   boundary images + memoised verdicts) reports exactly what the armed
+   per-boundary replay reports. *)
+let test_explorer_pipeline_snapshot_equals_replay () =
+  let sweep strategy =
+    Crash_explore.explore_pipeline ~files:2 ~file_size:4096 ~strategy ()
+  in
+  Alcotest.(check bool) "snapshot == replay" true (sweep `Snapshot = sweep `Replay);
+  let sweep_full strategy =
+    Crash_explore.explore_pipeline ~files:2 ~file_size:4096 ~full_fsck:true ~strategy ()
+  in
+  Alcotest.(check bool) "snapshot == replay under the full-scan oracle" true
+    (sweep_full `Snapshot = sweep_full `Replay)
+
 let suite =
   [
     Alcotest.test_case "of_string validation" `Quick test_of_string_validation;
@@ -421,4 +468,10 @@ let suite =
     Alcotest.test_case "explorer: pipeline has no violations" `Quick
       test_explorer_pipeline_no_violations;
     Alcotest.test_case "explorer: deterministic" `Quick test_explorer_deterministic;
+    Alcotest.test_case "explorer: windows merge, fsck oracle agrees" `Quick
+      test_explorer_windows_merge_and_fsck_oracle;
+    Alcotest.test_case "explorer: mutation caught under both fscks" `Quick
+      test_explorer_mutation_fsck_oracle;
+    Alcotest.test_case "explorer: snapshot == replay" `Quick
+      test_explorer_pipeline_snapshot_equals_replay;
   ]

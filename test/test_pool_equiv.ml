@@ -292,7 +292,7 @@ let lying_policy : Replacement.factory =
     let access _ ~dirty:_ = false
     let insert _ ~dirty:_ = ()
     let evict _ = false
-    let remove _ = ()
+    let remove _ = false
     let clean _ = ()
     let size () = 42
     let iter _ = ()

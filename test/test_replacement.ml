@@ -93,10 +93,12 @@ let test_remove () =
     (fun factory ->
       let (module P : Replacement.POLICY) = factory ~capacity:8 in
       insert_range (module P) 0 3;
-      P.remove (fkey 2);
+      Alcotest.(check bool) (P.name ^ " remove reports presence") true
+        (P.remove (fkey 2));
       Alcotest.(check bool) (P.name ^ " removed") false (P.mem (fkey 2));
       Alcotest.(check int) (P.name ^ " size") 3 (P.size ());
-      P.remove (fkey 2) (* double remove is a no-op *))
+      Alcotest.(check bool) (P.name ^ " double remove is a no-op") false
+        (P.remove (fkey 2)))
     [
       Replacement.lru;
       Replacement.clock;
