@@ -60,6 +60,20 @@ let telemetry_mode () =
 
 let set_telemetry_mode m = telemetry_slot := Some m
 
+(* ---- accounting mode -------------------------------------------------- *)
+
+(* Per-process accounting is on by default ({!Simos.Account.of_env});
+   resolved once so the suite JSON's schema choice and every task agree. *)
+let account_slot = ref None
+
+let accounting_on () =
+  match !account_slot with
+  | Some b -> b
+  | None ->
+    let b = Simos.Account.of_env () in
+    account_slot := Some b;
+    b
+
 (* ---- simulation helpers ---------------------------------------------- *)
 
 (* Engines booted while a task runs are registered domain-locally so the
@@ -72,11 +86,23 @@ let register_engine engine =
   | None -> ()
   | Some engines -> engines := engine :: !engines
 
+(* Kernels likewise, so the harness can pull each task's accounting
+   ledger and flight-recorder tail after the task ran. *)
+let kernel_collector : Kernel.t list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let register_kernel k =
+  match Domain.DLS.get kernel_collector with
+  | None -> ()
+  | Some kernels -> kernels := k :: !kernels
+
 let boot ?(platform = Platform.linux_2_2) ?(data_disks = 4) ?(seed = 42) ?faults
     ?drift () =
   let engine = Engine.create () in
   register_engine engine;
-  Kernel.boot ~engine ~platform ~data_disks ~seed ?faults ?drift ()
+  let k = Kernel.boot ~engine ~platform ~data_disks ~seed ?faults ?drift () in
+  register_kernel k;
+  k
 
 (* Run one simulated process to completion and return its result. *)
 let in_proc k body =
@@ -102,6 +128,10 @@ type task = {
   mutable t_sim_ns : int;
   mutable t_events : int;
   mutable t_sink : Gray_util.Telemetry.sink option;
+  mutable t_account : Account.export option;
+      (* merged ledgers of every kernel the task booted *)
+  mutable t_flight : string list;
+      (* flight tail of the task's last kernel, for perf-gate post-mortems *)
 }
 
 let task ~label f =
@@ -114,6 +144,8 @@ let task ~label f =
       t_sim_ns = 0;
       t_events = 0;
       t_sink = None;
+      t_account = None;
+      t_flight = [];
     }
   in
   let get () =
@@ -177,9 +209,13 @@ let note b fmt =
 let exec_task t =
   let t0 = Unix.gettimeofday () in
   let engines = ref [] in
+  let kernels = ref [] in
   Domain.DLS.set engine_collector (Some engines);
+  Domain.DLS.set kernel_collector (Some kernels);
   Fun.protect
-    ~finally:(fun () -> Domain.DLS.set engine_collector None)
+    ~finally:(fun () ->
+      Domain.DLS.set engine_collector None;
+      Domain.DLS.set kernel_collector None)
     (fun () ->
       match telemetry_mode () with
       | Gray_util.Telemetry.Off -> t.t_run ()
@@ -194,7 +230,21 @@ let exec_task t =
     (fun e ->
       t.t_sim_ns <- t.t_sim_ns + Engine.now e;
       t.t_events <- t.t_events + Engine.events_processed e)
-    !engines
+    !engines;
+  (* [kernels] conses newest-first: reverse for boot order so the merged
+     export (and hence the suite JSON) is schedule-independent. *)
+  let exports =
+    List.filter_map
+      (fun k -> Option.map Account.export (Kernel.account k))
+      (List.rev !kernels)
+  in
+  if exports <> [] then t.t_account <- Some (Account.merge_exports exports);
+  match !kernels with
+  | last :: _ -> (
+    match Kernel.flight last with
+    | Some fl -> t.t_flight <- Gray_util.Flight.lines ~last:32 fl
+    | None -> ())
+  | [] -> ()
 
 let execute ?pool plans =
   ignore (telemetry_mode ());
@@ -250,34 +300,68 @@ let telemetry_summary plans =
 
 (* ---- the machine-readable perf trajectory ----------------------------- *)
 
-let suite_json ~jobs ~suite_wall_ns results =
+(* Merged accounting ledger of every kernel the plan's tasks booted
+   (tasks merge in submission order, so the aggregate is -j-independent). *)
+let plan_account p =
+  Account.merge_exports (List.filter_map (fun t -> t.t_account) p.p_tasks)
+
+(* The last non-empty flight tail among the plan's tasks: the most recent
+   machine history a regressed experiment can attach to its verdict. *)
+let plan_flight_tail p =
+  List.fold_left
+    (fun acc t -> if t.t_flight <> [] then t.t_flight else acc)
+    [] p.p_tasks
+
+(* Schema v3 adds the per-experiment "accounting" object (and, for
+   experiments named in [regressed], the "flight_tail" post-mortem).
+   With GRAYBOX_ACCOUNT=off the emitted document is byte-identical to
+   schema v2 — the proof that accounting can be turned off without
+   perturbing the trajectory a downstream gate diffs against. *)
+let suite_json ~jobs ~suite_wall_ns ?(regressed = []) results =
   let open Gray_util.Json in
+  let acct_on = accounting_on () in
   let experiment (name, doc, plan, rendered) =
     let st = plan_stats plan in
+    let accounting =
+      if acct_on then [ ("accounting", Account.export_json (plan_account plan)) ]
+      else []
+    in
+    let flight_tail =
+      if acct_on && List.mem name regressed then
+        match plan_flight_tail plan with
+        | [] -> []
+        | lines -> [ ("flight_tail", List (List.map (fun l -> String l) lines)) ]
+      else []
+    in
     Obj
-      [
-        ("name", String name);
-        ("doc", String doc);
-        ("tasks", Int st.st_tasks);
-        ("wall_ns", Int st.st_wall_ns);
-        ("sim_ns", Int st.st_sim_ns);
-        ("events", Int st.st_events);
-        ("metrics", Gray_util.Telemetry.merge_metrics_json (plan_sinks plan));
-        ( "figures",
-          List
-            (List.map
-               (fun f -> Obj [ ("name", String f.fg_name); ("value", Float f.fg_value) ])
-               rendered.rd_figures) );
-        ( "checks",
-          List
-            (List.map
-               (fun c -> Obj [ ("name", String c.ck_name); ("ok", Bool c.ck_ok) ])
-               rendered.rd_checks) );
-      ]
+      ([
+         ("name", String name);
+         ("doc", String doc);
+         ("tasks", Int st.st_tasks);
+         ("wall_ns", Int st.st_wall_ns);
+         ("sim_ns", Int st.st_sim_ns);
+         ("events", Int st.st_events);
+         ("metrics", Gray_util.Telemetry.merge_metrics_json (plan_sinks plan));
+       ]
+      @ accounting @ flight_tail
+      @ [
+          ( "figures",
+            List
+              (List.map
+                 (fun f -> Obj [ ("name", String f.fg_name); ("value", Float f.fg_value) ])
+                 rendered.rd_figures) );
+          ( "checks",
+            List
+              (List.map
+                 (fun c -> Obj [ ("name", String c.ck_name); ("ok", Bool c.ck_ok) ])
+                 rendered.rd_checks) );
+        ])
   in
   Obj
     [
-      ("schema", String "graybox-bench-suite/2");
+      ( "schema",
+        String
+          (if acct_on then "graybox-bench-suite/3" else "graybox-bench-suite/2") );
       ("jobs", Int jobs);
       ("trials", Int (trials ()));
       ("telemetry", String (Gray_util.Telemetry.mode_to_string (telemetry_mode ())));

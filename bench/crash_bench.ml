@@ -111,10 +111,31 @@ let plan () =
       check "mutation: explorer catches a repair that ignores the commit record"
         (mutation.rp_violations <> [])
       :: !checks;
+    (* one specimen of what a red boundary looks like post-mortem: the
+       first mutation violation with its embedded flight-recorder tail
+       (deterministic, so the -j 1 vs -j 8 report diff covers it) *)
+    (match mutation.rp_violations with
+    | [] -> ()
+    | v :: _ ->
+      Printf.bprintf b
+        "  specimen VIOLATION (mutation) boundary %d: %s\n    replay: %s\n"
+        v.Crash_explore.vi_boundary v.vi_problem v.vi_replay;
+      match v.Crash_explore.vi_flight with
+      | [] -> ()
+      | lines ->
+        Printf.bprintf b "    flight recorder (last %d events):\n"
+          (List.length lines);
+        List.iter (fun l -> Printf.bprintf b "      %s\n" l) lines);
     List.iter
       (fun (name, v) ->
         Printf.bprintf b "  VIOLATION %s boundary %d: %s\n    replay: %s\n" name
-          v.Crash_explore.vi_boundary v.vi_problem v.vi_replay)
+          v.Crash_explore.vi_boundary v.vi_problem v.vi_replay;
+        match v.Crash_explore.vi_flight with
+        | [] -> ()
+        | lines ->
+          Printf.bprintf b "    flight recorder (last %d events):\n"
+            (List.length lines);
+          List.iter (fun l -> Printf.bprintf b "      %s\n" l) lines)
       !violations;
     figures :=
       [

@@ -161,8 +161,9 @@ let save_or_die ~what ~path json =
    Experiment wall time is the sum of task work times, so the comparison
    is meaningful even when the two runs used different -j; trial counts
    must match, though — when they differ the deltas still print but the
-   gate does not fire.  Returns [true] if some experiment present in both
-   trajectories slowed down past [threshold_pct]. *)
+   gate does not fire.  Returns the names of experiments present in both
+   trajectories that slowed down past [threshold_pct] — the JSON writer
+   attaches their flight-recorder tails as the post-mortem. *)
 let perf_gate ~baseline_path ~threshold_pct results =
   let open Gray_util.Json in
   let die msg =
@@ -190,7 +191,7 @@ let perf_gate ~baseline_path ~threshold_pct results =
           | _ -> None)
         exps
   in
-  let regressed = ref false in
+  let regressed = ref [] in
   Printf.printf "\nperf vs %s (threshold +%.0f%%):\n" baseline_path threshold_pct;
   if not trials_match then
     Printf.printf
@@ -213,12 +214,12 @@ let perf_gate ~baseline_path ~threshold_pct results =
           if base_s > 0.0 then (now_s -. base_s) /. base_s *. 100.0 else 0.0
         in
         let slow = trials_match && delta_pct > threshold_pct in
-        if slow then regressed := true;
+        if slow then regressed := name :: !regressed;
         Printf.printf "  %-12s %8.1f s  -> %8.1f s   %+6.1f%%%s\n" name base_s
           now_s delta_pct
           (if slow then "  REGRESSED" else ""))
     results;
-  !regressed
+  List.rev !regressed
 
 let () =
   (* The simulator is allocation-heavy (fibers, per-syscall records); a
@@ -268,11 +269,19 @@ let () =
   List.iter
     (fun (name, c) -> Printf.printf "  FAILED [%s] %s\n" name c.Bench_common.ck_name)
     failed;
+  (* The gate runs before the JSON write so a regressed experiment's
+     flight-recorder tail rides along in the trajectory it failed. *)
+  let regressed =
+    match compare_path with
+    | None -> []
+    | Some baseline_path ->
+      perf_gate ~baseline_path ~threshold_pct:compare_threshold results
+  in
   (match json_path with
   | None -> ()
   | Some path ->
     save_or_die ~what:"perf trajectory" ~path
-      (Bench_common.suite_json ~jobs ~suite_wall_ns results);
+      (Bench_common.suite_json ~jobs ~suite_wall_ns ~regressed results);
     Printf.printf "perf trajectory written to %s\n" path);
   let bare_plans = List.map (fun (_, _, p) -> p) plans in
   (match trace_path with
@@ -281,11 +290,5 @@ let () =
     save_or_die ~what:"trace" ~path (Bench_common.chrome_trace_of bare_plans);
     Printf.printf "chrome trace written to %s\n" path);
   if trace_summary then print_string (Bench_common.telemetry_summary bare_plans);
-  let regressed =
-    match compare_path with
-    | None -> false
-    | Some baseline_path ->
-      perf_gate ~baseline_path ~threshold_pct:compare_threshold results
-  in
   if strict && failed <> [] then exit 1;
-  if regressed then exit exit_perf_regressed
+  if regressed <> [] then exit exit_perf_regressed

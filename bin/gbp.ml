@@ -26,7 +26,8 @@ open Graybox_core
 let mib = 1024 * 1024
 
 let run mode files size_mib warm out noise seed fault_scenario crash_at extra
-    min_confidence trace metrics drift_scenario adaptive rounds recal_budget =
+    min_confidence trace metrics drift_scenario adaptive rounds recal_budget
+    flight_dump =
   let module Tele = Gray_util.Telemetry in
   (* --trace / --metrics opt into telemetry; an explicit GRAYBOX_TELEMETRY
      (e.g. a sample rate) still wins *)
@@ -41,9 +42,11 @@ let run mode files size_mib warm out noise seed fault_scenario crash_at extra
   let platform = Platform.with_noise Platform.linux_2_2 ~sigma:noise in
   let engine = Engine.create () in
   (* --crash-at wins over GRAYBOX_CRASH (boot's env fallback) *)
+  (* --flight-dump forces the recorder on even under GRAYBOX_FLIGHT=off *)
   let k =
     Kernel.boot ~engine ~platform ~data_disks:1 ~seed ?faults:fault_scenario
-      ?crash:(Option.map Crash.at_syscall crash_at) ?drift:drift_scenario ()
+      ?crash:(Option.map Crash.at_syscall crash_at) ?drift:drift_scenario
+      ?flight:(if flight_dump <> None then Some true else None) ()
   in
   (* no-op without a drift plane; with one, replay the schedule as a
      background process so the orderings below see the machine change *)
@@ -188,6 +191,18 @@ let run mode files size_mib warm out noise seed fault_scenario crash_at extra
       Printf.eprintf "gbp: cannot write trace to %s: %s\n%!" path msg;
       exit_code := Gbp.exit_export_failed)
   | _ -> ());
+  (* after every outcome — clean run, crash + repair, stale exhaustion —
+     so the dump is the post-mortem tail of whatever actually happened *)
+  (match (flight_dump, Kernel.flight k) with
+  | Some path, Some fl -> (
+    try
+      let oc = open_out path in
+      output_string oc (Gray_util.Flight.dump fl);
+      close_out oc
+    with Sys_error msg ->
+      Printf.eprintf "gbp: cannot write flight dump to %s: %s\n%!" path msg;
+      exit_code := Gbp.exit_export_failed)
+  | _ -> ());
   (match sink with
   | Some s when metrics -> print_string (Gray_util.Json.to_string_pretty (Tele.metrics_json s))
   | _ -> ());
@@ -330,6 +345,19 @@ let rounds_arg =
     & info [ "rounds" ]
         ~doc:"How many adaptive ordering rounds to run (2 s of virtual time apart).")
 
+let flight_dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dump" ] ~docv:"FILE"
+        ~doc:
+          "Write the kernel's flight-recorder tail (recent syscalls, \
+           evictions, faults, drift epochs, ICL phase transitions in \
+           simulated time) to $(docv) after the run — whatever its outcome, \
+           including crash recovery and stale-budget exhaustion.  Forces the \
+           recorder on even under GRAYBOX_FLIGHT=off; exit code 8 if the \
+           file cannot be written.")
+
 let recal_budget_arg =
   Arg.(
     value & opt int 8
@@ -343,6 +371,6 @@ let cmd =
       const run $ mode_arg $ files_arg $ size_arg $ warm_arg $ out_arg $ noise_arg
       $ seed_arg $ faults_arg $ crash_at_arg $ extra_arg $ min_confidence_arg
       $ trace_arg $ metrics_arg $ drift_arg $ adaptive_arg $ rounds_arg
-      $ recal_budget_arg)
+      $ recal_budget_arg $ flight_dump_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -138,6 +138,40 @@ let rec run_hot_paths () =
   in
   report "hit" hit_per_page hit_batched;
   report "miss" miss_per_page miss_batched;
+  (* the accounting ledger's cost on the same batched read path: the
+     callbacks bump a cached per-process stats row and the flight
+     recorder stores five ints per run — vs the no-op callbacks above.
+     This is the zero-cost claim's measured side ("off" is the identical
+     workload with accounting compiled in but the kernel's bumps absent). *)
+  let hit_accounted =
+    let p = mk "hit-acct" and base = ref 0 in
+    let acct = Account.create () in
+    let st = Account.note_spawn acct ~pid:1 ~name:"bench" in
+    let fl = Gray_util.Flight.create () in
+    Test.make ~name:"hit/accounted"
+      (Staged.stage (fun () ->
+           let b = !base in
+           Gray_util.Flight.record fl ~ts:b ~code:Gray_util.Flight.Read ~pid:1
+             ~a:0 ~b:0;
+           Pool.access_run p ~n:run_len
+             ~key:(fun i -> fkey ((b + i) mod capacity))
+             ~dirty:false
+             ~on_hit:(fun _ _ -> st.Account.hits <- st.Account.hits + 1)
+             ~on_miss:(fun _ _ -> st.Account.misses <- st.Account.misses + 1)
+             ~on_evict:no_evict
+             ~on_page_end:(fun _ ~evicted:_ -> ());
+           base := (b + run_len) mod capacity))
+  in
+  Printf.printf
+    "# per-process accounting on the batched read path: ledger bumps + flight \
+     record vs no-ops\n";
+  (match (measure hit_batched, measure hit_accounted) with
+  | Some off, Some on ->
+    Printf.printf
+      "  acct  off      %7.1f ns/page   on      %7.1f ns/page   (%+.1f%%)\n" off
+      on
+      (if off > 0.0 then (on -. off) /. off *. 100.0 else 0.0)
+  | _ -> Printf.printf "  acct  (no estimate)\n");
   run_hot_paths_fs ()
 
 (* The PR-7 surfaces on the same trendline: the incremental fsck against
@@ -193,6 +227,67 @@ and run_hot_paths_fs () =
       (est /. float_of_int (2 * (cycle_blocks - 8)))
   | None -> Printf.printf "  resize (no estimate)\n")
 
+(* --top: a deterministic contention scenario on a memory-starved machine,
+   rendered as the per-process accounting table plus the who-evicted-whom
+   blame matrix.  Three readers scan 12 MB files while two anonymous-memory
+   hogs each touch 16 MB: ~68 MB of working set against 24 MB of usable
+   memory, so every process finishes the run having evicted the others'
+   pages — file victims land in the "(file)" column, the hogs' swapped-out
+   regions show up as pid-attributed victims. *)
+let run_top ~noise ~seed =
+  let mib = 1024 * 1024 in
+  let platform =
+    Platform.with_noise
+      { Platform.linux_2_2 with Platform.memory_mib = 40; kernel_reserved_mib = 16 }
+      ~sigma:noise
+  in
+  let engine = Engine.create () in
+  (* accounting forced on: this mode is the ledger's viewer *)
+  let k = Kernel.boot ~engine ~platform ~data_disks:1 ~seed ~account:true () in
+  let must = function Ok v -> v | Error e -> failwith (Kernel.error_to_string e) in
+  Kernel.spawn k ~name:"setup" (fun env ->
+      must (Kernel.mkdir env "/d0/data");
+      for i = 0 to 2 do
+        let fd = must (Kernel.create_file env (Printf.sprintf "/d0/data/f%d" i)) in
+        ignore (must (Kernel.write env fd ~off:0 ~len:(12 * mib)));
+        Kernel.close env fd
+      done);
+  Kernel.run k;
+  Kernel.flush_file_cache k;
+  for r = 0 to 2 do
+    Kernel.spawn k ~name:(Printf.sprintf "reader%d" r) (fun env ->
+        let path = Printf.sprintf "/d0/data/f%d" r in
+        for _pass = 1 to 3 do
+          let fd = must (Kernel.open_file env path) in
+          let size = Kernel.file_size env fd in
+          let off = ref 0 in
+          while !off < size do
+            ignore (must (Kernel.read env fd ~off:!off ~len:mib));
+            off := !off + mib
+          done;
+          Kernel.close env fd
+        done)
+  done;
+  for h = 0 to 1 do
+    Kernel.spawn k ~name:(Printf.sprintf "hog%d" h) (fun env ->
+        let pages = 16 * mib / 4096 in
+        let r = Kernel.valloc env ~pages in
+        for _pass = 1 to 3 do
+          ignore (Kernel.touch_pages env r ~first:0 ~count:pages)
+        done;
+        Kernel.vfree env r)
+  done;
+  Kernel.run k;
+  match Kernel.account k with
+  | None -> assert false (* booted with ~account:true *)
+  | Some a ->
+    Printf.printf
+      "# per-process accounting: 3 readers + 2 memory hogs on %s (%d MB usable)\n"
+      platform.Platform.name
+      (platform.Platform.memory_mib - platform.Platform.kernel_reserved_mib);
+    print_string (Account.top_table a);
+    print_string (Account.blame_table a)
+
 let run_platforms platform_names noise seed jobs output =
   let names =
     match String.split_on_char ',' platform_names with
@@ -232,9 +327,20 @@ let run_platforms platform_names noise seed jobs output =
     results;
   if !failed then exit 1
 
-let run hot_paths platform_names noise seed jobs output =
-  if hot_paths then run_hot_paths ()
+let run hot_paths top platform_names noise seed jobs output =
+  if top then run_top ~noise ~seed
+  else if hot_paths then run_hot_paths ()
   else run_platforms platform_names noise seed jobs output
+
+let top_arg =
+  Arg.(
+    value & flag
+    & info [ "top" ]
+        ~doc:
+          "Run a deterministic multi-process contention scenario on a \
+           memory-starved platform and print the per-process accounting \
+           table plus the who-evicted-whom blame matrix (accounting forced \
+           on).")
 
 let hot_paths_arg =
   Arg.(
@@ -277,7 +383,7 @@ let cmd =
   Cmd.v
     (Cmd.info "toolbox_bench" ~doc:"Gray-toolbox microbenchmarks on the simulated OS")
     Term.(
-      const run $ hot_paths_arg $ platform_arg $ noise_arg $ seed_arg $ jobs_arg
-      $ output_arg)
+      const run $ hot_paths_arg $ top_arg $ platform_arg $ noise_arg $ seed_arg
+      $ jobs_arg $ output_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -123,6 +123,24 @@ let end_recalibration w ~now_ns ~health =
   w.w_samples <- 1;
   mark_fresh w ~now_ns
 
+(* Flight-recorder phase marks ([a] = watchdog id: 0 = mac, 1 = fccd).
+   Recorded in the wrappers rather than the watchdog because only they
+   hold a kernel env; a return to [Fresh] — whether by recalibration or
+   by the health recovering on its own — reads as [Recalibrated]. *)
+let phase_mark env w ~icl ~before =
+  if w.w_status <> before then
+    match Kernel.flight (Kernel.kernel_of_env env) with
+    | None -> ()
+    | Some fl ->
+      let code =
+        match w.w_status with
+        | Stale -> Flight.Stale
+        | Fresh -> Flight.Recalibrated
+        | Exhausted -> Flight.Exhausted
+      in
+      Flight.record fl ~ts:(Kernel.gettime env) ~code ~pid:(Kernel.pid env)
+        ~a:icl ~b:0
+
 (* ---- MAC wrapper ---- *)
 
 type mac = {
@@ -178,8 +196,10 @@ let mac_recalibrate env m =
              +. ((1.0 -. w) *. float_of_int fresh))))
 
 let rec mac_alloc env m ~min ~max ~multiple =
+  let before = m.m_wd.w_status in
   let h = mac_spot_health env m in
   observe m.m_wd ~now_ns:(Kernel.gettime env) h;
+  phase_mark env m.m_wd ~icl:0 ~before;
   match m.m_wd.w_status with
   | Exhausted -> Error `Stale_budget_exhausted
   | Stale ->
@@ -187,9 +207,13 @@ let rec mac_alloc env m ~min ~max ~multiple =
       mac_recalibrate env m;
       let h' = mac_spot_health env m in
       end_recalibration m.m_wd ~now_ns:(Kernel.gettime env) ~health:h';
+      phase_mark env m.m_wd ~icl:0 ~before:Stale;
       mac_alloc env m ~min ~max ~multiple
     end
-    else Error `Stale_budget_exhausted
+    else begin
+      phase_mark env m.m_wd ~icl:0 ~before:Stale;
+      Error `Stale_budget_exhausted
+    end
   | Fresh ->
     let cfg = { m.m_config with Mac.slow_threshold_ns = Some m.m_threshold_ns } in
     Ok (Mac.gb_alloc env cfg ~min ~max ~multiple)
@@ -281,7 +305,9 @@ let fccd_order env f =
       let h =
         if !pairs = 0 then 1.0 else float_of_int !agree /. float_of_int !pairs
       in
+      let before = f.f_wd.w_status in
       observe f.f_wd ~now_ns:(Kernel.gettime env) h;
+      phase_mark env f.f_wd ~icl:1 ~before;
       (* incremental adaptation: spot results always flow into the
          estimates, prior kept at prior_weight *)
       let w = f.f_wd.w_config.prior_weight in
@@ -296,8 +322,12 @@ let fccd_order env f =
           | Error e -> Error e
           | Ok () ->
             end_recalibration f.f_wd ~now_ns:(Kernel.gettime env) ~health:1.0;
+            phase_mark env f.f_wd ~icl:1 ~before:Stale;
             Ok (fccd_current_order f)
         end
-        else Error `Stale_budget_exhausted
+        else begin
+          phase_mark env f.f_wd ~icl:1 ~before:Stale;
+          Error `Stale_budget_exhausted
+        end
       | Fresh -> Ok (fccd_current_order f)
   end

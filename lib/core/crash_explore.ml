@@ -25,7 +25,19 @@ type violation = {
   vi_seed : int;
   vi_problem : string;
   vi_replay : string;
+  vi_flight : string list;
 }
+
+(* How much post-mortem history a violation carries.  16 events cover the
+   crashing boundary, the evictions and faults just before it, and the
+   failing recovery run — enough to read the story without bloating a
+   many-violation report. *)
+let flight_tail_events = 16
+
+let flight_tail k =
+  match Kernel.flight k with
+  | None -> []
+  | Some fl -> Gray_util.Flight.lines ~last:flight_tail_events fl
 
 type report = {
   rp_workload_syscalls : int;
@@ -393,7 +405,7 @@ let explore_refresh_window ?(break_repair = false) ?(full_fsck = false) bl ~lo ~
   let { bl_seed = seed; bl_files = files; bl_file_size = file_size; bl_pre = pre;
         bl_post = post; _ } = bl in
   let violations = ref [] in
-  let violate ~boundary ck =
+  let violate ~boundary ?(flight = []) ck =
     violations :=
       {
         vi_boundary = boundary;
@@ -401,6 +413,7 @@ let explore_refresh_window ?(break_repair = false) ?(full_fsck = false) bl ~lo ~
         vi_problem = String.concat "; " (List.rev ck.problems);
         vi_replay =
           Printf.sprintf "GRAYBOX_CRASH=at:%d seed=%d workload=refresh" boundary seed;
+        vi_flight = flight;
       }
       :: !violations
   in
@@ -426,7 +439,7 @@ let explore_refresh_window ?(break_repair = false) ?(full_fsck = false) bl ~lo ~
     | `Back -> incr rolled_back
     | `Forward -> incr rolled_forward
     | `Broken -> ());
-    if ck.problems <> [] then violate ~boundary:n ck
+    if ck.problems <> [] then violate ~boundary:n ~flight:(flight_tail k) ck
   done;
   {
     rp_workload_syscalls = bl.bl_boundaries;
@@ -504,21 +517,21 @@ let pipeline_window_snapshot ~full_fsck bl ~lo ~hi =
       pipeline_window env ~files ~fccd:(Fccd.default_config ~seed ()));
   Kernel.run k;
   let violations = ref [] in
-  let last_problems = ref [] in
+  let last_verdict = ref ([], []) in  (* (problems, flight tail) *)
   for i = 0 to width - 1 do
     let n = lo + i in
-    let problems =
+    let problems, flight =
       match snaps.(i) with
-      | None -> !last_problems
+      | None -> !last_verdict
       | Some img ->
         Fs.crash img;
         let k2 = boot ~seed in
         Kernel.install_volume_image k2 0 img;
         let ck = { problems = [] } in
         check_restarted_pipeline ~full_fsck ~cp:!cp ~pre ~seed ~files k2 ck;
-        let ps = List.rev ck.problems in
-        last_problems := ps;
-        ps
+        let verdict = (List.rev ck.problems, flight_tail k2) in
+        last_verdict := verdict;
+        verdict
     in
     if problems <> [] then
       violations :=
@@ -528,6 +541,7 @@ let pipeline_window_snapshot ~full_fsck bl ~lo ~hi =
           vi_problem = String.concat "; " problems;
           vi_replay =
             Printf.sprintf "GRAYBOX_CRASH=at:%d seed=%d workload=pipeline" n seed;
+          vi_flight = flight;
         }
         :: !violations
   done;
@@ -554,6 +568,7 @@ let pipeline_window_replay ~full_fsck bl ~lo ~hi =
           vi_problem = String.concat "; " (List.rev ck.problems);
           vi_replay =
             Printf.sprintf "GRAYBOX_CRASH=at:%d seed=%d workload=pipeline" n seed;
+          vi_flight = flight_tail k;
         }
         :: !violations
   done;

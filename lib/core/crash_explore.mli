@@ -27,6 +27,14 @@ type violation = {
   vi_seed : int;
   vi_problem : string;  (** all invariant failures at this boundary *)
   vi_replay : string;  (** e.g. ["GRAYBOX_CRASH=at:7 seed=11 workload=refresh"] *)
+  vi_flight : string list;
+      (** Post-mortem flight-recorder tail of the violating boundary's
+          kernel ({!Gray_util.Flight.lines}, oldest first): the pre-crash
+          syscall/eviction history plus the recovery run that failed the
+          invariants.  Empty when the recorder is off ([GRAYBOX_FLIGHT=off])
+          or the violation has no kernel (the boundary-0 layout check).
+          Deterministic — a pure function of (baseline, boundary), so the
+          merged report stays byte-identical at any [-j]. *)
 }
 
 type report = {

@@ -1,0 +1,358 @@
+(* Per-process accounting ledger: see the .mli for the contract.  Rows
+   are indexed by pid in a growable array (pids are small and dense —
+   the kernel hands them out sequentially from 1), and the blame matrix
+   is one flat [int array] with a power-of-two victim stride, so every
+   hot-path bump is an array store. *)
+
+module Flight = Gray_util.Flight
+module Json = Gray_util.Json
+module Table = Gray_util.Table
+
+type stats = {
+  st_pid : int;
+  mutable st_name : string;
+  sys : int array;
+  mutable syscalls : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable fetches : int;
+  mutable writebacks : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable page_ins : int;
+  mutable page_outs : int;
+  mutable zero_fills : int;
+  mutable evictions : int;
+  mutable evicted : int;
+  mutable faults : int;
+  mutable cpu_ns : int;
+  mutable block_ns : int;
+}
+
+let fresh_stats ~pid ~name =
+  {
+    st_pid = pid;
+    st_name = name;
+    sys = Array.make Flight.code_count 0;
+    syscalls = 0;
+    hits = 0;
+    misses = 0;
+    fetches = 0;
+    writebacks = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+    page_ins = 0;
+    page_outs = 0;
+    zero_fills = 0;
+    evictions = 0;
+    evicted = 0;
+    faults = 0;
+    cpu_ns = 0;
+    block_ns = 0;
+  }
+
+type t = {
+  mutable procs : stats option array;  (* index = pid *)
+  mutable bstride : int;  (* victim stride of [blame]; also the pid bound *)
+  mutable blame : int array;  (* cell (e, v) at [e * bstride + v] *)
+}
+
+let initial_pids = 16
+
+let create () =
+  {
+    procs = Array.make initial_pids None;
+    bstride = initial_pids;
+    blame = Array.make (initial_pids * initial_pids) 0;
+  }
+
+let ensure_pid t pid =
+  if pid >= Array.length t.procs then begin
+    let cap = ref (Array.length t.procs) in
+    while pid >= !cap do
+      cap := !cap * 2
+    done;
+    let fresh = Array.make !cap None in
+    Array.blit t.procs 0 fresh 0 (Array.length t.procs);
+    t.procs <- fresh
+  end;
+  if pid >= t.bstride then begin
+    let stride = ref t.bstride in
+    while pid >= !stride do
+      stride := !stride * 2
+    done;
+    let fresh = Array.make (!stride * !stride) 0 in
+    for e = 0 to t.bstride - 1 do
+      for v = 0 to t.bstride - 1 do
+        fresh.((e * !stride) + v) <- t.blame.((e * t.bstride) + v)
+      done
+    done;
+    t.bstride <- !stride;
+    t.blame <- fresh
+  end
+
+let note_spawn t ~pid ~name =
+  ensure_pid t pid;
+  let st = fresh_stats ~pid ~name in
+  t.procs.(pid) <- Some st;
+  st
+
+let note_syscall st code =
+  st.sys.(Flight.code_index code) <- st.sys.(Flight.code_index code) + 1;
+  st.syscalls <- st.syscalls + 1
+
+let find t ~pid =
+  if pid >= 0 && pid < Array.length t.procs then t.procs.(pid) else None
+
+let note_eviction t ~evictor ~victim_pid =
+  ensure_pid t evictor.st_pid;
+  ensure_pid t victim_pid;
+  let cell = (evictor.st_pid * t.bstride) + victim_pid in
+  t.blame.(cell) <- t.blame.(cell) + 1;
+  evictor.evictions <- evictor.evictions + 1;
+  if victim_pid > 0 then
+    match t.procs.(victim_pid) with
+    | Some v -> v.evicted <- v.evicted + 1
+    | None -> ()
+
+let reset t =
+  t.procs <- Array.make initial_pids None;
+  t.bstride <- initial_pids;
+  t.blame <- Array.make (initial_pids * initial_pids) 0
+
+let rows t =
+  let out = ref [] in
+  for pid = Array.length t.procs - 1 downto 0 do
+    match t.procs.(pid) with Some st -> out := st :: !out | None -> ()
+  done;
+  !out
+
+let blame t ~evictor ~victim =
+  if evictor >= 0 && evictor < t.bstride && victim >= 0 && victim < t.bstride
+  then t.blame.((evictor * t.bstride) + victim)
+  else 0
+
+let blame_triples t =
+  let out = ref [] in
+  for e = t.bstride - 1 downto 0 do
+    for v = t.bstride - 1 downto 0 do
+      let n = t.blame.((e * t.bstride) + v) in
+      if n > 0 then out := (e, v, n) :: !out
+    done
+  done;
+  !out
+
+(* ---- aggregated export ------------------------------------------------ *)
+
+(* Cross-kernel aggregation keys on process name (pids repeat across
+   kernels).  The totals reuse [stats] with [st_pid] repurposed as the
+   number of processes merged into the row. *)
+type export = {
+  ex_procs : (string * stats) list;  (* ascending name *)
+  ex_blame : ((string * string) * int) list;  (* ascending (evictor, victim) *)
+}
+
+let file_victim = "(file)"
+
+let victim_name t v =
+  if v = 0 then file_victim
+  else
+    match find t ~pid:v with
+    | Some st -> st.st_name
+    | None -> "pid" ^ string_of_int v
+
+let add_into acc st =
+  acc.syscalls <- acc.syscalls + st.syscalls;
+  Array.iteri (fun i n -> acc.sys.(i) <- acc.sys.(i) + n) st.sys;
+  acc.hits <- acc.hits + st.hits;
+  acc.misses <- acc.misses + st.misses;
+  acc.fetches <- acc.fetches + st.fetches;
+  acc.writebacks <- acc.writebacks + st.writebacks;
+  acc.bytes_read <- acc.bytes_read + st.bytes_read;
+  acc.bytes_written <- acc.bytes_written + st.bytes_written;
+  acc.page_ins <- acc.page_ins + st.page_ins;
+  acc.page_outs <- acc.page_outs + st.page_outs;
+  acc.zero_fills <- acc.zero_fills + st.zero_fills;
+  acc.evictions <- acc.evictions + st.evictions;
+  acc.evicted <- acc.evicted + st.evicted;
+  acc.faults <- acc.faults + st.faults;
+  acc.cpu_ns <- acc.cpu_ns + st.cpu_ns;
+  acc.block_ns <- acc.block_ns + st.block_ns
+
+let sorted_assoc tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let export t =
+  let procs = Hashtbl.create 8 in
+  List.iter
+    (fun st ->
+      let acc =
+        match Hashtbl.find_opt procs st.st_name with
+        | Some acc -> acc
+        | None ->
+          let acc = fresh_stats ~pid:0 ~name:st.st_name in
+          Hashtbl.add procs st.st_name acc;
+          acc
+      in
+      add_into acc st;
+      (* st_pid doubles as the merged-process count in exports *)
+      Hashtbl.replace procs st.st_name { acc with st_pid = acc.st_pid + 1 })
+    (rows t);
+  let blame = Hashtbl.create 8 in
+  List.iter
+    (fun (e, v, n) ->
+      let key = (victim_name t e, victim_name t v) in
+      Hashtbl.replace blame key
+        (n + Option.value ~default:0 (Hashtbl.find_opt blame key)))
+    (blame_triples t);
+  { ex_procs = sorted_assoc procs; ex_blame = sorted_assoc blame }
+
+let merge_exports exports =
+  let procs = Hashtbl.create 8 in
+  let blame = Hashtbl.create 8 in
+  List.iter
+    (fun ex ->
+      List.iter
+        (fun (name, st) ->
+          match Hashtbl.find_opt procs name with
+          | Some acc ->
+            add_into acc st;
+            Hashtbl.replace procs name { acc with st_pid = acc.st_pid + st.st_pid }
+          | None ->
+            let acc = fresh_stats ~pid:st.st_pid ~name in
+            add_into acc st;
+            Hashtbl.replace procs name acc)
+        ex.ex_procs;
+      List.iter
+        (fun (key, n) ->
+          Hashtbl.replace blame key
+            (n + Option.value ~default:0 (Hashtbl.find_opt blame key)))
+        ex.ex_blame)
+    exports;
+  { ex_procs = sorted_assoc procs; ex_blame = sorted_assoc blame }
+
+let export_is_empty ex = ex.ex_procs = [] && ex.ex_blame = []
+let export_blame_nonempty ex = ex.ex_blame <> []
+
+let syscalls_json st =
+  let all =
+    Flight.
+      [
+        Open; Create; Close; Read; Write; Mkdir; Unlink; Rename; Readdir;
+        Stat; Utimes; Fsync; Sync; Write_blob; Read_blob; Valloc; Vfree;
+        Vrelease; Touch; Vmstat; Compute;
+      ]
+  in
+  List.filter_map
+    (fun c ->
+      let n = st.sys.(Flight.code_index c) in
+      if n > 0 then Some (Flight.code_name c, Json.Int n) else None)
+    all
+
+let stats_json st =
+  Json.Obj
+    [
+      ("procs", Json.Int st.st_pid);
+      ("syscalls", Json.Int st.syscalls);
+      ("by_syscall", Json.Obj (syscalls_json st));
+      ("hits", Json.Int st.hits);
+      ("misses", Json.Int st.misses);
+      ("fetches", Json.Int st.fetches);
+      ("writebacks", Json.Int st.writebacks);
+      ("bytes_read", Json.Int st.bytes_read);
+      ("bytes_written", Json.Int st.bytes_written);
+      ("page_ins", Json.Int st.page_ins);
+      ("page_outs", Json.Int st.page_outs);
+      ("zero_fills", Json.Int st.zero_fills);
+      ("evictions", Json.Int st.evictions);
+      ("evicted", Json.Int st.evicted);
+      ("faults", Json.Int st.faults);
+      ("cpu_ns", Json.Int st.cpu_ns);
+      ("block_ns", Json.Int st.block_ns);
+    ]
+
+let export_json ex =
+  let blame_rows =
+    (* group by evictor, preserving the sorted order *)
+    List.fold_left
+      (fun acc ((e, v), n) ->
+        match acc with
+        | (e', vs) :: rest when e' = e -> (e', (v, Json.Int n) :: vs) :: rest
+        | _ -> (e, [ (v, Json.Int n) ]) :: acc)
+      [] ex.ex_blame
+    |> List.rev_map (fun (e, vs) -> (e, Json.Obj (List.rev vs)))
+  in
+  Json.Obj
+    [
+      ("processes", Json.Obj (List.map (fun (n, st) -> (n, stats_json st)) ex.ex_procs));
+      ("eviction_blame", Json.Obj blame_rows);
+    ]
+
+(* ---- rendering -------------------------------------------------------- *)
+
+let ms ns = Printf.sprintf "%.2f" (float_of_int ns /. 1e6)
+
+let top_table t =
+  let tbl =
+    Table.create ~title:"per-process accounting"
+      ~columns:
+        [
+          "pid"; "name"; "sys"; "hit"; "miss"; "fetch"; "wb"; "pgin";
+          "pgout"; "zfill"; "ev"; "evd"; "fault"; "cpu_ms"; "blk_ms";
+        ]
+  in
+  List.iter
+    (fun st ->
+      Table.add_row tbl
+        [
+          string_of_int st.st_pid; st.st_name; string_of_int st.syscalls;
+          string_of_int st.hits; string_of_int st.misses;
+          string_of_int st.fetches; string_of_int st.writebacks;
+          string_of_int st.page_ins; string_of_int st.page_outs;
+          string_of_int st.zero_fills; string_of_int st.evictions;
+          string_of_int st.evicted; string_of_int st.faults; ms st.cpu_ns;
+          ms st.block_ns;
+        ])
+    (rows t);
+  Table.render tbl
+
+let blame_table t =
+  let triples = blame_triples t in
+  let victims =
+    List.sort_uniq compare (List.map (fun (_, v, _) -> v) triples)
+  in
+  let evictors =
+    List.sort_uniq compare (List.map (fun (e, _, _) -> e) triples)
+  in
+  let label pid =
+    if pid = 0 then file_victim
+    else Printf.sprintf "%s(%d)" (victim_name t pid) pid
+  in
+  let tbl =
+    Table.create ~title:"eviction blame (evictor row x victim column)"
+      ~columns:("evictor" :: List.map label victims)
+  in
+  List.iter
+    (fun e ->
+      Table.add_row tbl
+        (label e
+        :: List.map (fun v -> string_of_int (blame t ~evictor:e ~victim:v)) victims))
+    evictors;
+  Table.render tbl
+
+(* ---- env control ------------------------------------------------------ *)
+
+let env_on =
+  lazy
+    (match Sys.getenv_opt "GRAYBOX_ACCOUNT" with
+    | None | Some "" -> true
+    | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "on" | "1" -> true
+      | "off" | "none" | "0" -> false
+      | s ->
+        Printf.eprintf "error: GRAYBOX_ACCOUNT=%s: expected on or off\n%!" s;
+        exit 2))
+
+let of_env () = Lazy.force env_on

@@ -195,6 +195,16 @@ let note_applied t kind =
 
 let note_evictions t n = t.t_evictions <- t.t_evictions + n
 
+(* Whole-machine restart: the daemon holding the current regime died with
+   the crash, so its machine-visible mutations lapse — the clock returns
+   to the platform resolution and the pressure level reads zero.  The
+   schedule, the stop flag and the applied-event counters are experiment
+   state and survive (restart-audit fix: the timer regime used to leak
+   through reboots a dead daemon could never have sustained). *)
+let note_restart t =
+  t.t_timer_factor <- 1;
+  t.t_pressure <- 0.0
+
 let stats t =
   {
     d_events = t.t_events;

@@ -106,6 +106,12 @@ val note_applied : t -> kind -> unit
 val note_evictions : t -> int -> unit
 (** Count pages evicted by a cache shrink. *)
 
+val note_restart : t -> unit
+(** Whole-machine restart ({!Kernel.restart}): the regime held by the
+    (now dead) daemon lapses — timer factor back to 1, pressure level to
+    zero.  The schedule and the applied-event counters survive; they
+    describe the experiment, not the machine. *)
+
 type stats = {
   d_events : int;  (** mutations applied *)
   d_resizes : int;

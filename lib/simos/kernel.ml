@@ -1,4 +1,5 @@
 module Tele = Gray_util.Telemetry
+module Flight = Gray_util.Flight
 
 type error = Fs_error of Fs.error | Bad_fd | Bad_path | Retryable
 
@@ -56,9 +57,11 @@ type t = {
   k_faults : Fault.t option;
   k_crash : Crash.t option;
   k_drift : Drift.t option;
+  k_account : Account.t option;
+  k_flight : Flight.t option;
 }
 
-type env = { e_k : t; e_proc : proc }
+type env = { e_k : t; e_proc : proc; mutable e_acct : Account.stats option }
 
 (* Volume [v]'s inodes are made globally unique by packing the volume index
    into the high bits; bit 43 marks the pseudo-file that stands for the
@@ -71,7 +74,8 @@ let vol_of_gino gino = gino lsr vol_shift
 let local_ino_of_gino gino = gino land (meta_bit - 1)
 let gino_is_meta gino = gino land meta_bit <> 0
 
-let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ?faults ?crash ?drift ~seed () =
+let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ?faults ?crash ?drift
+    ?account ?flight ~seed () =
   if data_disks < 1 then invalid_arg "Kernel.boot: need at least one data disk";
   let make_volume _ =
     let disk = Disk.create platform.Platform.disk in
@@ -130,6 +134,20 @@ let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ?faults ?crash ?drif
       | None ->
         (* GRAYBOX_DRIFT=quiet|canonical|heavy — same opt-in pattern *)
         Option.map Drift.create (Drift.of_env ()));
+    (* Accounting and the flight recorder are on by default (they draw no
+       RNG and advance no clock, so the simulation is unaffected);
+       GRAYBOX_ACCOUNT=off / GRAYBOX_FLIGHT=off opt out, and explicit
+       boot arguments win over the environment. *)
+    k_account =
+      (match account with
+      | Some true -> Some (Account.create ())
+      | Some false -> None
+      | None -> if Account.of_env () then Some (Account.create ()) else None);
+    k_flight =
+      (match flight with
+      | Some true -> Some (Flight.create ())
+      | Some false -> None
+      | None -> Flight.of_env ());
   }
 
 (* Adopt a volume image on a freshly booted kernel (the snapshot-mode
@@ -149,6 +167,12 @@ let volume_disk t i = t.k_volumes.(i).v_disk
 let swap_disk t = t.k_swap
 let pid env = env.e_proc.p_pid
 let kernel_of_env env = env.e_k
+let account t = t.k_account
+let flight t = t.k_flight
+
+(* Non-zero only when accounting is on, so accounting-off telemetry keeps
+   the untagged (pre-accounting) entry shape. *)
+let spid env = match env.e_acct with None -> 0 | Some st -> st.Account.st_pid
 
 let fresh_token env =
   let proc = env.e_proc in
@@ -188,7 +212,7 @@ let spawn t ?(name = "proc") ?at body =
       p_regions = [];
     }
   in
-  let env = { e_k = t; e_proc = proc } in
+  let env = { e_k = t; e_proc = proc; e_acct = None } in
   (* Dead regions already dropped their pages (cache and swap) at vfree
      time, and every anonymous page of this process lives in some region,
      so walking the live regions covers the whole address space — no
@@ -213,6 +237,13 @@ let spawn t ?(name = "proc") ?at body =
      instruction (crash-path queue drain) then leaves no trace either. *)
   Engine.spawn t.k_engine ?at ~name (fun () ->
       Hashtbl.replace t.k_procs p_pid proc;
+      (* The ledger row appears when the process actually starts, inside
+         the same scope as registration: a fiber cancelled before its
+         first instruction leaves no accounting trace either.  The row is
+         cached in the env so per-syscall bumps never look it up. *)
+      (match t.k_account with
+      | None -> ()
+      | Some a -> env.e_acct <- Some (Account.note_spawn a ~pid:p_pid ~name));
       Fun.protect ~finally:cleanup (fun () -> body env))
 
 let run t = Engine.run t.k_engine
@@ -232,11 +263,41 @@ let crash_tick env =
   | None -> ()
   | Some c -> if Crash.tick c then raise Crash.Crashed
 
+(* Every syscall passes through here at entry: flight-record the boundary
+   (before the crash tick, so the boundary that kills the machine is the
+   last event in the black box), bump the caller's per-kind ledger cell,
+   then tick the crash plane.  All three legs are branch-plus-store —
+   nothing allocates, draws RNG, or moves the clock. *)
+let sys_entry env code =
+  let t = env.e_k in
+  (match t.k_flight with
+  | None -> ()
+  | Some fl ->
+    let boundary =
+      match t.k_crash with Some c -> Crash.syscalls c + 1 | None -> 0
+    in
+    Flight.record fl ~ts:(Engine.now t.k_engine) ~code ~pid:env.e_proc.p_pid
+      ~a:boundary ~b:0);
+  (match env.e_acct with
+  | None -> ()
+  | Some st -> Account.note_syscall st code);
+  crash_tick env
+
 (* Whole-machine restart after a crash: volatile state (page cache,
    anonymous memory, swap residency, processes) is discarded, each
    volume's file system rolls back to its durable image, and the device
    timelines reset with the fresh engine's clock.  Counters and RNG
-   streams survive — they describe the experiment, not the machine. *)
+   streams survive — they describe the experiment, not the machine.
+
+   The per-process accounting ledger does NOT survive: the rebooted
+   machine has no processes, so pid-indexed attribution (and the blame
+   matrix) restarts empty.  The drift plane's timer-coarsening regime is
+   likewise machine state — its daemon died with the crash and cannot
+   keep the regime in force, so the reboot returns the clock to the
+   platform resolution (the schedule itself, experiment state, survives
+   and is not replayed).  The flight recorder deliberately survives: it
+   is the black box, and the pre-crash tail is exactly what a post-crash
+   dump is for. *)
 let restart t =
   Memory.reset t.k_mem;
   Page.Tbl.reset t.k_swapped;
@@ -249,6 +310,8 @@ let restart t =
   Disk.reboot t.k_swap;
   Resource.reboot t.k_cpu;
   t.k_engine <- Engine.create ();
+  Option.iter Account.reset t.k_account;
+  Option.iter Drift.note_restart t.k_drift;
   match t.k_crash with
   | None -> ()
   | Some c ->
@@ -315,14 +378,34 @@ let target_name = function
   | Fault.Rename -> "rename"
   | Fault.Mkdir -> "mkdir"
 
+let target_index = function
+  | Fault.Open -> 0
+  | Fault.Read -> 1
+  | Fault.Write -> 2
+  | Fault.Stat -> 3
+  | Fault.Create -> 4
+  | Fault.Unlink -> 5
+  | Fault.Rename -> 6
+  | Fault.Mkdir -> 7
+
 let injected env target =
   match env.e_k.k_faults with
   | None -> false
   | Some f ->
     let hit = Fault.inject_error f target in
-    if hit then
+    if hit then begin
       Tele.event "simos.fault.inject"
         ~attrs:(fun () -> [ ("target", Tele.String (target_name target)) ]);
+      (match env.e_acct with
+      | None -> ()
+      | Some st -> st.Account.faults <- st.Account.faults + 1);
+      match env.e_k.k_flight with
+      | None -> ()
+      | Some fl ->
+        Flight.record fl
+          ~ts:(Engine.now env.e_k.k_engine)
+          ~code:Flight.Fault ~pid:env.e_proc.p_pid ~a:(target_index target) ~b:0
+    end;
     hit
 
 let fail_transient env =
@@ -333,9 +416,26 @@ let copy_cost t bytes =
   int_of_float (float_of_int bytes *. t.k_platform.Platform.memcopy_byte_ns)
 
 (* Write back / swap out one victim of a cache fill; returns the updated
-   cursor.  Deleted files have no backing block left and are dropped. *)
+   cursor.  Deleted files have no backing block left and are dropped.
+
+   This is the single choke point every evicted page passes through
+   (batched fills, per-page fills, drift-plane cache shrinks), so
+   eviction blame lives here: the {e initiator} is the process in whose
+   syscall the eviction happens — [env]'s pid, never the page owner.  A
+   sync-driven or read-driven writeback of somebody else's dirty page is
+   the caller's cost and the caller's eviction. *)
 let writeback_victim env ~now key ~dirty =
   let t = env.e_k in
+  let victim_pid = match key with Page.Anon { pid; _ } -> pid | Page.File _ -> 0 in
+  (match t.k_account, env.e_acct with
+  | Some a, Some st -> Account.note_eviction a ~evictor:st ~victim_pid
+  | _ -> ());
+  (match t.k_flight with
+  | None -> ()
+  | Some fl ->
+    Flight.record fl ~ts:now ~code:Flight.Evict ~pid:env.e_proc.p_pid
+      ~a:victim_pid
+      ~b:(if dirty then 1 else 0));
   match key with
   | Page.File { ino = gino; idx } ->
     if dirty then begin
@@ -349,26 +449,48 @@ let writeback_victim env ~now key ~dirty =
       | None -> now
       | Some b ->
         t.k_ctr.m_file_writebacks <- t.k_ctr.m_file_writebacks + 1;
-        now + Disk.access v.v_disk ~now ~start_block:b ~nblocks:1
+        let d = Disk.access v.v_disk ~now ~start_block:b ~nblocks:1 in
+        (match env.e_acct with
+        | None -> ()
+        | Some st ->
+          st.Account.writebacks <- st.Account.writebacks + 1;
+          st.Account.block_ns <- st.Account.block_ns + d);
+        now + d
     end
     else now
   | Page.Anon { pid; vpn } ->
     (* Anonymous pages are dirty by construction (touches write). *)
     let slot = ((pid * 1_000_003) + vpn) mod Disk.capacity_blocks t.k_swap in
-    let now = now + Disk.access t.k_swap ~now ~start_block:slot ~nblocks:1 in
+    let d = Disk.access t.k_swap ~now ~start_block:slot ~nblocks:1 in
     t.k_ctr.m_page_outs <- t.k_ctr.m_page_outs + 1;
+    (match env.e_acct with
+    | None -> ()
+    | Some st ->
+      st.Account.page_outs <- st.Account.page_outs + 1;
+      st.Account.block_ns <- st.Account.block_ns + d);
     Page.Tbl.replace t.k_swapped key ();
-    now
+    now + d
 
 (* One page's worth of eviction telemetry (a metric bump and a point, as
    the per-page path has always emitted). *)
-let note_evictions ~n =
+let note_evictions env ~n =
   if n > 0 then
     match Tele.active () with
     | None -> ()
     | Some s ->
       Tele.add_in s ~n "simos.kernel.evictions";
-      Tele.point s "simos.kernel.evict" ~attrs:(fun () -> [ ("pages", Tele.Int n) ])
+      Tele.point s "simos.kernel.evict" ~spid:(spid env)
+        ~attrs:(fun () -> [ ("pages", Tele.Int n) ])
+
+let acct_hit env =
+  match env.e_acct with
+  | None -> ()
+  | Some st -> st.Account.hits <- st.Account.hits + 1
+
+let acct_miss env =
+  match env.e_acct with
+  | None -> ()
+  | Some st -> st.Account.misses <- st.Account.misses + 1
 
 let handle_evictions env ~now evicted =
   let cur = ref now in
@@ -376,14 +498,20 @@ let handle_evictions env ~now evicted =
     (fun ({ key; dirty } : Pool.evicted) ->
       cur := writeback_victim env ~now:!cur key ~dirty)
     evicted;
-  note_evictions ~n:(List.length evicted);
+  note_evictions env ~n:(List.length evicted);
   !cur
 
-(* Fetch one file-metadata or data page into the cache. *)
+(* Fetch one file-metadata or data page into the cache.  The hit/miss
+   bumps mirror the pool counters the [Memory.access] touches, keeping
+   per-pid sums equal to the global pool totals. *)
 let fill_page env ~now key =
   match Memory.access env.e_k.k_mem key ~dirty:false with
-  | `Hit -> now
-  | `Filled evicted -> handle_evictions env ~now evicted
+  | `Hit ->
+    acct_hit env;
+    now
+  | `Filled evicted ->
+    acct_miss env;
+    handle_evictions env ~now evicted
 
 (* Charge the read of an inode-table block (open/stat/unlink/utimes). *)
 let inode_read env ~now ~vol ~ino =
@@ -393,11 +521,15 @@ let inode_read env ~now ~vol ~ino =
   let key = Page.File { ino = meta_ino vol; idx = block } in
   if Memory.contains t.k_mem key then begin
     ignore (Memory.access t.k_mem key ~dirty:false);
+    acct_hit env;
     now
   end
   else begin
-    let now = now + Disk.access v.v_disk ~now ~start_block:block ~nblocks:1 in
-    fill_page env ~now key
+    let d = Disk.access v.v_disk ~now ~start_block:block ~nblocks:1 in
+    (match env.e_acct with
+    | None -> ()
+    | Some st -> st.Account.block_ns <- st.Account.block_ns + d);
+    fill_page env ~now:(now + d) key
   end
 
 (* ---- path syscalls ---- *)
@@ -418,7 +550,7 @@ let simple_path_call env ~name path f =
       (match Tele.active () with
       | None -> ()
       | Some s ->
-        Tele.span_end s name ~ts:t0
+        Tele.span_end s name ~ts:t0 ~spid:(spid env)
           ~attrs:(fun () -> [ ("path", Tele.String path) ]));
       result)
 
@@ -430,7 +562,7 @@ let alloc_fd env ~vol ~ino =
   fd
 
 let open_file env path =
-  crash_tick env;
+  sys_entry env Flight.Open;
   if injected env Fault.Open then fail_transient env
   else
   simple_path_call env ~name:"simos.kernel.open" path (fun vol rest now ->
@@ -442,7 +574,7 @@ let open_file env path =
         (Ok (alloc_fd env ~vol ~ino), now))
 
 let create_file env path =
-  crash_tick env;
+  sys_entry env Flight.Create;
   if injected env Fault.Create then fail_transient env
   else
   simple_path_call env ~name:"simos.kernel.create" path (fun vol rest now ->
@@ -452,7 +584,7 @@ let create_file env path =
       | Ok ino -> (Ok (alloc_fd env ~vol ~ino), now))
 
 let close env fd =
-  crash_tick env;
+  sys_entry env Flight.Close;
   Hashtbl.remove env.e_proc.p_fds fd
 
 let find_fd env fd =
@@ -478,13 +610,20 @@ let io_pages env ~vol ~ino ~off ~len ~write =
   let now = ref (start_call env) in
   let first_page = off / psz and last_page = (off + len - 1) / psz in
   let pending_start = ref (-1) and pending_count = ref 0 in
+  let acct = env.e_acct in
   let flush_pending () =
     if !pending_count > 0 then begin
-      now :=
-        !now
-        + Disk.access v.v_disk ~now:!now ~start_block:!pending_start
-            ~nblocks:!pending_count;
+      let d =
+        Disk.access v.v_disk ~now:!now ~start_block:!pending_start
+          ~nblocks:!pending_count
+      in
+      now := !now + d;
       t.k_ctr.m_file_fetches <- t.k_ctr.m_file_fetches + !pending_count;
+      (match acct with
+      | None -> ()
+      | Some st ->
+        st.Account.fetches <- st.Account.fetches + !pending_count;
+        st.Account.block_ns <- st.Account.block_ns + d);
       pending_start := -1;
       pending_count := 0
     end
@@ -498,8 +637,11 @@ let io_pages env ~vol ~ino ~off ~len ~write =
     ~n:(last_page - first_page + 1)
     ~key:(fun i -> Page.File { ino = gino; idx = first_page + i })
     ~dirty:write
-    ~on_hit:(fun _ _ -> flush_pending ())
+    ~on_hit:(fun _ _ ->
+      acct_hit env;
+      flush_pending ())
     ~on_miss:(fun i _ ->
+      acct_miss env;
       (* Reads must fetch the page; writes of whole pages just allocate a
          cache page (read-modify-write of partial pages is not modelled). *)
       if not write then
@@ -515,7 +657,7 @@ let io_pages env ~vol ~ino ~off ~len ~write =
           end)
     ~on_evict:(fun k ~dirty -> now := writeback_victim env ~now:!now k ~dirty)
     ~on_page_end:(fun i ~evicted ->
-      note_evictions ~n:evicted;
+      note_evictions env ~n:evicted;
       let p = first_page + i in
       let page_lo = p * psz in
       now := !now + copy_cost t (min (off + len) (page_lo + psz) - max off page_lo));
@@ -526,12 +668,12 @@ let io_pages env ~vol ~ino ~off ~len ~write =
   | Some s ->
     Tele.span_end s
       (if write then "simos.kernel.write" else "simos.kernel.read")
-      ~ts:t0
+      ~ts:t0 ~spid:(spid env)
       ~attrs:(fun () -> [ ("off", Tele.Int off); ("len", Tele.Int len) ])
 
 let read env fd ~off ~len =
   if off < 0 || len < 0 then invalid_arg "Kernel.read: negative offset or length";
-  crash_tick env;
+  sys_entry env Flight.Read;
   if injected env Fault.Read then fail_transient env
   else
   match find_fd env fd with
@@ -550,12 +692,15 @@ let read env fd ~off ~len =
       Fs.mark_atime fs ~ino:of_ino ~now:(Engine.now t.k_engine);
       t.k_ctr.m_reads <- t.k_ctr.m_reads + 1;
       t.k_ctr.m_bytes_read <- t.k_ctr.m_bytes_read + len;
+      (match env.e_acct with
+      | None -> ()
+      | Some st -> st.Account.bytes_read <- st.Account.bytes_read + len);
       Ok len
     end
 
 let write env fd ~off ~len =
   if off < 0 || len < 0 then invalid_arg "Kernel.write: negative offset or length";
-  crash_tick env;
+  sys_entry env Flight.Write;
   if injected env Fault.Write then fail_transient env
   else
   match find_fd env fd with
@@ -576,17 +721,20 @@ let write env fd ~off ~len =
       Fs.mark_mtime fs ~ino:of_ino ~now:(Engine.now t.k_engine);
       t.k_ctr.m_writes <- t.k_ctr.m_writes + 1;
       t.k_ctr.m_bytes_written <- t.k_ctr.m_bytes_written + len;
+      (match env.e_acct with
+      | None -> ()
+      | Some st -> st.Account.bytes_written <- st.Account.bytes_written + len);
       Ok len)
 
 let mkdir env path =
-  crash_tick env;
+  sys_entry env Flight.Mkdir;
   if injected env Fault.Mkdir then fail_transient env
   else
   simple_path_call env ~name:"simos.kernel.mkdir" path (fun vol rest now ->
       (lift_fs (Result.map ignore (Fs.mkdir env.e_k.k_volumes.(vol).v_fs rest)), now))
 
 let unlink env path =
-  crash_tick env;
+  sys_entry env Flight.Unlink;
   if injected env Fault.Unlink then fail_transient env
   else
   simple_path_call env ~name:"simos.kernel.unlink" path (fun vol rest now ->
@@ -608,7 +756,7 @@ let unlink env path =
           (Ok (), now)))
 
 let rename env ~src ~dst =
-  crash_tick env;
+  sys_entry env Flight.Rename;
   if injected env Fault.Rename then fail_transient env
   else
   match resolve_path env.e_k src, resolve_path env.e_k dst with
@@ -621,7 +769,7 @@ let rename env ~src ~dst =
           (lift_fs (Fs.rename env.e_k.k_volumes.(v1).v_fs ~src:r1 ~dst:r2), now))
 
 let readdir env path =
-  crash_tick env;
+  sys_entry env Flight.Readdir;
   simple_path_call env ~name:"simos.kernel.readdir" path (fun vol rest now ->
       let fs = env.e_k.k_volumes.(vol).v_fs in
       match Fs.readdir fs rest with
@@ -629,7 +777,7 @@ let readdir env path =
       | Ok names -> (Ok names, now))
 
 let stat env path =
-  crash_tick env;
+  sys_entry env Flight.Stat;
   if injected env Fault.Stat then fail_transient env
   else
   simple_path_call env ~name:"simos.kernel.stat" path (fun vol rest now ->
@@ -641,7 +789,7 @@ let stat env path =
         (Ok st, now))
 
 let utimes env path ~atime ~mtime =
-  crash_tick env;
+  sys_entry env Flight.Utimes;
   simple_path_call env ~name:"simos.kernel.utimes" path (fun vol rest now ->
       let fs = env.e_k.k_volumes.(vol).v_fs in
       match Fs.lookup fs rest with
@@ -660,7 +808,7 @@ let utimes env path ~atime ~mtime =
    the read path batches fetches. *)
 
 let fsync env fd =
-  crash_tick env;
+  sys_entry env Flight.Fsync;
   match find_fd env fd with
   | Error e -> Error e
   | Ok { of_vol; of_ino } ->
@@ -673,13 +821,22 @@ let fsync env fd =
       let t0 = Engine.now t.k_engine in
       let now = ref (start_call env) in
       let pending_start = ref (-1) and pending_count = ref 0 in
+      (* Writeback attribution goes to the {e syncing} process — fsync
+         runs inline in the caller's syscall, so [env] is the initiator,
+         not whichever process dirtied the pages. *)
       let flush_pending () =
         if !pending_count > 0 then begin
-          now :=
-            !now
-            + Disk.access v.v_disk ~now:!now ~start_block:!pending_start
-                ~nblocks:!pending_count;
+          let d =
+            Disk.access v.v_disk ~now:!now ~start_block:!pending_start
+              ~nblocks:!pending_count
+          in
+          now := !now + d;
           t.k_ctr.m_file_writebacks <- t.k_ctr.m_file_writebacks + !pending_count;
+          (match env.e_acct with
+          | None -> ()
+          | Some st ->
+            st.Account.writebacks <- st.Account.writebacks + !pending_count;
+            st.Account.block_ns <- st.Account.block_ns + d);
           pending_start := -1;
           pending_count := 0
         end
@@ -702,23 +859,27 @@ let fsync env fd =
       done;
       flush_pending ();
       (* the inode itself (size, times, blob) goes out last *)
-      now :=
-        !now
-        + Disk.access v.v_disk ~now:!now
-            ~start_block:(Fs.inode_block v.v_fs ~ino:of_ino)
-            ~nblocks:1;
+      let d =
+        Disk.access v.v_disk ~now:!now
+          ~start_block:(Fs.inode_block v.v_fs ~ino:of_ino)
+          ~nblocks:1
+      in
+      now := !now + d;
+      (match env.e_acct with
+      | None -> ()
+      | Some st -> st.Account.block_ns <- st.Account.block_ns + d);
       (match Fs.fsync_ino v.v_fs ~ino:of_ino with Ok () -> () | Error _ -> ());
       finish_call env ~t0 ~now:!now;
       (match Tele.active () with
       | None -> ()
       | Some s ->
-        Tele.span_end s "simos.kernel.fsync" ~ts:t0
+        Tele.span_end s "simos.kernel.fsync" ~ts:t0 ~spid:(spid env)
           ~attrs:(fun () -> [ ("ino", Tele.Int of_ino) ]));
       Ok ()
     end
 
 let sync env =
-  crash_tick env;
+  sys_entry env Flight.Sync;
   let t = env.e_k in
   match t.k_crash with
   | None -> ()
@@ -740,14 +901,22 @@ let sync env =
           (match block with None -> () | Some b -> dirty := (vol, b, key) :: !dirty)
         | Page.File _ | Page.Anon _ -> ());
     let pending_vol = ref (-1) and pending_start = ref (-1) and pending_count = ref 0 in
+    (* Elevator writebacks are the syncing caller's cost, like fsync's:
+       the page owner is not consulted and not blamed. *)
     let flush_pending () =
       if !pending_count > 0 then begin
         let v = t.k_volumes.(!pending_vol) in
-        now :=
-          !now
-          + Disk.access v.v_disk ~now:!now ~start_block:!pending_start
-              ~nblocks:!pending_count;
+        let d =
+          Disk.access v.v_disk ~now:!now ~start_block:!pending_start
+            ~nblocks:!pending_count
+        in
+        now := !now + d;
         t.k_ctr.m_file_writebacks <- t.k_ctr.m_file_writebacks + !pending_count;
+        (match env.e_acct with
+        | None -> ()
+        | Some st ->
+          st.Account.writebacks <- st.Account.writebacks + !pending_count;
+          st.Account.block_ns <- st.Account.block_ns + d);
         pending_count := 0
       end
     in
@@ -769,13 +938,13 @@ let sync env =
     finish_call env ~t0 ~now:!now;
     (match Tele.active () with
     | None -> ()
-    | Some s -> Tele.span_end s "simos.kernel.sync" ~ts:t0)
+    | Some s -> Tele.span_end s "simos.kernel.sync" ~ts:t0 ~spid:(spid env))
 
 (* Side-band whole-file content (the FLDC journal records): replaces the
    file's blob without touching its block layout.  Volatile until fsynced,
    like any other write. *)
 let write_blob env fd s =
-  crash_tick env;
+  sys_entry env Flight.Write_blob;
   match find_fd env fd with
   | Error e -> Error e
   | Ok { of_vol; of_ino } ->
@@ -791,7 +960,7 @@ let write_blob env fd s =
       Ok ())
 
 let read_blob env fd =
-  crash_tick env;
+  sys_entry env Flight.Read_blob;
   match find_fd env fd with
   | Error e -> Error e
   | Ok { of_vol; of_ino } ->
@@ -808,7 +977,7 @@ let read_blob env fd =
 
 let valloc env ~pages =
   if pages <= 0 then invalid_arg "Kernel.valloc: pages must be positive";
-  crash_tick env;
+  sys_entry env Flight.Valloc;
   let proc = env.e_proc in
   let region =
     { r_owner = proc.p_pid; r_start_vpn = proc.p_next_vpn; r_pages = pages; r_live = true }
@@ -820,7 +989,7 @@ let valloc env ~pages =
 
 let vfree env region =
   if region.r_owner <> env.e_proc.p_pid then invalid_arg "Kernel.vfree: not the owner";
-  crash_tick env;
+  sys_entry env Flight.Vfree;
   if region.r_live then begin
     region.r_live <- false;
     let t = env.e_k in
@@ -842,7 +1011,7 @@ let vrelease env region ~first ~count =
   if not region.r_live then invalid_arg "Kernel.vrelease: region freed";
   if first < 0 || count < 0 || first + count > region.r_pages then
     invalid_arg "Kernel.vrelease: out of range";
-  crash_tick env;
+  sys_entry env Flight.Vrelease;
   let t = env.e_k in
   let lo = region.r_start_vpn + first and hi = region.r_start_vpn + first + count in
   ignore (Memory.invalidate_anon_range t.k_mem ~pid:region.r_owner ~lo ~hi);
@@ -858,7 +1027,7 @@ let touch_pages env region ~first ~count =
     invalid_arg "Kernel.touch_pages: not the owner";
   if first < 0 || count < 0 || first + count > region.r_pages then
     invalid_arg "Kernel.touch_pages: out of range";
-  crash_tick env;
+  sys_entry env Flight.Touch;
   let t = env.e_k in
   let plat = t.k_platform in
   let resolution = timer_resolution t in
@@ -873,31 +1042,42 @@ let touch_pages env region ~first ~count =
     ~key:(fun i -> Page.Anon { pid = owner; vpn = base_vpn + i })
     ~dirty:true
     ~on_hit:(fun _ _ ->
+      acct_hit env;
       before := !now;
       now := !now + plat.Platform.mem_touch_ns)
     ~on_miss:(fun i key ->
+      acct_miss env;
       before := !now;
       if Page.Tbl.mem t.k_swapped key then begin
         let slot =
           ((owner * 1_000_003) + (base_vpn + i)) mod Disk.capacity_blocks t.k_swap
         in
-        now := !now + Disk.access t.k_swap ~now:!now ~start_block:slot ~nblocks:1;
+        let d = Disk.access t.k_swap ~now:!now ~start_block:slot ~nblocks:1 in
+        now := !now + d;
         Page.Tbl.remove t.k_swapped key;
         t.k_ctr.m_page_ins <- t.k_ctr.m_page_ins + 1;
+        (match env.e_acct with
+        | None -> ()
+        | Some st ->
+          st.Account.page_ins <- st.Account.page_ins + 1;
+          st.Account.block_ns <- st.Account.block_ns + d);
         match tele with
         | None -> ()
-        | Some s -> Tele.point s "simos.kernel.page_in"
+        | Some s -> Tele.point s "simos.kernel.page_in" ~spid:(spid env)
       end
       else begin
         now := !now + plat.Platform.page_alloc_zero_ns;
         t.k_ctr.m_zero_fills <- t.k_ctr.m_zero_fills + 1;
+        (match env.e_acct with
+        | None -> ()
+        | Some st -> st.Account.zero_fills <- st.Account.zero_fills + 1);
         match tele with
         | None -> ()
-        | Some s -> Tele.point s "simos.kernel.zero_fill"
+        | Some s -> Tele.point s "simos.kernel.zero_fill" ~spid:(spid env)
       end)
     ~on_evict:(fun k ~dirty -> now := writeback_victim env ~now:!now k ~dirty)
     ~on_page_end:(fun i ~evicted ->
-      note_evictions ~n:evicted;
+      note_evictions env ~n:evicted;
       (* Background interference steals time mid-touch; the stolen time is
          real (advances the clock) and visible in the observed sample —
          exactly what fools a naive timing-based paging detector. *)
@@ -910,14 +1090,14 @@ let touch_pages env region ~first ~count =
   (match tele with
   | None -> ()
   | Some s ->
-    Tele.span_end s "simos.kernel.touch_pages" ~ts:t0
+    Tele.span_end s "simos.kernel.touch_pages" ~ts:t0 ~spid:(spid env)
       ~attrs:(fun () -> [ ("pages", Tele.Int count) ]));
   results
 
 type vmstat = { vm_page_ins : int; vm_page_outs : int }
 
 let vmstat env =
-  crash_tick env;
+  sys_entry env Flight.Vmstat;
   let t = env.e_k in
   Engine.delay (noised t t.k_platform.Platform.syscall_overhead_ns);
   { vm_page_ins = t.k_ctr.m_page_ins; vm_page_outs = t.k_ctr.m_page_outs }
@@ -926,9 +1106,13 @@ let vmstat env =
 
 let compute env ~ns =
   if ns < 0 then invalid_arg "Kernel.compute: negative duration";
-  crash_tick env;
+  sys_entry env Flight.Compute;
   let t = env.e_k in
   let duration = noised t ns in
+  (* CPU attribution is service time (the noised burst), not queueing. *)
+  (match env.e_acct with
+  | None -> ()
+  | Some st -> st.Account.cpu_ns <- st.Account.cpu_ns + duration);
   Engine.delay (Resource.acquire t.k_cpu ~now:(Engine.now t.k_engine) ~duration)
 
 let compute_bytes env ~bytes ~ns_per_byte =
@@ -949,7 +1133,7 @@ let start_fault_daemons t =
     let sc = Fault.scenario f in
     (match sc.Fault.sc_disturb with
     | Some d when d.Fault.di_evict_frac > 0.0 ->
-      spawn t ~name:"fault.disturber" (fun _env ->
+      spawn t ~name:"fault.disturber" (fun env ->
           let rng = Fault.rng f in
           let rec loop () =
             if (not (Fault.stopped f)) && Engine.now t.k_engine < d.Fault.di_horizon_ns
@@ -962,9 +1146,15 @@ let start_fault_daemons t =
                     | Page.Anon _ -> false)
               in
               Fault.note_evictions f evicted;
-              if evicted > 0 then
+              if evicted > 0 then begin
                 Tele.event "simos.fault.disturb"
                   ~attrs:(fun () -> [ ("evicted", Tele.Int evicted) ]);
+                match t.k_flight with
+                | None -> ()
+                | Some fl ->
+                  Flight.record fl ~ts:(Engine.now t.k_engine)
+                    ~code:Flight.Disturb ~pid:(pid env) ~a:evicted ~b:0
+              end;
               Engine.delay d.Fault.di_period_ns;
               loop ()
             end
@@ -981,6 +1171,11 @@ let start_fault_daemons t =
               ignore (touch_pages env region ~first:0 ~count:p.Fault.pr_pages);
               Fault.note_pressure_wave f;
               Tele.event "simos.fault.pressure_wave";
+              (match t.k_flight with
+              | None -> ()
+              | Some fl ->
+                Flight.record fl ~ts:(Engine.now t.k_engine)
+                  ~code:Flight.Pressure ~pid:(pid env) ~a:p.Fault.pr_pages ~b:0);
               Engine.delay p.Fault.pr_hold_ns;
               vrelease env region ~first:0 ~count:p.Fault.pr_pages;
               Engine.delay p.Fault.pr_gap_ns;
@@ -1044,7 +1239,7 @@ let start_drift_daemon t =
                 ~on_evict:(fun k ~dirty ->
                   incr evicted;
                   now := writeback_victim env ~now:!now k ~dirty);
-              note_evictions ~n:!evicted;
+              note_evictions env ~n:!evicted;
               Drift.note_evictions d !evicted;
               (* shrink victims' writebacks are real time, like any fill *)
               Engine.delay (!now - t0)
@@ -1082,7 +1277,19 @@ let start_drift_daemon t =
                         [ ("next", Tele.String (Drift.kind_to_string ev.Drift.dv_kind)) ]));
                   epoch_start := Engine.now t.k_engine;
                   Tele.event "simos.drift.apply" ~attrs:(fun () ->
-                      [ ("kind", Tele.String (Drift.kind_to_string ev.Drift.dv_kind)) ])
+                      [ ("kind", Tele.String (Drift.kind_to_string ev.Drift.dv_kind)) ]);
+                  match t.k_flight with
+                  | None -> ()
+                  | Some fl ->
+                    let kind, arg =
+                      match ev.Drift.dv_kind with
+                      | Drift.Cache_resize f -> (0, int_of_float (f *. 100.0))
+                      | Drift.Policy_swap _ -> (1, 0)
+                      | Drift.Timer_scale n -> (2, n)
+                      | Drift.Pressure_level f -> (3, int_of_float (f *. 100.0))
+                    in
+                    Flight.record fl ~ts:(Engine.now t.k_engine)
+                      ~code:Flight.Drift ~pid:(pid env) ~a:kind ~b:arg
                 end
               end)
             sc.Drift.dr_events;

@@ -37,6 +37,8 @@ val boot :
   ?faults:Fault.scenario ->
   ?crash:Crash.scenario ->
   ?drift:Drift.scenario ->
+  ?account:bool ->
+  ?flight:bool ->
   seed:int ->
   unit ->
   t
@@ -49,7 +51,15 @@ val boot :
     work — see {!durability_on}.  [drift] installs the environment-drift
     plane (default: [GRAYBOX_DRIFT]); when absent the kernel's clock and
     memory configuration never change mid-run and no drift-related work
-    happens at all. *)
+    happens at all.
+
+    [account] turns the per-process accounting ledger on or off
+    (default: [GRAYBOX_ACCOUNT], on when unset) and [flight] likewise
+    the flight recorder (default: [GRAYBOX_FLIGHT], on when unset).
+    Unlike the planes above, both default to {e on}: neither draws RNG
+    nor advances the clock, so the simulation's observable behaviour is
+    identical either way — off exists to prove the zero-cost claim and
+    to pin the pre-accounting byte shape of explicit exports. *)
 
 val engine : t -> Engine.t
 val platform : t -> Platform.t
@@ -66,6 +76,22 @@ val run : t -> unit
 
 val pid : env -> int
 val kernel_of_env : env -> t
+
+(** {1 Accounting and flight recorder} *)
+
+val account : t -> Account.t option
+(** The per-process accounting ledger, when on.  Within one boot epoch
+    (no {!restart}), per-pid cells sum exactly to the matching global
+    counters: hits + misses across pids equal the pool counters,
+    per-kind syscall counts equal the telemetry [.calls] counters, and
+    eviction blame row sums equal the ["simos.kernel.evictions"]
+    total. *)
+
+val flight : t -> Gray_util.Flight.t option
+(** The always-on flight recorder.  Syscall entries, evictions, fault
+    injections, drift mutations — all in simulated time.  Survives
+    {!restart} (it is the black box; the pre-crash tail is the point),
+    though the fresh engine restarts its timestamps from 0. *)
 
 val fresh_token : env -> int
 (** Per-process monotone counter (1, 2, ...).  Combined with {!pid} it
@@ -220,7 +246,11 @@ val restart : t -> unit
     to its durable image ({!Fs.crash}), reset device timelines, and
     install a fresh engine at time 0.  The crash plane is disarmed; spawn
     recovery processes and {!run} again.  Counters and RNG streams
-    survive. *)
+    survive — they describe the experiment, not the machine.  The
+    per-process accounting ledger does {e not} (the rebooted machine has
+    no processes), and a drift plane's timer/pressure regime lapses (its
+    daemon died with the crash); the flight recorder keeps its pre-crash
+    tail. *)
 
 val install_volume_image : t -> int -> Fs.t -> unit
 (** Adopt [fs] as volume [i]'s file system.  A freshly booted kernel

@@ -49,8 +49,8 @@ type metric =
   | Hist of { h : Histogram.t; st : Stats.t; lo : float; hi : float; bins : int }
 
 type entry =
-  | Span of { name : string; ts : int; dur : int; attrs : attr list }
-  | Point of { name : string; ts : int; attrs : attr list }
+  | Span of { name : string; ts : int; dur : int; spid : int; attrs : attr list }
+  | Point of { name : string; ts : int; spid : int; attrs : attr list }
 
 type sink = {
   s_name : string;
@@ -163,19 +163,21 @@ let observe_hist_in s name ~lo ~hi ~bins v =
 
 let eval_attrs = function None -> [] | Some f -> f ()
 
-let span_end s ?attrs name ~ts =
+let span_end s ?attrs ?(spid = 0) name ~ts =
   let dur = max 0 (now s - ts) in
   add_in s (name ^ ".calls");
   observe_in s (name ^ ".ns") (float_of_int dur);
   if keep s name then begin
-    s.s_rev_entries <- Span { name; ts; dur; attrs = eval_attrs attrs } :: s.s_rev_entries;
+    s.s_rev_entries <-
+      Span { name; ts; dur; spid; attrs = eval_attrs attrs } :: s.s_rev_entries;
     s.s_spans <- s.s_spans + 1
   end
 
-let point s ?attrs name =
+let point s ?attrs ?(spid = 0) name =
   add_in s (name ^ ".count");
   if keep s name then begin
-    s.s_rev_entries <- Point { name; ts = now s; attrs = eval_attrs attrs } :: s.s_rev_entries;
+    s.s_rev_entries <-
+      Point { name; ts = now s; spid; attrs = eval_attrs attrs } :: s.s_rev_entries;
     s.s_events <- s.s_events + 1
   end
 
@@ -223,9 +225,17 @@ let json_of_value = function
 let json_of_attrs attrs =
   Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) attrs)
 
+(* Per-simulated-process track mapping: entries tagged with a non-zero
+   [spid] (a simulated pid, recorded when accounting is on) render on
+   their own named thread track, tid-packed as [tid * spid_stride +
+   spid].  Untagged entries keep the plain [tid], so a trace recorded
+   with accounting off is byte-identical to the pre-accounting shape. *)
+let spid_stride = 1024
+
 let chrome_events s ~pid ~tid =
   let open Json in
-  let meta name value =
+  let entry_spid = function Span { spid; _ } | Point { spid; _ } -> spid in
+  let meta ?(tid = tid) name value =
     Obj
       [
         ("ph", String "M");
@@ -235,20 +245,21 @@ let chrome_events s ~pid ~tid =
         ("args", Obj [ ("name", String value) ]);
       ]
   in
+  let entry_tid spid = if spid = 0 then tid else (tid * spid_stride) + spid in
   let entry = function
-    | Span { name; ts; dur; attrs } ->
+    | Span { name; ts; dur; spid; attrs } ->
       Obj
         ([
            ("ph", String "X");
            ("name", String name);
            ("cat", String name);
            ("pid", Int pid);
-           ("tid", Int tid);
+           ("tid", Int (entry_tid spid));
            ("ts", Float (us_of_ns ts));
            ("dur", Float (us_of_ns dur));
          ]
         @ if attrs = [] then [] else [ ("args", json_of_attrs attrs) ])
-    | Point { name; ts; attrs } ->
+    | Point { name; ts; spid; attrs } ->
       Obj
         ([
            ("ph", String "i");
@@ -256,13 +267,26 @@ let chrome_events s ~pid ~tid =
            ("name", String name);
            ("cat", String name);
            ("pid", Int pid);
-           ("tid", Int tid);
+           ("tid", Int (entry_tid spid));
            ("ts", Float (us_of_ns ts));
          ]
         @ if attrs = [] then [] else [ ("args", json_of_attrs attrs) ])
   in
-  meta "process_name" s.s_name :: meta "thread_name" s.s_name
-  :: List.rev_map entry s.s_rev_entries
+  let spids =
+    List.filter_map
+      (fun e -> match entry_spid e with 0 -> None | s -> Some s)
+      s.s_rev_entries
+    |> List.sort_uniq compare
+  in
+  let spid_metas =
+    List.map
+      (fun spid ->
+        meta ~tid:(entry_tid spid) "thread_name"
+          (Printf.sprintf "%s/pid%d" s.s_name spid))
+      spids
+  in
+  (meta "process_name" s.s_name :: meta "thread_name" s.s_name :: spid_metas)
+  @ List.rev_map entry s.s_rev_entries
 
 let chrome_trace events = Json.Obj [ ("traceEvents", Json.List events) ]
 

@@ -117,10 +117,18 @@ val observe_hist : string -> lo:float -> hi:float -> bins:int -> float -> unit
 
     These skip the domain-local lookup; callers hold the [sink] from one
     {!active} read.  [span_end] records a span that started at clock
-    value [ts] and ends now. *)
+    value [ts] and ends now.
 
-val span_end : sink -> ?attrs:(unit -> attr list) -> string -> ts:int -> unit
-val point : sink -> ?attrs:(unit -> attr list) -> string -> unit
+    [spid] tags the entry with the {e simulated} pid on whose behalf the
+    work happened (0 = untagged, the default): the Chrome exporter maps
+    each tagged pid to its own named thread track.  The kernel only
+    passes it when per-process accounting is on, so accounting-off
+    traces keep the untagged (pre-accounting) byte shape. *)
+
+val span_end :
+  sink -> ?attrs:(unit -> attr list) -> ?spid:int -> string -> ts:int -> unit
+
+val point : sink -> ?attrs:(unit -> attr list) -> ?spid:int -> string -> unit
 val add_in : sink -> ?n:int -> string -> unit
 val observe_in : sink -> string -> float -> unit
 
@@ -145,7 +153,11 @@ val chrome_events : sink -> pid:int -> tid:int -> Json.t list
 (** The sink's entries as Chrome [trace_event] objects (["ph":"X"]
     complete spans and ["ph":"i"] instants, [ts]/[dur] in microseconds) —
     loadable in Perfetto once wrapped with {!chrome_trace}.  Includes
-    process/thread [M]etadata events naming [pid]/[tid] after the sink. *)
+    process/thread [M]etadata events naming [pid]/[tid] after the sink.
+    Entries tagged with a simulated pid ([spid]) render on a dedicated
+    thread track [tid * 1024 + spid], named ["<sink>/pid<spid>"] by an
+    extra metadata event; untagged entries (and hence whole traces
+    recorded with accounting off) keep the plain [tid]. *)
 
 val chrome_trace : Json.t list -> Json.t
 (** Wrap merged event lists as [{"traceEvents": [...]}]. *)

@@ -377,8 +377,29 @@ let test_explorer_catches_broken_repair () =
   List.iter
     (fun v ->
       Alcotest.(check bool) "violation carries a replayable seed" true
-        (v.Crash_explore.vi_replay <> ""))
-    r.Crash_explore.rp_violations
+        (v.Crash_explore.vi_replay <> "");
+      Alcotest.(check bool) "violation embeds a flight-recorder tail" true
+        (v.Crash_explore.vi_flight <> []))
+    r.Crash_explore.rp_violations;
+  (* the embedded tails are a pure function of (baseline, boundary), so
+     sharding the same sweep over an 8-domain pool must reproduce the
+     serial report — flight lines included — exactly *)
+  let bl = Crash_explore.refresh_baseline ~files:3 ~file_size:4096 () in
+  let ws = Crash_explore.windows ~boundaries:(Crash_explore.baseline_boundaries bl) in
+  let pool = Gray_util.Domain_pool.create ~size:8 in
+  let merged =
+    Fun.protect
+      ~finally:(fun () -> Gray_util.Domain_pool.shutdown pool)
+      (fun () ->
+        Crash_explore.merge_reports
+          (Gray_util.Domain_pool.map pool
+             (fun (lo, hi) ->
+               Crash_explore.explore_refresh_window ~break_repair:true bl ~lo ~hi)
+             ws))
+  in
+  Alcotest.(check bool) "violations (and their flight tails) identical at -j8"
+    true
+    (r = merged)
 
 let test_explorer_pipeline_no_violations () =
   let r = Crash_explore.explore_pipeline ~files:2 ~file_size:4096 () in

@@ -1,0 +1,95 @@
+(* The flight recorder: ring semantics, deterministic rendering, and the
+   dump-on-trigger payload shape. *)
+
+open Gray_util
+
+let ev ts code pid a b =
+  { Flight.ev_ts = ts; ev_code = code; ev_pid = pid; ev_a = a; ev_b = b }
+
+let test_ring_wrap () =
+  let t = Flight.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Flight.record t ~ts:(i * 100) ~code:Flight.Read ~pid:i ~a:0 ~b:0
+  done;
+  Alcotest.(check int) "total recorded" 10 (Flight.recorded t);
+  Alcotest.(check int) "capacity" 4 (Flight.capacity t);
+  let evs = Flight.events t in
+  Alcotest.(check int) "resident" 4 (List.length evs);
+  Alcotest.(check (list int)) "last four, oldest first" [ 7; 8; 9; 10 ]
+    (List.map (fun e -> e.Flight.ev_pid) evs);
+  let last2 = Flight.events ~last:2 t in
+  Alcotest.(check (list int)) "last-N trims from the old end" [ 9; 10 ]
+    (List.map (fun e -> e.Flight.ev_pid) last2)
+
+let test_reset () =
+  let t = Flight.create ~capacity:4 () in
+  Flight.record t ~ts:1 ~code:Flight.Evict ~pid:1 ~a:0 ~b:1;
+  Flight.reset t;
+  Alcotest.(check int) "reset empties" 0 (Flight.recorded t);
+  Alcotest.(check int) "no events" 0 (List.length (Flight.events t))
+
+(* Rendering is a pure function of the five integers — the byte-identity
+   contract for dumps rests on these exact strings. *)
+let test_line_rendering () =
+  let check_line name expected e =
+    Alcotest.(check string) name expected (Flight.line_of e)
+  in
+  check_line "syscall with boundary" "[1200] pid=3 read @7"
+    (ev 1200 Flight.Read 3 7 0);
+  check_line "syscall without boundary" "[0] pid=1 mkdir" (ev 0 Flight.Mkdir 1 0 0);
+  check_line "file eviction" "[50] pid=2 evict victim=file dirty"
+    (ev 50 Flight.Evict 2 0 1);
+  check_line "anon eviction" "[60] pid=2 evict victim=pid4"
+    (ev 60 Flight.Evict 2 4 0);
+  check_line "fault" "[70] pid=5 fault target=1" (ev 70 Flight.Fault 5 1 0);
+  check_line "drift" "[80] pid=6 drift timer_scale arg=1000"
+    (ev 80 Flight.Drift 6 2 1000);
+  check_line "phase" "[90] pid=7 icl.stale icl=1" (ev 90 Flight.Stale 7 1 0)
+
+let test_dump_shape () =
+  let t = Flight.create ~capacity:8 () in
+  Flight.record t ~ts:10 ~code:Flight.Open ~pid:1 ~a:1 ~b:0;
+  Flight.record t ~ts:20 ~code:Flight.Close ~pid:1 ~a:2 ~b:0;
+  let d = Flight.dump t in
+  Alcotest.(check bool) "header present" true
+    (String.length d > 0
+    && String.sub d 0 16 = "flight recorder:");
+  Alcotest.(check int) "one line per event + header" 3
+    (List.length (String.split_on_char '\n' (String.trim d)))
+
+(* The dense code index is the shared vocabulary with [Simos.Account]:
+   it must cover 0 .. code_count-1 with no collisions, and the syscall
+   prefix must be contiguous from 0. *)
+let all_codes =
+  Flight.
+    [
+      Open; Create; Close; Read; Write; Mkdir; Unlink; Rename; Readdir; Stat;
+      Utimes; Fsync; Sync; Write_blob; Read_blob; Valloc; Vfree; Vrelease;
+      Touch; Vmstat; Compute; Evict; Fault; Disturb; Pressure; Drift; Stale;
+      Recalibrated; Exhausted;
+    ]
+
+let test_code_index () =
+  Alcotest.(check int) "vocabulary size" Flight.code_count
+    (List.length all_codes);
+  let idxs = List.map Flight.code_index all_codes in
+  Alcotest.(check (list int)) "dense 0-based index"
+    (List.init Flight.code_count Fun.id)
+    (List.sort compare idxs);
+  List.iter
+    (fun c ->
+      let i = Flight.code_index c in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s syscall prefix" (Flight.code_name c))
+        (i <= Flight.code_index Flight.Compute)
+        (Flight.is_syscall c))
+    all_codes
+
+let suite =
+  [
+    Alcotest.test_case "ring wrap" `Quick test_ring_wrap;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "line rendering" `Quick test_line_rendering;
+    Alcotest.test_case "dump shape" `Quick test_dump_shape;
+    Alcotest.test_case "code index" `Quick test_code_index;
+  ]
