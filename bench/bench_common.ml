@@ -97,10 +97,12 @@ let register_kernel k =
   | Some kernels -> kernels := k :: !kernels
 
 let boot ?(platform = Platform.linux_2_2) ?(data_disks = 4) ?(seed = 42) ?faults
-    ?drift () =
+    ?drift ?sched ?procs () =
   let engine = Engine.create () in
   register_engine engine;
-  let k = Kernel.boot ~engine ~platform ~data_disks ~seed ?faults ?drift () in
+  let k =
+    Kernel.boot ~engine ~platform ~data_disks ~seed ?faults ?drift ?sched ?procs ()
+  in
   register_kernel k;
   k
 

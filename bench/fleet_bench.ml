@@ -1,0 +1,450 @@
+(* Multi-tenant fleet plane: thousands of contending processes on a
+   proportional-share scheduler kernel, with fleets of concurrent ICLs
+   on top.
+
+   Four tracks:
+
+   - scale: mixed-profile fleets (scanner / hot-set / zipf / idle from
+     Gray_apps.Workload) at N = 64 / 256 / 1024 processes on one
+     scheduler kernel, with mid-run ledger reaping — the structural
+     claim that the accounting and scheduling planes stay bounded by
+     concurrent, not cumulative, process count.
+
+   - mac-fleet (the headline): a 1024-process fleet churning the page
+     cache while 4 concurrent MACs run synchronized admission rounds.
+     The figure is Jain's fairness index over the per-round grants — the
+     TCP-style convergence question (Section 4.3's own analogy): the
+     MACs start under full fleet contention and the fleet drains
+     mid-experiment, so the trajectory shows both regimes.
+
+   - mac-pathological: the same 4 MACs on a tiny machine with
+     zero-headroom, aggressive-increment configs, where the group
+     overshoot (racers x max_increment) exceeds usable memory every
+     round — the oscillation regime the convergence test guards against.
+
+   - fccd-fleet: K = 1 / 2 / 4 / 8 concurrent FCCD probers ranking the
+     same file population.  Every probe fetches the pages it touches
+     (the Heisenberg effect), so concurrent probers pollute the cache
+     state the others are measuring; the figure is mean Spearman rho vs
+     the pre-probe white-box truth, degrading as K grows.
+
+   - related-at-scale: cosched at 64 nodes and Manners over a long
+     horizon — the Table-1 simulations finally at fleet scale.
+
+   Every (variant, seed) trial is its own kernel, so results are
+   byte-identical at any -j.  Not in the default set: fleets are a
+   regime study, not a paper figure. *)
+
+open Simos
+open Graybox_core
+open Bench_common
+
+let sec = 1_000_000_000
+
+(* 16 MiB usable: small enough that a ~12 MiB file population plus the
+   MACs' probe allocations genuinely contend for the page cache. *)
+let fleet_platform =
+  Platform.with_noise
+    { Platform.linux_2_2 with Platform.memory_mib = 48; kernel_reserved_mib = 32 }
+    ~sigma:0.05
+
+(* 8 MiB usable for the pathological MAC track: 4 racers x 4 MiB
+   max_increment overshoots the whole machine every round. *)
+let patho_platform =
+  Platform.with_noise
+    { Platform.linux_2_2 with Platform.memory_mib = 24; kernel_reserved_mib = 16 }
+    ~sigma:0.05
+
+let pop_files = 48
+let pop_file_kb = 256
+
+(* Per-member profiles must be known at spawn time (members are named by
+   behaviour so the ledger aggregates to a handful of rows), so they are
+   drawn from a dedicated stream rather than each member's private RNG. *)
+let draw_profiles ~procs ~seed =
+  let rng = Gray_util.Rng.create ~seed:(seed + 1) in
+  Array.init procs (fun _ -> Gray_apps.Workload.draw_profile rng)
+
+let member_name profiles i =
+  "fleet." ^ Gray_apps.Workload.profile_name profiles.(i)
+
+let spawn_population k ~paths_cell =
+  Kernel.spawn k ~name:"fleet.setup" (fun env ->
+      let paths =
+        Gray_apps.Workload.fleet_population env ~dir:"/d0/pop" ~files:pop_files
+          ~file_kb:pop_file_kb
+      in
+      (* members start against a cold cache; what is resident afterwards
+         is whatever the fleet itself made resident *)
+      Kernel.flush_file_cache k;
+      paths_cell := paths)
+
+(* ---- scale: mixed fleets with mid-run reaping ---- *)
+
+type scale_obs = {
+  so_live_rows : int;  (* ledger rows still live after the run *)
+  so_reaped : int;  (* processes folded away by cadence reaps *)
+  so_cpu_exact : bool;  (* sum of per-pid cpu_ns = Resource busy_ns *)
+  so_slices : int;  (* scheduler slices granted *)
+}
+
+let scale_trial ~procs ~seed =
+  let d =
+    {
+      Fleet.default_descriptor with
+      Fleet.fd_procs = procs;
+      fd_seed = seed;
+      fd_stagger_ns = 20_000;
+      fd_reap_every = 64;
+    }
+  in
+  let k =
+    boot ~platform:fleet_platform ~data_disks:1 ~seed
+      ~sched:(Fleet.sched_config d) ~procs:(procs + 8) ()
+  in
+  let paths_cell = ref [||] in
+  spawn_population k ~paths_cell;
+  Kernel.run k;
+  let profiles = draw_profiles ~procs ~seed in
+  Fleet.spawn_fleet k d ~name:(member_name profiles)
+    ~body:(fun ~index ~rng env ->
+      Gray_apps.Workload.run_profile env rng profiles.(index)
+        ~paths:!paths_cell ~rounds:2)
+    ();
+  Kernel.run k;
+  let slices, cpu_exact =
+    match Kernel.sched k with
+    | Some s ->
+      (* every compute burst flowed through the run queue, so the grant
+         ledger must equal the CPU resource's busy time to the ns *)
+      (Sched.slices s, Sched.granted_ns s = Kernel.cpu_busy_ns k)
+    | None -> (0, false)
+  in
+  let live_rows, reaped =
+    match Kernel.account k with
+    | None -> (0, 0)
+    | Some a -> (List.length (Account.rows a), Account.reaped_procs a)
+  in
+  {
+    so_live_rows = live_rows;
+    so_reaped = reaped;
+    so_cpu_exact = cpu_exact;
+    so_slices = slices;
+  }
+
+(* ---- the headline: 1024-process fleet + 4 concurrent MACs ---- *)
+
+let headline_macs = 4
+let headline_rounds = 12
+let headline_round_ns = sec / 2
+let headline_horizon_ns = 3 * sec
+
+let headline_trial ~procs ~seed =
+  let d =
+    {
+      Fleet.default_descriptor with
+      Fleet.fd_procs = procs;
+      fd_seed = seed;
+      fd_stagger_ns = 20_000;
+      fd_reap_every = 128;
+    }
+  in
+  let k =
+    boot ~platform:fleet_platform ~data_disks:1 ~seed
+      ~sched:(Fleet.sched_config d) ~procs:(procs + 16) ()
+  in
+  let paths_cell = ref [||] in
+  spawn_population k ~paths_cell;
+  let profiles = draw_profiles ~procs ~seed in
+  Fleet.spawn_fleet k d ~name:(member_name profiles)
+    ~body:(fun ~index ~rng env ->
+      while !paths_cell = [||] do
+        Engine.delay (sec / 50)
+      done;
+      (* keep contending until the horizon so the MACs' early rounds run
+         under full fleet pressure and the late ones on a draining one *)
+      while Engine.now (Kernel.engine k) < headline_horizon_ns do
+        Gray_apps.Workload.run_profile env rng profiles.(index)
+          ~paths:!paths_cell ~rounds:1;
+        Engine.delay (10_000_000 + Gray_util.Rng.int rng 10_000_000)
+      done)
+    ();
+  (* Polite fair-share MACs: increments sized so the group overshoot
+     (4 racers x 2 MiB) stays well under the 16 MiB machine, and each
+     MAC asks for at most its 1/4 share — once the fleet drains the
+     whole group can reach its cap and the fairness index settles.  The
+     pathological track below inverts both choices (greedy whole-machine
+     max, overshooting increments). *)
+  let cfg =
+    {
+      (Mac.default_config ()) with
+      Mac.initial_increment = 1 * mib;
+      max_increment = 2 * mib;
+    }
+  in
+  let r =
+    Fleet.mac_fleet k ~config:cfg
+      ~max_bytes:(Platform.usable_bytes fleet_platform / headline_macs)
+      ~macs:headline_macs ~rounds:headline_rounds
+      ~round_ns:headline_round_ns ()
+  in
+  let live_rows, reaped, blame =
+    match Kernel.account k with
+    | None -> (0, 0, false)
+    | Some a ->
+      ( List.length (Account.rows a),
+        Account.reaped_procs a,
+        Account.export_blame_nonempty (Account.export a) )
+  in
+  (r, live_rows, reaped, blame)
+
+(* ---- pathological MAC fleet: forced oscillation ---- *)
+
+let patho_rounds = 12
+
+let patho_trial ~seed =
+  let k =
+    boot ~platform:patho_platform ~data_disks:1 ~seed
+      ~sched:{ Sched.sd_quantum_ns = 1_000_000 } ()
+  in
+  let cfg =
+    {
+      (Mac.default_config ()) with
+      Mac.initial_increment = 2 * mib;
+      max_increment = 4 * mib;
+      headroom = 0.0;
+    }
+  in
+  Fleet.mac_fleet k ~config:cfg ~macs:4 ~rounds:patho_rounds ~round_ns:(sec / 2) ()
+
+(* ---- FCCD pollution: rank accuracy vs concurrent probers ---- *)
+
+(* The population exceeds the 8 MiB cache: the warmed half barely fits,
+   so every page a probe of the cold half fetches evicts a warmed page.
+   One prober's fetches are mild; eight probers' rewrite the residency
+   picture the shared truth snapshot was taken from. *)
+let fccd_files = 24
+let fccd_file_kb = 512
+
+let fccd_trial ~probers ~seed =
+  let k =
+    boot ~platform:patho_platform ~data_disks:1 ~seed
+      ~sched:Sched.default_config ()
+  in
+  let paths_cell = ref [] in
+  Kernel.spawn k ~name:"fccd.setup" (fun env ->
+      let paths =
+        Gray_apps.Workload.make_files env ~dir:"/d0/pop" ~prefix:"f"
+          ~count:fccd_files ~size:(fccd_file_kb * 1024)
+      in
+      Kernel.flush_file_cache k;
+      (* Graded warm: each file is cached to a distinct fraction, so the
+         ground-truth ranking is tie-free.  (A binary warm/cold split
+         caps Spearman at the two-tied-group ceiling ~0.87 and survives
+         any pollution that keeps the groups ordered — the gradient is
+         what partial eviction can visibly scramble.)  Warmth is
+         assigned by a seeded permutation, NOT by path order: probers
+         walk paths in order, so an aligned gradient would measure the
+         warmest files before the fleet's fetches evict anything.  The
+         ~6.4 MiB warm total fits the 8 MiB cache solo; each prober adds
+         ~1.5 MiB of probe fetches, so larger fleets evict warm pages
+         before the files holding them are probed. *)
+      let perm = Array.init fccd_files (fun i -> i) in
+      Gray_util.Rng.shuffle (Gray_util.Rng.create ~seed:(seed + 7)) perm;
+      List.iteri
+        (fun i p ->
+          let bytes =
+            (fccd_files - perm.(i)) * fccd_file_kb * 1024 / fccd_files
+          in
+          Gray_apps.Workload.read_prefix env p ~bytes)
+        paths;
+      paths_cell := paths);
+  Kernel.run k;
+  (* fine prediction unit: 16 probes (page fetches) per file, so each
+     probe pass measurably pollutes what the others are measuring *)
+  let config i =
+    {
+      (Fccd.default_config ~seed:(seed + i) ()) with
+      Fccd.prediction_unit = 32 * 1024;
+    }
+  in
+  let r =
+    Fleet.fccd_fleet k ~config ~shuffle:true ~probers ~paths:!paths_cell
+      ~stagger_ns:200_000 ~seed ()
+  in
+  r.Fleet.fc_mean_rho
+
+(* ---- related systems at fleet scale ---- *)
+
+let related_trial () =
+  let cos ~background policy =
+    let rng = Gray_util.Rng.create ~seed:11 in
+    Gray_related.Cosched.simulate rng ~nodes:64 ~background ~granularity_us:100
+      ~barriers:200 ~quantum_us:10_000 ~ctx_switch_us:50 ~policy
+  in
+  let cos_block = cos ~background:1 Gray_related.Cosched.Block_immediately in
+  let cos_two = cos ~background:1 (Gray_related.Cosched.Two_phase 4_000) in
+  let cos_two_busy = cos ~background:4 (Gray_related.Cosched.Two_phase 4_000) in
+  let man naive =
+    let rng = Gray_util.Rng.create ~seed:12 in
+    Gray_related.Manners.simulate rng Gray_related.Manners.default_config
+      ~busy_us:500_000 ~idle_us:500_000 ~phases:120 ~naive
+  in
+  (cos_block, cos_two, cos_two_busy, man true, man false)
+
+(* ---- plan ---- *)
+
+let mean xs = Gray_util.Stats.mean_of (Array.of_list xs)
+
+let round_means n rows =
+  Array.init n (fun r -> mean (List.map (fun a -> a.(r)) rows))
+
+let plan_sized ~scale_sizes ~headline_procs ~fccd_probers ~trials () =
+  set_trials trials;
+  let seeds = trial_seeds ~base:9100 (Bench_common.trials ()) in
+  let scale_ts, scale_get =
+    tasks
+      ~label:(fun n -> Printf.sprintf "fleet[scale=%d]" n)
+      scale_sizes
+      (fun n -> scale_trial ~procs:n ~seed:(9000 + n))
+  in
+  let head_ts, head_get =
+    run_trials ~label:"fleet[mac-fleet]" ~seeds (fun ~seed ->
+        headline_trial ~procs:headline_procs ~seed)
+  in
+  let patho_ts, patho_get =
+    run_trials ~label:"fleet[mac-pathological]" ~seeds (fun ~seed ->
+        patho_trial ~seed)
+  in
+  let fccd_ts, fccd_get =
+    tasks
+      ~label:(fun p -> Printf.sprintf "fleet[fccd=%d]" p)
+      fccd_probers
+      (fun probers ->
+        List.map (fun seed -> fccd_trial ~probers ~seed) seeds)
+  in
+  let rel_t, rel_get = task ~label:"fleet[related]" related_trial in
+  let render () =
+    let b = Buffer.create 4096 in
+    header b "Multi-tenant fleet plane (scheduler kernel, ICL fleets)";
+    note b "scale: mixed-profile fleets with mid-run ledger reaping";
+    note b "mac-fleet: %d-proc fleet + %d MACs, Jain fairness per round"
+      headline_procs headline_macs;
+    note b "fccd-fleet: mean Spearman rho vs pre-probe truth, per fleet size";
+    note b "%d seeded trials per MAC variant" (List.length seeds);
+    let figures = ref [] and checks = ref [] in
+    let fig name v = figures := figure name v :: !figures in
+    let chk name ok = checks := check name ok :: !checks in
+    (* scale *)
+    Printf.bprintf b "  %-10s %12s %12s %14s %10s\n" "procs" "live-rows"
+      "reaped" "cpu-exact" "slices";
+    List.iter2
+      (fun n so ->
+        Printf.bprintf b "  %-10d %12d %12d %14b %10d\n" n so.so_live_rows
+          so.so_reaped so.so_cpu_exact so.so_slices;
+        fig (Printf.sprintf "scale_live_rows[N=%d]" n)
+          (float_of_int so.so_live_rows);
+        fig (Printf.sprintf "scale_reaped[N=%d]" n) (float_of_int so.so_reaped);
+        chk
+          (Printf.sprintf "N=%d: ledger bounded by reap cadence (< 80 live rows)" n)
+          (so.so_live_rows < 80);
+        chk
+          (Printf.sprintf "N=%d: scheduler sliced the contention" n)
+          (so.so_slices > n);
+        chk (Printf.sprintf "N=%d: per-pid cpu-ns sums exactly" n) so.so_cpu_exact)
+      scale_sizes (scale_get ());
+    (* headline MAC fleet *)
+    let head = head_get () in
+    let fair =
+      round_means headline_rounds
+        (List.map (fun (r, _, _, _) -> r.Fleet.mr_fairness) head)
+    in
+    Printf.bprintf b "  mac-fleet fairness over time (%d MACs, %d-proc fleet):\n"
+      headline_macs headline_procs;
+    Array.iteri
+      (fun r f ->
+        Printf.bprintf b "    round %-2d  J = %.3f\n" r f;
+        fig (Printf.sprintf "mac_fairness[r=%d]" r) f)
+      fair;
+    let late =
+      mean (List.map (fun (r, _, _, _) -> r.Fleet.mr_late_fairness) head)
+    in
+    let reversals =
+      mean (List.map (fun (r, _, _, _) -> r.Fleet.mr_reversal_rate) head)
+    in
+    fig "mac_late_fairness" late;
+    fig "mac_reversal_rate" reversals;
+    Printf.bprintf b "    late fairness %.3f, grant-delta reversal rate %.3f\n"
+      late reversals;
+    let live = mean (List.map (fun (_, l, _, _) -> float_of_int l) head) in
+    let reaped = mean (List.map (fun (_, _, r, _) -> float_of_int r) head) in
+    let blamed = List.for_all (fun (_, _, _, bl) -> bl) head in
+    fig "mac_fleet_live_rows" live;
+    fig "mac_fleet_reaped" reaped;
+    chk "mac-fleet: fairness settles (late J >= 0.9)" (late >= 0.9);
+    chk "mac-fleet: fleet rows reaped mid-run" (reaped > 0.0);
+    chk "mac-fleet: eviction blame recorded" blamed;
+    (* pathological *)
+    let patho = patho_get () in
+    let p_rev = mean (List.map (fun r -> r.Fleet.mr_reversal_rate) patho) in
+    let p_swing = mean (List.map (fun r -> r.Fleet.mr_late_swing) patho) in
+    let p_late = mean (List.map (fun r -> r.Fleet.mr_late_fairness) patho) in
+    Printf.bprintf b
+      "  mac-pathological: reversal rate %.3f, late swing %.3f, late J %.3f\n"
+      p_rev p_swing p_late;
+    fig "patho_reversal_rate" p_rev;
+    fig "patho_late_swing" p_swing;
+    chk "pathological MACs oscillate (reversals + swing)"
+      (p_rev >= 0.3 && p_swing >= 0.2);
+    (* fccd pollution *)
+    Printf.bprintf b "  fccd-fleet rank accuracy vs fleet size:\n";
+    let rhos =
+      List.map2
+        (fun p per_seed ->
+          let rho = mean per_seed in
+          Printf.bprintf b "    K=%-3d mean rho = %.3f\n" p rho;
+          fig (Printf.sprintf "fccd_rho[K=%d]" p) rho;
+          rho)
+        fccd_probers (fccd_get ())
+    in
+    (match (rhos, List.rev rhos) with
+    | solo :: _, most :: _ when List.length rhos > 1 ->
+      chk "solo FCCD ranks accurately (rho >= 0.7)" (solo >= 0.7);
+      chk "cross-probe pollution degrades ranking" (most <= solo -. 0.1)
+    | _ -> ());
+    (* related at scale *)
+    let cos_block, cos_two, cos_two_busy, man_naive, man_polite = rel_get () in
+    Printf.bprintf b
+      "  cosched @64 nodes: slowdown block=%.2f two-phase=%.2f (bg=4: %.2f)\n"
+      cos_block.Gray_related.Cosched.c_slowdown
+      cos_two.Gray_related.Cosched.c_slowdown
+      cos_two_busy.Gray_related.Cosched.c_slowdown;
+    Printf.bprintf b
+      "  manners @120 phases: interference naive=%.2f polite=%.2f, idle-use %.2f\n"
+      man_naive.Gray_related.Manners.m_foreground_interference
+      man_polite.Gray_related.Manners.m_foreground_interference
+      man_polite.Gray_related.Manners.m_idle_utilization;
+    fig "cosched64_two_phase_slowdown" cos_two.Gray_related.Cosched.c_slowdown;
+    fig "manners120_polite_interference"
+      man_polite.Gray_related.Manners.m_foreground_interference;
+    chk "two-phase beats immediate blocking at 64 nodes"
+      (cos_two.Gray_related.Cosched.c_slowdown
+      < cos_block.Gray_related.Cosched.c_slowdown);
+    chk "manners regulation stays polite over the long horizon"
+      (man_polite.Gray_related.Manners.m_foreground_interference
+      < man_naive.Gray_related.Manners.m_foreground_interference);
+    {
+      rd_output = Buffer.contents b;
+      rd_figures = List.rev !figures;
+      rd_checks = List.rev !checks;
+    }
+  in
+  {
+    p_tasks = scale_ts @ head_ts @ patho_ts @ fccd_ts @ [ rel_t ];
+    p_render = render;
+  }
+
+let plan () =
+  let t = Bench_common.trials () in
+  plan_sized ~scale_sizes:[ 64; 256; 1024 ] ~headline_procs:1024
+    ~fccd_probers:[ 1; 2; 4; 8 ] ~trials:t ()

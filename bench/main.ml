@@ -35,15 +35,17 @@ let experiments =
     ("micro", Micro.plan, "bechamel microbenchmarks of the toolbox (hardware-dependent)");
     ("crash", Crash_bench.plan, "exhaustive crash-point exploration of ICL recovery");
     ("drift", Drift_bench.plan, "frozen vs adaptive ICL accuracy under environment drift");
+    ("fleet", Fleet_bench.plan, "multi-tenant fleets: scheduler scale, MAC fairness, FCCD pollution");
   ]
 
 let default_set =
-  (* micro measures the host machine, not the simulation; crash and drift
-     are robustness gates rather than paper figures: all only on request
-     (keeping drift out also keeps the default suite byte-identical with
-     the drift plane compiled in) *)
+  (* micro measures the host machine, not the simulation; crash, drift
+     and fleet are robustness/regime gates rather than paper figures:
+     all only on request (keeping drift out also keeps the default suite
+     byte-identical with the drift plane compiled in) *)
   List.filter
-    (fun (name, _, _) -> name <> "micro" && name <> "crash" && name <> "drift")
+    (fun (name, _, _) ->
+      name <> "micro" && name <> "crash" && name <> "drift" && name <> "fleet")
     experiments
 
 let usage () =
@@ -69,7 +71,7 @@ let usage () =
   print_endline "  --compare-threshold PCT";
   print_endline "                  regression threshold for --compare, percent (default 25;";
   print_endline "                  wall time on shared runners jitters ~10%)";
-  print_endline "experiments (default: all but micro, crash and drift):";
+  print_endline "experiments (default: all but micro, crash, drift and fleet):";
   List.iter (fun (name, _, doc) -> Printf.printf "  %-12s %s\n" name doc) experiments
 
 let parse_args () =

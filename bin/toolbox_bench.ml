@@ -288,6 +288,75 @@ let run_top ~noise ~seed =
     print_string (Account.top_table a);
     print_string (Account.blame_table a)
 
+(* --fleet: the scheduler-plane scaling row — mixed-profile fleets of
+   growing size on one proportional-share kernel (accounting forced on,
+   ledger reaped every 64 exits), with the simulated horizon, real
+   wall-clock cost, event count, scheduler slices and ledger footprint
+   per size.  The table is the "thousands of contending processes cost
+   this much to simulate" answer; the experiment itself lives in
+   `bench/main.exe fleet`. *)
+let run_fleet ~noise ~seed =
+  let platform =
+    Platform.with_noise
+      { Platform.linux_2_2 with Platform.memory_mib = 48; kernel_reserved_mib = 32 }
+      ~sigma:noise
+  in
+  Printf.printf
+    "# fleet scaling on %s (%d MB usable): mixed profiles, 2 rounds each, reap every 64 exits\n"
+    platform.Platform.name
+    (platform.Platform.memory_mib - platform.Platform.kernel_reserved_mib);
+  Printf.printf "  %-8s %10s %10s %12s %10s %11s %8s\n" "procs" "sim-ms" "wall-ms"
+    "events" "slices" "live-rows" "reaped";
+  List.iter
+    (fun procs ->
+      let d =
+        {
+          Graybox_core.Fleet.default_descriptor with
+          Graybox_core.Fleet.fd_procs = procs;
+          fd_seed = seed;
+          fd_reap_every = 64;
+        }
+      in
+      let engine = Engine.create () in
+      let k =
+        Kernel.boot ~engine ~platform ~data_disks:1 ~seed ~account:true
+          ~sched:(Graybox_core.Fleet.sched_config d) ~procs:(procs + 8) ()
+      in
+      let prof_rng = Gray_util.Rng.create ~seed:(seed + 1) in
+      let profiles =
+        Array.init procs (fun _ -> Gray_apps.Workload.draw_profile prof_rng)
+      in
+      let paths_cell = ref [||] in
+      Kernel.spawn k ~name:"setup" (fun env ->
+          paths_cell :=
+            Gray_apps.Workload.fleet_population env ~dir:"/d0/pop" ~files:32
+              ~file_kb:256;
+          Kernel.flush_file_cache k);
+      Kernel.run k;
+      Graybox_core.Fleet.spawn_fleet k d
+        ~name:(fun i -> "fleet." ^ Gray_apps.Workload.profile_name profiles.(i))
+        ~body:(fun ~index ~rng env ->
+          Gray_apps.Workload.run_profile env rng profiles.(index)
+            ~paths:!paths_cell ~rounds:2)
+        ();
+      let t0 = Unix.gettimeofday () in
+      Kernel.run k;
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let slices =
+        match Kernel.sched k with Some s -> Sched.slices s | None -> 0
+      in
+      let live_rows, reaped =
+        match Kernel.account k with
+        | Some a -> (List.length (Account.rows a), Account.reaped_procs a)
+        | None -> (0, 0)
+      in
+      Printf.printf "  %-8d %10.1f %10.1f %12d %10d %11d %8d\n" procs
+        (float_of_int (Engine.now engine) /. 1e6)
+        wall_ms
+        (Engine.events_processed engine)
+        slices live_rows reaped)
+    [ 64; 256; 1024 ]
+
 let run_platforms platform_names noise seed jobs output =
   let names =
     match String.split_on_char ',' platform_names with
@@ -327,8 +396,9 @@ let run_platforms platform_names noise seed jobs output =
     results;
   if !failed then exit 1
 
-let run hot_paths top platform_names noise seed jobs output =
+let run hot_paths top fleet platform_names noise seed jobs output =
   if top then run_top ~noise ~seed
+  else if fleet then run_fleet ~noise ~seed
   else if hot_paths then run_hot_paths ()
   else run_platforms platform_names noise seed jobs output
 
@@ -341,6 +411,16 @@ let top_arg =
            memory-starved platform and print the per-process accounting \
            table plus the who-evicted-whom blame matrix (accounting forced \
            on).")
+
+let fleet_arg =
+  Arg.(
+    value & flag
+    & info [ "fleet" ]
+        ~doc:
+          "Print the multi-tenant fleet scaling table: mixed-profile fleets of \
+           64/256/1024 processes on one proportional-share scheduler kernel, \
+           with simulated horizon, wall-clock cost, event count and ledger \
+           footprint per size (accounting forced on, mid-run reaping).")
 
 let hot_paths_arg =
   Arg.(
@@ -383,7 +463,7 @@ let cmd =
   Cmd.v
     (Cmd.info "toolbox_bench" ~doc:"Gray-toolbox microbenchmarks on the simulated OS")
     Term.(
-      const run $ hot_paths_arg $ top_arg $ platform_arg $ noise_arg $ seed_arg
-      $ jobs_arg $ output_arg)
+      const run $ hot_paths_arg $ top_arg $ fleet_arg $ platform_arg $ noise_arg
+      $ seed_arg $ jobs_arg $ output_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -35,6 +35,19 @@ let read_file_in_units env path ~unit_bytes =
 
 let read_file env path = read_file_in_units env path ~unit_bytes:chunk
 
+let read_prefix env path ~bytes =
+  if bytes > 0 then begin
+    let fd = retry (fun () -> Kernel.open_file env path) in
+    let size = min bytes (Kernel.file_size env fd) in
+    let off = ref 0 in
+    while !off < size do
+      let len = min chunk (size - !off) in
+      ignore (retry (fun () -> Kernel.read env fd ~off:!off ~len));
+      off := !off + len
+    done;
+    Kernel.close env fd
+  end
+
 let make_files env ~dir ~prefix ~count ~size =
   (match Kernel.mkdir env dir with
   | Ok () -> ()
@@ -65,3 +78,67 @@ let age_directory env rng ~dir ~deletes ~creates ~size =
 let paths_in env ~dir =
   List.sort compare (ok_exn (Kernel.readdir env dir))
   |> List.map (fun name -> dir ^ "/" ^ name)
+
+(* ---- fleet profiles --------------------------------------------------- *)
+
+type profile = Scanner | Hot_set | Zipf | Idle
+
+let all_profiles = [ Scanner; Hot_set; Zipf; Idle ]
+
+let profile_name = function
+  | Scanner -> "scanner"
+  | Hot_set -> "hot-set"
+  | Zipf -> "zipf"
+  | Idle -> "idle"
+
+let draw_profile rng =
+  (* The mixed-fleet mix: a streaming minority churns the cache, hot-set
+     and zipf processes have locality worth stealing, and a long tail of
+     idlers populates the run queue without much I/O. *)
+  match Gray_util.Rng.int rng 10 with
+  | 0 | 1 -> Scanner
+  | 2 | 3 | 4 -> Hot_set
+  | 5 | 6 | 7 -> Zipf
+  | _ -> Idle
+
+let fleet_unit = 64 * 1024
+
+let fleet_population env ~dir ~files ~file_kb =
+  Array.of_list (make_files env ~dir ~prefix:"f" ~count:files ~size:(file_kb * 1024))
+
+let run_profile env rng profile ~paths ~rounds =
+  let n = Array.length paths in
+  if n = 0 then invalid_arg "Workload.run_profile: empty population";
+  let think () =
+    Simos.Engine.delay (500_000 + Gray_util.Rng.int rng 500_000)
+  in
+  match profile with
+  | Scanner ->
+    for _ = 1 to rounds do
+      (* one streaming pass over the whole population *)
+      Array.iter (fun p -> read_file_in_units env p ~unit_bytes:fleet_unit) paths;
+      Kernel.compute env ~ns:200_000;
+      think ()
+    done
+  | Hot_set ->
+    let k = min n (1 + Gray_util.Rng.int rng 4) in
+    let hot = Gray_util.Dist.sample_without_replacement rng ~k ~n in
+    for _ = 1 to rounds do
+      Array.iter
+        (fun i -> read_file_in_units env paths.(i) ~unit_bytes:fleet_unit)
+        hot;
+      Kernel.compute env ~ns:200_000;
+      think ()
+    done
+  | Zipf ->
+    for _ = 1 to rounds do
+      let i = Gray_util.Dist.zipf rng ~n ~theta:0.9 in
+      read_file_in_units env paths.(i) ~unit_bytes:fleet_unit;
+      Kernel.compute env ~ns:200_000;
+      think ()
+    done
+  | Idle ->
+    for _ = 1 to rounds do
+      Kernel.compute env ~ns:20_000;
+      think ()
+    done

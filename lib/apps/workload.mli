@@ -18,6 +18,11 @@ val read_file : Simos.Kernel.env -> string -> unit
 
 val read_file_in_units : Simos.Kernel.env -> string -> unit_bytes:int -> unit
 
+val read_prefix : Simos.Kernel.env -> string -> bytes:int -> unit
+(** Chunked sequential read of the first [bytes] of the file (clamped to
+    the file size; no-op when [bytes <= 0]) — warms a file to a chosen
+    cached fraction. *)
+
 val make_files :
   Simos.Kernel.env ->
   dir:string ->
@@ -41,3 +46,45 @@ val age_directory :
 
 val paths_in : Simos.Kernel.env -> dir:string -> string list
 (** All entries of [dir], sorted by name (a shell glob). *)
+
+(** {1 Fleet profiles}
+
+    Per-process behaviours for multi-tenant fleets
+    ([Graybox_core.Fleet]): each fleet member draws a profile and a
+    private RNG, then loops rounds of profile-specific I/O, a small
+    compute burst, and jittered think time.  Profiles only use the
+    gray-box syscall interface, so a fleet is N ordinary applications
+    contending for the page cache and CPUs. *)
+
+type profile =
+  | Scanner  (** streaming sequential pass over the whole population *)
+  | Hot_set  (** re-reads a private hot set of ≤ 4 files *)
+  | Zipf  (** per-round file choice, Zipf-skewed (θ = 0.9) *)
+  | Idle  (** think time and a token compute burst; occupies a pid *)
+
+val all_profiles : profile list
+val profile_name : profile -> string
+
+val draw_profile : Gray_util.Rng.t -> profile
+(** The standard fleet mix: 20% scanners, 30% hot-set, 30% zipf,
+    20% idle. *)
+
+val fleet_unit : int
+(** Read granularity of the profiles (64 KiB). *)
+
+val fleet_population :
+  Simos.Kernel.env -> dir:string -> files:int -> file_kb:int -> string array
+(** The shared file population fleet members contend over — created once
+    by a setup process before the fleet spawns. *)
+
+val run_profile :
+  Simos.Kernel.env ->
+  Gray_util.Rng.t ->
+  profile ->
+  paths:string array ->
+  rounds:int ->
+  unit
+(** Run [rounds] rounds of the profile against the shared population.
+    Hot-set membership is drawn from [rng] at start-up; all I/O sizes
+    and think times are deterministic given ([rng], [profile],
+    [paths], [rounds]). *)

@@ -1,0 +1,241 @@
+(* Multi-tenant fleet orchestration: see the .mli for the model and the
+   determinism contract. *)
+
+open Gray_util
+open Simos
+
+type descriptor = {
+  fd_procs : int;
+  fd_seed : int;
+  fd_stagger_ns : int;
+  fd_quantum_ns : int;
+  fd_reap_every : int;
+}
+
+let default_descriptor =
+  {
+    fd_procs = 64;
+    fd_seed = 42;
+    fd_stagger_ns = 10_000;
+    fd_quantum_ns = Sched.default_config.Sched.sd_quantum_ns;
+    fd_reap_every = 64;
+  }
+
+let sched_config d = { Sched.sd_quantum_ns = d.fd_quantum_ns }
+
+let spawn_fleet k d ?(name = fun _ -> "fleet.proc") ~body () =
+  if d.fd_procs < 1 then invalid_arg "Fleet.spawn_fleet: empty fleet";
+  (* Member i's RNG is the i-th split of the master stream — the same
+     derivation a solo experiment uses for its first split, which is
+     what makes the 1-process fleet bit-identical to the solo path. *)
+  let master = Rng.create ~seed:d.fd_seed in
+  let exits = ref 0 in
+  let base = Engine.now (Kernel.engine k) in
+  for i = 0 to d.fd_procs - 1 do
+    let rng = Rng.split master in
+    Kernel.spawn k ~name:(name i) ~at:(base + (i * d.fd_stagger_ns)) (fun env ->
+        Fun.protect
+          ~finally:(fun () ->
+            (* Reap on a fixed exit cadence.  This runs before the
+               kernel's own cleanup marks this process exited, so each
+               reap folds the members that finished before it — the
+               one-process lag keeps the cadence deterministic without
+               reaching into kernel internals. *)
+            incr exits;
+            if d.fd_reap_every > 0 && !exits mod d.fd_reap_every = 0 then
+              Option.iter Account.reap (Kernel.account k))
+          (fun () -> body ~index:i ~rng env))
+  done
+
+let wait_until k ts =
+  let now = Engine.now (Kernel.engine k) in
+  if now < ts then Engine.delay (ts - now)
+
+let jain xs =
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else begin
+    let s = Array.fold_left ( +. ) 0.0 xs in
+    let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if s2 = 0.0 then 1.0 else s *. s /. (float_of_int n *. s2)
+  end
+
+(* ---- MAC fleets ------------------------------------------------------- *)
+
+type mac_result = {
+  mr_grants : int array array;
+  mr_fairness : float array;
+  mr_late_fairness : float;
+  mr_reversal_rate : float;
+  mr_late_swing : float;
+}
+
+let mac_fleet k ?config ?max_bytes ?(stagger_ns = 50_000) ~macs ~rounds
+    ~round_ns () =
+  if macs < 1 || rounds < 1 then invalid_arg "Fleet.mac_fleet";
+  let cfg = match config with Some c -> c | None -> Mac.default_config () in
+  let platform = Kernel.platform k in
+  let page = platform.Platform.page_size in
+  let max_bytes =
+    match max_bytes with
+    | Some b -> b
+    | None -> Platform.usable_bytes platform
+  in
+  let grants = Array.make_matrix rounds macs 0 in
+  let base = Engine.now (Kernel.engine k) in
+  for m = 0 to macs - 1 do
+    Kernel.spawn k ~name:(Printf.sprintf "mac%d" m) (fun env ->
+        (* Calibrate once up front: per-round recalibration would
+           measure the other MACs' pressure, not the machine. *)
+        let cfg =
+          match cfg.Mac.slow_threshold_ns with
+          | Some _ -> cfg
+          | None ->
+            {
+              cfg with
+              Mac.slow_threshold_ns = Some (Mac.calibrate_threshold cfg env);
+            }
+        in
+        for r = 0 to rounds - 1 do
+          let start = base + (r * round_ns) + (m * stagger_ns) in
+          wait_until k start;
+          (match Mac.gb_alloc env cfg ~min:page ~max:max_bytes ~multiple:page with
+          | None -> ()
+          | Some a ->
+            grants.(r).(m) <- Mac.bytes a;
+            (* use the grant, hold it resident for most of the round *)
+            Mac.touch_all env a;
+            wait_until k (base + (r * round_ns) + (3 * round_ns / 4));
+            Mac.gb_free env a);
+          wait_until k (base + ((r + 1) * round_ns))
+        done)
+  done;
+  Kernel.run k;
+  let fairness =
+    Array.map (fun row -> jain (Array.map float_of_int row)) grants
+  in
+  let late_from = rounds - max 1 (rounds / 4) in
+  let mean a lo hi =
+    let s = ref 0.0 in
+    for i = lo to hi - 1 do
+      s := !s +. a.(i)
+    done;
+    !s /. float_of_int (max 1 (hi - lo))
+  in
+  let late_fairness = mean fairness late_from rounds in
+  (* Per-MAC grant-delta sign reversals: a converged MAC's grants
+     plateau (deltas hushed to zero), an oscillating one alternates
+     grab/starve so consecutive non-zero deltas flip sign. *)
+  let reversals = ref 0 and delta_pairs = ref 0 in
+  let swing = ref 0.0 and swing_n = ref 0 and late_grant = ref 0.0 in
+  for m = 0 to macs - 1 do
+    let last_sign = ref 0 in
+    for r = 1 to rounds - 1 do
+      let d = grants.(r).(m) - grants.(r - 1).(m) in
+      let sign = compare d 0 in
+      if sign <> 0 then begin
+        if !last_sign <> 0 then begin
+          incr delta_pairs;
+          if sign <> !last_sign then incr reversals
+        end;
+        last_sign := sign
+      end;
+      if r >= late_from then begin
+        swing := !swing +. float_of_int (abs d);
+        incr swing_n
+      end
+    done;
+    for r = late_from to rounds - 1 do
+      late_grant := !late_grant +. float_of_int grants.(r).(m)
+    done
+  done;
+  let late_mean_grant =
+    !late_grant /. float_of_int (macs * max 1 (rounds - late_from))
+  in
+  {
+    mr_grants = grants;
+    mr_fairness = fairness;
+    mr_late_fairness = late_fairness;
+    mr_reversal_rate =
+      (if !delta_pairs = 0 then 0.0
+       else float_of_int !reversals /. float_of_int !delta_pairs);
+    mr_late_swing =
+      (if late_mean_grant = 0.0 then 0.0
+       else !swing /. float_of_int (max 1 !swing_n) /. late_mean_grant);
+  }
+
+(* ---- FCCD fleets ------------------------------------------------------ *)
+
+type fccd_result = {
+  fc_truth : float array;
+  fc_rhos : float array;
+  fc_mean_rho : float;
+}
+
+let fccd_fleet k ?config ?(shuffle = false) ~probers ~paths ~stagger_ns ~seed
+    () =
+  if probers < 1 || paths = [] then invalid_arg "Fleet.fccd_fleet";
+  let config =
+    match config with
+    | Some f -> f
+    | None -> fun i -> Fccd.default_config ~seed:(seed + i) ()
+  in
+  let files = Array.of_list paths in
+  (* With [shuffle], each prober visits the files in its own seeded
+     order.  Concurrent probers walking the population in lockstep see
+     each file just before the fleet's accumulated fetches reach it;
+     independent orders are both more realistic and what exposes
+     mid-probe eviction (a file probed late by one prober has been
+     polluted by every earlier probe of it). *)
+  let probe_paths i =
+    if not shuffle then paths
+    else begin
+      let order = Array.copy files in
+      Rng.shuffle (Rng.create ~seed:(seed + 977 + i)) order;
+      Array.to_list order
+    end
+  in
+  (* White-box ground truth, snapshotted before any probe runs: the
+     probes themselves fetch pages (the Heisenberg effect), so the
+     post-run picture is whatever the fleet turned the cache into. *)
+  let truth =
+    Array.map (fun path -> Introspect.cached_fraction k ~path) files
+  in
+  let rankings = Array.make probers [] in
+  let base = Engine.now (Kernel.engine k) in
+  for i = 0 to probers - 1 do
+    Kernel.spawn k
+      ~name:(Printf.sprintf "fccd%d" i)
+      ~at:(base + (i * stagger_ns))
+      (fun env ->
+        let cfg = config i in
+        match Fccd.order_files env cfg ~paths:(probe_paths i) with
+        | Ok ranks -> rankings.(i) <- ranks
+        | Error e ->
+          failwith ("Fleet.fccd_fleet: " ^ Kernel.error_to_string e))
+  done;
+  Kernel.run k;
+  let rhos =
+    Array.map
+      (fun ranks ->
+        let probe_ns = Hashtbl.create (Array.length files) in
+        List.iter
+          (fun fr -> Hashtbl.replace probe_ns fr.Fccd.fr_path fr.Fccd.fr_probe_ns)
+          ranks;
+        (* fast probe = predicted cached, so correlate truth against
+           negated probe time *)
+        let predicted =
+          Array.map
+            (fun path ->
+              -.float_of_int
+                  (Option.value ~default:0 (Hashtbl.find_opt probe_ns path)))
+            files
+        in
+        Correlate.spearman truth predicted)
+      rankings
+  in
+  {
+    fc_truth = truth;
+    fc_rhos = rhos;
+    fc_mean_rho = Array.fold_left ( +. ) 0.0 rhos /. float_of_int probers;
+  }

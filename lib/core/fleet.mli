@@ -1,0 +1,133 @@
+(** Multi-tenant fleet orchestration: many contending processes on one
+    scheduler kernel, and fleets of concurrent ICLs on top of them.
+
+    The paper's Table-1 systems only make sense on a {e shared} kernel —
+    co-scheduling and cache manners are about processes fighting over
+    the page cache — yet a single ICL probing an idle machine was all
+    the repo could express.  A fleet is the missing regime: N processes
+    (profiles from [Gray_apps.Workload]) spawned on a kernel booted with
+    a proportional-share run queue ({!Simos.Sched}), with the
+    {!Simos.Account} ledger as ground truth for who stole whose pages.
+
+    {b Determinism contract.}  Everything here is driven by the virtual
+    clock and seeded RNG streams: process [i] of a fleet gets the [i]-th
+    {!Gray_util.Rng.split} of [Rng.create ~seed:fd_seed] (exactly the
+    derivation a solo experiment uses for its first split), spawn times
+    are staggered deterministically, and ledger reaps happen at fixed
+    exit counts in fiber-cleanup order.  A 1-process fleet is therefore
+    byte-identical to the solo path ([test/test_fleet.ml] diffs figures,
+    telemetry and ledger exports), and any fleet is reproducible across
+    [-j] levels.
+
+    {b Fairness metric.}  Jain's index J(x) = (Σx)²/ (n·Σx²): 1 when
+    all shares are equal, 1/n when one process has everything.  The MAC
+    fleet reports it per round over concurrent grants — the TCP-style
+    convergence-or-oscillation question from Section 4.3's own analogy. *)
+
+open Gray_util
+
+type descriptor = {
+  fd_procs : int;  (** fleet size *)
+  fd_seed : int;  (** master seed; member [i] gets the [i]-th split *)
+  fd_stagger_ns : int;  (** spawn-time spacing between members *)
+  fd_quantum_ns : int;  (** scheduler quantum ({!Simos.Sched.config}) *)
+  fd_reap_every : int;
+      (** fold exited members' ledger rows every this many exits
+          ({!Simos.Account.reap}); 0 = never reap *)
+}
+
+val default_descriptor : descriptor
+(** 64 processes, seed 42, 10 µs stagger, 1 ms quantum, reap every 64
+    exits. *)
+
+val sched_config : descriptor -> Simos.Sched.config
+(** The scheduler config a fleet kernel should be booted with. *)
+
+val spawn_fleet :
+  Simos.Kernel.t ->
+  descriptor ->
+  ?name:(int -> string) ->
+  body:(index:int -> rng:Rng.t -> Simos.Kernel.env -> unit) ->
+  unit ->
+  unit
+(** Spawn the fleet (does not run it): member [i] is a kernel process
+    named [name i] (default ["fleet.proc"]) starting at
+    [i * fd_stagger_ns], whose body receives its index and private RNG.
+    Name members by behaviour, not index — the ledger export aggregates
+    by name, so a 10⁴-process fleet exports a handful of rows.  Each
+    member's exit counts toward the [fd_reap_every] reap cadence. *)
+
+val wait_until : Simos.Kernel.t -> int -> unit
+(** Delay the calling fiber until the given virtual timestamp (no-op if
+    already past) — the round-synchronisation primitive. *)
+
+val jain : float array -> float
+(** Jain's fairness index; 1.0 for the empty or all-zero vector (no
+    shares are trivially equal shares). *)
+
+(** {1 MAC fleets} *)
+
+type mac_result = {
+  mr_grants : int array array;  (** [rounds × macs] bytes granted *)
+  mr_fairness : float array;  (** per-round Jain index over grants *)
+  mr_late_fairness : float;  (** mean fairness over the last quarter *)
+  mr_reversal_rate : float;
+      (** mean per-MAC rate of grant-delta sign reversals, in [0, 1]:
+          0 = monotone approach, 1 = alternating every round *)
+  mr_late_swing : float;
+      (** mean |round-to-round grant delta| over the last quarter,
+          relative to the mean late grant — relative amplitude of any
+          oscillation *)
+}
+
+val mac_fleet :
+  Simos.Kernel.t ->
+  ?config:Mac.config ->
+  ?max_bytes:int ->
+  ?stagger_ns:int ->
+  macs:int ->
+  rounds:int ->
+  round_ns:int ->
+  unit ->
+  mac_result
+(** Run [macs] concurrent MAC processes for [rounds] synchronized
+    rounds of length [round_ns] and report the fairness trajectory.
+    Each MAC self-calibrates once, then per round: [gb_alloc]
+    (page-sized minimum, [max_bytes] maximum — default the whole
+    machine; pass [usable / macs] to model polite fair-share
+    applications), touch the grant resident, hold it until ¾ of the
+    round, free it, and wait for the next round boundary.  Round starts are staggered [stagger_ns]
+    (default 50 µs) per MAC so probe bursts do not start in lockstep.
+    Calls {!Simos.Kernel.run}. *)
+
+(** {1 FCCD fleets} *)
+
+type fccd_result = {
+  fc_truth : float array;  (** per-file cached fraction before probing *)
+  fc_rhos : float array;  (** per-prober Spearman rank correlation vs truth *)
+  fc_mean_rho : float;
+}
+
+val fccd_fleet :
+  Simos.Kernel.t ->
+  ?config:(int -> Fccd.config) ->
+  ?shuffle:bool ->
+  probers:int ->
+  paths:string list ->
+  stagger_ns:int ->
+  seed:int ->
+  unit ->
+  fccd_result
+(** Measure cross-probe cache pollution: snapshot the white-box cached
+    fraction of each path ({!Simos.Introspect.cached_fraction}), then
+    run [probers] concurrent {!Fccd.order_files} probes (prober [i]
+    configured by [config i], default [Fccd.default_config
+    ~seed:(seed + i)], starting at [i * stagger_ns]; with [shuffle],
+    each prober visits the files in its own seeded order, so mid-probe
+    eviction is visible rather than hidden behind lockstep traversal)
+    and report each
+    prober's Spearman correlation between its ranking and the
+    ground-truth snapshot.  Every probe fetches the bytes it touches —
+    the Heisenberg effect — so later and concurrent probers see a cache
+    the earlier ones polluted; the degradation of [fc_mean_rho] with
+    [probers] is the experiment.  Calls {!Simos.Kernel.run}. *)

@@ -53,17 +53,32 @@ let fresh_stats ~pid ~name =
 
 type t = {
   mutable procs : stats option array;  (* index = pid *)
-  mutable bstride : int;  (* victim stride of [blame]; also the pid bound *)
+  mutable exited : int list;  (* pids marked by [note_exit], not yet reaped *)
+  mutable bstride : int;  (* victim stride of [blame], capped at [blame_cap] *)
   mutable blame : int array;  (* cell (e, v) at [e * bstride + v] *)
+  blame_spill : (int, int) Hashtbl.t;  (* key (e lsl 30) lor v, pid >= stride *)
+  reaped : (string, stats) Hashtbl.t;  (* name-keyed, st_pid = proc count *)
+  reaped_blame : (string * string, int) Hashtbl.t;
+  mutable reaped_procs : int;
 }
 
 let initial_pids = 16
 
+(* The flat matrix stops doubling here: 1024² cells is 8 MB, and a fleet
+   of 10⁴–10⁵ processes would otherwise square that.  Cells naming a
+   higher pid go to [blame_spill] — sparse, sized by actual blame pairs. *)
+let blame_cap = 1024
+
 let create () =
   {
     procs = Array.make initial_pids None;
+    exited = [];
     bstride = initial_pids;
     blame = Array.make (initial_pids * initial_pids) 0;
+    blame_spill = Hashtbl.create 16;
+    reaped = Hashtbl.create 8;
+    reaped_blame = Hashtbl.create 8;
+    reaped_procs = 0;
   }
 
 let ensure_pid t pid =
@@ -76,9 +91,9 @@ let ensure_pid t pid =
     Array.blit t.procs 0 fresh 0 (Array.length t.procs);
     t.procs <- fresh
   end;
-  if pid >= t.bstride then begin
+  if pid >= t.bstride && t.bstride < blame_cap then begin
     let stride = ref t.bstride in
-    while pid >= !stride do
+    while pid >= !stride && !stride < blame_cap do
       stride := !stride * 2
     done;
     let fresh = Array.make (!stride * !stride) 0 in
@@ -104,21 +119,43 @@ let note_syscall st code =
 let find t ~pid =
   if pid >= 0 && pid < Array.length t.procs then t.procs.(pid) else None
 
+let spill_key e v = (e lsl 30) lor v
+let spill_unkey key = (key lsr 30, key land 0x3FFFFFFF)
+
+let bump_spill t key n =
+  Hashtbl.replace t.blame_spill key
+    (n + Option.value ~default:0 (Hashtbl.find_opt t.blame_spill key))
+
 let note_eviction t ~evictor ~victim_pid =
   ensure_pid t evictor.st_pid;
   ensure_pid t victim_pid;
-  let cell = (evictor.st_pid * t.bstride) + victim_pid in
-  t.blame.(cell) <- t.blame.(cell) + 1;
+  let e = evictor.st_pid in
+  if e < t.bstride && victim_pid < t.bstride then begin
+    let cell = (e * t.bstride) + victim_pid in
+    t.blame.(cell) <- t.blame.(cell) + 1
+  end
+  else bump_spill t (spill_key e victim_pid) 1;
   evictor.evictions <- evictor.evictions + 1;
   if victim_pid > 0 then
     match t.procs.(victim_pid) with
     | Some v -> v.evicted <- v.evicted + 1
     | None -> ()
 
+let note_exit t ~pid =
+  if pid >= 0 && pid < Array.length t.procs && Option.is_some t.procs.(pid)
+  then t.exited <- pid :: t.exited
+
+let reaped_procs t = t.reaped_procs
+
 let reset t =
   t.procs <- Array.make initial_pids None;
+  t.exited <- [];
   t.bstride <- initial_pids;
-  t.blame <- Array.make (initial_pids * initial_pids) 0
+  t.blame <- Array.make (initial_pids * initial_pids) 0;
+  Hashtbl.reset t.blame_spill;
+  Hashtbl.reset t.reaped;
+  Hashtbl.reset t.reaped_blame;
+  t.reaped_procs <- 0
 
 let rows t =
   let out = ref [] in
@@ -128,19 +165,28 @@ let rows t =
   !out
 
 let blame t ~evictor ~victim =
-  if evictor >= 0 && evictor < t.bstride && victim >= 0 && victim < t.bstride
-  then t.blame.((evictor * t.bstride) + victim)
-  else 0
+  if evictor < 0 || victim < 0 then 0
+  else if evictor < t.bstride && victim < t.bstride then
+    t.blame.((evictor * t.bstride) + victim)
+  else
+    Option.value ~default:0
+      (Hashtbl.find_opt t.blame_spill (spill_key evictor victim))
 
 let blame_triples t =
   let out = ref [] in
+  Hashtbl.iter
+    (fun key n ->
+      if n > 0 then
+        let e, v = spill_unkey key in
+        out := (e, v, n) :: !out)
+    t.blame_spill;
   for e = t.bstride - 1 downto 0 do
     for v = t.bstride - 1 downto 0 do
       let n = t.blame.((e * t.bstride) + v) in
       if n > 0 then out := (e, v, n) :: !out
     done
   done;
-  !out
+  List.sort compare !out
 
 (* ---- aggregated export ------------------------------------------------ *)
 
@@ -179,6 +225,78 @@ let add_into acc st =
   acc.cpu_ns <- acc.cpu_ns + st.cpu_ns;
   acc.block_ns <- acc.block_ns + st.block_ns
 
+(* ---- exit-time reap --------------------------------------------------- *)
+
+(* Fold exited rows into the same name-keyed shape the export uses, in
+   two passes: blame first (counterpart names must resolve while every
+   row is still live — dropping rows first would turn a dead partner
+   into "pidN"), then the stats rows.  Cells are zeroed as they fold so
+   a cell both of whose pids exited is counted exactly once. *)
+let reap t =
+  if t.exited <> [] then begin
+    let dead = Hashtbl.create (List.length t.exited) in
+    List.iter
+      (fun p ->
+        if p < Array.length t.procs && Option.is_some t.procs.(p) then
+          Hashtbl.replace dead p ())
+      t.exited;
+    t.exited <- [];
+    let fold_cell e v n =
+      if n > 0 then begin
+        let key = (victim_name t e, victim_name t v) in
+        Hashtbl.replace t.reaped_blame key
+          (n + Option.value ~default:0 (Hashtbl.find_opt t.reaped_blame key))
+      end
+    in
+    Hashtbl.iter
+      (fun p () ->
+        if p < t.bstride then begin
+          for v = 0 to t.bstride - 1 do
+            let cell = (p * t.bstride) + v in
+            fold_cell p v t.blame.(cell);
+            t.blame.(cell) <- 0
+          done;
+          for e = 0 to t.bstride - 1 do
+            let cell = (e * t.bstride) + p in
+            fold_cell e p t.blame.(cell);
+            t.blame.(cell) <- 0
+          done
+        end)
+      dead;
+    let spilled_dead =
+      Hashtbl.fold
+        (fun key n acc ->
+          let e, v = spill_unkey key in
+          if Hashtbl.mem dead e || Hashtbl.mem dead v then
+            (key, e, v, n) :: acc
+          else acc)
+        t.blame_spill []
+    in
+    List.iter
+      (fun (key, e, v, n) ->
+        Hashtbl.remove t.blame_spill key;
+        fold_cell e v n)
+      spilled_dead;
+    Hashtbl.iter
+      (fun p () ->
+        match t.procs.(p) with
+        | None -> ()
+        | Some st ->
+          let acc =
+            match Hashtbl.find_opt t.reaped st.st_name with
+            | Some acc -> acc
+            | None ->
+              let acc = fresh_stats ~pid:0 ~name:st.st_name in
+              Hashtbl.add t.reaped st.st_name acc;
+              acc
+          in
+          add_into acc st;
+          Hashtbl.replace t.reaped st.st_name { acc with st_pid = acc.st_pid + 1 };
+          t.procs.(p) <- None;
+          t.reaped_procs <- t.reaped_procs + 1)
+      dead
+  end
+
 let sorted_assoc tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -199,13 +317,26 @@ let export t =
       (* st_pid doubles as the merged-process count in exports *)
       Hashtbl.replace procs st.st_name { acc with st_pid = acc.st_pid + 1 })
     (rows t);
+  Hashtbl.iter
+    (fun name st ->
+      match Hashtbl.find_opt procs name with
+      | Some acc ->
+        add_into acc st;
+        Hashtbl.replace procs name { acc with st_pid = acc.st_pid + st.st_pid }
+      | None ->
+        let acc = fresh_stats ~pid:st.st_pid ~name in
+        add_into acc st;
+        Hashtbl.add procs name acc)
+    t.reaped;
   let blame = Hashtbl.create 8 in
+  let bump key n =
+    Hashtbl.replace blame key
+      (n + Option.value ~default:0 (Hashtbl.find_opt blame key))
+  in
   List.iter
-    (fun (e, v, n) ->
-      let key = (victim_name t e, victim_name t v) in
-      Hashtbl.replace blame key
-        (n + Option.value ~default:0 (Hashtbl.find_opt blame key)))
+    (fun (e, v, n) -> bump (victim_name t e, victim_name t v) n)
     (blame_triples t);
+  Hashtbl.iter (fun key n -> bump key n) t.reaped_blame;
   { ex_procs = sorted_assoc procs; ex_blame = sorted_assoc blame }
 
 let merge_exports exports =

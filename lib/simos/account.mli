@@ -23,7 +23,19 @@
     The ledger is machine state: {!Kernel.restart} resets it (the
     rebooted machine has no processes, so it has no per-process
     history), unlike the experiment-level RNG streams and drift
-    schedule which deliberately survive. *)
+    schedule which deliberately survive.
+
+    {b Fleet scale.}  The flat blame matrix is capped at a
+    1024-pid stride (8 MB); cells naming a higher pid spill to a hash
+    table, so a 10⁴–10⁵-process fleet costs memory proportional to the
+    blame pairs it actually creates, not to pids².  Rows of processes
+    that exit mid-run are {e reaped} on request ({!note_exit} +
+    {!reap}): folded into the same name-keyed aggregates the export
+    uses, so {!export} is byte-identical before and after a reap while
+    the live table stays bounded by concurrent — not cumulative —
+    process count.  Reaping is explicit because the pid-level view
+    ({!rows}, {!top_table}, {!blame_table}) is still wanted after
+    {!Kernel.run} returns (the toolbox's [--top]). *)
 
 type stats = {
   st_pid : int;
@@ -63,12 +75,29 @@ val note_eviction : t -> evictor:stats -> victim_pid:int -> unit
 (** Bump the blame matrix cell (evictor, victim) and both sides'
     eviction counters.  [victim_pid = 0] means a file/shared page. *)
 
+val note_exit : t -> pid:int -> unit
+(** Mark [pid]'s row as reapable — called by the kernel when the
+    process's fiber cleans up.  The row stays visible (and still
+    receives victim-side blame) until the next {!reap}. *)
+
+val reap : t -> unit
+(** Fold every exited process's row — and every blame cell naming it,
+    flat or spilled — into the name-keyed aggregates, then drop the
+    pid-level state.  Counterpart names are resolved while all rows are
+    still live, and cells are zeroed as they fold, so a cell shared by
+    two exited pids is counted exactly once.  {!export} output is
+    unchanged by a reap; {!rows} and {!blame_triples} shrink.  Cheap
+    when nothing has exited. *)
+
+val reaped_procs : t -> int
+(** Processes folded away by {!reap} since boot/reset. *)
+
 val reset : t -> unit
-(** Forget every row and the whole blame matrix — the
-    {!Kernel.restart} path. *)
+(** Forget every row, the whole blame matrix (flat and spilled), and
+    the reaped aggregates — the {!Kernel.restart} path. *)
 
 val find : t -> pid:int -> stats option
-val rows : t -> stats list  (** Ascending pid. *)
+val rows : t -> stats list  (** Ascending pid; reaped rows excluded. *)
 
 val blame : t -> evictor:int -> victim:int -> int
 

@@ -52,6 +52,7 @@ type t = {
   k_noise : Gray_util.Rng.t;
   k_swapped : unit Page.Tbl.t;
   k_procs : (int, proc) Hashtbl.t;
+  k_sched : Sched.t option;
   mutable k_next_pid : int;
   k_ctr : mutable_counters;
   k_faults : Fault.t option;
@@ -75,7 +76,7 @@ let local_ino_of_gino gino = gino land (meta_bit - 1)
 let gino_is_meta gino = gino land meta_bit <> 0
 
 let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ?faults ?crash ?drift
-    ?account ?flight ~seed () =
+    ?account ?flight ?sched ?(procs = 16) ~seed () =
   if data_disks < 1 then invalid_arg "Kernel.boot: need at least one data disk";
   let make_volume _ =
     let disk = Disk.create platform.Platform.disk in
@@ -97,7 +98,10 @@ let boot ~engine ~platform ?(data_disks = 4) ?volume_blocks ?faults ?crash ?drif
        reboot in an exploration sweep) never swap, and zeroing a 4096-slot
        table per boot dominated the explorer's boot cost *)
     k_swapped = Page.Tbl.create 16;
-    k_procs = Hashtbl.create 16;
+    (* fleets announce their size so the process table never rehashes
+       mid-run; solo boots keep the small default *)
+    k_procs = Hashtbl.create (max 16 procs);
+    k_sched = Option.map Sched.create sched;
     k_next_pid = 1;
     k_ctr =
       {
@@ -169,6 +173,8 @@ let pid env = env.e_proc.p_pid
 let kernel_of_env env = env.e_k
 let account t = t.k_account
 let flight t = t.k_flight
+let sched t = t.k_sched
+let cpu_busy_ns t = Resource.busy_ns t.k_cpu
 
 (* Non-zero only when accounting is on, so accounting-off telemetry keeps
    the untagged (pre-accounting) entry shape. *)
@@ -199,7 +205,7 @@ let resolve_path t path =
 
 (* ---- processes ---- *)
 
-let spawn t ?(name = "proc") ?at body =
+let spawn t ?(name = "proc") ?(weight = 1) ?at body =
   let p_pid = t.k_next_pid in
   t.k_next_pid <- t.k_next_pid + 1;
   let proc =
@@ -230,7 +236,16 @@ let spawn t ?(name = "proc") ?at body =
             done
         end)
       proc.p_regions;
-    Hashtbl.remove t.k_procs p_pid
+    Hashtbl.remove t.k_procs p_pid;
+    (* the run queue and the ledger both learn of the exit here, inside
+       the same protected scope as registration: a crashed or cancelled
+       fiber leaves neither a scheduler entry nor an unreapable row *)
+    (match t.k_sched with
+    | None -> ()
+    | Some s -> Sched.unregister s ~pid:p_pid);
+    match t.k_account with
+    | None -> ()
+    | Some a -> Account.note_exit a ~pid:p_pid
   in
   (* Registration happens when the fiber actually starts, inside the same
      protected scope as [cleanup]: a fiber cancelled before its first
@@ -244,6 +259,9 @@ let spawn t ?(name = "proc") ?at body =
       (match t.k_account with
       | None -> ()
       | Some a -> env.e_acct <- Some (Account.note_spawn a ~pid:p_pid ~name));
+      (match t.k_sched with
+      | None -> ()
+      | Some s -> Sched.register s ~pid:p_pid ~weight);
       Fun.protect ~finally:cleanup (fun () -> body env))
 
 let run t = Engine.run t.k_engine
@@ -311,6 +329,7 @@ let restart t =
   Resource.reboot t.k_cpu;
   t.k_engine <- Engine.create ();
   Option.iter Account.reset t.k_account;
+  Option.iter Sched.reset t.k_sched;
   Option.iter Drift.note_restart t.k_drift;
   match t.k_crash with
   | None -> ()
@@ -1113,7 +1132,31 @@ let compute env ~ns =
   (match env.e_acct with
   | None -> ()
   | Some st -> st.Account.cpu_ns <- st.Account.cpu_ns + duration);
-  Engine.delay (Resource.acquire t.k_cpu ~now:(Engine.now t.k_engine) ~duration)
+  match t.k_sched with
+  | Some s when Sched.participants s > 1 && duration > 0 ->
+    (* Contended: reserve the burst one weighted quantum at a time,
+       re-entering the slot timeline between slices.  Every contending
+       fiber does the same, so FCFS at quantum granularity is weighted
+       round-robin.  The burst was noised once, above — slicing adds no
+       RNG draws, so the timing channel is the same either way. *)
+    let p = env.e_proc.p_pid in
+    let chunk = Sched.chunk_ns s ~pid:p in
+    let remaining = ref duration in
+    while !remaining > 0 do
+      let len = min chunk !remaining in
+      Engine.delay
+        (Resource.acquire t.k_cpu ~now:(Engine.now t.k_engine) ~duration:len);
+      Sched.note_slice s ~pid:p ~ns:len;
+      remaining := !remaining - len
+    done
+  | Some s ->
+    (* Sole registered process: the exact legacy path (one reservation,
+       one delay), so an uncontended scheduler kernel is byte-identical
+       to a scheduler-less one.  Grants are still recorded. *)
+    Sched.note_slice s ~pid:env.e_proc.p_pid ~ns:duration;
+    Engine.delay (Resource.acquire t.k_cpu ~now:(Engine.now t.k_engine) ~duration)
+  | None ->
+    Engine.delay (Resource.acquire t.k_cpu ~now:(Engine.now t.k_engine) ~duration)
 
 let compute_bytes env ~bytes ~ns_per_byte =
   compute env ~ns:(int_of_float (float_of_int bytes *. ns_per_byte))

@@ -39,6 +39,8 @@ val boot :
   ?drift:Drift.scenario ->
   ?account:bool ->
   ?flight:bool ->
+  ?sched:Sched.config ->
+  ?procs:int ->
   seed:int ->
   unit ->
   t
@@ -59,7 +61,16 @@ val boot :
     Unlike the planes above, both default to {e on}: neither draws RNG
     nor advances the clock, so the simulation's observable behaviour is
     identical either way — off exists to prove the zero-cost claim and
-    to pin the pre-accounting byte shape of explicit exports. *)
+    to pin the pre-accounting byte shape of explicit exports.
+
+    [sched] installs a proportional-share run queue (default: none —
+    the legacy whole-burst FCFS dispatch).  With it, {!compute} slices
+    contended bursts into weighted quanta so no runnable process
+    starves; while a single process is registered the legacy path is
+    taken exactly, making an uncontended scheduler kernel byte-identical
+    to a scheduler-less one (the fleet ≡ solo contract, see {!Sched}).
+    [procs] (default 16) sizes the process table up front so fleets of
+    10⁴–10⁵ processes never rehash it mid-run. *)
 
 val engine : t -> Engine.t
 val platform : t -> Platform.t
@@ -67,9 +78,14 @@ val data_disks : t -> int
 val volume_root : int -> string
 (** ["/d<i>"]. *)
 
-val spawn : t -> ?name:string -> ?at:int -> (env -> unit) -> unit
+val spawn : t -> ?name:string -> ?weight:int -> ?at:int -> (env -> unit) -> unit
 (** Create a process whose body runs as an engine fiber.  File descriptors
-    and anonymous memory are reclaimed when the body returns (or raises). *)
+    and anonymous memory are reclaimed when the body returns (or raises).
+    [weight] (default 1) is the process's proportional CPU share under a
+    scheduler kernel — ignored without [?sched].  When accounting is on,
+    a process's ledger rows are reaped into name-keyed aggregates at exit
+    (see {!Account.note_exit}), so fleet-scale runs don't leak a row per
+    dead pid. *)
 
 val run : t -> unit
 (** [Engine.run] shortcut. *)
@@ -92,6 +108,14 @@ val flight : t -> Gray_util.Flight.t option
     injections, drift mutations — all in simulated time.  Survives
     {!restart} (it is the black box; the pre-crash tail is the point),
     though the fresh engine restarts its timestamps from 0. *)
+
+val sched : t -> Sched.t option
+(** The proportional-share run queue, when installed at boot. *)
+
+val cpu_busy_ns : t -> int
+(** Total ns the CPUs have been reserved for since boot — the
+    denominator of the scheduler property "per-pid CPU-ns sums to total
+    CPU-ns" ([test/test_sched.ml]). *)
 
 val fresh_token : env -> int
 (** Per-process monotone counter (1, 2, ...).  Combined with {!pid} it
@@ -248,9 +272,10 @@ val restart : t -> unit
     recovery processes and {!run} again.  Counters and RNG streams
     survive — they describe the experiment, not the machine.  The
     per-process accounting ledger does {e not} (the rebooted machine has
-    no processes), and a drift plane's timer/pressure regime lapses (its
-    daemon died with the crash); the flight recorder keeps its pre-crash
-    tail. *)
+    no processes), nor does the run queue ({!Sched.reset} — registrations
+    and grants are machine state), and a drift plane's timer/pressure
+    regime lapses (its daemon died with the crash); the flight recorder
+    keeps its pre-crash tail. *)
 
 val install_volume_image : t -> int -> Fs.t -> unit
 (** Adopt [fs] as volume [i]'s file system.  A freshly booted kernel
