@@ -20,19 +20,12 @@ let mib = 1024 * 1024
 let default_trials = 10
 
 let trials_of_env () =
-  match Sys.getenv_opt "GRAYBOX_TRIALS" with
-  | None | Some "" -> default_trials
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | Some n ->
-      Printf.eprintf "warning: GRAYBOX_TRIALS=%d is below 1; using 1 trial\n%!" n;
-      1
-    | None ->
-      Printf.eprintf
-        "error: GRAYBOX_TRIALS=%s is not a number (unset it or pass an integer >= 1)\n%!"
-        s;
-      exit 2)
+  Gray_util.Env.parse ~var:"GRAYBOX_TRIALS" ~expected:"an integer >= 1"
+    ~on_invalid:`Exit ~default:default_trials (fun token ->
+      match int_of_string_opt token with
+      | Some n when n >= 1 -> Gray_util.Env.Value n
+      | Some _ -> Soft ("trial count below 1; using 1 trial", 1)
+      | None -> Invalid)
 
 let trials_slot = ref None
 let trials () = match !trials_slot with

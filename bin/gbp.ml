@@ -25,7 +25,7 @@ open Graybox_core
 
 let mib = 1024 * 1024
 
-let run mode files size_mib warm out noise seed fault_scenario crash_at extra
+let run_sim mode files size_mib warm out noise seed fault_scenario crash_at extra
     min_confidence trace metrics drift_scenario adaptive rounds recal_budget
     flight_dump =
   let module Tele = Gray_util.Telemetry in
@@ -208,6 +208,159 @@ let run mode files size_mib warm out noise seed fault_scenario crash_at extra
   | _ -> ());
   !exit_code
 
+(* ---- the host backend ------------------------------------------------- *)
+
+(* The same pipeline against the real OS through Os_host: build the file
+   population in a scratch directory under the system temp dir, warm a
+   subset for real, order by timed probes (mem) or inode numbers (file),
+   and clean everything up on the way out — whatever happened.  Compose
+   needs the simulator's cost model, so it reports host-unavailable (12)
+   rather than pretending. *)
+let run_host mode files size_mib warm out seed extra min_confidence =
+  let module W = Gray_apps.Workload.Make (Os_host) in
+  let module F = Fccd.Make (Os_host) in
+  let module L = Fldc.Make (Os_host) in
+  let rec rm_rf path =
+    match (try Some (Sys.is_directory path) with Sys_error _ -> None) with
+    | None -> ()
+    | Some true ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      (try Sys.rmdir path with Sys_error _ -> ())
+    | Some false -> ( try Sys.remove path with Sys_error _ -> ())
+  in
+  match
+    try Ok (Filename.temp_dir "gbp-host" "") with Sys_error msg -> Error msg
+  with
+  | Error msg ->
+    Printf.eprintf "gbp: host backend unavailable: %s\n" msg;
+    Gbp.exit_host_unavailable
+  | Ok root -> (
+    match Os_host.create ~root () with
+    | Error e ->
+      rm_rf root;
+      Printf.eprintf "gbp: host backend unavailable: %s\n" (Kernel.error_to_string e);
+      Gbp.exit_host_unavailable
+    | Ok env ->
+      let exit_code = ref 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          Os_host.shutdown env;
+          rm_rf root)
+        (fun () ->
+          try
+            match mode with
+            | Gbp.Compose ->
+              Printf.eprintf
+                "gbp: --mode compose needs the simulator's cost model and is \
+                 not available on the host backend\n";
+              exit_code := Gbp.exit_host_unavailable
+            | Gbp.Mem | Gbp.File ->
+              let made =
+                W.make_files env ~dir:"/data" ~prefix:"file" ~count:files
+                  ~size:(size_mib * mib)
+              in
+              let paths = made @ extra in
+              let rng = Gray_util.Rng.create ~seed:(seed + 1) in
+              let warmed =
+                let arr = Array.of_list made in
+                Gray_util.Rng.shuffle rng arr;
+                Array.to_list (Array.sub arr 0 (min warm files))
+              in
+              List.iter (fun p -> W.read_file env p) warmed;
+              Printf.printf
+                "# volume: %d files x %d MB on host (timer %d ns, confidence cap %.2f); warmed: %s\n"
+                files size_mib
+                (Os_host.timer_resolution_ns env)
+                (Os_host.timing_confidence_cap env)
+                (String.concat ", " (List.map Fldc.basename (List.sort compare warmed)));
+              let config =
+                {
+                  (Fccd.default_config ~seed ()) with
+                  Fccd.access_unit = 4 * mib;
+                  prediction_unit = 1 * mib;
+                }
+              in
+              let ordered, reason =
+                match mode with
+                | Gbp.Compose -> assert false
+                | Gbp.Mem -> (
+                  match F.order_files env config ~paths with
+                  | Error e -> (paths, Some (Gbp.Degraded_error e))
+                  | Ok ranked ->
+                    let conf =
+                      (* a coarse host timer bounds how much the ranking
+                         may be believed, exactly as in probe plans *)
+                      Float.min
+                        (Os_host.timing_confidence_cap env)
+                        (Fccd.order_confidence config ranked)
+                    in
+                    if conf < min_confidence then
+                      (paths, Some (Gbp.Low_confidence conf))
+                    else (List.map (fun r -> r.Fccd.fr_path) ranked, None))
+                | Gbp.File -> (
+                  match L.order_by_inumber env ~paths with
+                  | Error e -> (paths, Some (Gbp.Degraded_error e))
+                  | Ok ordered ->
+                    (List.map (fun s -> s.Fldc.so_path) ordered, None))
+              in
+              (match reason with
+              | None -> ()
+              | Some r ->
+                Printf.eprintf "gbp: %s; falling back to argument order\n"
+                  (Gbp.fallback_reason_to_string r);
+                match r with
+                | Gbp.Degraded_error e -> exit_code := Gbp.exit_code_of_error e
+                | Gbp.Low_confidence _ -> ());
+              Printf.printf "# gbp --os host --mode %s ordering%s:\n"
+                (Gbp.mode_to_string mode)
+                (match reason with Some _ -> " (fallback: argument order)" | None -> "");
+              List.iter print_endline ordered;
+              if out then begin
+                match paths with
+                | [] -> ()
+                | first :: _ -> (
+                  match F.probe_file env config ~path:first with
+                  | Error e ->
+                    Printf.eprintf "gbp: --out %s: %s\n" first (Kernel.error_to_string e);
+                    exit_code := Gbp.exit_code_of_error e
+                  | Ok plan -> (
+                    match Os_host.open_file env first with
+                    | Error e ->
+                      Printf.eprintf "gbp: --out %s: %s\n" first
+                        (Kernel.error_to_string e);
+                      exit_code := Gbp.exit_code_of_error e
+                    | Ok fd ->
+                      Printf.printf "# gbp --out %s extents (best probe order):\n" first;
+                      F.read_plan ?policy:config.Fccd.retry env fd plan
+                        ~f:(fun ~off ~len ->
+                          Printf.printf "  offset=%-10d length=%d\n" off len);
+                      Os_host.close env fd))
+              end
+          with Failure msg ->
+            (* a workload helper hit a permanent syscall error: report it
+               like any other degraded pipeline instead of dying raw *)
+            Printf.eprintf "gbp: %s\n" msg;
+            exit_code := 7);
+      !exit_code)
+
+let run os mode files size_mib warm out noise seed fault_scenario crash_at extra
+    min_confidence trace metrics drift_scenario adaptive rounds recal_budget
+    flight_dump =
+  match os with
+  | Os_choice.Sim ->
+    run_sim mode files size_mib warm out noise seed fault_scenario crash_at extra
+      min_confidence trace metrics drift_scenario adaptive rounds recal_budget
+      flight_dump
+  | Os_choice.Host ->
+    if
+      fault_scenario <> None || crash_at <> None || drift_scenario <> None
+      || adaptive || trace <> None || metrics || flight_dump <> None
+    then
+      Printf.eprintf
+        "gbp: --os host ignores simulation-only options (--faults, --crash-at, \
+         --drift, --adaptive, --trace, --metrics, --flight-dump)\n";
+    run_host mode files size_mib warm out seed extra min_confidence
+
 (* malformed values are usage errors (exit 124 with a pointer to --help),
    not uncaught exceptions *)
 let mode_conv =
@@ -250,6 +403,27 @@ let crash_at_conv =
     | Some n -> Format.pp_print_int ppf n
   in
   Arg.conv (parse, print)
+
+let os_conv =
+  let parse s =
+    match Os_choice.of_string (String.lowercase_ascii (String.trim s)) with
+    | Some v -> Ok v
+    | None -> Error (`Msg ("unknown backend: " ^ s ^ " (expected sim or host)"))
+  in
+  Arg.conv (parse, fun ppf v -> Format.pp_print_string ppf (Os_choice.to_string v))
+
+let os_arg =
+  Arg.(
+    value
+    & opt os_conv (Os_choice.of_env ())
+    & info [ "os" ]
+        ~doc:
+          "Backend: sim (the simulated volume) or host (the real operating \
+           system through the hardened Unix backend; files live in a scratch \
+           directory under the system temp dir and are removed afterwards).  \
+           Exit code 12 means the host backend is unavailable or the requested \
+           mode needs a capability it lacks.  GRAYBOX_OS is the environment \
+           equivalent.")
 
 let mode_arg =
   Arg.(value & opt mode_conv Gbp.Mem & info [ "mode"; "m" ] ~doc:"Ordering mode: mem, file or compose.")
@@ -368,7 +542,7 @@ let cmd =
   Cmd.v
     (Cmd.info "gbp" ~doc:"Gray-box probe utility on a simulated volume")
     Term.(
-      const run $ mode_arg $ files_arg $ size_arg $ warm_arg $ out_arg $ noise_arg
+      const run $ os_arg $ mode_arg $ files_arg $ size_arg $ warm_arg $ out_arg $ noise_arg
       $ seed_arg $ faults_arg $ crash_at_arg $ extra_arg $ min_confidence_arg
       $ trace_arg $ metrics_arg $ drift_arg $ adaptive_arg $ rounds_arg
       $ recal_budget_arg $ flight_dump_arg)

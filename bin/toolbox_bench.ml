@@ -225,7 +225,51 @@ and run_hot_paths_fs () =
     (* 56 blocks attached + 56 detached per cycle *)
     Printf.printf "  resize         %7.1f ns/block\n"
       (est /. float_of_int (2 * (cycle_blocks - 8)))
-  | None -> Printf.printf "  resize (no estimate)\n")
+  | None -> Printf.printf "  resize (no estimate)\n");
+  run_adapter_overhead ()
+
+(* The Os_sim adapter's promise is that going through the OS functor costs
+   nothing over calling the kernel directly: its bindings are eta-equal
+   aliases, so the two paths should be the same closure and the same
+   ns/call.  Measured on a live simulated volume with the wall clock. *)
+and run_adapter_overhead () =
+  let must = function Ok v -> v | Error e -> failwith (Kernel.error_to_string e) in
+  let platform = Platform.with_noise Platform.linux_2_2 ~sigma:0.0 in
+  let engine = Engine.create () in
+  let k = Kernel.boot ~engine ~platform ~data_disks:1 ~seed:42 () in
+  Kernel.spawn k (fun env ->
+      must (Kernel.mkdir env "/d0/data");
+      let fd = must (Kernel.create_file env "/d0/data/probe") in
+      ignore (must (Kernel.write env fd ~off:0 ~len:(4 * 1024 * 1024)));
+      let iters = 10_000 in
+      let time_loop f =
+        for _ = 1 to 1_000 do
+          f ()
+        done;
+        let t0 = Monotonic_clock.now () in
+        for _ = 1 to iters do
+          f ()
+        done;
+        let t1 = Monotonic_clock.now () in
+        Int64.to_float (Int64.sub t1 t0) /. float_of_int iters
+      in
+      let direct = time_loop (fun () -> ignore (Kernel.read env fd ~off:0 ~len:1)) in
+      let via =
+        time_loop (fun () ->
+            ignore (Graybox_core.Os_sim.read env fd ~off:0 ~len:1))
+      in
+      Printf.printf
+        "# Os_sim adapter overhead: direct kernel calls vs the OS functor \
+         surface (%d reads each)\n"
+        iters;
+      Printf.printf
+        "  read  direct   %7.1f ns/call   via-adapter %7.1f ns/call   (%+.1f%%)%s\n"
+        direct via
+        (if direct > 0.0 then (via -. direct) /. direct *. 100.0 else 0.0)
+        (if Graybox_core.Os_sim.read == Kernel.read then "   [same closure]"
+         else "");
+      Kernel.close env fd);
+  Kernel.run k
 
 (* --top: a deterministic contention scenario on a memory-starved machine,
    rendered as the per-process accounting table plus the who-evicted-whom

@@ -7,79 +7,88 @@ let ok_exn = function
   | Ok v -> v
   | Error e -> failwith ("Workload: syscall failed: " ^ Kernel.error_to_string e)
 
-(* Workload drivers behave like a well-written application: transient
-   syscall faults are retried (free when fault injection is off), only
-   permanent errors abort the run. *)
-let retry f = ok_exn (Resilient.retry f)
+module Make (Os : Os_intf.S) = struct
+  module R = Resilient.Make (Os)
 
-let write_file env path size =
-  let fd = ok_exn (Kernel.create_file env path) in
-  let off = ref 0 in
-  while !off < size do
-    let len = min chunk (size - !off) in
-    ignore (retry (fun () -> Kernel.write env fd ~off:!off ~len));
-    off := !off + len
-  done;
-  Kernel.close env fd
+  (* Workload drivers behave like a well-written application: transient
+     syscall faults are retried (free when fault injection is off), only
+     permanent errors abort the run. *)
+  let retry f = ok_exn (R.retry f)
 
-let read_file_in_units env path ~unit_bytes =
-  let fd = retry (fun () -> Kernel.open_file env path) in
-  let size = Kernel.file_size env fd in
-  let off = ref 0 in
-  while !off < size do
-    ignore
-      (retry (fun () -> Kernel.read env fd ~off:!off ~len:(min unit_bytes (size - !off))));
-    off := !off + unit_bytes
-  done;
-  Kernel.close env fd
-
-let read_file env path = read_file_in_units env path ~unit_bytes:chunk
-
-let read_prefix env path ~bytes =
-  if bytes > 0 then begin
-    let fd = retry (fun () -> Kernel.open_file env path) in
-    let size = min bytes (Kernel.file_size env fd) in
+  let write_file env path size =
+    let fd = ok_exn (Os.create_file env path) in
     let off = ref 0 in
     while !off < size do
       let len = min chunk (size - !off) in
-      ignore (retry (fun () -> Kernel.read env fd ~off:!off ~len));
+      ignore (retry (fun () -> Os.write env fd ~off:!off ~len));
       off := !off + len
     done;
-    Kernel.close env fd
-  end
+    Os.close env fd
 
-let make_files env ~dir ~prefix ~count ~size =
-  (match Kernel.mkdir env dir with
-  | Ok () -> ()
-  | Error (Kernel.Fs_error Fs.Eexist) -> ()
-  | Error e -> failwith ("Workload.make_files: " ^ Kernel.error_to_string e));
-  List.init count (fun i ->
-      let path = Printf.sprintf "%s/%s%04d" dir prefix i in
-      write_file env path size;
-      path)
+  let read_file_in_units env path ~unit_bytes =
+    let fd = retry (fun () -> Os.open_file env path) in
+    let size = Os.file_size env fd in
+    let off = ref 0 in
+    while !off < size do
+      ignore
+        (retry (fun () -> Os.read env fd ~off:!off ~len:(min unit_bytes (size - !off))));
+      off := !off + unit_bytes
+    done;
+    Os.close env fd
 
-let age_directory env rng ~dir ~deletes ~creates ~size =
-  let names = Array.of_list (ok_exn (Kernel.readdir env dir)) in
-  Gray_util.Rng.shuffle rng names;
-  for i = 0 to min deletes (Array.length names) - 1 do
-    ignore (ok_exn (Kernel.unlink env (dir ^ "/" ^ names.(i))))
-  done;
-  for _ = 1 to creates do
-    (* fresh names so aging never recreates a deleted name *)
-    let rec fresh () =
-      let name = Printf.sprintf "%s/aged%06d" dir (Gray_util.Rng.int rng 1_000_000) in
-      match Resilient.retry (fun () -> Kernel.stat env name) with
-      | Error _ -> name
-      | Ok _ -> fresh ()
-    in
-    write_file env (fresh ()) size
-  done
+  let read_file env path = read_file_in_units env path ~unit_bytes:chunk
 
-let paths_in env ~dir =
-  List.sort compare (ok_exn (Kernel.readdir env dir))
-  |> List.map (fun name -> dir ^ "/" ^ name)
+  let read_prefix env path ~bytes =
+    if bytes > 0 then begin
+      let fd = retry (fun () -> Os.open_file env path) in
+      let size = min bytes (Os.file_size env fd) in
+      let off = ref 0 in
+      while !off < size do
+        let len = min chunk (size - !off) in
+        ignore (retry (fun () -> Os.read env fd ~off:!off ~len));
+        off := !off + len
+      done;
+      Os.close env fd
+    end
 
-(* ---- fleet profiles --------------------------------------------------- *)
+  let make_files env ~dir ~prefix ~count ~size =
+    (match Os.mkdir env dir with
+    | Ok _ -> ()
+    | Error (Kernel.Fs_error Fs.Eexist) -> ()
+    | Error e -> failwith ("Workload.make_files: " ^ Kernel.error_to_string e));
+    List.init count (fun i ->
+        let path = Printf.sprintf "%s/%s%04d" dir prefix i in
+        write_file env path size;
+        path)
+
+  let age_directory env rng ~dir ~deletes ~creates ~size =
+    let names = Array.of_list (ok_exn (Os.readdir env dir)) in
+    Gray_util.Rng.shuffle rng names;
+    for i = 0 to min deletes (Array.length names) - 1 do
+      ignore (ok_exn (Os.unlink env (dir ^ "/" ^ names.(i))))
+    done;
+    for _ = 1 to creates do
+      (* fresh names so aging never recreates a deleted name *)
+      let rec fresh () =
+        let name = Printf.sprintf "%s/aged%06d" dir (Gray_util.Rng.int rng 1_000_000) in
+        match R.retry (fun () -> Os.stat env name) with
+        | Error _ -> name
+        | Ok _ -> fresh ()
+      in
+      write_file env (fresh ()) size
+    done
+
+  let paths_in env ~dir =
+    List.sort compare (ok_exn (Os.readdir env dir))
+    |> List.map (fun name -> dir ^ "/" ^ name)
+end
+
+include Make (Os_sim)
+
+(* ---- fleet profiles ---------------------------------------------------
+
+   Sim-only: the profiles lean on the engine's fiber scheduler for think
+   time and on simulated pids, so they stay on the flat (Os_sim) API. *)
 
 type profile = Scanner | Hot_set | Zipf | Idle
 

@@ -10,18 +10,54 @@ val ok_exn : ('a, Simos.Kernel.error) result -> 'a
 (** Unwrap a syscall result, failing loudly (workloads are test fixtures;
     their syscalls are not supposed to fail). *)
 
+(** The file-population helpers over any {!Graybox_core.Os_intf.S}
+    backend — the host conformance suite and the host [gbp] pipeline use
+    them to build real directories on disk. *)
+module Make (Os : Graybox_core.Os_intf.S) : sig
+  val write_file : Os.env -> string -> int -> unit
+  (** Create a file of the given size with chunked sequential writes. *)
+
+  val read_file : Os.env -> string -> unit
+  (** Sequential chunked read of the whole file. *)
+
+  val read_file_in_units : Os.env -> string -> unit_bytes:int -> unit
+
+  val read_prefix : Os.env -> string -> bytes:int -> unit
+  (** Chunked sequential read of the first [bytes] of the file (clamped to
+      the file size; no-op when [bytes <= 0]) — warms a file to a chosen
+      cached fraction. *)
+
+  val make_files :
+    Os.env ->
+    dir:string ->
+    prefix:string ->
+    count:int ->
+    size:int ->
+    string list
+  (** Create [dir] (if missing) and [count] files of [size] bytes, named
+      [prefix ^ index]; returns the paths in creation order. *)
+
+  val age_directory :
+    Os.env ->
+    Gray_util.Rng.t ->
+    dir:string ->
+    deletes:int ->
+    creates:int ->
+    size:int ->
+    unit
+  (** One aging epoch (Section 4.2.3): delete [deletes] random files from
+      the directory, then create [creates] new ones of [size] bytes. *)
+
+  val paths_in : Os.env -> dir:string -> string list
+  (** All entries of [dir], sorted by name (a shell glob). *)
+end
+
+(** {1 The simulated-backend instance (the historical flat API)} *)
+
 val write_file : Simos.Kernel.env -> string -> int -> unit
-(** Create a file of the given size with chunked sequential writes. *)
-
 val read_file : Simos.Kernel.env -> string -> unit
-(** Sequential chunked read of the whole file. *)
-
 val read_file_in_units : Simos.Kernel.env -> string -> unit_bytes:int -> unit
-
 val read_prefix : Simos.Kernel.env -> string -> bytes:int -> unit
-(** Chunked sequential read of the first [bytes] of the file (clamped to
-    the file size; no-op when [bytes <= 0]) — warms a file to a chosen
-    cached fraction. *)
 
 val make_files :
   Simos.Kernel.env ->
@@ -30,8 +66,6 @@ val make_files :
   count:int ->
   size:int ->
   string list
-(** Create [dir] (if missing) and [count] files of [size] bytes, named
-    [prefix ^ index]; returns the paths in creation order. *)
 
 val age_directory :
   Simos.Kernel.env ->
@@ -41,11 +75,8 @@ val age_directory :
   creates:int ->
   size:int ->
   unit
-(** One aging epoch (Section 4.2.3): delete [deletes] random files from
-    the directory, then create [creates] new ones of [size] bytes. *)
 
 val paths_in : Simos.Kernel.env -> dir:string -> string list
-(** All entries of [dir], sorted by name (a shell glob). *)
 
 (** {1 Fleet profiles}
 

@@ -20,7 +20,9 @@
 
     Everything here runs on the gray-box side of the wall — health checks
     use the same timing channels the ICLs themselves use, never kernel
-    introspection. *)
+    introspection.  The wrappers are functorized over the backend: a host
+    capability failure (e.g. a refused [valloc]) reads as health 0 and
+    flows through the same staleness machinery as drift does. *)
 
 type config = {
   alpha : float;  (** EMA weight of the newest health sample *)
@@ -42,7 +44,10 @@ type status = Fresh | Stale | Exhausted
 
 val status_to_string : status -> string
 
-(** {1 Watchdog core} *)
+(** {1 Watchdog core}
+
+    Backend-independent: the watchdog consumes health samples and
+    timestamps, never an env. *)
 
 type watchdog
 
@@ -77,24 +82,83 @@ val recalibrations : watchdog -> int
 val stale_ns : watchdog -> int
 (** Total virtual time spent in [Stale] (closed intervals only). *)
 
-(** {1 MAC wrapper}
+(** {1 The wrappers, over any backend} *)
 
-    Wraps {!Mac.gb_alloc} with a frozen-then-healed slow threshold.  The
-    health probe re-touches a small resident region and measures the
-    fraction classified fast by the current threshold — on an undrifted
-    machine that is ~1.0; after a timer-resolution drift every touch
-    quantises above a stale threshold and it collapses to 0. *)
+module Make (Os : Os_intf.S) : sig
+  (** {2 MAC wrapper}
 
-type mac
+      Wraps [gb_alloc] with a frozen-then-healed slow threshold.  The
+      health probe re-touches a small resident region and measures the
+      fraction classified fast by the current threshold — on an undrifted
+      machine that is ~1.0; after a timer-resolution drift every touch
+      quantises above a stale threshold and it collapses to 0.  A backend
+      that refuses the check region's [valloc] also scores 0, so host
+      capability loss degrades exactly like drift. *)
+
+  type mac
+
+  val mac : ?config:config -> Os.env -> mac_config:Mac.config -> mac
+  (** Calibrate once ({!Mac.Make.calibrate_threshold}, unless the config
+      pins [slow_threshold_ns]) and wrap the result. *)
+
+  val mac_threshold_ns : mac -> int
+  (** The threshold currently in force (moves on re-calibration). *)
+
+  val mac_watchdog : mac -> watchdog
+
+  val mac_alloc :
+    Os.env ->
+    mac ->
+    min:int ->
+    max:int ->
+    multiple:int ->
+    (Mac.Make(Os).allocation option, [ `Stale_budget_exhausted ]) result
+  (** [gb_alloc] behind the watchdog: spot-check health first; when
+      stale, re-calibrate (fresh threshold blended with the prior at
+      [prior_weight]) and retry, spending budget each time; [Error] once
+      the budget is gone. *)
+
+  (** {2 FCCD wrapper}
+
+      Maintains a per-file probe-time estimate and re-orders files by it.
+      Each ordering request spot-probes a small rotating subset; health is
+      the pairwise rank concordance between the stored estimates and the
+      fresh probes.  Spot results are always blended into the estimates
+      (incremental adaptation); staleness triggers a full re-probe. *)
+
+  type fccd
+
+  val fccd :
+    ?config:config ->
+    Os.env ->
+    fccd_config:Fccd.config ->
+    paths:string list ->
+    (fccd, Simos.Kernel.error) result
+  (** Full initial probe to seed the estimates. *)
+
+  val fccd_watchdog : fccd -> watchdog
+
+  val fccd_estimates : fccd -> (string * float) list
+  (** Current per-file probe-time estimates (for inspection/tests). *)
+
+  val fccd_order :
+    Os.env ->
+    fccd ->
+    (string list,
+     [ `Kernel of Simos.Kernel.error | `Stale_budget_exhausted ])
+    result
+  (** Paths in predicted fastest-first order after the spot check (and any
+      re-calibration it triggered). *)
+end
+
+(** {1 The simulated-backend instance (the historical flat API)} *)
+
+type mac = Make(Os_sim).mac
 
 val mac :
   ?config:config -> Simos.Kernel.env -> mac_config:Mac.config -> mac
-(** Calibrate once ({!Mac.calibrate_threshold}, unless the config pins
-    [slow_threshold_ns]) and wrap the result. *)
 
 val mac_threshold_ns : mac -> int
-(** The threshold currently in force (moves on re-calibration). *)
-
 val mac_watchdog : mac -> watchdog
 
 val mac_alloc :
@@ -104,20 +168,8 @@ val mac_alloc :
   max:int ->
   multiple:int ->
   (Mac.allocation option, [ `Stale_budget_exhausted ]) result
-(** {!Mac.gb_alloc} behind the watchdog: spot-check health first; when
-    stale, re-calibrate (fresh threshold blended with the prior at
-    [prior_weight]) and retry, spending budget each time; [Error] once
-    the budget is gone. *)
 
-(** {1 FCCD wrapper}
-
-    Maintains a per-file probe-time estimate and re-orders files by it.
-    Each ordering request spot-probes a small rotating subset; health is
-    the pairwise rank concordance between the stored estimates and the
-    fresh probes.  Spot results are always blended into the estimates
-    (incremental adaptation); staleness triggers a full re-probe. *)
-
-type fccd
+type fccd = Make(Os_sim).fccd
 
 val fccd :
   ?config:config ->
@@ -125,12 +177,9 @@ val fccd :
   fccd_config:Fccd.config ->
   paths:string list ->
   (fccd, Simos.Kernel.error) result
-(** Full initial probe ({!Fccd.order_files}) to seed the estimates. *)
 
 val fccd_watchdog : fccd -> watchdog
-
 val fccd_estimates : fccd -> (string * float) list
-(** Current per-file probe-time estimates (for inspection/tests). *)
 
 val fccd_order :
   Simos.Kernel.env ->
@@ -138,5 +187,3 @@ val fccd_order :
   (string list,
    [ `Kernel of Simos.Kernel.error | `Stale_budget_exhausted ])
   result
-(** Paths in predicted fastest-first order after the spot check (and any
-    re-calibration it triggered). *)

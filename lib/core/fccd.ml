@@ -1,5 +1,4 @@
 open Gray_util
-open Simos
 
 type config = {
   access_unit : int;
@@ -71,29 +70,65 @@ let partition config ~size =
   in
   go 0 []
 
-(* One probe point, hardened: transient faults are retried with only the
-   successful attempt timed; errors that survive the budget are reported
-   as "far away" so a flaky channel degrades the plan instead of aborting
-   it. *)
-let probe_point env config fd ~off =
-  match config.retry with
-  | None -> Probe.file_byte env fd ~off
-  | Some policy -> (
-    match Probe.file_byte_r env ~policy fd ~off with
-    | Ok ns -> ns
-    | Error _ -> config.fake_high_ns)
-
-let k_open env config path =
-  match config.retry with
-  | None -> Kernel.open_file env path
-  | Some policy -> Resilient.retry ~policy (fun () -> Kernel.open_file env path)
-
 (* Relative spread > 1: the per-unit samples disagree wildly, which under
    fault injection usually means a latency spike landed in the middle of
    the pass. *)
 let unstable samples =
   let m = Stats.mean_of samples in
   m > 0.0 && Stats.stddev_of samples > m
+
+(* How much we believe a probe-time ordering: cluster the per-unit mean
+   times of the extents in log domain and turn the cache/disk separation
+   into [0, 1] — a clean two-decade gap is ~1, a spurious split is ~0.  A
+   homogeneous population (everything cached, or nothing) is unambiguous
+   and scores 1. *)
+let confidence_of_means means =
+  if Array.length means < 2 then 1.0
+  else begin
+    let split = Cluster.two_means_log (Array.map (Float.max 1.0) means) in
+    if split.Cluster.low_count = 0 || split.Cluster.high_count = 0 then 1.0
+    else begin
+      let sep = Cluster.separation split in
+      if sep <= 1.0 then 0.0 else 1.0 -. (1.0 /. sep)
+    end
+  end
+
+let units_of config ext =
+  max 1 ((ext.ext_len + config.prediction_unit - 1) / config.prediction_unit)
+
+type file_rank = { fr_path : string; fr_probe_ns : int; fr_size : int }
+
+let order_confidence config ranked =
+  confidence_of_means
+    (Array.of_list
+       (List.map
+          (fun r ->
+            let units =
+              max 1 ((r.fr_size + config.prediction_unit - 1) / config.prediction_unit)
+            in
+            float_of_int r.fr_probe_ns /. float_of_int units)
+          ranked))
+
+module Make (Os : Os_intf.S) = struct
+  module R = Resilient.Make (Os)
+  module P = Probe.Make (Os)
+
+(* One probe point, hardened: transient faults are retried with only the
+   successful attempt timed; errors that survive the budget are reported
+   as "far away" so a flaky channel degrades the plan instead of aborting
+   it. *)
+let probe_point env config fd ~off =
+  match config.retry with
+  | None -> P.file_byte env fd ~off
+  | Some policy -> (
+    match P.file_byte_r env ~policy fd ~off with
+    | Ok ns -> ns
+    | Error _ -> config.fake_high_ns)
+
+let k_open env config path =
+  match config.retry with
+  | None -> Os.open_file env path
+  | Some policy -> R.retry ~policy (fun () -> Os.open_file env path)
 
 (* One probe per prediction unit, at a random byte of the unit: robust
    across runs and repeatable probing increases confidence
@@ -148,27 +183,8 @@ let probe_extent env config fd ext =
         ]));
   (total, !probes)
 
-(* How much we believe a probe-time ordering: cluster the per-unit mean
-   times of the extents in log domain and turn the cache/disk separation
-   into [0, 1] — a clean two-decade gap is ~1, a spurious split is ~0.  A
-   homogeneous population (everything cached, or nothing) is unambiguous
-   and scores 1. *)
-let confidence_of_means means =
-  if Array.length means < 2 then 1.0
-  else begin
-    let split = Cluster.two_means_log (Array.map (Float.max 1.0) means) in
-    if split.Cluster.low_count = 0 || split.Cluster.high_count = 0 then 1.0
-    else begin
-      let sep = Cluster.separation split in
-      if sep <= 1.0 then 0.0 else 1.0 -. (1.0 /. sep)
-    end
-  end
-
-let units_of config ext =
-  max 1 ((ext.ext_len + config.prediction_unit - 1) / config.prediction_unit)
-
 let probe_fd env config ~path fd =
-  let size = Kernel.file_size env fd in
+  let size = Os.file_size env fd in
   if size < page then
     (* Heisenberg: probing a sub-page file would fault all of it in, so we
        report it "far away" instead (Section 4.1.4). *)
@@ -195,11 +211,16 @@ let probe_fd env config ~path fd =
             parts)
     in
     let confidence =
-      confidence_of_means
-        (Array.of_list
-           (List.map
-              (fun (ext, ns) -> float_of_int ns /. float_of_int (units_of config ext))
-              timed))
+      (* a backend with a coarse timer cannot justify full belief in a
+         timing-derived ordering: cap, don't crash (sim caps at 1.0,
+         which is the identity) *)
+      Float.min
+        (Os.timing_confidence_cap env)
+        (confidence_of_means
+           (Array.of_list
+              (List.map
+                 (fun (ext, ns) -> float_of_int ns /. float_of_int (units_of config ext))
+                 timed)))
     in
     Telemetry.observe "core.fccd.confidence" confidence;
     let ordered =
@@ -227,10 +248,8 @@ let probe_file env config ~path =
   | Error e -> Error e
   | Ok fd ->
     let plan = probe_fd env config ~path fd in
-    Kernel.close env fd;
+    Os.close env fd;
     Ok plan
-
-type file_rank = { fr_path : string; fr_probe_ns : int; fr_size : int }
 
 let order_files env config ~paths =
   let rec rank acc = function
@@ -245,31 +264,23 @@ let order_files env config ~paths =
       match k_open env config path with
       | Error e -> Error e
       | Ok fd ->
-        let size = Kernel.file_size env fd in
+        let size = Os.file_size env fd in
         let probe_ns =
           if size < page then config.fake_high_ns
           else fst (probe_extent env config fd { ext_off = 0; ext_len = size })
         in
-        Kernel.close env fd;
+        Os.close env fd;
         rank ({ fr_path = path; fr_probe_ns = probe_ns; fr_size = size } :: acc) rest)
   in
   rank [] paths
 
-let order_confidence config ranked =
-  confidence_of_means
-    (Array.of_list
-       (List.map
-          (fun r ->
-            let units =
-              max 1 ((r.fr_size + config.prediction_unit - 1) / config.prediction_unit)
-            in
-            float_of_int r.fr_probe_ns /. float_of_int units)
-          ranked))
-
 let read_plan ?policy env fd plan ~f =
   List.iter
     (fun ({ ext_off; ext_len }, _) ->
-      match Resilient.retry ?policy (fun () -> Kernel.read env fd ~off:ext_off ~len:ext_len) with
+      match R.retry ?policy (fun () -> Os.read env fd ~off:ext_off ~len:ext_len) with
       | Ok n -> f ~off:ext_off ~len:n
       | Error _ -> ())
     plan.plan_extents
+end
+
+include Make (Os_sim)

@@ -61,27 +61,59 @@ val extents_or_sequential : config -> plan -> extent list
     the same extents in plain sequential (offset) order — a low-belief
     reordering is worse than none. *)
 
+type file_rank = { fr_path : string; fr_probe_ns : int; fr_size : int }
+
+val order_confidence : config -> file_rank list -> float
+(** Confidence in a {!Make.order_files} ranking, in [0, 1] (same
+    clustering metric as [plan_confidence]).  Pure — a host pipeline
+    additionally caps the result at the backend's
+    {!Os_intf.S.timing_confidence_cap}. *)
+
+(** The probing machinery over any {!Os_intf.S} backend.  A plan's
+    [plan_confidence] is capped at the backend's
+    [timing_confidence_cap] — a coarse host timer widens uncertainty
+    instead of crashing (the sim's cap is 1.0, the identity). *)
+module Make (Os : Os_intf.S) : sig
+  val probe_file : Os.env -> config -> path:string -> (plan, Simos.Kernel.error) result
+  (** Probe one file and plan its best access order. *)
+
+  val probe_fd : Os.env -> config -> path:string -> Os.fd -> plan
+  (** Same on an already-open descriptor. *)
+
+  val order_files :
+    Os.env ->
+    config ->
+    paths:string list ->
+    (file_rank list, Simos.Kernel.error) result
+  (** Rank whole files by probe time, fastest (most cached) first; the
+      multi-file interface behind [gbp -mem] and [gb-grep].  Each file gets
+      one probe per prediction unit; sub-page files get [fake_high_ns]. *)
+
+  val read_plan :
+    ?policy:Resilient.policy ->
+    Os.env ->
+    Os.fd ->
+    plan ->
+    f:(off:int -> len:int -> unit) ->
+    unit
+  (** Read the file extent-by-extent in plan order, invoking [f] after each
+      extent arrives (the application's processing hook).  With [?policy],
+      transient read errors are retried; an extent whose read still fails is
+      skipped (so [f] never sees bytes that did not arrive). *)
+end
+
+(** The simulated-backend instance (the historical flat API). *)
+
 val probe_file : Simos.Kernel.env -> config -> path:string -> (plan, Simos.Kernel.error) result
-(** Probe one file and plan its best access order. *)
 
 val probe_fd :
   Simos.Kernel.env -> config -> path:string -> Simos.Kernel.fd -> plan
-(** Same on an already-open descriptor. *)
-
-type file_rank = { fr_path : string; fr_probe_ns : int; fr_size : int }
 
 val order_files :
   Simos.Kernel.env ->
   config ->
   paths:string list ->
   (file_rank list, Simos.Kernel.error) result
-(** Rank whole files by probe time, fastest (most cached) first; the
-    multi-file interface behind [gbp -mem] and [gb-grep].  Each file gets
-    one probe per prediction unit; sub-page files get [fake_high_ns]. *)
-
-val order_confidence : config -> file_rank list -> float
-(** Confidence in a {!order_files} ranking, in [0, 1] (same clustering
-    metric as [plan_confidence]). *)
 
 val read_plan :
   ?policy:Resilient.policy ->
@@ -90,7 +122,3 @@ val read_plan :
   plan ->
   f:(off:int -> len:int -> unit) ->
   unit
-(** Read the file extent-by-extent in plan order, invoking [f] after each
-    extent arrives (the application's processing hook).  With [?policy],
-    transient read errors are retried; an extent whose read still fails is
-    skipped (so [f] never sees bytes that did not arrive). *)

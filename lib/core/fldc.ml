@@ -13,24 +13,6 @@ let basename path =
   | None -> path
   | Some i -> String.sub path (i + 1) (String.length path - i - 1)
 
-let order_by_inumber env ~paths =
-  let policy = Resilient.default () in
-  let rec stat_all acc = function
-    | [] ->
-      Ok
-        (List.stable_sort
-           (fun a b -> compare a.so_ino b.so_ino)
-           (List.rev acc))
-    | path :: rest -> (
-      match Resilient.retry ~policy (fun () -> Kernel.stat env path) with
-      | Error e -> Error e
-      | Ok st ->
-        stat_all
-          ({ so_path = path; so_ino = st.Fs.st_ino; so_size = st.Fs.st_size } :: acc)
-          rest)
-  in
-  stat_all [] paths
-
 let order_by_directory ~paths =
   let groups = Hashtbl.create 8 in
   let order = ref [] in
@@ -68,7 +50,7 @@ let tmp_dir_path ~parent ~base = parent ^ "/." ^ base ^ ".gb_refresh"
    Under the crash plane the journal file carries real content (via the
    kernel's blob side-band): an intent record written and fsynced before
    any destructive step, upgraded to a commit record — the atomic switch
-   from roll-back to roll-forward — only after [Kernel.sync] has made the
+   from roll-back to roll-forward — only after [sync] has made the
    copied data durable. *)
 
 let journal_magic = "gb-refresh/1"
@@ -112,215 +94,278 @@ let journal_committed s ~base =
 
 let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v
 
-let copy_file env ~policy ~src ~dst ~size =
-  let* src_fd = Resilient.retry ~policy (fun () -> Kernel.open_file env src) in
-  let* dst_fd = Kernel.create_file env dst in
-  let chunk = 4 * 1024 * 1024 in
-  let rec go off =
-    if off >= size then Ok ()
-    else
-      let len = min chunk (size - off) in
-      let* _ = Resilient.retry ~policy (fun () -> Kernel.read env src_fd ~off ~len) in
-      let* _ = Resilient.retry ~policy (fun () -> Kernel.write env dst_fd ~off ~len) in
-      go (off + len)
-  in
-  let result = go 0 in
-  Kernel.close env src_fd;
-  Kernel.close env dst_fd;
-  result
+module Make (Os : Os_intf.S) = struct
+  module R = Resilient.Make (Os)
 
-let exists env path =
-  (* a transient stat failure must not be read as "gone" — repair uses
-     this answer to pick roll-back vs roll-forward *)
-  match Resilient.retry (fun () -> Kernel.stat env path) with
-  | Ok _ -> true
-  | Error _ -> false
+  let order_by_inumber env ~paths =
+    let policy = Resilient.default () in
+    let rec stat_all acc = function
+      | [] ->
+        Ok
+          (List.stable_sort
+             (fun a b -> compare a.so_ino b.so_ino)
+             (List.rev acc))
+      | path :: rest -> (
+        match R.retry ~policy (fun () -> Os.stat env path) with
+        | Error e -> Error e
+        | Ok st ->
+          stat_all
+            ({ so_path = path; so_ino = st.Fs.st_ino; so_size = st.Fs.st_size } :: acc)
+            rest)
+    in
+    stat_all [] paths
 
-let remove_dir_recursive env dir =
-  let* entries = Kernel.readdir env dir in
-  let rec remove = function
-    | [] -> Kernel.unlink env dir
-    | name :: rest ->
-      let* () = Kernel.unlink env (dir ^ "/" ^ name) in
-      remove rest
-  in
-  remove entries
-
-let refresh_directory env ?(order = `Size_ascending) ?(crash_at = No_crash) ~dir () =
-  Tele.span "core.fldc.refresh" ~attrs:(fun () -> [ ("dir", Tele.String dir) ])
-  @@ fun () ->
-  let maybe_crash point = if crash_at = point then raise (Injected_crash point) in
-  let policy = Resilient.default () in
-  let parent = dirname dir and base = basename dir in
-  let* names = Kernel.readdir env dir in
-  (* collect sizes and times; refuse directories inside *)
-  let rec stat_all acc = function
-    | [] -> Ok (List.rev acc)
-    | name :: rest ->
-      let* st = Resilient.retry ~policy (fun () -> Kernel.stat env (dir ^ "/" ^ name)) in
-      if st.Fs.st_is_dir then Error (Kernel.Fs_error Fs.Eisdir)
-      else stat_all ((name, st) :: acc) rest
-  in
-  let* stats = stat_all [] names in
-  let ordered =
-    match order with
-    | `Size_ascending ->
-      (* small files first, so they take the early inodes and the large
-         files' blocks land later where they do no harm (Section 4.2.1) *)
-      List.stable_sort
-        (fun (na, sa) (nb, sb) ->
-          if sa.Fs.st_size <> sb.Fs.st_size then compare sa.Fs.st_size sb.Fs.st_size
-          else compare na nb)
-        stats
-    | `Given names ->
-      let by_name = List.map (fun (n, s) -> (n, s)) stats in
-      let listed =
-        List.filter_map
-          (fun n -> Option.map (fun s -> (n, s)) (List.assoc_opt n by_name))
-          names
-      in
-      let missing =
-        List.filter (fun (n, _) -> not (List.mem n names)) by_name
-      in
-      listed @ missing
-  in
-  let tmp = tmp_dir_path ~parent ~base in
-  let journal = journal_path ~parent ~base in
-  (* Under the crash plane the journal carries fsynced intent/commit
-     records; without one the empty journal file alone is the marker and
-     the syscall sequence stays exactly what it always was. *)
-  let durable = Kernel.durability_on (Kernel.kernel_of_env env) in
-  let jfiles = List.map (fun (n, st) -> (n, st.Fs.st_size, st.Fs.st_mtime)) ordered in
-  let* jfd = Kernel.create_file env journal in
-  let intent =
-    if not durable then Ok ()
-    else
-      let* () =
-        Kernel.write_blob env jfd (journal_content ~base ~files:jfiles ~commit:false)
-      in
-      Kernel.fsync env jfd
-  in
-  Kernel.close env jfd;
-  let* () = intent in
-  let* _tmp_ino = Kernel.mkdir env tmp in
-  maybe_crash After_mkdir;
-  let rec copy_all = function
-    | [] -> Ok ()
-    | (name, st) :: rest ->
-      let* () =
-        copy_file env ~policy ~src:(dir ^ "/" ^ name) ~dst:(tmp ^ "/" ^ name)
-          ~size:st.Fs.st_size
-      in
-      copy_all rest
-  in
-  let* () =
-    Tele.span "core.fldc.copy"
-      ~attrs:(fun () -> [ ("files", Tele.Int (List.length ordered)) ])
-      (fun () -> copy_all ordered)
-  in
-  maybe_crash After_copies;
-  let rec times_all = function
-    | [] -> Ok ()
-    | (name, st) :: rest ->
-      let* () =
-        Kernel.utimes env (tmp ^ "/" ^ name) ~atime:st.Fs.st_atime ~mtime:st.Fs.st_mtime
-      in
-      times_all rest
-  in
-  let* () = Tele.span "core.fldc.utimes" (fun () -> times_all ordered) in
-  maybe_crash After_utimes;
-  let* () =
-    if not durable then Ok ()
-    else begin
-      (* Persist the copied data, then the commit record.  The commit
-         reaching disk is the atomic switch: before it, repair rolls back
-         to the intact original; after it, repair rolls the rename
-         forward.  Either way no file is lost. *)
-      Kernel.sync env;
-      let* jfd = Kernel.open_file env journal in
-      let* () =
-        Kernel.write_blob env jfd (journal_content ~base ~files:jfiles ~commit:true)
-      in
-      let committed = Kernel.fsync env jfd in
-      Kernel.close env jfd;
-      committed
-    end
-  in
-  let* () = Tele.span "core.fldc.delete" (fun () -> remove_dir_recursive env dir) in
-  maybe_crash After_delete;
-  let* () = Tele.span "core.fldc.rename" (fun () -> Kernel.rename env ~src:tmp ~dst:dir) in
-  Kernel.unlink env journal
-
-let repair env ~parent =
-  let durable = Kernel.durability_on (Kernel.kernel_of_env env) in
-  let* entries = Kernel.readdir env parent in
-  let prefix = journal_name ^ "." in
-  let journals =
-    List.filter
-      (fun n ->
-        String.length n > String.length prefix
-        && String.sub n 0 (String.length prefix) = prefix)
-      entries
-  in
-  let fix_one jname ~base ~tmp ~orig =
-    if not durable then
-      (* legacy heuristic: no journal content to consult *)
-      match (exists env tmp, exists env orig) with
-      | true, true ->
-        (* interrupted before the delete: the original is intact, the
-           temporary copy may be partial — roll back *)
-        remove_dir_recursive env tmp
-      | true, false ->
-        (* crashed between delete and rename — roll forward *)
-        Kernel.rename env ~src:tmp ~dst:orig
-      | false, _ -> Ok ()
-    else begin
-      let committed =
-        match Kernel.open_file env (parent ^ "/" ^ jname) with
-        | Error _ -> false
-        | Ok jfd ->
-          let c =
-            match Kernel.read_blob env jfd with
-            | Ok s -> journal_committed s ~base
-            | Error _ -> false
-          in
-          Kernel.close env jfd;
-          c
-      in
-      if committed then
-        (* Roll forward.  The temporary directory still existing is the
-           discriminator: if it is gone the rename already happened and
-           only the journal needs cleaning up; if it remains, finish the
-           (possibly partial) delete of the original and rename. *)
-        if exists env tmp then
-          let* () = if exists env orig then remove_dir_recursive env orig else Ok () in
-          Kernel.rename env ~src:tmp ~dst:orig
-        else Ok ()
-      else if
-        (* Roll back: the commit never became durable (absent, torn or
-           unparseable journal — every truncation lands here), so the
-           original is authoritative and the copy is disposable. *)
-        exists env tmp
-      then
-        if exists env orig then remove_dir_recursive env tmp
+  let copy_file env ~policy ~src ~dst ~size =
+    let* src_fd = R.retry ~policy (fun () -> Os.open_file env src) in
+    (* the source descriptor must not leak when the destination cannot be
+       created — an error return, unlike a crash, leaves the process alive
+       and still owning its descriptors *)
+    match Os.create_file env dst with
+    | Error e ->
+      Os.close env src_fd;
+      Error e
+    | Ok dst_fd ->
+      let chunk = 4 * 1024 * 1024 in
+      let rec go off =
+        if off >= size then Ok ()
         else
-          (* defensively salvage the copy if only it survived — cannot
-             happen under the documented protocol, but a repair must
-             never strand the data it still has *)
-          Kernel.rename env ~src:tmp ~dst:orig
-      else Ok ()
-    end
-  in
-  let rec fix repaired = function
-    | [] -> Ok repaired
-    | jname :: rest ->
-      let base =
-        String.sub jname (String.length prefix) (String.length jname - String.length prefix)
+          let len = min chunk (size - off) in
+          let* _ = R.retry ~policy (fun () -> Os.read env src_fd ~off ~len) in
+          let* _ = R.retry ~policy (fun () -> Os.write env dst_fd ~off ~len) in
+          go (off + len)
       in
-      let tmp = tmp_dir_path ~parent ~base in
-      let orig = parent ^ "/" ^ base in
-      let* () = fix_one jname ~base ~tmp ~orig in
-      let* () = Kernel.unlink env (parent ^ "/" ^ jname) in
-      fix true rest
-  in
-  fix false journals
+      let result = go 0 in
+      Os.close env src_fd;
+      Os.close env dst_fd;
+      result
+
+  let exists env path =
+    (* a transient stat failure must not be read as "gone" — repair uses
+       this answer to pick roll-back vs roll-forward *)
+    match R.retry (fun () -> Os.stat env path) with
+    | Ok _ -> true
+    | Error _ -> false
+
+  let remove_dir_recursive env dir =
+    let* entries = Os.readdir env dir in
+    let rec remove = function
+      | [] -> Os.unlink env dir
+      | name :: rest ->
+        let* () = Os.unlink env (dir ^ "/" ^ name) in
+        remove rest
+    in
+    remove entries
+
+  let refresh_directory env ?(order = `Size_ascending) ?(crash_at = No_crash) ~dir () =
+    Tele.span "core.fldc.refresh" ~attrs:(fun () -> [ ("dir", Tele.String dir) ])
+    @@ fun () ->
+    let maybe_crash point = if crash_at = point then raise (Injected_crash point) in
+    let policy = Resilient.default () in
+    let parent = dirname dir and base = basename dir in
+    let* names = Os.readdir env dir in
+    (* collect sizes and times; refuse directories inside *)
+    let rec stat_all acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest ->
+        let* st = R.retry ~policy (fun () -> Os.stat env (dir ^ "/" ^ name)) in
+        if st.Fs.st_is_dir then Error (Kernel.Fs_error Fs.Eisdir)
+        else stat_all ((name, st) :: acc) rest
+    in
+    let* stats = stat_all [] names in
+    let ordered =
+      match order with
+      | `Size_ascending ->
+        (* small files first, so they take the early inodes and the large
+           files' blocks land later where they do no harm (Section 4.2.1) *)
+        List.stable_sort
+          (fun (na, sa) (nb, sb) ->
+            if sa.Fs.st_size <> sb.Fs.st_size then compare sa.Fs.st_size sb.Fs.st_size
+            else compare na nb)
+          stats
+      | `Given names ->
+        let by_name = List.map (fun (n, s) -> (n, s)) stats in
+        let listed =
+          List.filter_map
+            (fun n -> Option.map (fun s -> (n, s)) (List.assoc_opt n by_name))
+            names
+        in
+        let missing =
+          List.filter (fun (n, _) -> not (List.mem n names)) by_name
+        in
+        listed @ missing
+    in
+    let tmp = tmp_dir_path ~parent ~base in
+    let journal = journal_path ~parent ~base in
+    (* Under the crash plane the journal carries fsynced intent/commit
+       records; without one the empty journal file alone is the marker and
+       the syscall sequence stays exactly what it always was. *)
+    let durable = Os.durability_on env in
+    let jfiles = List.map (fun (n, st) -> (n, st.Fs.st_size, st.Fs.st_mtime)) ordered in
+    let* jfd = Os.create_file env journal in
+    let intent =
+      if not durable then Ok ()
+      else
+        let* () =
+          Os.write_blob env jfd (journal_content ~base ~files:jfiles ~commit:false)
+        in
+        Os.fsync env jfd
+    in
+    Os.close env jfd;
+    let* () =
+      match intent with
+      | Ok () -> Ok ()
+      | Error e ->
+        (* nothing was copied yet, so the journal marker is pure litter *)
+        ignore (Os.unlink env journal : (unit, Kernel.error) result);
+        Error e
+    in
+    let* _tmp_ino =
+      match Os.mkdir env tmp with
+      | Ok ino -> Ok ino
+      | Error e ->
+        ignore (Os.unlink env journal : (unit, Kernel.error) result);
+        Error e
+    in
+    maybe_crash After_mkdir;
+    let body () =
+      let rec copy_all = function
+        | [] -> Ok ()
+        | (name, st) :: rest ->
+          let* () =
+            copy_file env ~policy ~src:(dir ^ "/" ^ name) ~dst:(tmp ^ "/" ^ name)
+              ~size:st.Fs.st_size
+          in
+          copy_all rest
+      in
+      let* () =
+        Tele.span "core.fldc.copy"
+          ~attrs:(fun () -> [ ("files", Tele.Int (List.length ordered)) ])
+          (fun () -> copy_all ordered)
+      in
+      maybe_crash After_copies;
+      let rec times_all = function
+        | [] -> Ok ()
+        | (name, st) :: rest ->
+          let* () =
+            Os.utimes env (tmp ^ "/" ^ name) ~atime:st.Fs.st_atime ~mtime:st.Fs.st_mtime
+          in
+          times_all rest
+      in
+      let* () = Tele.span "core.fldc.utimes" (fun () -> times_all ordered) in
+      maybe_crash After_utimes;
+      let* () =
+        if not durable then Ok ()
+        else begin
+          (* Persist the copied data, then the commit record.  The commit
+             reaching disk is the atomic switch: before it, repair rolls back
+             to the intact original; after it, repair rolls the rename
+             forward.  Either way no file is lost. *)
+          Os.sync env;
+          let* jfd = Os.open_file env journal in
+          let* () =
+            Os.write_blob env jfd (journal_content ~base ~files:jfiles ~commit:true)
+          in
+          let committed = Os.fsync env jfd in
+          Os.close env jfd;
+          committed
+        end
+      in
+      let* () = Tele.span "core.fldc.delete" (fun () -> remove_dir_recursive env dir) in
+      maybe_crash After_delete;
+      let* () = Tele.span "core.fldc.rename" (fun () -> Os.rename env ~src:tmp ~dst:dir) in
+      Os.unlink env journal
+    in
+    (* An error return — unlike a crash — leaves this process alive and
+       responsible for its litter: roll the refresh back (remove the
+       temporary copy and the journal) whenever the original directory is
+       still intact.  When the original is already gone (the error struck
+       between delete and rename) the temporary copy is the only surviving
+       data, so everything is left in place for {!repair} to roll forward.
+       Crash exceptions propagate untouched: post-crash cleanup would
+       falsify the very disk state the crash plane wants to expose. *)
+    match body () with
+    | Ok () -> Ok ()
+    | Error e ->
+      if exists env dir then begin
+        if exists env tmp then
+          ignore (remove_dir_recursive env tmp : (unit, Kernel.error) result);
+        ignore (Os.unlink env journal : (unit, Kernel.error) result)
+      end;
+      Error e
+
+  let repair env ~parent =
+    let durable = Os.durability_on env in
+    let* entries = Os.readdir env parent in
+    let prefix = journal_name ^ "." in
+    let journals =
+      List.filter
+        (fun n ->
+          String.length n > String.length prefix
+          && String.sub n 0 (String.length prefix) = prefix)
+        entries
+    in
+    let fix_one jname ~base ~tmp ~orig =
+      if not durable then
+        (* legacy heuristic: no journal content to consult *)
+        match (exists env tmp, exists env orig) with
+        | true, true ->
+          (* interrupted before the delete: the original is intact, the
+             temporary copy may be partial — roll back *)
+          remove_dir_recursive env tmp
+        | true, false ->
+          (* crashed between delete and rename — roll forward *)
+          Os.rename env ~src:tmp ~dst:orig
+        | false, _ -> Ok ()
+      else begin
+        let committed =
+          match Os.open_file env (parent ^ "/" ^ jname) with
+          | Error _ -> false
+          | Ok jfd ->
+            let c =
+              match Os.read_blob env jfd with
+              | Ok s -> journal_committed s ~base
+              | Error _ -> false
+            in
+            Os.close env jfd;
+            c
+        in
+        if committed then
+          (* Roll forward.  The temporary directory still existing is the
+             discriminator: if it is gone the rename already happened and
+             only the journal needs cleaning up; if it remains, finish the
+             (possibly partial) delete of the original and rename. *)
+          if exists env tmp then
+            let* () = if exists env orig then remove_dir_recursive env orig else Ok () in
+            Os.rename env ~src:tmp ~dst:orig
+          else Ok ()
+        else if
+          (* Roll back: the commit never became durable (absent, torn or
+             unparseable journal — every truncation lands here), so the
+             original is authoritative and the copy is disposable. *)
+          exists env tmp
+        then
+          if exists env orig then remove_dir_recursive env tmp
+          else
+            (* defensively salvage the copy if only it survived — cannot
+               happen under the documented protocol, but a repair must
+               never strand the data it still has *)
+            Os.rename env ~src:tmp ~dst:orig
+        else Ok ()
+      end
+    in
+    let rec fix repaired = function
+      | [] -> Ok repaired
+      | jname :: rest ->
+        let base =
+          String.sub jname (String.length prefix) (String.length jname - String.length prefix)
+        in
+        let tmp = tmp_dir_path ~parent ~base in
+        let orig = parent ^ "/" ^ base in
+        let* () = fix_one jname ~base ~tmp ~orig in
+        let* () = Os.unlink env (parent ^ "/" ^ jname) in
+        fix true rest
+    in
+    fix false journals
+end
+
+include Make (Os_sim)

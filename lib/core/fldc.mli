@@ -15,17 +15,13 @@
     original directory, rename the temporary into place.
 
     The refresh is not atomic (footnote 4 of the paper); a journal file in
-    the parent directory lets {!repair} fix up interrupted refreshes, and
-    {!crash_points} enumerates the places a crash can be injected. *)
+    the parent directory lets {!Make.repair} fix up interrupted refreshes,
+    and {!crash_points} enumerates the places a crash can be injected. *)
 
 type stat_order = { so_path : string; so_ino : int; so_size : int }
 
 val dirname : string -> string
 val basename : string -> string
-
-val order_by_inumber :
-  Simos.Kernel.env -> paths:string list -> (stat_order list, Simos.Kernel.error) result
-(** [stat] every file and return them sorted by i-number ascending. *)
 
 val order_by_directory : paths:string list -> string list
 (** The weaker heuristic: group files by directory name (sorted), keeping
@@ -44,6 +40,40 @@ val crash_points : crash_point list
 
 exception Injected_crash of crash_point
 
+(** The detector and controller over any {!Os_intf.S} backend.  Error
+    returns never strand resources: [copy_file]'s descriptors are closed
+    on every non-crash path, and a failed refresh rolls its temporary
+    directory and journal back whenever the original directory is still
+    intact (when it is not, everything is left for [repair] to roll
+    forward — the copy may be the only surviving data). *)
+module Make (Os : Os_intf.S) : sig
+  val order_by_inumber :
+    Os.env -> paths:string list -> (stat_order list, Simos.Kernel.error) result
+  (** [stat] every file and return them sorted by i-number ascending. *)
+
+  val refresh_directory :
+    Os.env ->
+    ?order:[ `Size_ascending | `Given of string list ] ->
+    ?crash_at:crash_point ->
+    dir:string ->
+    unit ->
+    (unit, Simos.Kernel.error) result
+  (** Refresh [dir] (absolute path, e.g. ["/d0/data"]).  [order] defaults to
+      smallest-first.  [crash_at] aborts by raising {!Injected_crash} at the
+      given step — for crash-recovery tests only. *)
+
+  val repair : Os.env -> parent:string -> (bool, Simos.Kernel.error) result
+  (** Scan [parent] for an interrupted refresh (journal present) and roll it
+      forward or back to a consistent state.  Returns [true] if a repair was
+      performed.  This is the "nightly script that looks for a certain
+      directory signature and patches up problems" of footnote 4. *)
+end
+
+(** {1 The simulated-backend instance (the historical flat API)} *)
+
+val order_by_inumber :
+  Simos.Kernel.env -> paths:string list -> (stat_order list, Simos.Kernel.error) result
+
 val refresh_directory :
   Simos.Kernel.env ->
   ?order:[ `Size_ascending | `Given of string list ] ->
@@ -51,15 +81,8 @@ val refresh_directory :
   dir:string ->
   unit ->
   (unit, Simos.Kernel.error) result
-(** Refresh [dir] (absolute path, e.g. ["/d0/data"]).  [order] defaults to
-    smallest-first.  [crash_at] aborts by raising {!Injected_crash} at the
-    given step — for crash-recovery tests only. *)
 
 val repair : Simos.Kernel.env -> parent:string -> (bool, Simos.Kernel.error) result
-(** Scan [parent] for an interrupted refresh (journal present) and roll it
-    forward or back to a consistent state.  Returns [true] if a repair was
-    performed.  This is the "nightly script that looks for a certain
-    directory signature and patches up problems" of footnote 4. *)
 
 val journal_name : string
 (** Name of the journal file a refresh writes into the parent directory. *)
@@ -73,13 +96,13 @@ val tmp_dir_path : parent:string -> base:string -> string
 
 (** {1 Journal records (durable mode)}
 
-    Under the crash plane ([Simos.Kernel.durability_on]) the refresh
+    Under the crash plane ({!Os_intf.S.durability_on}) the refresh
     writes real intent/commit records into the journal (via the kernel's
-    blob side-band) and fsyncs them, and {!repair} consults the record to
-    choose roll-back vs roll-forward; without a plane the journal stays an
-    empty marker file and refresh/repair issue exactly the legacy syscall
-    sequence.  Exposed for the crash explorer and the torn-journal
-    tests. *)
+    blob side-band) and fsyncs them, and {!Make.repair} consults the
+    record to choose roll-back vs roll-forward; without a plane the
+    journal stays an empty marker file and refresh/repair issue exactly
+    the legacy syscall sequence.  Exposed for the crash explorer and the
+    torn-journal tests. *)
 
 val journal_content :
   base:string -> files:(string * int * int) list -> commit:bool -> string

@@ -55,10 +55,11 @@ let best_order_or_fallback env config ?(min_confidence = 0.0) mode ~paths =
 let exit_code_of_error = function
   | Kernel.Bad_path -> 2
   | Kernel.Bad_fd -> 3
-  | Kernel.Retryable -> 4
+  | Kernel.Retryable | Kernel.Timeout -> 4
   | Kernel.Fs_error Fs.Enoent -> 5
   | Kernel.Fs_error Fs.Eexist -> 6
-  | Kernel.Fs_error _ -> 7
+  | Kernel.Fs_error _ | Kernel.Sys_error _ -> 7
+  | Kernel.Unsupported _ -> 12
 
 (* A telemetry export that cannot be written is not a kernel error, but it
    still deserves its own code in the same namespace. *)
@@ -75,6 +76,11 @@ let exit_recovery_failed = 10
    — the pipeline degraded into a distinct, scriptable failure rather
    than thrashing forever. *)
 let exit_stale = 11
+
+(* Host-backend runs (gbp --os host): the real-OS backend could not be
+   brought up, or the requested pipeline needs a capability the backend
+   does not provide.  Scripts probing for host support branch on this. *)
+let exit_host_unavailable = 12
 
 (* One pipe transfer costs a kernel-to-user copy of the payload (writer
    copies in, reader copies out — we charge the reader side once more,

@@ -45,8 +45,9 @@ val best_order_or_fallback :
 
 val exit_code_of_error : Simos.Kernel.error -> int
 (** Stable non-zero shell exit code for each kernel error ([Bad_path] 2,
-    [Bad_fd] 3, [Retryable] 4, [Enoent] 5, [Eexist] 6, other fs errors
-    7); code 1 stays reserved for usage errors. *)
+    [Bad_fd] 3, [Retryable] and host [Timeout] 4, [Enoent] 5, [Eexist] 6,
+    other fs errors and host [Sys_error] 7, host [Unsupported]
+    {!exit_host_unavailable}); code 1 stays reserved for usage errors. *)
 
 val exit_export_failed : int
 (** Exit code (8) for a telemetry export that could not be written —
@@ -65,6 +66,12 @@ val exit_stale : int
     watchdog exhausted its re-calibration budget: the environment kept
     drifting faster than the ICL could re-learn it, and the run degraded
     into this distinct code instead of thrashing. *)
+
+val exit_host_unavailable : int
+(** Exit code (12) for a [gbp --os host] run: the real-OS backend could
+    not be brought up (capability probe failed) or the requested pipeline
+    is not supported on the host.  Same code as
+    [exit_code_of_error (Unsupported _)]. *)
 
 val out :
   Simos.Kernel.env ->

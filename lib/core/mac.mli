@@ -26,7 +26,8 @@ type detector =
   | Vmstat
       (** consult the OS's paging counters between probe chunks — simpler
           and exact where the interface exists (the paper notes vmstat but
-          deliberately avoids relying on it) *)
+          deliberately avoids relying on it).  A backend whose [vmstat]
+          is [Unsupported] degrades to [Timing] automatically. *)
 
 type config = {
   initial_increment : int;  (** bytes; first step size (default 8 MB) *)
@@ -57,26 +58,68 @@ val default_config : ?repo:Param_repo.t -> unit -> config
 (** Uses [vm.page_in_ns] and [mem.alloc_zero_page_ns] from the repo to set
     the slow threshold when present. *)
 
-type allocation
-(** A successful gb_alloc: a committed region plus its size. *)
+(** The admission controller over any {!Os_intf.S} backend.  Failure
+    stays typed and graceful throughout: a refused [valloc] is reported
+    as [None] (nothing fits), an [Unsupported] vmstat falls back to the
+    timing detector, and a calibration pass that cannot reserve its
+    probe region settles for the conservative threshold floor. *)
+module Make (Os : Os_intf.S) : sig
+  type allocation
+  (** A successful gb_alloc: a committed region plus its size. *)
+
+  val bytes : allocation -> int
+  val pages : allocation -> int
+
+  val touch_all : Os.env -> allocation -> unit
+  (** Write over the whole allocation (the application "using" its memory);
+      exposed so experiments can drive access patterns. *)
+
+  val region : allocation -> Os.region
+  (** The backing region, for direct page access by the application. *)
+
+  val confidence : allocation -> float
+  (** How cleanly the timing channel classified pages during this
+      [gb_alloc], in [0, 1]: one minus the fraction of page-touch samples
+      that looked slow {e without} belonging to a consecutive-slow paging
+      run — isolated slowness is spike-like noise, not paging, and the
+      more of it the murkier the channel.  [1.0] under the exact [Vmstat]
+      detector. *)
+
+  val gb_alloc :
+    Os.env ->
+    config ->
+    min:int ->
+    max:int ->
+    multiple:int ->
+    allocation option
+  (** [gb_alloc env cfg ~min ~max ~multiple] returns an allocation of
+      [bytes] with [min <= bytes <= max] and [bytes mod multiple = 0], or
+      [None] when [min] bytes do not currently fit in available memory
+      (the paper's NULL return) — including when the backend refuses the
+      address-space reservation itself.  An application that cannot adapt
+      passes [min = max].  Raises [Invalid_argument] on inconsistent
+      bounds. *)
+
+  val gb_free : Os.env -> allocation -> unit
+
+  val calibrate_threshold : config -> Os.env -> int
+  (** Run the self-calibration pass (Section 4.3.2) by itself and return the
+      derived slow threshold in ns: 10x the worst benign (resident or
+      zero-fill) page-touch cost observed, floored at 1 us.  [gb_alloc] does
+      this implicitly when [slow_threshold_ns] is [None]; the adaptive layer
+      calls it explicitly to re-calibrate after environment drift and blend
+      the fresh value with its prior. *)
+end
+
+(** {1 The simulated-backend instance (the historical flat API)} *)
+
+type allocation = Make(Os_sim).allocation
 
 val bytes : allocation -> int
 val pages : allocation -> int
-
 val touch_all : Simos.Kernel.env -> allocation -> unit
-(** Write over the whole allocation (the application "using" its memory);
-    exposed so experiments can drive access patterns. *)
-
 val region : allocation -> Simos.Kernel.region
-(** The backing region, for direct page access by the application. *)
-
 val confidence : allocation -> float
-(** How cleanly the timing channel classified pages during this
-    [gb_alloc], in [0, 1]: one minus the fraction of page-touch samples
-    that looked slow {e without} belonging to a consecutive-slow paging
-    run — isolated slowness is spike-like noise, not paging, and the
-    more of it the murkier the channel.  [1.0] under the exact [Vmstat]
-    detector. *)
 
 val gb_alloc :
   Simos.Kernel.env ->
@@ -85,21 +128,9 @@ val gb_alloc :
   max:int ->
   multiple:int ->
   allocation option
-(** [gb_alloc env cfg ~min ~max ~multiple] returns an allocation of
-    [bytes] with [min <= bytes <= max] and [bytes mod multiple = 0], or
-    [None] when [min] bytes do not currently fit in available memory
-    (the paper's NULL return).  An application that cannot adapt passes
-    [min = max].  Raises [Invalid_argument] on inconsistent bounds. *)
 
 val gb_free : Simos.Kernel.env -> allocation -> unit
-
 val calibrate_threshold : config -> Simos.Kernel.env -> int
-(** Run the self-calibration pass (Section 4.3.2) by itself and return the
-    derived slow threshold in ns: 10x the worst benign (resident or
-    zero-fill) page-touch cost observed, floored at 1 us.  [gb_alloc] does
-    this implicitly when [slow_threshold_ns] is [None]; the adaptive layer
-    calls it explicitly to re-calibrate after environment drift and blend
-    the fresh value with its prior. *)
 
 (** {1 Introspection of the last call (for experiments)} *)
 
@@ -109,7 +140,9 @@ type stats = {
   s_backoffs : int;  (** steps that detected paging *)
   s_chunks : int;  (** probe chunks classified *)
   s_suspect_chunks : int;  (** chunks the detector called slow *)
-  s_confidence : float;  (** same value as {!confidence} of the result *)
+  s_confidence : float;  (** same value as {!Make.confidence} of the result *)
 }
 
 val last_stats : unit -> stats
+(** Stats of the most recent [gb_alloc] on this domain, on whichever
+    backend ran it. *)

@@ -1,0 +1,19 @@
+(* Which backend a run uses: the [gbp --os] flag and the GRAYBOX_OS
+   variable, validated like every other GRAYBOX_* control. *)
+
+type t = Sim | Host
+
+let to_string = function Sim -> "sim" | Host -> "host"
+let all = [ Sim; Host ]
+
+let of_string = function
+  | "sim" -> Some Sim
+  | "host" -> Some Host
+  | _ -> None
+
+let of_env () =
+  Gray_util.Env.parse ~var:"GRAYBOX_OS" ~expected:"sim or host"
+    ~on_invalid:`Exit ~default:Sim (fun token ->
+      match of_string token with
+      | Some v -> Gray_util.Env.Value v
+      | None -> Invalid)

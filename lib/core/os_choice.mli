@@ -1,0 +1,14 @@
+(** Backend selection: the [gbp --os] flag (sim or host) and
+    [GRAYBOX_OS]. *)
+
+type t = Sim | Host
+
+val to_string : t -> string
+val all : t list
+
+val of_string : string -> t option
+(** Strict: anything but ["sim"] / ["host"] is [None]. *)
+
+val of_env : unit -> t
+(** [GRAYBOX_OS], default [Sim]; a bad token exits with the usage code
+    (uniform {!Gray_util.Env} diagnostics). *)

@@ -1,0 +1,42 @@
+(** {!Os_intf.S} over the {e real} operating system ([Unix]), hardened.
+
+    No exception escapes any call: EINTR retries immediately, EAGAIN
+    backs off until a per-call deadline turns it into a typed
+    [Timeout], partial reads/writes are completed in a loop, and every
+    other errno maps into the shared [Simos.Kernel.error] taxonomy
+    ([ENOENT] → [Fs_error Enoent], [EBADF] → [Bad_fd], transient →
+    [Retryable], anything else → [Sys_error] carrying the errno name).
+    Capabilities the host lacks degrade typed — [/proc/vmstat] missing
+    is [Unsupported], a coarse timer widens
+    {!Os_intf.S.timing_confidence_cap} — they never crash.
+
+    The blob side-band (FLDC journal records) lives in sidecar files
+    named [.gb_blob.<base>] next to their owner; [readdir] hides them
+    and [unlink]/[rename]/[fsync] carry them along. *)
+
+type t
+
+val create :
+  ?root:string -> ?deadline_ns:int -> unit -> (t, Simos.Kernel.error) result
+(** Bring the backend up: probe the monotonic clock (an unusable clock
+    is [Unsupported] — the one capability timing probes cannot live
+    without) and derive the confidence cap from its measured
+    resolution.  [root] (default none) prefixes every path and rejects
+    [".."] escapes with [Bad_path]; [deadline_ns] (default 2 s) bounds
+    each call's transient-retry loop. *)
+
+val shutdown : t -> unit
+(** Close every descriptor still open.  Safe to call twice. *)
+
+val open_fd_count : t -> int
+(** Descriptors currently open through this env — the conformance
+    suite's leak check asserts this returns to its baseline. *)
+
+val timer_resolution_ns : t -> int
+(** The measured monotonic-timer resolution the confidence cap was
+    derived from. *)
+
+val errno_error : Unix.error -> Simos.Kernel.error
+(** The errno→taxonomy mapping, exposed for the round-trip tests. *)
+
+include Os_intf.S with type env = t

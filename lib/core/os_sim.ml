@@ -1,0 +1,52 @@
+(* The simulated-kernel backend: a transparent adapter.
+
+   Every function is the matching [Simos.Kernel] call, eta-expanded at
+   most — no extra syscalls, no RNG draws, no clock advances.  This is
+   load-bearing: the functorized ICL stack instantiated with this module
+   must stay byte-identical to the pre-functorization direct calls, and
+   CI diffs bench output to prove it.  Keep it boring. *)
+
+open Simos
+
+let name = "sim"
+
+type env = Kernel.env
+type fd = Kernel.fd
+type region = Kernel.region
+
+let gettime = Kernel.gettime
+
+(* The simulated clock is exact for the simulated cost model: probe
+   timings are the model's own numbers, so nothing caps their belief. *)
+let timing_confidence_cap (_ : env) = 1.0
+let sleep_ns ns = Engine.delay ns
+
+let open_file = Kernel.open_file
+let create_file = Kernel.create_file
+let close = Kernel.close
+let read = Kernel.read
+let write = Kernel.write
+let file_size = Kernel.file_size
+let mkdir = Kernel.mkdir
+let unlink = Kernel.unlink
+let rename = Kernel.rename
+let readdir = Kernel.readdir
+let stat = Kernel.stat
+let utimes = Kernel.utimes
+let fsync = Kernel.fsync
+let sync = Kernel.sync
+let write_blob = Kernel.write_blob
+let read_blob = Kernel.read_blob
+let durability_on env = Kernel.durability_on (Kernel.kernel_of_env env)
+
+let valloc env ~pages = Ok (Kernel.valloc env ~pages)
+let vfree = Kernel.vfree
+let vrelease = Kernel.vrelease
+let touch_pages = Kernel.touch_pages
+let vmstat env = Ok (Kernel.vmstat env)
+
+let compute = Kernel.compute
+let compute_bytes = Kernel.compute_bytes
+
+let pid = Kernel.pid
+let flight env = Kernel.flight (Kernel.kernel_of_env env)

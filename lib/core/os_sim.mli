@@ -1,0 +1,10 @@
+(** {!Os_intf.S} over the simulated kernel — the transparent adapter the
+    functorized ICL stack is instantiated with by default.  Its types
+    are the kernel's own, so [Fccd.Make(Os_sim)] (re-exported as the
+    top-level [Fccd]) keeps the exact pre-functorization API. *)
+
+include
+  Os_intf.S
+    with type env = Simos.Kernel.env
+     and type fd = Simos.Kernel.fd
+     and type region = Simos.Kernel.region

@@ -1,22 +1,26 @@
-open Simos
+module Make (Os : Os_intf.S) = struct
+  module R = Resilient.Make (Os)
 
-let timed env f =
-  let t0 = Kernel.gettime env in
-  let r = f () in
-  let t1 = Kernel.gettime env in
-  (r, max 0 (t1 - t0))
+  let timed env f =
+    let t0 = Os.gettime env in
+    let r = f () in
+    let t1 = Os.gettime env in
+    (r, max 0 (t1 - t0))
 
-let timed_read env fd ~off ~len =
-  timed env (fun () ->
-      match Kernel.read env fd ~off ~len with Ok n -> n | Error _ -> 0)
+  let timed_read env fd ~off ~len =
+    timed env (fun () ->
+        match Os.read env fd ~off ~len with Ok n -> n | Error _ -> 0)
 
-let file_byte env fd ~off =
-  let _, ns = timed_read env fd ~off ~len:1 in
-  ns
+  let file_byte env fd ~off =
+    let _, ns = timed_read env fd ~off ~len:1 in
+    ns
 
-let file_byte_r env ?policy fd ~off =
-  Resilient.retry ?policy (fun () ->
-      let r, ns = timed env (fun () -> Kernel.read env fd ~off ~len:1) in
-      match r with
-      | Ok _ -> Ok ns
-      | Error e -> Error e)
+  let file_byte_r env ?policy fd ~off =
+    R.retry ?policy (fun () ->
+        let r, ns = timed env (fun () -> Os.read env fd ~off ~len:1) in
+        match r with
+        | Ok _ -> Ok ns
+        | Error e -> Error e)
+end
+
+include Make (Os_sim)

@@ -20,63 +20,72 @@ let default_seed = 0x5E511E47
 let default () = policy ~seed:default_seed ()
 
 let classify = function
-  | Kernel.Retryable -> `Transient
-  | Kernel.Fs_error _ | Kernel.Bad_fd | Kernel.Bad_path -> `Permanent
+  | Kernel.Retryable | Kernel.Timeout -> `Transient
+  | Kernel.Fs_error _ | Kernel.Bad_fd | Kernel.Bad_path
+  | Kernel.Unsupported _ | Kernel.Sys_error _ ->
+    `Permanent
 
 let retries_spent p = p.spent
 
-let retry ?policy:p f =
-  let p = match p with Some p -> p | None -> default () in
-  let rec attempt n prev_sleep =
-    match f () with
-    | Ok v -> Ok v
-    | Error e -> (
-      match classify e with
-      | `Permanent -> Error e
-      | `Transient ->
-        if n >= p.max_attempts || p.spent >= p.budget then Error e
-        else begin
-          p.spent <- p.spent + 1;
-          (* decorrelated jitter: sleep in [base, 3 * previous], capped *)
-          let hi = max p.base_backoff_ns (3 * prev_sleep) in
-          let sleep =
-            min p.max_backoff_ns
-              (p.base_backoff_ns + Rng.int p.rng (max 1 (hi - p.base_backoff_ns + 1)))
-          in
-          (match Telemetry.active () with
-          | None -> ()
-          | Some s ->
-            Telemetry.add_in s "core.resilient.retries";
-            Telemetry.point s "core.resilient.retry"
-              ~attrs:(fun () ->
-                [ ("attempt", Telemetry.Int n); ("sleep_ns", Telemetry.Int sleep) ]));
-          Engine.delay sleep;
-          attempt (n + 1) sleep
-        end)
-  in
-  attempt 1 p.base_backoff_ns
+(* Only the backoff sleep touches the OS, so only [retry] and its
+   idempotent variant live in the functor — one [policy] type (and one
+   [classify]) is shared across backends. *)
+module Make (Os : Os_intf.S) = struct
+  let retry ?policy:p f =
+    let p = match p with Some p -> p | None -> default () in
+    let rec attempt n prev_sleep =
+      match f () with
+      | Ok v -> Ok v
+      | Error e -> (
+        match classify e with
+        | `Permanent -> Error e
+        | `Transient ->
+          if n >= p.max_attempts || p.spent >= p.budget then Error e
+          else begin
+            p.spent <- p.spent + 1;
+            (* decorrelated jitter: sleep in [base, 3 * previous], capped *)
+            let hi = max p.base_backoff_ns (3 * prev_sleep) in
+            let sleep =
+              min p.max_backoff_ns
+                (p.base_backoff_ns + Rng.int p.rng (max 1 (hi - p.base_backoff_ns + 1)))
+            in
+            (match Telemetry.active () with
+            | None -> ()
+            | Some s ->
+              Telemetry.add_in s "core.resilient.retries";
+              Telemetry.point s "core.resilient.retry"
+                ~attrs:(fun () ->
+                  [ ("attempt", Telemetry.Int n); ("sleep_ns", Telemetry.Int sleep) ]));
+            Os.sleep_ns sleep;
+            attempt (n + 1) sleep
+          end)
+    in
+    attempt 1 p.base_backoff_ns
 
-(* Retry for non-idempotent calls under crash–restart.  A create that
-   completed durably just before a crash fails its re-issue with [Eexist];
-   [completed] recognises such an error as evidence the earlier attempt
-   took effect and supplies the result.  Crucially it is consulted only on
-   a RE-issue: the same error on the very first attempt is a genuine
-   conflict and surfaces unchanged. *)
-let retry_idempotent ?policy:p ~completed f =
-  let p = match p with Some p -> p | None -> default () in
-  let reissued = ref false in
-  let wrapped () =
-    let r = f () in
-    (match r with
-    | Error e when classify e = `Transient -> reissued := true
-    | _ -> ());
-    r
-  in
-  match retry ~policy:p wrapped with
-  | Ok v -> Ok v
-  | Error e when !reissued -> (
-    match completed e with Some v -> Ok v | None -> Error e)
-  | Error e -> Error e
+  (* Retry for non-idempotent calls under crash–restart.  A create that
+     completed durably just before a crash fails its re-issue with [Eexist];
+     [completed] recognises such an error as evidence the earlier attempt
+     took effect and supplies the result.  Crucially it is consulted only on
+     a RE-issue: the same error on the very first attempt is a genuine
+     conflict and surfaces unchanged. *)
+  let retry_idempotent ?policy:p ~completed f =
+    let p = match p with Some p -> p | None -> default () in
+    let reissued = ref false in
+    let wrapped () =
+      let r = f () in
+      (match r with
+      | Error e when classify e = `Transient -> reissued := true
+      | _ -> ());
+      r
+    in
+    match retry ~policy:p wrapped with
+    | Ok v -> Ok v
+    | Error e when !reissued -> (
+      match completed e with Some v -> Ok v | None -> Error e)
+    | Error e -> Error e
+end
+
+include Make (Os_sim)
 
 let reject samples =
   if Array.length samples = 0 then samples

@@ -38,32 +38,53 @@ val default : unit -> policy
 (** A fresh policy from a fixed seed (deterministic across runs). *)
 
 val classify : Simos.Kernel.error -> [ `Transient | `Permanent ]
-(** [Retryable] is transient; everything else is permanent. *)
+(** [Retryable] and the host backend's [Timeout] are transient;
+    everything else is permanent.  One classification serves both
+    backends — that is the point of the shared taxonomy. *)
+
+val retries_spent : policy -> int
+(** Retries this policy has performed so far (counts against [budget]). *)
+
+(** Only the backoff sleep depends on the backend, so only the retry
+    combinators are functorized; {!policy} and {!classify} are shared. *)
+module Make (Os : Os_intf.S) : sig
+  val retry :
+    ?policy:policy ->
+    (unit -> ('a, Simos.Kernel.error) result) ->
+    ('a, Simos.Kernel.error) result
+  (** Run the call, retrying transient failures with backoff
+      ([Os.sleep_ns]; under the sim backend this is a fiber delay and
+      must run inside a fiber).  When attempts or budget run out the
+      last error is returned.  [?policy] defaults to a one-shot
+      {!default} policy. *)
+
+  val retry_idempotent :
+    ?policy:policy ->
+    completed:(Simos.Kernel.error -> 'a option) ->
+    (unit -> ('a, Simos.Kernel.error) result) ->
+    ('a, Simos.Kernel.error) result
+  (** {!retry} for calls that are not naturally idempotent under
+      crash–restart.  When a {e re-issued} attempt fails with a permanent
+      error that [completed] recognises as "the earlier attempt already took
+      effect" (e.g. [Eexist] from a create that became durable just before
+      the machine died), its value is returned as success.  [completed] is
+      never consulted for an error on the first attempt — that is a genuine
+      conflict, not evidence of completion. *)
+end
+
+(** The simulated-backend instance, re-exported so existing callers keep
+    the historical flat API. *)
 
 val retry :
   ?policy:policy ->
   (unit -> ('a, Simos.Kernel.error) result) ->
   ('a, Simos.Kernel.error) result
-(** Run the call, retrying transient failures with backoff (simulated
-    sleeps via [Engine.delay]; must be called from inside a fiber).  When
-    attempts or budget run out the last error is returned.  [?policy]
-    defaults to a one-shot {!default} policy. *)
-
-val retries_spent : policy -> int
-(** Retries this policy has performed so far (counts against [budget]). *)
 
 val retry_idempotent :
   ?policy:policy ->
   completed:(Simos.Kernel.error -> 'a option) ->
   (unit -> ('a, Simos.Kernel.error) result) ->
   ('a, Simos.Kernel.error) result
-(** {!retry} for calls that are not naturally idempotent under
-    crash–restart.  When a {e re-issued} attempt fails with a permanent
-    error that [completed] recognises as "the earlier attempt already took
-    effect" (e.g. [Eexist] from a create that became durable just before
-    the machine died), its value is returned as success.  [completed] is
-    never consulted for an error on the first attempt — that is a genuine
-    conflict, not evidence of completion. *)
 
 (** {1 Robust sample summaries}
 

@@ -476,14 +476,11 @@ let blame_table t =
 
 let env_on =
   lazy
-    (match Sys.getenv_opt "GRAYBOX_ACCOUNT" with
-    | None | Some "" -> true
-    | Some s -> (
-      match String.lowercase_ascii (String.trim s) with
-      | "on" | "1" -> true
-      | "off" | "none" | "0" -> false
-      | s ->
-        Printf.eprintf "error: GRAYBOX_ACCOUNT=%s: expected on or off\n%!" s;
-        exit 2))
+    (Gray_util.Env.parse ~var:"GRAYBOX_ACCOUNT" ~expected:"on or off"
+       ~on_invalid:`Exit ~default:true (fun token ->
+         match token with
+         | "on" | "1" -> Gray_util.Env.Value true
+         | "off" | "none" | "0" -> Value false
+         | _ -> Invalid))
 
 let of_env () = Lazy.force env_on

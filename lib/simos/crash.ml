@@ -19,29 +19,41 @@ let probabilistic ?(seed = 0xC4A5) ~prob () =
   { cs_name = Printf.sprintf "prob:%g" prob; cs_seed = seed; cs_crash_at = None;
     cs_prob = prob }
 
-(* Same strict-validation style as GRAYBOX_TRIALS / GRAYBOX_FAULTS: a bad
-   value is a hard error, not a silent default. *)
-let of_string s =
-  match s with
-  | "" | "none" -> None
-  | "durable" -> Some durable
+(* Same strict-validation style as the other GRAYBOX_* planes: a bad
+   value is a hard error, not a silent default (see Gray_util.Env). *)
+let expected_grammar = "none, durable, at:N or a probability in (0,1]"
+
+let parse_token token =
+  match token with
+  | "none" -> Gray_util.Env.Value None
+  | "durable" -> Value (Some durable)
   | _ ->
-    if String.length s > 3 && String.sub s 0 3 = "at:" then begin
-      match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
-      | Some n when n >= 1 -> Some (at_syscall n)
-      | _ -> invalid_arg ("Crash.of_string: bad crash-at boundary in " ^ s)
+    if String.length token > 3 && String.sub token 0 3 = "at:" then begin
+      match int_of_string_opt (String.sub token 3 (String.length token - 3)) with
+      | Some n when n >= 1 -> Value (Some (at_syscall n))
+      | _ -> Invalid
     end
     else begin
-      match float_of_string_opt s with
-      | Some p when p > 0.0 && p <= 1.0 -> Some (probabilistic ~prob:p ())
-      | _ ->
-        invalid_arg
-          ("Crash.of_string: bad GRAYBOX_CRASH value " ^ s
-         ^ " (expected none, durable, at:N or a probability in (0,1])")
+      match float_of_string_opt token with
+      | Some p when p > 0.0 && p <= 1.0 -> Value (Some (probabilistic ~prob:p ()))
+      | _ -> Invalid
     end
 
+let of_string s =
+  let token = String.lowercase_ascii (String.trim s) in
+  if token = "" then None
+  else
+    match parse_token token with
+    | Gray_util.Env.Value v -> v
+    | Soft (_, v) -> v
+    | Invalid ->
+      invalid_arg
+        (Gray_util.Env.message ~var:"GRAYBOX_CRASH" ~token
+           ~expected:expected_grammar)
+
 let of_env () =
-  match Sys.getenv_opt "GRAYBOX_CRASH" with None -> None | Some s -> of_string s
+  Gray_util.Env.parse ~var:"GRAYBOX_CRASH" ~expected:expected_grammar
+    ~on_invalid:`Raise ~default:None parse_token
 
 type mutable_stats = { mutable m_crashes : int; mutable m_restarts : int }
 

@@ -114,23 +114,31 @@ let validate sc =
           bad (field "Pressure_level") "must be in [0, 1] (got %g)" f)
     sc.dr_events
 
+let expected_grammar = "none, quiet, canonical or heavy"
+
+let parse_token token =
+  match token with
+  | "none" -> Gray_util.Env.Value None
+  | "quiet" -> Value (Some quiet)
+  | "canonical" -> Value (Some canonical)
+  | "heavy" -> Value (Some heavy)
+  | _ -> Invalid
+
 let of_string s =
-  match String.lowercase_ascii (String.trim s) with
-  | "" | "none" -> None
-  | "quiet" -> Some quiet
-  | "canonical" -> Some canonical
-  | "heavy" -> Some heavy
-  | other ->
-    invalid_arg
-      (Printf.sprintf
-         "GRAYBOX_DRIFT=%s: expected \"none\", \"quiet\", \"canonical\" or \
-          \"heavy\""
-         other)
+  let token = String.lowercase_ascii (String.trim s) in
+  if token = "" then None
+  else
+    match parse_token token with
+    | Gray_util.Env.Value v -> v
+    | Soft (_, v) -> v
+    | Invalid ->
+      invalid_arg
+        (Gray_util.Env.message ~var:"GRAYBOX_DRIFT" ~token
+           ~expected:expected_grammar)
 
 let of_env () =
-  match Sys.getenv_opt "GRAYBOX_DRIFT" with
-  | None -> None
-  | Some s -> of_string s
+  Gray_util.Env.parse ~var:"GRAYBOX_DRIFT" ~expected:expected_grammar
+    ~on_invalid:`Raise ~default:None parse_token
 
 let max_pressure_frac sc =
   List.fold_left

@@ -102,14 +102,17 @@ let of_intensity ?seed ~intensity () =
   match seed with None -> sc | Some s -> { sc with sc_seed = s }
 
 let of_env () =
-  match Sys.getenv_opt "GRAYBOX_FAULTS" with
-  | None | Some "" | Some "none" -> None
-  | Some "canonical" -> Some canonical
-  | Some "heavy" -> Some heavy
-  | Some s -> (
-    match float_of_string_opt s with
-    | Some i when i >= 0.0 -> Some (of_intensity ~intensity:i ())
-    | _ -> invalid_arg ("Fault.of_env: bad GRAYBOX_FAULTS value " ^ s))
+  Gray_util.Env.parse ~var:"GRAYBOX_FAULTS"
+    ~expected:"none, canonical, heavy or a non-negative intensity"
+    ~on_invalid:`Raise ~default:None (fun token ->
+      match token with
+      | "none" -> Gray_util.Env.Value None
+      | "canonical" -> Value (Some canonical)
+      | "heavy" -> Value (Some heavy)
+      | s -> (
+        match float_of_string_opt s with
+        | Some i when i >= 0.0 -> Value (Some (of_intensity ~intensity:i ()))
+        | _ -> Invalid))
 
 type mutable_stats = {
   mutable m_errors : int;

@@ -1,13 +1,23 @@
 module Tele = Gray_util.Telemetry
 module Flight = Gray_util.Flight
 
-type error = Fs_error of Fs.error | Bad_fd | Bad_path | Retryable
+type error =
+  | Fs_error of Fs.error
+  | Bad_fd
+  | Bad_path
+  | Retryable
+  | Timeout
+  | Unsupported of string
+  | Sys_error of string
 
 let error_to_string = function
   | Fs_error e -> Fs.error_to_string e
   | Bad_fd -> "bad file descriptor"
   | Bad_path -> "bad path (expected /d<volume>/...)"
   | Retryable -> "interrupted by transient fault (EINTR/EAGAIN-style; retry)"
+  | Timeout -> "syscall deadline exceeded"
+  | Unsupported reason -> "unsupported on this backend: " ^ reason
+  | Sys_error errno -> "host system error: " ^ errno
 
 type fd = int
 type open_file = { of_vol : int; of_ino : int }

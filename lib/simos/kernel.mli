@@ -20,12 +20,26 @@ type env
 type fd = int
 (** File descriptors are plain ints (per-process). *)
 
-type error = Fs_error of Fs.error | Bad_fd | Bad_path | Retryable
+type error =
+  | Fs_error of Fs.error
+  | Bad_fd
+  | Bad_path
+  | Retryable
+  | Timeout  (** a host syscall missed its deadline (host backend only) *)
+  | Unsupported of string
+      (** the backend lacks a capability (host backend only) *)
+  | Sys_error of string
+      (** uncategorised host errno, carried by name (host backend only) *)
 
 val error_to_string : error -> string
 (** [Retryable] is an injected EINTR/EAGAIN-style transient failure (only
     ever returned when a {!Fault} scenario is installed); callers should
-    back off and retry — see [Graybox_core.Resilient]. *)
+    back off and retry — see [Graybox_core.Resilient].
+
+    The last three constructors exist so the host backend
+    ([Graybox_core.Os_host]) shares this taxonomy literally with the
+    fault plane's injected errors: the simulated kernel {e never}
+    produces [Timeout], [Unsupported] or [Sys_error]. *)
 
 (** {1 Boot and processes} *)
 

@@ -1,0 +1,33 @@
+(** Strict, uniform parsing of the [GRAYBOX_*] environment variables.
+
+    Every plane (faults, crash, drift, telemetry, accounting, flight
+    recorder, OS backend) validates its variable through {!parse}, so a
+    bad token always produces the same shape of diagnostic —
+    ["GRAYBOX_X=token: expected <grammar>"] — naming both the variable
+    and the offending token.  Only the failure {e channel} differs per
+    variable (the planes raised [Invalid_argument] or exited with the
+    usage code before unification, and tests pin those modes). *)
+
+type 'a outcome =
+  | Value of 'a  (** token accepted *)
+  | Soft of string * 'a
+      (** syntactically valid but degraded: warn with the detail string
+          on stderr and use the fallback (e.g. a sub-1 sample rate turns
+          telemetry off rather than failing the run) *)
+  | Invalid  (** token rejected: fail via [on_invalid] *)
+
+val message : var:string -> token:string -> expected:string -> string
+(** ["var=token: expected <expected>"] — the uniform diagnostic. *)
+
+val parse :
+  var:string ->
+  expected:string ->
+  on_invalid:[ `Raise | `Exit ] ->
+  default:'a ->
+  (string -> 'a outcome) ->
+  'a
+(** Look up [var]; unset or empty (after trimming) yields [default].
+    Otherwise the token is trimmed and lowercased and handed to the
+    callback.  [`Raise] fails with [Invalid_argument] (library-level
+    misuse, catchable); [`Exit] prints ["error: ..."] and exits with the
+    usage code 2 (process-level configuration, not catchable). *)

@@ -167,26 +167,19 @@ let dump ?last t =
    print once, not once per boot. *)
 let env_capacity =
   lazy
-    (match Sys.getenv_opt "GRAYBOX_FLIGHT" with
-    | None | Some "" -> Some default_capacity
-    | Some s -> (
-      match String.lowercase_ascii (String.trim s) with
-      | "off" | "none" -> None
-      | "on" -> Some default_capacity
-      | s -> (
-        match int_of_string_opt s with
-        | Some n when n >= 1 -> Some n
-        | Some n ->
-          Printf.eprintf
-            "warning: GRAYBOX_FLIGHT=%d is below 1; flight recorder stays off\n%!"
-            n;
-          None
-        | None ->
-          Printf.eprintf
-            "error: GRAYBOX_FLIGHT=%s: expected off, on, or a capacity (an \
-             integer >= 1)\n%!"
-            s;
-          exit 2)))
+    (Env.parse ~var:"GRAYBOX_FLIGHT"
+       ~expected:"off, on, or a capacity (an integer >= 1)"
+       ~on_invalid:`Exit
+       ~default:(Some default_capacity)
+       (fun token ->
+         match token with
+         | "off" | "none" -> Env.Value None
+         | "on" -> Value (Some default_capacity)
+         | s -> (
+           match int_of_string_opt s with
+           | Some n when n >= 1 -> Value (Some n)
+           | Some _ -> Soft ("capacity below 1; flight recorder stays off", None)
+           | None -> Invalid)))
 
 let of_env () =
   match Lazy.force env_capacity with

@@ -26,20 +26,15 @@ let mode_of_string s =
       Error "expected off, full, or a sample rate (an integer >= 1)")
 
 let of_env () =
-  match Sys.getenv_opt "GRAYBOX_TELEMETRY" with
-  | None | Some "" -> Off
-  | Some s -> (
-    match mode_of_string s with
-    | Ok m -> m
-    | Error reason -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n < 1 ->
-        Printf.eprintf
-          "warning: GRAYBOX_TELEMETRY=%d is below 1; telemetry stays off\n%!" n;
-        Off
-      | Some _ | None ->
-        Printf.eprintf "error: GRAYBOX_TELEMETRY=%s: %s\n%!" s reason;
-        exit 2))
+  Env.parse ~var:"GRAYBOX_TELEMETRY"
+    ~expected:"off, full, or a sample rate (an integer >= 1)"
+    ~on_invalid:`Exit ~default:Off (fun token ->
+      match mode_of_string token with
+      | Ok m -> Env.Value m
+      | Error _ -> (
+        match int_of_string_opt token with
+        | Some n when n < 1 -> Soft ("sample rate below 1; telemetry stays off", Off)
+        | Some _ | None -> Invalid))
 
 (* ---- sinks ------------------------------------------------------------ *)
 

@@ -251,6 +251,41 @@ let test_ordering_robust_to_noise () =
   in
   Alcotest.(check (list string)) "order unaffected by noise" created recovered
 
+(* A refresh that dies on a plain typed error (not an injected crash)
+   must roll its scratch state back: no journal and no temp directory
+   stranded in the parent, originals untouched — the caller sees
+   [Error], not a half-moved directory plus debris. *)
+let test_refresh_error_rolls_back_scratch () =
+  let failing_reads =
+    { Fault.quiet with Fault.sc_error_prob = 1.0; sc_error_targets = [ Fault.Read ] }
+  in
+  let engine = Engine.create () in
+  let k =
+    Kernel.boot ~engine ~platform:tiny_linux ~data_disks:2 ~seed:55
+      ~faults:failing_reads ()
+  in
+  Kernel.spawn k (fun env ->
+      let paths =
+        Gray_apps.Workload.make_files env ~dir:"/d0/dir" ~prefix:"f" ~count:6
+          ~size:kib8
+      in
+      let before =
+        List.map (fun p -> (p, (ok (Kernel.stat env p)).Fs.st_size)) paths
+      in
+      (match Fldc.refresh_directory env ~dir:"/d0/dir" () with
+      | Ok () -> Alcotest.fail "refresh succeeded under always-failing reads"
+      | Error _ -> ());
+      List.iter
+        (fun (p, size) ->
+          Alcotest.(check int) (p ^ " intact") size
+            (ok (Kernel.stat env p)).Fs.st_size)
+        before;
+      Alcotest.(check (list string)) "no journal, no tmp dir" [ "dir" ]
+        (List.sort compare (ok (Kernel.readdir env "/d0")));
+      Alcotest.(check bool) "nothing for repair to find" false
+        (ok (Fldc.repair env ~parent:"/d0")));
+  Kernel.run k
+
 let suite =
   [
     Alcotest.test_case "i-number order = creation order" `Quick
@@ -266,4 +301,6 @@ let suite =
       test_crash_recovery_all_points;
     Alcotest.test_case "repair without crash" `Quick test_repair_without_crash_is_noop;
     Alcotest.test_case "ordering robust to noise" `Quick test_ordering_robust_to_noise;
+    Alcotest.test_case "refresh error rolls back scratch" `Quick
+      test_refresh_error_rolls_back_scratch;
   ]

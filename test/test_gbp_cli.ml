@@ -122,6 +122,7 @@ let test_gbp_exit_codes_distinct () =
         Kernel.Fs_error Fs.Enoent;
         Kernel.Fs_error Fs.Eexist;
         Kernel.Fs_error Fs.Enospc;
+        Kernel.Unsupported "vmstat";
       ]
   in
   let all =
@@ -138,7 +139,20 @@ let test_gbp_exit_codes_distinct () =
   Alcotest.(check int) "export failure is 8" 8 Gbp.exit_export_failed;
   Alcotest.(check int) "crash recovered is 9" 9 Gbp.exit_crash_recovered;
   Alcotest.(check int) "recovery failed is 10" 10 Gbp.exit_recovery_failed;
-  Alcotest.(check int) "stale budget exhausted is 11" 11 Gbp.exit_stale
+  Alcotest.(check int) "stale budget exhausted is 11" 11 Gbp.exit_stale;
+  (* the host additions fold into the same space: an unavailable host
+     capability is its own code, the host-only transients/errnos reuse
+     the matching sim codes *)
+  Alcotest.(check int) "host unavailable is 12" 12 Gbp.exit_host_unavailable;
+  Alcotest.(check int) "Unsupported = host unavailable"
+    Gbp.exit_host_unavailable
+    (Gbp.exit_code_of_error (Kernel.Unsupported "vmstat"));
+  Alcotest.(check int) "Timeout retries like Retryable"
+    (Gbp.exit_code_of_error Kernel.Retryable)
+    (Gbp.exit_code_of_error Kernel.Timeout);
+  Alcotest.(check int) "Sys_error lands with the residual fs errors"
+    (Gbp.exit_code_of_error (Kernel.Fs_error Fs.Enospc))
+    (Gbp.exit_code_of_error (Kernel.Sys_error "EACCES"))
 
 let suite =
   [
